@@ -1,0 +1,47 @@
+//! The shared [`Classifier`] interface and evaluation helpers.
+
+use mdl_data::metrics::ConfusionMatrix;
+use mdl_data::Dataset;
+use mdl_tensor::Matrix;
+use rand::rngs::StdRng;
+
+/// A trainable multi-class classifier.
+///
+/// All baselines take an explicit seeded RNG so comparisons are reproducible.
+pub trait Classifier: Send {
+    /// Fits the model to a training set.
+    fn fit(&mut self, data: &Dataset, rng: &mut StdRng);
+
+    /// Predicts a class for every row of `x`.
+    fn predict(&self, x: &Matrix) -> Vec<usize>;
+
+    /// Short human-readable model name for report tables.
+    fn name(&self) -> &'static str;
+}
+
+/// Accuracy and macro-F1 of a fitted classifier on a test set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Evaluation {
+    /// Fraction of correct predictions.
+    pub accuracy: f64,
+    /// Unweighted mean per-class F1.
+    pub macro_f1: f64,
+}
+
+/// Evaluates `model` on `test`.
+pub fn evaluate(model: &dyn Classifier, test: &Dataset) -> Evaluation {
+    let pred = model.predict(&test.x);
+    let cm = ConfusionMatrix::from_predictions(&test.y, &pred, test.classes);
+    Evaluation { accuracy: cm.accuracy(), macro_f1: cm.macro_f1() }
+}
+
+/// Fits on `train`, evaluates on `test`.
+pub fn fit_evaluate(
+    model: &mut dyn Classifier,
+    train: &Dataset,
+    test: &Dataset,
+    rng: &mut StdRng,
+) -> Evaluation {
+    model.fit(train, rng);
+    evaluate(model, test)
+}

@@ -1,0 +1,126 @@
+//! Dummy classifiers that calibrate the floor of every comparison table.
+
+use crate::classifier::Classifier;
+use mdl_data::Dataset;
+use mdl_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Always predicts the most frequent training class.
+#[derive(Debug, Clone, Default)]
+pub struct MajorityClass {
+    class: Option<usize>,
+}
+
+impl MajorityClass {
+    /// Creates an unfitted majority-class baseline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Classifier for MajorityClass {
+    fn fit(&mut self, data: &Dataset, _rng: &mut StdRng) {
+        let counts = data.class_counts();
+        self.class = counts.iter().enumerate().max_by_key(|&(_, &c)| c).map(|(i, _)| i);
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<usize> {
+        let class = self.class.expect("predict called before fit");
+        vec![class; x.rows()]
+    }
+
+    fn name(&self) -> &'static str {
+        "Majority"
+    }
+}
+
+/// Predicts classes at random with the training label frequencies.
+#[derive(Debug, Clone, Default)]
+pub struct Stratified {
+    cdf: Vec<f64>,
+    seed: u64,
+}
+
+impl Stratified {
+    /// Creates an unfitted stratified-random baseline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Classifier for Stratified {
+    fn fit(&mut self, data: &Dataset, rng: &mut StdRng) {
+        let counts = data.class_counts();
+        let total: usize = counts.iter().sum();
+        let mut acc = 0.0f64;
+        self.cdf = counts
+            .iter()
+            .map(|&c| {
+                acc += c as f64 / total.max(1) as f64;
+                acc
+            })
+            .collect();
+        self.seed = rng.gen();
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<usize> {
+        assert!(!self.cdf.is_empty(), "predict called before fit");
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..x.rows())
+            .map(|_| {
+                let u: f64 = rng.gen();
+                self.cdf.iter().position(|&c| u <= c).unwrap_or(self.cdf.len() - 1)
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "Stratified"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdl_data::metrics::accuracy;
+    use rand::SeedableRng;
+
+    fn skewed() -> Dataset {
+        let y: Vec<usize> = (0..100).map(|i| usize::from(i >= 70)).collect();
+        Dataset::new(Matrix::zeros(100, 2), y, 2)
+    }
+
+    #[test]
+    fn majority_matches_base_rate() {
+        let mut rng = StdRng::seed_from_u64(160);
+        let d = skewed();
+        let mut m = MajorityClass::new();
+        m.fit(&d, &mut rng);
+        let pred = m.predict(&d.x);
+        assert!(pred.iter().all(|&p| p == 0));
+        assert!((accuracy(&d.y, &pred) - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stratified_accuracy_near_sum_of_squares() {
+        let mut rng = StdRng::seed_from_u64(161);
+        let d = skewed();
+        let mut s = Stratified::new();
+        s.fit(&d, &mut rng);
+        let pred = s.predict(&d.x);
+        // expected accuracy = 0.7² + 0.3² = 0.58; loose bound for n=100
+        let acc = accuracy(&d.y, &pred);
+        assert!((0.35..0.8).contains(&acc), "acc={acc}");
+    }
+
+    #[test]
+    fn stratified_is_deterministic_after_fit() {
+        let mut rng = StdRng::seed_from_u64(162);
+        let d = skewed();
+        let mut s = Stratified::new();
+        s.fit(&d, &mut rng);
+        assert_eq!(s.predict(&d.x), s.predict(&d.x));
+    }
+}

@@ -1,0 +1,135 @@
+//! Random forest: bagged CART trees with per-split feature subsampling.
+
+use crate::classifier::Classifier;
+use crate::tree::DecisionTree;
+use mdl_data::Dataset;
+use mdl_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random forest of [`DecisionTree`]s with majority voting.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Depth limit per tree.
+    pub max_depth: usize,
+    /// Fraction of examples bootstrapped per tree.
+    pub subsample: f64,
+    trees: Vec<DecisionTree>,
+    classes: usize,
+}
+
+impl Default for RandomForest {
+    fn default() -> Self {
+        Self { n_trees: 60, max_depth: 14, subsample: 1.0, trees: Vec::new(), classes: 0 }
+    }
+}
+
+impl RandomForest {
+    /// Creates a forest with default hyper-parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forest with an explicit tree count.
+    pub fn with_trees(n_trees: usize) -> Self {
+        Self { n_trees, ..Default::default() }
+    }
+
+    /// Number of fitted trees.
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Classifier for RandomForest {
+    fn fit(&mut self, data: &Dataset, rng: &mut StdRng) {
+        assert!(!data.is_empty(), "cannot fit a forest to an empty dataset");
+        self.classes = data.classes;
+        self.trees.clear();
+        let n = data.len();
+        let draw = ((n as f64) * self.subsample).round().max(1.0) as usize;
+        let mtry = ((data.dim() as f64).sqrt().round() as usize).max(1);
+        for _ in 0..self.n_trees {
+            // bootstrap sample
+            let idx: Vec<usize> = (0..draw).map(|_| rng.gen_range(0..n)).collect();
+            let sample = data.subset(&idx);
+            let mut tree = DecisionTree {
+                max_depth: self.max_depth,
+                min_samples_split: 2,
+                max_features: Some(mtry),
+                ..Default::default()
+            };
+            let mut tree_rng = StdRng::seed_from_u64(rng.gen());
+            tree.fit(&sample, &mut tree_rng);
+            self.trees.push(tree);
+        }
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<usize> {
+        assert!(!self.trees.is_empty(), "predict called before fit");
+        let mut votes = vec![vec![0usize; self.classes]; x.rows()];
+        for tree in &self.trees {
+            for (r, &p) in tree.predict(x).iter().enumerate() {
+                votes[r][p] += 1;
+            }
+        }
+        votes
+            .iter()
+            .map(|v| {
+                v.iter()
+                    .enumerate()
+                    .max_by_key(|&(_, &c)| c)
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "RandomForest"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::fit_evaluate;
+    use mdl_data::synthetic::{gaussian_blobs, two_spirals};
+    use rand::SeedableRng;
+
+    #[test]
+    fn forest_beats_chance_on_spirals() {
+        let mut rng = StdRng::seed_from_u64(140);
+        let d = two_spirals(400, 0.05, &mut rng);
+        let (train, test) = d.split(0.7, &mut rng);
+        let mut forest = RandomForest::with_trees(30);
+        let eval = fit_evaluate(&mut forest, &train, &test, &mut rng);
+        assert!(eval.accuracy > 0.8, "{eval:?}");
+    }
+
+    #[test]
+    fn forest_generalises_on_blobs() {
+        let mut rng = StdRng::seed_from_u64(141);
+        let d = gaussian_blobs(400, 4, 0.4, &mut rng);
+        let (train, test) = d.split(0.7, &mut rng);
+        let mut forest = RandomForest::with_trees(25);
+        let eval = fit_evaluate(&mut forest, &train, &test, &mut rng);
+        assert!(eval.accuracy > 0.9, "{eval:?}");
+        assert_eq!(forest.tree_count(), 25);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut rng_a = StdRng::seed_from_u64(142);
+        let d = gaussian_blobs(150, 3, 0.4, &mut rng_a);
+        let mut f1 = RandomForest::with_trees(10);
+        let mut f2 = RandomForest::with_trees(10);
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        f1.fit(&d, &mut r1);
+        f2.fit(&d, &mut r2);
+        assert_eq!(f1.predict(&d.x), f2.predict(&d.x));
+    }
+}

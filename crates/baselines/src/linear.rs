@@ -1,0 +1,207 @@
+//! Linear baselines: multinomial logistic regression and a linear SVM.
+
+use crate::classifier::Classifier;
+use mdl_data::Dataset;
+use mdl_tensor::stats::softmax_rows;
+use mdl_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// Multinomial logistic regression trained by mini-batch SGD.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// L2 regularisation strength.
+    pub l2: f32,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    weights: Option<Matrix>,
+    bias: Option<Matrix>,
+}
+
+impl Default for LogisticRegression {
+    fn default() -> Self {
+        Self {
+            learning_rate: 0.1,
+            l2: 1e-4,
+            epochs: 60,
+            batch_size: 32,
+            weights: None,
+            bias: None,
+        }
+    }
+}
+
+impl LogisticRegression {
+    /// Creates a model with default hyper-parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn scores(&self, x: &Matrix) -> Matrix {
+        let w = self.weights.as_ref().expect("predict called before fit");
+        let b = self.bias.as_ref().expect("predict called before fit");
+        x.matmul(w).add_row_broadcast(b)
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn fit(&mut self, data: &Dataset, rng: &mut StdRng) {
+        let d = data.dim();
+        let c = data.classes;
+        let mut w = Matrix::zeros(d, c);
+        let mut b = Matrix::zeros(1, c);
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        for _ in 0..self.epochs {
+            order.shuffle(rng);
+            for chunk in order.chunks(self.batch_size.max(1)) {
+                let bx = data.x.select_rows(chunk);
+                let scores = bx.matmul(&w).add_row_broadcast(&b);
+                let mut grad = softmax_rows(&scores);
+                for (r, &i) in chunk.iter().enumerate() {
+                    grad[(r, data.y[i])] -= 1.0;
+                }
+                grad.scale_mut(1.0 / chunk.len() as f32);
+                let gw = bx.matmul_tn(&grad);
+                w.scale_mut(1.0 - self.learning_rate * self.l2);
+                w.add_scaled(-self.learning_rate, &gw);
+                b.add_scaled(-self.learning_rate, &grad.sum_rows());
+            }
+        }
+        self.weights = Some(w);
+        self.bias = Some(b);
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<usize> {
+        self.scores(x).argmax_rows()
+    }
+
+    fn name(&self) -> &'static str {
+        "LR"
+    }
+}
+
+/// Linear SVM: one-vs-rest hinge loss trained by mini-batch SGD
+/// (Pegasos-style but with a constant step for simplicity).
+#[derive(Debug, Clone)]
+pub struct LinearSvm {
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// L2 regularisation strength.
+    pub l2: f32,
+    /// Training epochs.
+    pub epochs: usize,
+    weights: Option<Matrix>,
+    bias: Option<Matrix>,
+}
+
+impl Default for LinearSvm {
+    fn default() -> Self {
+        Self { learning_rate: 0.05, l2: 1e-3, epochs: 60, weights: None, bias: None }
+    }
+}
+
+impl LinearSvm {
+    /// Creates a model with default hyper-parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Classifier for LinearSvm {
+    fn fit(&mut self, data: &Dataset, rng: &mut StdRng) {
+        let d = data.dim();
+        let c = data.classes;
+        let mut w = Matrix::zeros(d, c);
+        let mut b = Matrix::zeros(1, c);
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        for _ in 0..self.epochs {
+            order.shuffle(rng);
+            for &i in &order {
+                let xi = Matrix::row_vector(data.x.row(i));
+                let scores = xi.matmul(&w).add_row_broadcast(&b);
+                let yi = data.y[i];
+                w.scale_mut(1.0 - self.learning_rate * self.l2);
+                // one-vs-rest hinge: target margin +1 for true class, -1 others
+                for k in 0..c {
+                    let target = if k == yi { 1.0 } else { -1.0 };
+                    if target * scores[(0, k)] < 1.0 {
+                        for j in 0..d {
+                            w[(j, k)] += self.learning_rate * target * xi[(0, j)];
+                        }
+                        b[(0, k)] += self.learning_rate * target;
+                    }
+                }
+            }
+        }
+        self.weights = Some(w);
+        self.bias = Some(b);
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<usize> {
+        let w = self.weights.as_ref().expect("predict called before fit");
+        let b = self.bias.as_ref().expect("predict called before fit");
+        x.matmul(w).add_row_broadcast(b).argmax_rows()
+    }
+
+    fn name(&self) -> &'static str {
+        "SVM"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::fit_evaluate;
+    use mdl_data::synthetic::{gaussian_blobs, two_spirals};
+    use rand::SeedableRng;
+
+    #[test]
+    fn lr_separates_blobs() {
+        let mut rng = StdRng::seed_from_u64(120);
+        let d = gaussian_blobs(300, 3, 0.3, &mut rng);
+        let (train, test) = d.split(0.7, &mut rng);
+        let mut lr = LogisticRegression::new();
+        let eval = fit_evaluate(&mut lr, &train, &test, &mut rng);
+        assert!(eval.accuracy > 0.9, "{eval:?}");
+        assert!(eval.macro_f1 > 0.9);
+    }
+
+    #[test]
+    fn svm_separates_blobs() {
+        let mut rng = StdRng::seed_from_u64(121);
+        let d = gaussian_blobs(300, 3, 0.3, &mut rng);
+        let (train, test) = d.split(0.7, &mut rng);
+        let mut svm = LinearSvm::new();
+        let eval = fit_evaluate(&mut svm, &train, &test, &mut rng);
+        assert!(eval.accuracy > 0.9, "{eval:?}");
+    }
+
+    #[test]
+    fn linear_models_fail_on_spirals() {
+        // sanity: the nonlinear task defeats linear baselines (paper §IV-A
+        // observes shallow models are a poor fit)
+        let mut rng = StdRng::seed_from_u64(122);
+        let d = two_spirals(400, 0.05, &mut rng);
+        let (train, test) = d.split(0.7, &mut rng);
+        let mut lr = LogisticRegression::new();
+        let eval = fit_evaluate(&mut lr, &train, &test, &mut rng);
+        assert!(eval.accuracy < 0.8, "spirals should defeat LR: {eval:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn predict_before_fit_panics() {
+        let lr = LogisticRegression::new();
+        let _ = lr.predict(&Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(LogisticRegression::new().name(), "LR");
+        assert_eq!(LinearSvm::new().name(), "SVM");
+    }
+}

@@ -1,0 +1,60 @@
+//! Benchmarks for the application models (E6–E9 ablations): one DeepMood
+//! training step per fusion head, and session featurization throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdl_core::data::typing::{featurize_session, TypingProfile};
+use mdl_core::prelude::*;
+use std::time::Duration;
+
+fn sample_sessions(n: usize, rng: &mut StdRng) -> Vec<mdl_core::data::typing::TypingSession> {
+    let profile = TypingProfile::default();
+    (0..n).map(|_| profile.generate_session(rng)).collect()
+}
+
+fn bench_fusion_heads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deepmood_train_step");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let mut rng = StdRng::seed_from_u64(2050);
+    let sessions = sample_sessions(16, &mut rng);
+    let pairs: Vec<(Vec<&Matrix>, usize)> = sessions
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.views().to_vec(), i % 2))
+        .collect();
+
+    for (name, fusion) in [
+        ("fc", FusionKind::FullyConnected { hidden: 24 }),
+        ("fm", FusionKind::FactorizationMachine { factors: 6 }),
+        ("mvm", FusionKind::MultiViewMachine { factors: 6 }),
+    ] {
+        group.bench_with_input(BenchmarkId::new("fusion", name), &fusion, |bench, f| {
+            bench.iter(|| {
+                let mut model = DeepMood::new(
+                    &mdl_core::deepmood::biaffect_view_dims(),
+                    DeepMoodConfig { fusion: *f, epochs: 1, hidden_dim: 8, ..Default::default() },
+                    &mut rng,
+                );
+                std::hint::black_box(model.train(&pairs, &mut rng))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_session_generation_and_features(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session_pipeline");
+    group.sample_size(50).measurement_time(Duration::from_secs(2));
+    let mut rng = StdRng::seed_from_u64(2051);
+    let profile = TypingProfile::default();
+    group.bench_function("generate_session", |bench| {
+        bench.iter(|| std::hint::black_box(profile.generate_session(&mut rng)));
+    });
+    let session = profile.generate_session(&mut rng);
+    group.bench_function("featurize_session", |bench| {
+        bench.iter(|| std::hint::black_box(featurize_session(&session)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fusion_heads, bench_session_generation_and_features);
+criterion_main!(benches);

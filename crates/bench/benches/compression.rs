@@ -1,0 +1,79 @@
+//! Benchmarks for the compression codecs (E5 ablations): Huffman encode /
+//! decode throughput, k-means quantization, pruning, and the end-to-end
+//! Deep Compression pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdl_core::prelude::*;
+use rand::Rng as _;
+use std::time::Duration;
+
+fn bench_huffman(c: &mut Criterion) {
+    let mut group = c.benchmark_group("huffman");
+    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    let mut rng = StdRng::seed_from_u64(2030);
+    // skewed stream resembling pruned quantization indices
+    let data: Vec<u8> = (0..65_536)
+        .map(|_| if rng.gen::<f32>() < 0.85 { 0 } else { rng.gen_range(1..16) })
+        .collect();
+    group.bench_function("encode_64k", |bench| {
+        bench.iter(|| std::hint::black_box(HuffmanEncoded::encode(&data)));
+    });
+    let encoded = HuffmanEncoded::encode(&data);
+    group.bench_function("decode_64k", |bench| {
+        bench.iter(|| std::hint::black_box(encoded.decode()));
+    });
+    group.finish();
+}
+
+fn bench_quantize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantize");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let mut rng = StdRng::seed_from_u64(2031);
+    let w = Init::Normal { std: 1.0 }.sample(128, 128, &mut rng);
+    for &bits in &[2u32, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("kmeans", bits), &bits, |bench, &b| {
+            bench.iter(|| std::hint::black_box(QuantizedMatrix::kmeans(&w, b, &mut rng)));
+        });
+    }
+    group.bench_function("uniform_8bit", |bench| {
+        bench.iter(|| std::hint::black_box(QuantizedMatrix::uniform(&w, 8)));
+    });
+    group.finish();
+}
+
+fn bench_prune_and_pipeline(c: &mut Criterion) {
+    use mdl_core::compress::prune_matrix;
+    let mut group = c.benchmark_group("prune_pipeline");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let mut rng = StdRng::seed_from_u64(2032);
+    let w = Init::Normal { std: 1.0 }.sample(256, 256, &mut rng);
+    group.bench_function("prune_256x256_90pct", |bench| {
+        bench.iter(|| {
+            let mut m = w.clone();
+            std::hint::black_box(prune_matrix(&mut m, 0.9))
+        });
+    });
+    group.bench_function("deep_compress_small_net", |bench| {
+        bench.iter(|| {
+            let mut net = Sequential::new();
+            let mut r = StdRng::seed_from_u64(7);
+            net.push(Dense::new(64, 64, Activation::Relu, &mut r));
+            net.push(Dense::new(64, 10, Activation::Identity, &mut r));
+            std::hint::black_box(deep_compress(
+                &mut net,
+                None,
+                &DeepCompressionConfig {
+                    sparsity: 0.9,
+                    quant_bits: 4,
+                    finetune: None,
+                    prune_steps: 1,
+                },
+                &mut r,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_huffman, bench_quantize, bench_prune_and_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Benchmarks for the privacy machinery (E3 ablations): moments-accountant
+//! queries, mechanism perturbation, and a full DP-SGD step (whose
+//! per-example backward passes dominate DP training cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdl_core::prelude::*;
+use rand::Rng as _;
+use std::time::Duration;
+
+fn bench_accountant(c: &mut Criterion) {
+    let mut group = c.benchmark_group("moments_accountant");
+    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    for &steps in &[100u64, 10_000] {
+        group.bench_with_input(BenchmarkId::new("epsilon", steps), &steps, |bench, &t| {
+            bench.iter(|| std::hint::black_box(compute_epsilon(0.01, 1.1, t, 1e-5)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_mechanisms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mechanisms");
+    group.sample_size(50).measurement_time(Duration::from_secs(2));
+    let mut rng = StdRng::seed_from_u64(2020);
+    let template: Vec<f32> = (0..10_000).map(|_| rng.gen::<f32>() - 0.5).collect();
+    group.bench_function("gaussian_perturb_10k", |bench| {
+        let mech = GaussianMechanism::new(1.0, 1.1);
+        bench.iter(|| {
+            let mut v = template.clone();
+            mech.perturb(&mut v, &mut rng);
+            std::hint::black_box(v)
+        });
+    });
+    group.bench_function("clip_10k", |bench| {
+        bench.iter(|| {
+            let mut v = template.clone();
+            std::hint::black_box(mdl_core::privacy::clip_update(&mut v, 1.0))
+        });
+    });
+    group.finish();
+}
+
+fn bench_dp_sgd_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dp_sgd");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let mut rng = StdRng::seed_from_u64(2021);
+    let data = mdl_core::data::synthetic::synthetic_digits(256, 0.08, &mut rng);
+    let spec = MlpSpec::new(vec![64, 32, 10], 42);
+    group.bench_function("one_epoch_lot64", |bench| {
+        bench.iter(|| {
+            let mut model = spec.build();
+            std::hint::black_box(train_dp_sgd(
+                &mut model,
+                &data.x,
+                &data.y,
+                &DpSgdConfig { epochs: 1, lot_size: 64, ..Default::default() },
+                &mut rng,
+            ))
+        });
+    });
+    // non-private reference: same epoch of plain mini-batch SGD
+    group.bench_function("one_epoch_sgd_reference", |bench| {
+        bench.iter(|| {
+            let mut model = spec.build();
+            let mut opt = Sgd::new(0.1);
+            std::hint::black_box(fit_classifier(
+                &mut model,
+                &mut opt,
+                &data.x,
+                &data.y,
+                &TrainConfig { epochs: 1, batch_size: 64, ..Default::default() },
+                &mut rng,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_accountant, bench_mechanisms, bench_dp_sgd_step);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Ablations over the design choices DESIGN.md §4 calls out:
+//! encoder direction and width and fusion head for DeepMood, FedAvg local
+//! epochs and 8-bit uploads, and DP clipping bounds.
+
+use mdl_bench::{fmt_bytes, pct, print_table};
+use mdl_core::deepmood::{train_and_evaluate, EncoderKind};
+use mdl_core::prelude::*;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1011);
+
+    // ---------- DeepMood architecture ablation ----------
+    let cohort = BiAffectDataset::generate(
+        &BiAffectConfig {
+            participants: 20,
+            sessions_per_participant: 40,
+            mood_effect: 1.25,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let (train, test) = cohort.split(0.75, &mut rng);
+
+    let fc = FusionKind::FullyConnected { hidden: 24 };
+    let mut rows = Vec::new();
+    for (label, encoder, hidden, fusion) in [
+        ("GRU h=6, FC", EncoderKind::Gru, 6usize, fc),
+        ("GRU h=12, FC", EncoderKind::Gru, 12, fc),
+        ("BiGRU h=6, FC", EncoderKind::BiGru, 6, fc),
+        ("LSTM h=12, FC (ref. [42])", EncoderKind::Lstm, 12, fc),
+        ("GRU h=12, FM k=6", EncoderKind::Gru, 12, FusionKind::FactorizationMachine { factors: 6 }),
+        ("GRU h=12, MVM k=6", EncoderKind::Gru, 12, FusionKind::MultiViewMachine { factors: 6 }),
+    ] {
+        let eval = train_and_evaluate(
+            &train,
+            &test,
+            &DeepMoodConfig {
+                hidden_dim: hidden,
+                encoder,
+                fusion,
+                epochs: 12,
+                learning_rate: 0.01,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        rows.push(vec![label.into(), pct(eval.accuracy), pct(eval.macro_f1)]);
+    }
+    print_table(
+        "ablation — DeepMood encoder/fusion (20 participants)",
+        &["variant", "accuracy", "macro F1"],
+        &rows,
+    );
+
+    // ---------- FedAvg transport ablation ----------
+    let data = mdl_core::data::synthetic::synthetic_digits(1200, 0.08, &mut rng);
+    let (ftrain, ftest) = data.split(0.8, &mut rng);
+    let clients = partition_dataset(&ftrain, 20, Partition::Iid, &mut rng);
+    let availability = AvailabilityModel::always_available(20);
+    let spec = MlpSpec::new(vec![64, 32, 10], 42);
+
+    let mut rows = Vec::new();
+    for (label, quantize, failure) in [
+        ("fp32 uploads", false, 0.0f64),
+        ("8-bit uploads", true, 0.0),
+        ("fp32, 30% client failures", false, 0.3),
+    ] {
+        let run = run_federated(
+            &spec,
+            &clients,
+            &ftest,
+            &FedConfig {
+                rounds: 15,
+                client_fraction: 0.5,
+                local_epochs: 3,
+                learning_rate: 0.15,
+                quantize_uploads: quantize,
+                failure_prob: failure,
+                ..Default::default()
+            },
+            &availability,
+            &mut rng,
+        );
+        rows.push(vec![
+            label.into(),
+            pct(run.final_accuracy()),
+            fmt_bytes(run.ledger.bytes_up),
+        ]);
+    }
+    print_table(
+        "ablation — FedAvg transport and robustness (20 clients, 15 rounds)",
+        &["variant", "accuracy", "uploaded"],
+        &rows,
+    );
+
+    // ---------- DP clip-norm ablation ----------
+    let mut rows = Vec::new();
+    for clip in [0.5f64, 1.0, 2.0, 4.0, 8.0] {
+        let run = run_dp_fedavg(
+            &spec,
+            &clients,
+            &ftest,
+            &DpFedConfig {
+                rounds: 20,
+                sample_prob: 0.8,
+                learning_rate: 0.15,
+                local_epochs: 3,
+                clip_norm: clip,
+                noise_multiplier: 0.3,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        rows.push(vec![
+            format!("{clip}"),
+            pct(run.final_accuracy()),
+            format!("{:.0}%", 100.0 * run.clip_fraction),
+        ]);
+    }
+    print_table(
+        "ablation — DP-FedAvg clip bound S at z=0.3 (noise std ∝ S)",
+        &["clip norm S", "accuracy", "deltas clipped"],
+        &rows,
+    );
+    println!(
+        "\nexpected shapes: wider/bidirectional encoders buy little on this\n\
+         task (sessions are short); 8-bit uploads cut traffic ~4× at equal\n\
+         accuracy; failures slow but do not break convergence; the clip bound\n\
+         has a sweet spot — too small starves the signal, too large amplifies\n\
+         the injected noise."
+    );
+}

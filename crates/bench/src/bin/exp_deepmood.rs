@@ -1,0 +1,96 @@
+//! E6 — §IV-A: DeepMood against the shallow baselines.
+//!
+//! The paper reports up to 90.31 % accuracy for the late-fusion DeepMood
+//! models, a 5.56 % margin over XGBoost, and notes that LR/SVM "are not a
+//! good fit" for the sequence task. This experiment reproduces the ordering
+//! on the synthetic BiAffect cohort.
+
+use mdl_bench::{pct, print_table};
+use mdl_core::prelude::*;
+use mdl_core::deepmood::train_and_evaluate;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1006);
+    let cohort = BiAffectDataset::generate(
+        &BiAffectConfig { participants: 40, sessions_per_participant: 40, mood_effect: 1.25, ..Default::default() },
+        &mut rng,
+    );
+    let (train_sessions, test_sessions) = cohort.split(0.75, &mut rng);
+    println!(
+        "cohort: 40 participants × 40 sessions  (train {}, test {})",
+        train_sessions.len(),
+        test_sessions.len()
+    );
+
+    // shallow baselines on flattened "traditional" features (means and
+    // counts — the paper observes shallow models are not a good fit to the
+    // sequence task, so they never see the temporal structure)
+    let featurize = |sessions: &[mdl_core::data::biaffect::MoodSession]| {
+        let mut x = Matrix::zeros(sessions.len(), mdl_core::data::typing::BASIC_FEATURE_DIM);
+        let mut y = Vec::new();
+        for (r, s) in sessions.iter().enumerate() {
+            x.row_mut(r)
+                .copy_from_slice(&mdl_core::data::typing::featurize_session_basic(&s.session));
+            y.push(s.label);
+        }
+        Dataset::new(x, y, 2)
+    };
+    let mut train_flat = featurize(&train_sessions);
+    let mut test_flat = featurize(&test_sessions);
+    let (m, s) = train_flat.standardize();
+    test_flat.apply_standardization(&m, &s);
+
+    let mut rows = Vec::new();
+    #[allow(unused_assignments)]
+    let mut xgb_acc = 0.0;
+    {
+        let mut run = |name: &str, model: &mut dyn Classifier, rng: &mut StdRng| -> f64 {
+            let eval = fit_evaluate(model, &train_flat, &test_flat, rng);
+            rows.push(vec![name.into(), pct(eval.accuracy), pct(eval.macro_f1)]);
+            eval.accuracy
+        };
+        run("Majority (floor)", &mut MajorityClass::new(), &mut rng);
+        run("LR", &mut LogisticRegression::new(), &mut rng);
+        run("SVM", &mut LinearSvm::new(), &mut rng);
+        run("Decision Tree", &mut DecisionTree::new(), &mut rng);
+        run("RandomForest", &mut RandomForest::new(), &mut rng);
+        xgb_acc = run("XGBoost", &mut GradientBoost::new(), &mut rng);
+    }
+
+    // the three DeepMood fusion variants on the raw sequences
+    let mut best_deep = 0.0f64;
+    for (name, fusion) in [
+        ("DeepMood-FC (Eq. 2)", FusionKind::FullyConnected { hidden: 24 }),
+        ("DeepMood-FM (Eq. 3)", FusionKind::FactorizationMachine { factors: 6 }),
+        ("DeepMood-MVM (Eq. 4)", FusionKind::MultiViewMachine { factors: 6 }),
+    ] {
+        let eval = train_and_evaluate(
+            &train_sessions,
+            &test_sessions,
+            &DeepMoodConfig {
+                hidden_dim: 12,
+                fusion,
+                epochs: 16,
+                learning_rate: 0.01,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        best_deep = best_deep.max(eval.accuracy);
+        rows.push(vec![name.into(), pct(eval.accuracy), pct(eval.macro_f1)]);
+    }
+
+    print_table(
+        "§IV-A — session-level mood prediction (paper: DeepMood 90.31%, +5.56% over XGBoost)",
+        &["method", "accuracy", "macro F1"],
+        &rows,
+    );
+    println!(
+        "\nbest DeepMood vs XGBoost margin: {:+.2}%",
+        100.0 * (best_deep - xgb_acc)
+    );
+    println!(
+        "expected shape: DeepMood variants lead, XGBoost is the strongest\n\
+         shallow model, and the linear models trail far behind."
+    );
+}

@@ -1,0 +1,38 @@
+//! E9 — §IV-B: binary user identification.
+//!
+//! The paper reports 99.1 % mean accuracy / 98.97 % mean F1 when separating
+//! any two users (the shared-phone scenario).
+
+use mdl_bench::{pct, print_table};
+use mdl_core::prelude::*;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1009);
+    let cohort = KeystrokeDataset::generate(
+        &KeystrokeConfig { users: 10, sessions_per_user: 100, ..Default::default() },
+        &mut rng,
+    );
+    let report = pairwise_identification(&cohort, 10, 12, &mut rng);
+
+    let rows: Vec<Vec<String>> = report
+        .pairs
+        .iter()
+        .map(|p| {
+            vec![
+                format!("({}, {})", p.users.0, p.users.1),
+                pct(p.accuracy),
+                pct(p.f1),
+            ]
+        })
+        .collect();
+    print_table(
+        "§IV-B — binary identification over 10 random user pairs (paper: 99.1% acc / 98.97% F1)",
+        &["pair", "accuracy", "F1"],
+        &rows,
+    );
+    println!("\nmean accuracy: {}   mean F1: {}", pct(report.mean_accuracy), pct(report.mean_f1));
+    println!(
+        "expected shape: near-ceiling accuracy on pairs — far above the 10-way\n\
+         and 26-way numbers of Table I, because two signatures rarely collide."
+    );
+}

@@ -1,0 +1,97 @@
+//! E3 — §II-C: user-level differentially private federated training "can
+//! guarantee differential privacy without losing accuracy" (reference [22]).
+//!
+//! Sweeps the noise multiplier `z` at fixed clip bound and reports accuracy
+//! alongside the moments-accountant ε. Also sweeps DP-SGD (reference [20])
+//! on a centralised version of the same task for comparison.
+
+use mdl_bench::{pct, print_table};
+use mdl_core::prelude::*;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1003);
+    let data = mdl_core::data::synthetic::synthetic_digits(1500, 0.08, &mut rng);
+    let (train, test) = data.split(0.8, &mut rng);
+    let clients = partition_dataset(&train, 25, Partition::Iid, &mut rng);
+    let spec = MlpSpec::new(vec![64, 48, 10], 42);
+
+    let mut rows = Vec::new();
+    for z in [0.0, 0.2, 0.3, 0.5, 1.0] {
+        let run = run_dp_fedavg(
+            &spec,
+            &clients,
+            &test,
+            &DpFedConfig {
+                rounds: 30,
+                sample_prob: 0.8,
+                local_epochs: 3,
+                batch_size: 16,
+                learning_rate: 0.15,
+                clip_norm: if z == 0.0 { 1e9 } else { 2.0 },
+                noise_multiplier: z,
+                delta: 1e-5,
+                eval_every: 30,
+            },
+            &mut rng,
+        );
+        rows.push(vec![
+            format!("{z}"),
+            pct(run.final_accuracy()),
+            if run.epsilon.is_finite() { format!("{:.1}", run.epsilon) } else { "∞".into() },
+            format!("{:.0}%", 100.0 * run.clip_fraction),
+        ]);
+    }
+    print_table(
+        "§II-C — DP-FedAvg (25 clients, p=0.8, S=2, δ=1e-5, 30 rounds)",
+        &["noise multiplier z", "accuracy", "ε (user-level)", "deltas clipped"],
+        &rows,
+    );
+    println!(
+        "\nnote: ε values are large because the simulated population has only\n\
+         25 users; the mechanism's ε shrinks with the population since the\n\
+         noise scale is z·S/(p·K). The paper's deployment assumes millions.\n"
+    );
+
+    // centralised DP-SGD on the pooled data for reference
+    let mut pool_x = clients[0].x.clone();
+    let mut pool_y = clients[0].y.clone();
+    for c in &clients[1..] {
+        pool_x = pool_x.vstack(&c.x);
+        pool_y.extend_from_slice(&c.y);
+    }
+    let mut rows = Vec::new();
+    for z in [0.6, 1.0, 2.0] {
+        let mut model = spec.build();
+        let report = train_dp_sgd(
+            &mut model,
+            &pool_x,
+            &pool_y,
+            &DpSgdConfig {
+                epochs: 25,
+                lot_size: 64,
+                clip_norm: 2.0,
+                noise_multiplier: z,
+                learning_rate: 0.2,
+                delta: 1e-5,
+            },
+            &mut rng,
+        );
+        let acc = model.accuracy(&test.x, &test.y);
+        rows.push(vec![
+            format!("{z}"),
+            pct(acc),
+            format!("{:.2}", report.epsilon),
+            format!("{:.0}%", 100.0 * report.clip_fraction),
+        ]);
+    }
+    print_table(
+        "reference [20] — centralised DP-SGD with the moments accountant",
+        &["noise multiplier σ", "accuracy", "ε (example-level)", "grads clipped"],
+        &rows,
+    );
+    println!(
+        "\nexpected shape: moderate noise costs a few accuracy points while\n\
+         driving ε into the useful single-digit regime; heavy noise destroys\n\
+         accuracy — the trade-off curve of references [20] and [22]."
+    );
+}

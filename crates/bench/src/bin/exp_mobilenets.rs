@@ -1,0 +1,111 @@
+//! E12 — §III-B, reference [29]: MobileNets' streamlined architecture.
+//!
+//! Compares a standard small CNN against its depthwise-separable
+//! counterpart on the 8×8 digit glyphs: parameters, MACs, accuracy, and
+//! what the MAC reduction buys on real device classes.
+
+use mdl_bench::{pct, print_table};
+use mdl_core::prelude::*;
+use mdl_core::nn::{AvgPool2d, Conv2d, ImageShape, SeparableConv2d};
+
+fn train_and_score(
+    mut net: Sequential,
+    train: &Dataset,
+    test: &Dataset,
+    rng: &mut StdRng,
+) -> (Sequential, f64) {
+    let mut opt = Adam::new(0.01);
+    let _ = fit_classifier(
+        &mut net,
+        &mut opt,
+        &train.x,
+        &train.y,
+        &TrainConfig { epochs: 20, ..Default::default() },
+        rng,
+    );
+    let acc = net.accuracy(&test.x, &test.y);
+    (net, acc)
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1012);
+    let data = mdl_core::data::synthetic::synthetic_digits(1500, 0.08, &mut rng);
+    let (train, test) = data.split(0.75, &mut rng);
+    let shape = ImageShape::new(1, 8, 8);
+
+    // standard CNN: conv3×3(1→16) → conv3×3(16→16) → pool → dense
+    let mut standard = Sequential::new();
+    let c1 = Conv2d::standard(shape, 16, 3, Activation::Relu, &mut rng);
+    let s1 = c1.output_shape();
+    standard.push(c1);
+    let c2 = Conv2d::standard(s1, 16, 3, Activation::Relu, &mut rng);
+    let s2 = c2.output_shape();
+    standard.push(c2);
+    standard.push(AvgPool2d::new(s2));
+    standard.push(Dense::new(16 * 4 * 4, 10, Activation::Identity, &mut rng));
+
+    // MobileNet-style: conv3×3(1→16) → separable3×3(16→16) → pool → dense
+    let mut mobile = Sequential::new();
+    let m1 = Conv2d::standard(shape, 16, 3, Activation::Relu, &mut rng);
+    let ms1 = m1.output_shape();
+    mobile.push(m1);
+    let m2 = SeparableConv2d::new(ms1, 16, 3, Activation::Relu, &mut rng);
+    let ms2 = m2.output_shape();
+    mobile.push(m2);
+    mobile.push(AvgPool2d::new(ms2));
+    mobile.push(Dense::new(16 * 4 * 4, 10, Activation::Identity, &mut rng));
+
+    let std_info = standard.info();
+    let mob_info = mobile.info();
+    let (standard, std_acc) = train_and_score(standard, &train, &test, &mut rng);
+    let (mobile, mob_acc) = train_and_score(mobile, &train, &test, &mut rng);
+
+    // the second conv stage is where the factorisation bites
+    let std_stage = standard.layer_infos()[1].clone();
+    let mob_stage = mobile.layer_infos()[1].clone();
+    print_table(
+        "§III-B / reference [29] — standard vs depthwise-separable CNN (8×8 glyphs)",
+        &["architecture", "stage-2 params", "stage-2 MACs", "total MACs", "accuracy"],
+        &[
+            vec![
+                "standard conv".into(),
+                format!("{}", std_stage.params),
+                format!("{}", std_stage.macs),
+                format!("{}", std_info.macs),
+                pct(std_acc),
+            ],
+            vec![
+                "depthwise separable".into(),
+                format!("{}", mob_stage.params),
+                format!("{}", mob_stage.macs),
+                format!("{}", mob_info.macs),
+                pct(mob_acc),
+            ],
+        ],
+    );
+
+    // device economics of the MAC reduction
+    let mut rows = Vec::new();
+    for (name, device) in [
+        ("midrange", DeviceProfile::midrange_phone()),
+        ("wearable", DeviceProfile::wearable()),
+    ] {
+        let s = device.inference_cost(&standard.layer_infos(), 4.0);
+        let m = device.inference_cost(&mobile.layer_infos(), 4.0);
+        rows.push(vec![
+            name.into(),
+            format!("{:.1} µs", 1e6 * s.latency_s),
+            format!("{:.1} µs", 1e6 * m.latency_s),
+            format!("{:.2}×", s.latency_s / m.latency_s),
+        ]);
+    }
+    print_table(
+        "device latency per inference",
+        &["device", "standard", "separable", "speedup"],
+        &rows,
+    );
+    println!(
+        "\nexpected shape: the separable stage holds ~5–8× fewer parameters\n\
+         and MACs at comparable accuracy — reference [29]'s core trade."
+    );
+}

@@ -1,0 +1,46 @@
+//! E10 — Fig. 6: multi-view pattern analysis of the top-5 active users.
+//!
+//! Reproduces the qualitative analysis: per-user typing-speed/rhythm
+//! signatures in the alphabet view, frequent- vs infrequent-key usage in
+//! the symbol/number view, and axis correlations in the acceleration view
+//! that separate users.
+
+use mdl_bench::print_table;
+use mdl_core::prelude::*;
+use mdl_core::deepservice::{analyze_top_users, format_patterns};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1010);
+    let cohort = KeystrokeDataset::generate(
+        &KeystrokeConfig { users: 10, sessions_per_user: 100, ..Default::default() },
+        &mut rng,
+    );
+    let patterns = analyze_top_users(&cohort, 5);
+
+    println!("\n== Fig. 6 — multi-view pattern analysis of the top-5 active users ==\n");
+    println!("{}", format_patterns(&patterns));
+
+    let rows: Vec<Vec<String>> = patterns
+        .iter()
+        .map(|p| {
+            vec![
+                format!("user{}", p.user),
+                p.frequent_keys().join(", "),
+                format!(
+                    "auto={:.1} sugg={:.1} switch={:.1}",
+                    p.special_per_session[0], p.special_per_session[3], p.special_per_session[4]
+                ),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 6 — frequent keys (>2 uses/session) and infrequent-key rates per user",
+        &["user", "frequent keys", "infrequent keys (per session)"],
+        &rows,
+    );
+    println!(
+        "\nexpected shape: each user exhibits a distinct (duration, inter-key\n\
+         time, keystroke volume) signature and distinct frequent-key sets —\n\
+         the separability Fig. 6 visualises before Table I quantifies it."
+    );
+}

@@ -1,0 +1,55 @@
+//! E1 — Fig. 1 / §II-A: distributed selective SGD.
+//!
+//! Reproduces the core claim of Shokri & Shmatikov's scheme: participants
+//! who upload only a small selected fraction θ of their gradients still
+//! approach the accuracy of fully shared training, at a fraction of the
+//! communication cost.
+
+use mdl_bench::{fmt_bytes, pct, print_table};
+use mdl_core::prelude::*;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1001);
+    let data = mdl_core::data::synthetic::synthetic_digits(1500, 0.08, &mut rng);
+    let (train, test) = data.split(0.8, &mut rng);
+    let participants = partition_dataset(&train, 10, Partition::Iid, &mut rng);
+    let spec = MlpSpec::new(vec![64, 32, 10], 42);
+
+    let central =
+        mdl_core::federated::centralized_reference(&spec, &participants, &test, 30, 0.1, &mut rng);
+
+    let mut rows = Vec::new();
+    for theta in [0.01, 0.05, 0.1, 0.5, 1.0] {
+        let run = run_selective_sgd(
+            &spec,
+            &participants,
+            &test,
+            &SelectiveConfig {
+                rounds: 40,
+                upload_fraction: theta,
+                download_fraction: 1.0,
+                local_steps: 5,
+                batch_size: 16,
+                learning_rate: 0.1,
+                eval_every: 40,
+            },
+            &mut rng,
+        );
+        rows.push(vec![
+            format!("{theta}"),
+            pct(run.final_accuracy()),
+            fmt_bytes(run.ledger.bytes_up),
+            format!("{:.3}", run.final_accuracy() / central),
+        ]);
+    }
+    print_table(
+        "Fig. 1 / §II-A — distributed selective SGD (10 participants, synthetic digits)",
+        &["θ (upload fraction)", "accuracy", "uploaded", "vs centralised"],
+        &rows,
+    );
+    println!("\ncentralised reference accuracy: {}", pct(central));
+    println!(
+        "expected shape: accuracy rises with θ and approaches the centralised\n\
+         reference well before θ = 1, while upload bytes grow linearly in θ."
+    );
+}

@@ -1,0 +1,134 @@
+//! E4 — §III-A / Figs. 2–3: ARDEN private split inference.
+//!
+//! Three tables: (1) accuracy under the nullification × noise sweep, with
+//! and without noisy training; (2) what actually crosses the network (raw
+//! input vs perturbed representation); (3) device-side latency/energy of
+//! on-device vs cloud vs split placements across device/network classes.
+
+use mdl_bench::{fmt_bytes, pct, print_table};
+use mdl_core::prelude::*;
+
+fn pretrained(rng: &mut StdRng) -> (Sequential, Dataset, Dataset) {
+    let data = mdl_core::data::synthetic::synthetic_digits(1600, 0.08, rng);
+    let (train, test) = data.split(0.75, rng);
+    let mut net = Sequential::new();
+    net.push(Dense::new(64, 32, Activation::Relu, rng));
+    net.push(Dense::new(32, 32, Activation::Relu, rng));
+    net.push(Dense::new(32, 10, Activation::Identity, rng));
+    let mut opt = Adam::new(0.01);
+    let _ = fit_classifier(
+        &mut net,
+        &mut opt,
+        &train.x,
+        &train.y,
+        &TrainConfig { epochs: 30, ..Default::default() },
+        rng,
+    );
+    (net, train, test)
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1004);
+    let (net, train, test) = pretrained(&mut rng);
+    let mut reference = net;
+    let base_acc = reference.accuracy(&test.x, &test.y);
+    println!("pretrained accuracy (no perturbation): {}", pct(base_acc));
+
+    // --- table 1: perturbation sweep, before vs after noisy training ---
+    let mut rows = Vec::new();
+    for mu in [0.0f32, 0.2, 0.4, 0.6, 0.8] {
+        for sigma in [0.1f32, 0.3, 0.5, 0.8] {
+            let rebuild = |rng: &mut StdRng| {
+                let (n, _, _) = {
+                    // rebuild deterministically from the same seed
+                    let mut r2 = StdRng::seed_from_u64(1004);
+                    pretrained(&mut r2)
+                };
+                let _ = rng;
+                n
+            };
+            let cfg = ArdenConfig {
+                split_at: 1,
+                nullification_rate: mu,
+                noise_sigma: sigma,
+                clip_norm: 5.0,
+            };
+            let mut arden = Arden::from_pretrained(rebuild(&mut rng), cfg.clone());
+            let before = arden.accuracy(&test.x, &test.y, &mut rng);
+            let _ = arden.noisy_train(&train.x, &train.y, 25, 0.005, &mut rng);
+            let after = arden.accuracy(&test.x, &test.y, &mut rng);
+            rows.push(vec![
+                format!("{mu}"),
+                format!("{sigma}"),
+                pct(before),
+                pct(after),
+                format!("{:.1}", arden.privacy_epsilon(1e-5)),
+            ]);
+        }
+    }
+    print_table(
+        "§III-A — ARDEN accuracy under perturbation (clip=5, split after layer 1)",
+        &["nullification μ", "noise σ", "plain cloud net", "after noisy training", "ε/query"],
+        &rows,
+    );
+    println!(
+        "\nexpected shape: noisy training recovers most of the accuracy lost\n\
+         to perturbation at moderate (μ, σ) and the gap widens as σ grows."
+    );
+
+    // --- table 2: communication ---
+    let mut r2 = StdRng::seed_from_u64(1004);
+    let (net2, _, _) = pretrained(&mut r2);
+    let arden = Arden::from_pretrained(net2, ArdenConfig::default());
+    print_table(
+        "§III-A — bytes crossing the network per inference",
+        &["payload", "bytes"],
+        &[
+            vec!["raw input (cloud inference, Fig. 2)".into(), fmt_bytes(4 * 64)],
+            vec!["perturbed representation (Fig. 3)".into(), fmt_bytes(arden.representation_bytes())],
+        ],
+    );
+
+    // --- table 3: placement economics ---
+    let mut r3 = StdRng::seed_from_u64(1004);
+    let (net3, _, _) = pretrained(&mut r3);
+    let mut rows = Vec::new();
+    for (dev_name, device) in [
+        ("flagship", DeviceProfile::flagship_phone()),
+        ("midrange", DeviceProfile::midrange_phone()),
+        ("wearable", DeviceProfile::wearable()),
+    ] {
+        for (net_name, network) in
+            [("wifi", NetworkProfile::wifi()), ("lte", NetworkProfile::lte()), ("3g", NetworkProfile::cellular_3g())]
+        {
+            let comparison = compare_deployments(
+                &net3,
+                &arden,
+                &device,
+                &DeviceProfile::cloud_server(),
+                &network,
+                4 * 64,
+            );
+            for row in comparison {
+                rows.push(vec![
+                    dev_name.into(),
+                    net_name.into(),
+                    row.strategy.into(),
+                    format!("{:.3} ms", 1000.0 * row.cost.latency_s),
+                    format!("{:.3} mJ", 1000.0 * row.cost.energy_j),
+                    fmt_bytes(row.upload_bytes),
+                ]);
+            }
+        }
+    }
+    print_table(
+        "§III / Figs. 2–3 — device-side cost of the three serving strategies",
+        &["device", "network", "strategy", "latency", "energy", "upload"],
+        &rows,
+    );
+    println!(
+        "\nexpected shape: on weak links the radio dominates (split < cloud in\n\
+         upload and energy); on strong devices local inference wins outright;\n\
+         the split path always keeps raw data on the device."
+    );
+}

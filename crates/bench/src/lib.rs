@@ -1,0 +1,88 @@
+//! # mdl-bench
+//!
+//! Experiment binaries and Criterion benchmarks that regenerate every table
+//! and figure of the paper's evaluation. Each `exp_*` binary prints the
+//! rows/series of one artifact (see `DESIGN.md` §3 for the index):
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `exp_selective_sgd` | Fig. 1 / §II-A convergence vs upload fraction θ |
+//! | `exp_fedavg_comm` | §II-B 10–100× communication reduction |
+//! | `exp_dp_fedavg` | §II-C privacy/accuracy trade-off |
+//! | `exp_split_inference` | Fig. 2–3 / §III-A ARDEN sweeps + placement costs |
+//! | `exp_compression` | §III-B compression family sweeps |
+//! | `exp_deepmood` | §IV-A DeepMood vs shallow baselines |
+//! | `exp_deepmood_fig5` | Fig. 5 per-participant accuracy |
+//! | `exp_deepservice_table1` | Table I at 10 and 26 users |
+//! | `exp_deepservice_pairs` | §IV-B binary identification |
+//! | `exp_patterns_fig6` | Fig. 6 multi-view pattern analysis |
+//! | `exp_ablations` | DESIGN.md §4 design-choice ablations |
+//! | `exp_mobilenets` | §III-B reference [29] depthwise-separable CNNs |
+
+/// Prints a markdown-style table: header row then aligned data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        let mut line = String::from("| ");
+        for (i, cell) in cells.iter().enumerate() {
+            line.push_str(&format!("{:<w$} | ", cell, w = widths.get(i).copied().unwrap_or(4)));
+        }
+        line
+    };
+    let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&head));
+    println!("|{}|", widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|"));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Formats a fraction as a percentage with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+/// Formats bytes with a binary-prefix unit.
+pub fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 20 {
+        format!("{:.2} MiB", b as f64 / (1 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.2} KiB", b as f64 / (1 << 10) as f64)
+    } else {
+        format!("{b} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.9031), "90.31%");
+    }
+
+    #[test]
+    fn bytes_format_scales() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.00 KiB");
+        assert_eq!(fmt_bytes(3 << 20), "3.00 MiB");
+    }
+
+    #[test]
+    fn table_prints_without_panic() {
+        print_table(
+            "demo",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

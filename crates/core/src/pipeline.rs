@@ -1,0 +1,172 @@
+//! The end-to-end mobile deep-learning lifecycle the paper describes:
+//! **train privately from distributed mobile data → compress → deploy
+//! efficiently (and privately) for inference**.
+//!
+//! [`run_pipeline`] wires the workspace's systems together: DP-FedAvg
+//! from `mdl-privacy` for training, Deep Compression from `mdl-compress`
+//! for the on-device artifact, ARDEN from `mdl-split` for private cloud
+//! serving, and the `mdl-mobile` cost model to choose a placement.
+
+use mdl_compress::pipeline::{deep_compress, DeepCompressionConfig};
+use mdl_data::Dataset;
+use mdl_federated::MlpSpec;
+use mdl_mobile::{DeviceProfile, NetworkProfile};
+use mdl_nn::Sequential;
+use mdl_privacy::{run_dp_fedavg, DpFedConfig};
+use mdl_split::{compare_deployments, Arden, ArdenConfig, DeploymentRow};
+use rand::rngs::StdRng;
+
+/// Configuration of a full train→compress→deploy run.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Model architecture (input width … classes).
+    pub spec: MlpSpec,
+    /// Federated + privacy settings.
+    pub federated: DpFedConfig,
+    /// Compression settings for the on-device artifact.
+    pub compression: DeepCompressionConfig,
+    /// Split-inference settings for the private cloud path.
+    pub arden: ArdenConfig,
+    /// Device the model ships to.
+    pub device: DeviceProfile,
+    /// Network the device sits on.
+    pub network: NetworkProfile,
+}
+
+/// Everything a deployment decision needs, produced by one pipeline run.
+#[derive(Debug)]
+pub struct PipelineReport {
+    /// Test accuracy of the federally trained global model.
+    pub trained_accuracy: f64,
+    /// User-level privacy spent during training, `(ε, δ)`.
+    pub training_epsilon: f64,
+    /// End-to-end compression ratio of the on-device artifact.
+    pub compression_ratio: f64,
+    /// Test accuracy after decompressing the compressed artifact.
+    pub compressed_accuracy: f64,
+    /// Test accuracy of the ARDEN private split path (with noisy training).
+    pub arden_accuracy: f64,
+    /// Per-inference ε of the ARDEN upload.
+    pub arden_epsilon: f64,
+    /// Cost comparison across on-device / cloud / split placements.
+    pub deployments: Vec<DeploymentRow>,
+    /// The trained (uncompressed) global model.
+    pub model: Sequential,
+}
+
+/// Runs the whole lifecycle on pre-partitioned client data.
+///
+/// # Panics
+///
+/// Panics if `clients` is empty (see [`run_dp_fedavg`]) or the
+/// architecture is too shallow to split (see [`Arden::from_pretrained`]).
+pub fn run_pipeline(
+    config: &PipelineConfig,
+    clients: &[Dataset],
+    test: &Dataset,
+    rng: &mut StdRng,
+) -> PipelineReport {
+    // 1. private federated training (§II)
+    let fed = run_dp_fedavg(&config.spec, clients, test, &config.federated, rng);
+    let mut model = config.spec.build_with(&fed.final_params);
+    let trained_accuracy = model.accuracy(&test.x, &test.y);
+
+    // 2. compression for on-device deployment (§III-B); fine-tune on the
+    // union of client data (in a real deployment this is a public proxy set)
+    let mut pool_x = clients[0].x.clone();
+    let mut pool_y = clients[0].y.clone();
+    for c in &clients[1..] {
+        pool_x = pool_x.vstack(&c.x);
+        pool_y.extend_from_slice(&c.y);
+    }
+    let mut to_compress = config.spec.build_with(&fed.final_params);
+    let compressed =
+        deep_compress(&mut to_compress, Some((&pool_x, &pool_y)), &config.compression, rng);
+    let mut restored = compressed.decompress();
+    let compressed_accuracy = restored.accuracy(&test.x, &test.y);
+
+    // 3. private split serving (§III-A)
+    let split_model = config.spec.build_with(&fed.final_params);
+    let mut arden = Arden::from_pretrained(split_model, config.arden.clone());
+    let _ = arden.noisy_train(&pool_x, &pool_y, 15, 0.005, rng);
+    let arden_accuracy = arden.accuracy(&test.x, &test.y, rng);
+    let arden_epsilon = arden.privacy_epsilon(1e-5);
+
+    // 4. placement economics (§III, Figs. 2–3)
+    let deployments = compare_deployments(
+        &model,
+        &arden,
+        &config.device,
+        &DeviceProfile::cloud_server(),
+        &config.network,
+        4 * test.dim() as u64,
+    );
+
+    PipelineReport {
+        trained_accuracy,
+        training_epsilon: fed.epsilon,
+        compression_ratio: compressed.report.ratio(),
+        compressed_accuracy,
+        arden_accuracy,
+        arden_epsilon,
+        deployments,
+        model,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdl_data::partition::{partition_dataset, Partition};
+    use mdl_data::synthetic::synthetic_digits;
+    use rand::SeedableRng;
+
+    #[test]
+    fn full_lifecycle_produces_consistent_report() {
+        let mut rng = StdRng::seed_from_u64(400);
+        let data = synthetic_digits(1200, 0.08, &mut rng);
+        let (train, test) = data.split(0.8, &mut rng);
+        let clients = partition_dataset(&train, 20, Partition::Iid, &mut rng);
+
+        let config = PipelineConfig {
+            spec: MlpSpec::new(vec![64, 64, 32, 10], 17),
+            federated: DpFedConfig {
+                rounds: 25,
+                noise_multiplier: 0.3,
+                clip_norm: 2.0,
+                learning_rate: 0.15,
+                local_epochs: 3,
+                sample_prob: 0.8,
+                ..Default::default()
+            },
+            compression: DeepCompressionConfig {
+                sparsity: 0.7,
+                quant_bits: 5,
+                finetune: Some((3, 0.005)),
+                prune_steps: 2,
+            },
+            arden: ArdenConfig {
+                split_at: 1,
+                nullification_rate: 0.1,
+                noise_sigma: 0.3,
+                clip_norm: 5.0,
+            },
+            device: DeviceProfile::midrange_phone(),
+            network: NetworkProfile::wifi(),
+        };
+        let report = run_pipeline(&config, &clients, &test, &mut rng);
+
+        assert!(report.trained_accuracy > 0.6, "trained {}", report.trained_accuracy);
+        assert!(report.training_epsilon.is_finite() && report.training_epsilon > 0.0);
+        assert!(report.compression_ratio > 5.0, "ratio {}", report.compression_ratio);
+        assert!(
+            report.compressed_accuracy > report.trained_accuracy - 0.25,
+            "compressed {} vs trained {}",
+            report.compressed_accuracy,
+            report.trained_accuracy
+        );
+        assert!(report.arden_accuracy > 0.4, "arden {}", report.arden_accuracy);
+        assert!(report.arden_epsilon.is_finite());
+        assert_eq!(report.deployments.len(), 3);
+    }
+}

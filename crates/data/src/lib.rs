@@ -1,0 +1,88 @@
+//! # mdl-data
+//!
+//! Data substrate for the `mobile-dl` workspace: labelled [`Dataset`]s,
+//! classification [`metrics`], synthetic benchmark tasks, federated
+//! [`partition`]ers and — most importantly — generative simulators for the
+//! two private mobile datasets the paper evaluates on:
+//!
+//! - [`biaffect`]: mood-modulated typing dynamics standing in for the
+//!   BiAffect clinical study (DeepMood, §IV-A);
+//! - [`keystroke`]: per-user typing-signature cohorts standing in for the
+//!   DEEPSERVICE volunteer data (§IV-B, Table I).
+//!
+//! Both simulators share the session model in [`typing`]: alphanumeric
+//! keypress metadata, one-hot special keys and a 60 ms accelerometer stream,
+//! exactly the three views the paper's models fuse.
+//!
+//! # Examples
+//!
+//! ```
+//! use mdl_data::biaffect::{BiAffectConfig, BiAffectDataset};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let cfg = BiAffectConfig { participants: 3, sessions_per_participant: 5, ..Default::default() };
+//! let cohort = BiAffectDataset::generate(&cfg, &mut rng);
+//! assert_eq!(cohort.len(), 15);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod biaffect;
+pub mod dataset;
+pub mod keystroke;
+pub mod metrics;
+pub mod partition;
+pub mod synthetic;
+pub mod typing;
+
+pub use dataset::Dataset;
+pub use metrics::ConfusionMatrix;
+pub use partition::{partition_dataset, Partition};
+
+#[cfg(test)]
+mod proptests {
+    use crate::dataset::Dataset;
+    use crate::metrics::ConfusionMatrix;
+    use crate::partition::{partition_dataset, Partition};
+    use crate::synthetic::gaussian_blobs;
+    use mdl_tensor::Matrix;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        #[test]
+        fn split_conserves_examples(n in 10usize..100, frac in 0.2f64..0.8, seed in 0u64..50) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let d = Dataset::new(Matrix::zeros(n, 2), (0..n).map(|i| i % 3).collect(), 3);
+            let (tr, te) = d.split(frac, &mut rng);
+            prop_assert_eq!(tr.len() + te.len(), n);
+            prop_assert!(!tr.is_empty());
+        }
+
+        #[test]
+        fn confusion_matrix_total_matches(n in 1usize..200, seed in 0u64..50) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            use rand::Rng;
+            let truth: Vec<usize> = (0..n).map(|_| rng.gen_range(0..4)).collect();
+            let pred: Vec<usize> = (0..n).map(|_| rng.gen_range(0..4)).collect();
+            let cm = ConfusionMatrix::from_predictions(&truth, &pred, 4);
+            prop_assert_eq!(cm.total(), n);
+            prop_assert!(cm.accuracy() >= 0.0 && cm.accuracy() <= 1.0);
+            prop_assert!(cm.macro_f1() >= 0.0 && cm.macro_f1() <= 1.0);
+        }
+
+        #[test]
+        fn partitions_conserve_and_fill(clients in 2usize..12, seed in 0u64..30) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let d = gaussian_blobs(120, 4, 0.3, &mut rng);
+            for p in [Partition::Iid, Partition::LabelShards, Partition::Dirichlet(0.5)] {
+                let parts = partition_dataset(&d, clients, p, &mut rng);
+                prop_assert_eq!(parts.len(), clients);
+                prop_assert_eq!(parts.iter().map(|q| q.len()).sum::<usize>(), d.len());
+                prop_assert!(parts.iter().all(|q| !q.is_empty()));
+            }
+        }
+    }
+}

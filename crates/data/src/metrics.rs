@@ -1,0 +1,181 @@
+//! Classification metrics: accuracy, confusion matrix, precision/recall/F1.
+
+/// A `classes × classes` confusion matrix (`rows = truth`, `cols = prediction`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<usize>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the confusion matrix from label/prediction pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or contain out-of-range values.
+    pub fn from_predictions(truth: &[usize], pred: &[usize], classes: usize) -> Self {
+        assert_eq!(truth.len(), pred.len(), "one prediction per label required");
+        let mut counts = vec![0usize; classes * classes];
+        for (&t, &p) in truth.iter().zip(pred.iter()) {
+            assert!(t < classes && p < classes, "label or prediction out of range");
+            counts[t * classes + p] += 1;
+        }
+        Self { classes, counts }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Count at `(truth, prediction)`.
+    pub fn count(&self, truth: usize, pred: usize) -> usize {
+        self.counts[truth * self.classes + pred]
+    }
+
+    /// Total number of examples.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy; `0.0` for an empty matrix.
+    pub fn accuracy(&self) -> f64 {
+        let correct: usize = (0..self.classes).map(|c| self.count(c, c)).sum();
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+
+    /// Precision of class `c` (`0.0` when the class was never predicted).
+    pub fn precision(&self, c: usize) -> f64 {
+        let predicted: usize = (0..self.classes).map(|t| self.count(t, c)).sum();
+        if predicted == 0 {
+            0.0
+        } else {
+            self.count(c, c) as f64 / predicted as f64
+        }
+    }
+
+    /// Recall of class `c` (`0.0` when the class never occurs).
+    pub fn recall(&self, c: usize) -> f64 {
+        let actual: usize = (0..self.classes).map(|p| self.count(c, p)).sum();
+        if actual == 0 {
+            0.0
+        } else {
+            self.count(c, c) as f64 / actual as f64
+        }
+    }
+
+    /// F1 score of class `c`.
+    pub fn f1(&self, c: usize) -> f64 {
+        let p = self.precision(c);
+        let r = self.recall(c);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Unweighted mean of per-class F1 scores.
+    pub fn macro_f1(&self) -> f64 {
+        (0..self.classes).map(|c| self.f1(c)).sum::<f64>() / self.classes.max(1) as f64
+    }
+
+    /// Support-weighted mean of per-class F1 scores.
+    pub fn weighted_f1(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        (0..self.classes)
+            .map(|c| {
+                let support: usize = (0..self.classes).map(|p| self.count(c, p)).sum();
+                self.f1(c) * support as f64
+            })
+            .sum::<f64>()
+            / total as f64
+    }
+}
+
+/// Fraction of matching positions in two label sequences.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn accuracy(truth: &[usize], pred: &[usize]) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "one prediction per label required");
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let correct = truth.iter().zip(pred.iter()).filter(|(t, p)| t == p).count();
+    correct as f64 / truth.len() as f64
+}
+
+/// Macro-averaged F1 over `classes` classes.
+pub fn macro_f1(truth: &[usize], pred: &[usize], classes: usize) -> f64 {
+    ConfusionMatrix::from_predictions(truth, pred, classes).macro_f1()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let y = [0, 1, 2, 1, 0];
+        let cm = ConfusionMatrix::from_predictions(&y, &y, 3);
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.macro_f1(), 1.0);
+        assert_eq!(cm.weighted_f1(), 1.0);
+    }
+
+    #[test]
+    fn known_confusion() {
+        // truth: [0,0,1,1], pred: [0,1,1,1]
+        let cm = ConfusionMatrix::from_predictions(&[0, 0, 1, 1], &[0, 1, 1, 1], 2);
+        assert_eq!(cm.count(0, 0), 1);
+        assert_eq!(cm.count(0, 1), 1);
+        assert_eq!(cm.count(1, 1), 2);
+        assert_eq!(cm.accuracy(), 0.75);
+        assert_eq!(cm.precision(0), 1.0);
+        assert_eq!(cm.recall(0), 0.5);
+        assert!((cm.f1(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.precision(1) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cm.recall(1), 1.0);
+        assert!((cm.f1(1) - 0.8).abs() < 1e-12);
+        assert!((cm.macro_f1() - (2.0 / 3.0 + 0.8) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absent_class_scores_zero() {
+        let cm = ConfusionMatrix::from_predictions(&[0, 0], &[0, 0], 3);
+        assert_eq!(cm.precision(2), 0.0);
+        assert_eq!(cm.recall(2), 0.0);
+        assert_eq!(cm.f1(2), 0.0);
+    }
+
+    #[test]
+    fn accuracy_helper() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 0, 3]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn weighted_f1_reflects_support() {
+        // class 0 has 9 examples all correct, class 1 has 1 example wrong
+        let truth = [0, 0, 0, 0, 0, 0, 0, 0, 0, 1];
+        let pred = [0, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+        let cm = ConfusionMatrix::from_predictions(&truth, &pred, 2);
+        assert!(cm.weighted_f1() > cm.macro_f1());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        let _ = ConfusionMatrix::from_predictions(&[0], &[7], 2);
+    }
+}

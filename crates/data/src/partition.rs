@@ -1,0 +1,260 @@
+//! Federated data partitioners (§II): how a central dataset is distributed
+//! across simulated mobile clients.
+
+use crate::dataset::Dataset;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// How to distribute examples across clients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Partition {
+    /// Uniformly random — every client sees the global distribution.
+    Iid,
+    /// Pathological non-IID from the FedAvg paper: sort by label, cut into
+    /// `2 × clients` shards, deal two shards per client (most clients see
+    /// only a couple of classes).
+    LabelShards,
+    /// Dirichlet(α) label distribution per client; small α is highly skewed.
+    Dirichlet(
+        /// Concentration parameter; `0.1` is highly non-IID, `100` ≈ IID.
+        f64,
+    ),
+}
+
+/// Splits `data` into `clients` local datasets according to `partition`.
+///
+/// Every example is assigned to exactly one client and no client is empty
+/// (a round-robin fix-up donates examples to empty clients if needed).
+///
+/// # Panics
+///
+/// Panics if `clients == 0` or `clients > data.len()`.
+pub fn partition_dataset(
+    data: &Dataset,
+    clients: usize,
+    partition: Partition,
+    rng: &mut impl Rng,
+) -> Vec<Dataset> {
+    assert!(clients > 0, "need at least one client");
+    assert!(clients <= data.len(), "more clients than examples");
+    let assignments: Vec<Vec<usize>> = match partition {
+        Partition::Iid => {
+            let mut order: Vec<usize> = (0..data.len()).collect();
+            order.shuffle(rng);
+            chunk_indices(&order, clients)
+        }
+        Partition::LabelShards => {
+            let mut order: Vec<usize> = (0..data.len()).collect();
+            order.sort_by_key(|&i| data.y[i]);
+            let shards = chunk_indices(&order, 2 * clients);
+            let mut shard_order: Vec<usize> = (0..shards.len()).collect();
+            shard_order.shuffle(rng);
+            (0..clients)
+                .map(|c| {
+                    let mut mine = shards[shard_order[2 * c]].clone();
+                    mine.extend_from_slice(&shards[shard_order[2 * c + 1]]);
+                    mine
+                })
+                .collect()
+        }
+        Partition::Dirichlet(alpha) => {
+            assert!(alpha > 0.0, "Dirichlet concentration must be positive");
+            let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); clients];
+            for class in 0..data.classes {
+                let mut members: Vec<usize> =
+                    (0..data.len()).filter(|&i| data.y[i] == class).collect();
+                members.shuffle(rng);
+                let weights = dirichlet(alpha, clients, rng);
+                // convert weights to cumulative counts
+                let mut start = 0usize;
+                let mut acc = 0.0f64;
+                for (c, &w) in weights.iter().enumerate() {
+                    acc += w;
+                    let end = if c + 1 == clients {
+                        members.len()
+                    } else {
+                        ((members.len() as f64) * acc).round() as usize
+                    };
+                    buckets[c].extend_from_slice(&members[start..end.min(members.len())]);
+                    start = end.min(members.len());
+                }
+            }
+            buckets
+        }
+    };
+
+    let mut assignments = assignments;
+    rebalance_empty(&mut assignments);
+    assignments.iter().map(|idx| data.subset(idx)).collect()
+}
+
+/// Splits an index list into `k` nearly equal contiguous chunks.
+fn chunk_indices(order: &[usize], k: usize) -> Vec<Vec<usize>> {
+    let n = order.len();
+    (0..k)
+        .map(|c| {
+            let start = c * n / k;
+            let end = (c + 1) * n / k;
+            order[start..end].to_vec()
+        })
+        .collect()
+}
+
+/// Ensures no chunk is empty by donating from the largest chunk.
+fn rebalance_empty(chunks: &mut [Vec<usize>]) {
+    loop {
+        let Some(empty) = chunks.iter().position(|c| c.is_empty()) else {
+            return;
+        };
+        let largest = (0..chunks.len())
+            .max_by_key(|&i| chunks[i].len())
+            .expect("at least one chunk");
+        if chunks[largest].len() <= 1 {
+            return; // cannot donate without emptying the donor
+        }
+        let moved = chunks[largest].pop().expect("largest chunk non-empty");
+        chunks[empty].push(moved);
+    }
+}
+
+/// Samples from a symmetric Dirichlet(α) via normalised Gamma draws
+/// (Marsaglia–Tsang for shape ≥ 1, boost trick below 1).
+fn dirichlet(alpha: f64, k: usize, rng: &mut impl Rng) -> Vec<f64> {
+    let mut draws: Vec<f64> = (0..k).map(|_| gamma_sample(alpha, rng)).collect();
+    let sum: f64 = draws.iter().sum();
+    if sum <= 0.0 {
+        return vec![1.0 / k as f64; k];
+    }
+    for d in &mut draws {
+        *d /= sum;
+    }
+    draws
+}
+
+fn gamma_sample(shape: f64, rng: &mut impl Rng) -> f64 {
+    if shape < 1.0 {
+        // Johnk/boost: Gamma(a) = Gamma(a+1) * U^{1/a}
+        let u: f64 = rng.gen::<f64>().max(1e-12);
+        return gamma_sample(shape + 1.0, rng) * u.powf(1.0 / shape);
+    }
+    // Marsaglia–Tsang squeeze
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = mdl_tensor::init::gaussian(rng) as f64;
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen::<f64>().max(1e-12);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+/// Average label-distribution distance from the global distribution —
+/// a scalar measure of how non-IID a partition is (0 = perfectly IID).
+pub fn non_iid_score(parts: &[Dataset], classes: usize) -> f64 {
+    let total: usize = parts.iter().map(|p| p.len()).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut global = vec![0.0f64; classes];
+    for p in parts {
+        for &y in &p.y {
+            global[y] += 1.0;
+        }
+    }
+    for g in &mut global {
+        *g /= total as f64;
+    }
+    let mut score = 0.0f64;
+    for p in parts {
+        let mut local = vec![0.0f64; classes];
+        for &y in &p.y {
+            local[y] += 1.0 / p.len() as f64;
+        }
+        let l1: f64 = local.iter().zip(global.iter()).map(|(a, b)| (a - b).abs()).sum();
+        score += l1 * p.len() as f64 / total as f64;
+    }
+    score / 2.0 // total-variation style normalisation to [0, 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::synthetic_digits;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn digits(rng: &mut StdRng) -> Dataset {
+        synthetic_digits(500, 0.1, rng)
+    }
+
+    #[test]
+    fn iid_partition_covers_everything() {
+        let mut rng = StdRng::seed_from_u64(110);
+        let d = digits(&mut rng);
+        let parts = partition_dataset(&d, 10, Partition::Iid, &mut rng);
+        assert_eq!(parts.len(), 10);
+        assert_eq!(parts.iter().map(|p| p.len()).sum::<usize>(), d.len());
+        assert!(parts.iter().all(|p| !p.is_empty()));
+    }
+
+    #[test]
+    fn label_shards_are_more_skewed_than_iid() {
+        let mut rng = StdRng::seed_from_u64(111);
+        let d = digits(&mut rng);
+        let iid = partition_dataset(&d, 10, Partition::Iid, &mut rng);
+        let shards = partition_dataset(&d, 10, Partition::LabelShards, &mut rng);
+        let s_iid = non_iid_score(&iid, 10);
+        let s_shards = non_iid_score(&shards, 10);
+        assert!(
+            s_shards > s_iid + 0.2,
+            "shards score {s_shards} should exceed IID score {s_iid}"
+        );
+    }
+
+    #[test]
+    fn dirichlet_alpha_controls_skew() {
+        let mut rng = StdRng::seed_from_u64(112);
+        let d = digits(&mut rng);
+        let skewed = partition_dataset(&d, 10, Partition::Dirichlet(0.1), &mut rng);
+        let mild = partition_dataset(&d, 10, Partition::Dirichlet(100.0), &mut rng);
+        assert!(non_iid_score(&skewed, 10) > non_iid_score(&mild, 10));
+        assert_eq!(skewed.iter().map(|p| p.len()).sum::<usize>(), d.len());
+        assert!(skewed.iter().all(|p| !p.is_empty()));
+    }
+
+    #[test]
+    fn dirichlet_weights_sum_to_one() {
+        let mut rng = StdRng::seed_from_u64(113);
+        for &alpha in &[0.1, 1.0, 10.0] {
+            let w = dirichlet(alpha, 8, &mut rng);
+            assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(w.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn gamma_mean_approximates_shape() {
+        let mut rng = StdRng::seed_from_u64(114);
+        for &shape in &[0.5f64, 2.0, 7.5] {
+            let n = 4000;
+            let mean: f64 = (0..n).map(|_| gamma_sample(shape, &mut rng)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - shape).abs() / shape < 0.15,
+                "shape {shape}: sample mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more clients than examples")]
+    fn too_many_clients_panics() {
+        let mut rng = StdRng::seed_from_u64(115);
+        let d = synthetic_digits(5, 0.1, &mut rng);
+        let _ = partition_dataset(&d, 10, Partition::Iid, &mut rng);
+    }
+}

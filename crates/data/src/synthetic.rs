@@ -1,0 +1,218 @@
+//! Synthetic benchmark tasks used by the training-side experiments.
+//!
+//! The federated and compression experiments need a classification workload
+//! that (a) a small MLP can learn well, (b) is cheap to generate in any
+//! volume, and (c) can be partitioned non-IID by label. Synthetic 8×8 digit
+//! glyphs play the role MNIST plays in the original papers.
+
+use crate::dataset::Dataset;
+use mdl_tensor::init::gaussian;
+use mdl_tensor::Matrix;
+use rand::Rng;
+
+/// Isotropic Gaussian blobs: class `c` is centred on a circle of radius 3.
+pub fn gaussian_blobs(n: usize, classes: usize, noise: f32, rng: &mut impl Rng) -> Dataset {
+    assert!(classes >= 2, "need at least two classes");
+    let mut x = Matrix::zeros(n, 2);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = i % classes;
+        let angle = 2.0 * std::f32::consts::PI * c as f32 / classes as f32;
+        x[(i, 0)] = 3.0 * angle.cos() + gaussian(rng) * noise;
+        x[(i, 1)] = 3.0 * angle.sin() + gaussian(rng) * noise;
+        y.push(c);
+    }
+    Dataset::new(x, y, classes)
+}
+
+/// Two interleaved spirals — a classic nonlinear benchmark.
+pub fn two_spirals(n: usize, noise: f32, rng: &mut impl Rng) -> Dataset {
+    let mut x = Matrix::zeros(n, 2);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let label = i % 2;
+        let t = 0.5 + 3.0 * (i / 2) as f32 / (n / 2).max(1) as f32 * std::f32::consts::PI;
+        let sign = if label == 0 { 1.0 } else { -1.0 };
+        x[(i, 0)] = sign * t * t.cos() + gaussian(rng) * noise;
+        x[(i, 1)] = sign * t * t.sin() + gaussian(rng) * noise;
+        y.push(label);
+    }
+    Dataset::new(x, y, 2)
+}
+
+/// 8×8 binary glyph stencils for the ten digits (row-major, `#` = on).
+const GLYPHS: [[&str; 8]; 10] = [
+    [
+        ".####...", "#....#..", "#...##..", "#..#.#..", "#.#..#..", "##...#..", "#....#..",
+        ".####...",
+    ],
+    [
+        "...#....", "..##....", ".#.#....", "...#....", "...#....", "...#....", "...#....",
+        ".#####..",
+    ],
+    [
+        ".####...", "#....#..", ".....#..", "....#...", "...#....", "..#.....", ".#......",
+        "######..",
+    ],
+    [
+        ".####...", "#....#..", ".....#..", "..###...", ".....#..", ".....#..", "#....#..",
+        ".####...",
+    ],
+    [
+        "....##..", "...#.#..", "..#..#..", ".#...#..", "######..", ".....#..", ".....#..",
+        ".....#..",
+    ],
+    [
+        "######..", "#.......", "#.......", "#####...", ".....#..", ".....#..", "#....#..",
+        ".####...",
+    ],
+    [
+        ".####...", "#....#..", "#.......", "#####...", "#....#..", "#....#..", "#....#..",
+        ".####...",
+    ],
+    [
+        "######..", ".....#..", "....#...", "...#....", "..#.....", "..#.....", "..#.....",
+        "..#.....",
+    ],
+    [
+        ".####...", "#....#..", "#....#..", ".####...", "#....#..", "#....#..", "#....#..",
+        ".####...",
+    ],
+    [
+        ".####...", "#....#..", "#....#..", ".#####..", ".....#..", ".....#..", "#....#..",
+        ".####...",
+    ],
+];
+
+/// Synthetic handwritten-digit-like task: noisy, jittered 8×8 glyphs
+/// (64 features in `[0, 1]`, 10 classes).
+///
+/// Each example shifts its glyph by up to one pixel in each direction, then
+/// adds pixel dropout and Gaussian noise, giving enough within-class variance
+/// that shallow models do not saturate instantly.
+pub fn synthetic_digits(n: usize, noise: f32, rng: &mut impl Rng) -> Dataset {
+    let mut x = Matrix::zeros(n, 64);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let digit = rng.gen_range(0..10usize);
+        let dx = rng.gen_range(-1i32..=1);
+        let dy = rng.gen_range(-1i32..=1);
+        for r in 0..8i32 {
+            for c in 0..8i32 {
+                let sr = r - dy;
+                let sc = c - dx;
+                let on = if (0..8).contains(&sr) && (0..8).contains(&sc) {
+                    GLYPHS[digit][sr as usize].as_bytes()[sc as usize] == b'#'
+                } else {
+                    false
+                };
+                let mut v = if on { 1.0 } else { 0.0 };
+                if on && rng.gen::<f32>() < 0.08 {
+                    v = 0.0; // pixel dropout
+                }
+                v += gaussian(rng) * noise;
+                x[(i, (r * 8 + c) as usize)] = v.clamp(-0.5, 1.5);
+            }
+        }
+        y.push(digit);
+    }
+    Dataset::new(x, y, 10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn blobs_have_balanced_classes() {
+        let mut rng = StdRng::seed_from_u64(70);
+        let d = gaussian_blobs(300, 3, 0.2, &mut rng);
+        let counts = d.class_counts();
+        assert_eq!(counts, vec![100, 100, 100]);
+        assert_eq!(d.dim(), 2);
+    }
+
+    #[test]
+    fn blobs_are_roughly_separated() {
+        let mut rng = StdRng::seed_from_u64(71);
+        let d = gaussian_blobs(200, 2, 0.1, &mut rng);
+        // class centres should be far apart relative to noise
+        let mean_c = |cls: usize, dim: usize| {
+            let (mut s, mut k) = (0.0f32, 0);
+            for i in 0..d.len() {
+                if d.y[i] == cls {
+                    s += d.x[(i, dim)];
+                    k += 1;
+                }
+            }
+            s / k as f32
+        };
+        let dist = ((mean_c(0, 0) - mean_c(1, 0)).powi(2)
+            + (mean_c(0, 1) - mean_c(1, 1)).powi(2))
+        .sqrt();
+        assert!(dist > 4.0, "class centres too close: {dist}");
+    }
+
+    #[test]
+    fn spirals_have_two_classes() {
+        let mut rng = StdRng::seed_from_u64(72);
+        let d = two_spirals(100, 0.05, &mut rng);
+        assert_eq!(d.classes, 2);
+        assert_eq!(d.class_counts(), vec![50, 50]);
+    }
+
+    #[test]
+    fn digits_cover_all_classes_and_range() {
+        let mut rng = StdRng::seed_from_u64(73);
+        let d = synthetic_digits(500, 0.1, &mut rng);
+        assert_eq!(d.dim(), 64);
+        assert_eq!(d.classes, 10);
+        let counts = d.class_counts();
+        assert!(counts.iter().all(|&c| c > 20), "unbalanced: {counts:?}");
+        assert!(d.x.as_slice().iter().all(|v| (-0.5..=1.5).contains(v)));
+    }
+
+    #[test]
+    fn digits_same_class_correlate_more_than_cross_class() {
+        let mut rng = StdRng::seed_from_u64(74);
+        let d = synthetic_digits(400, 0.05, &mut rng);
+        // nearest-centroid self-consistency: per-class mean should classify
+        // most examples correctly, showing class structure exists
+        let mut centroids = vec![vec![0.0f32; 64]; 10];
+        let counts = d.class_counts();
+        for i in 0..d.len() {
+            for j in 0..64 {
+                centroids[d.y[i]][j] += d.x[(i, j)] / counts[d.y[i]] as f32;
+            }
+        }
+        let mut correct = 0;
+        for i in 0..d.len() {
+            let mut best = (f32::MAX, 0usize);
+            for (c, centroid) in centroids.iter().enumerate() {
+                let dist: f32 =
+                    (0..64).map(|j| (d.x[(i, j)] - centroid[j]).powi(2)).sum();
+                if dist < best.0 {
+                    best = (dist, c);
+                }
+            }
+            if best.1 == d.y[i] {
+                correct += 1;
+            }
+        }
+        // jittered glyphs are deliberately hard for a plain centroid match;
+        // anything far above the 10 % chance level shows class structure
+        let acc = correct as f64 / d.len() as f64;
+        assert!(acc > 0.4, "nearest-centroid accuracy too low: {acc}");
+    }
+
+    #[test]
+    fn glyph_stencils_are_8x8() {
+        for (digit, glyph) in GLYPHS.iter().enumerate() {
+            for row in glyph {
+                assert_eq!(row.len(), 8, "digit {digit} row has wrong width");
+            }
+        }
+    }
+}

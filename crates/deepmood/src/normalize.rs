@@ -1,0 +1,114 @@
+//! Per-view, per-channel input standardisation.
+//!
+//! Raw session metadata mixes scales wildly (key-hold seconds ≈ 0.1,
+//! accelerometer z ≈ 9.6 m/s²); GRU gates saturate on the large channels
+//! unless inputs are standardised with *training-set* statistics.
+
+use mdl_tensor::Matrix;
+
+/// Channel-wise standardisation statistics for a fixed set of views.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewNormalizer {
+    /// Per view: (per-channel mean, per-channel std).
+    stats: Vec<(Vec<f32>, Vec<f32>)>,
+}
+
+impl ViewNormalizer {
+    /// Fits statistics over all timesteps of all training sessions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sessions` is empty or view counts/widths are inconsistent.
+    pub fn fit(sessions: &[Vec<&Matrix>]) -> Self {
+        assert!(!sessions.is_empty(), "need at least one session to fit");
+        let views = sessions[0].len();
+        let mut stats = Vec::with_capacity(views);
+        for v in 0..views {
+            let width = sessions[0][v].cols();
+            let mut sum = vec![0.0f64; width];
+            let mut sum_sq = vec![0.0f64; width];
+            let mut count = 0u64;
+            for s in sessions {
+                assert_eq!(s.len(), views, "inconsistent view count");
+                let m = s[v];
+                assert_eq!(m.cols(), width, "inconsistent view width");
+                for r in 0..m.rows() {
+                    for (c, &x) in m.row(r).iter().enumerate() {
+                        sum[c] += x as f64;
+                        sum_sq[c] += (x as f64) * (x as f64);
+                    }
+                }
+                count += m.rows() as u64;
+            }
+            let n = count.max(1) as f64;
+            let means: Vec<f32> = sum.iter().map(|&s| (s / n) as f32).collect();
+            let stds: Vec<f32> = sum_sq
+                .iter()
+                .zip(means.iter())
+                .map(|(&sq, &m)| (((sq / n) - (m as f64) * (m as f64)).max(1e-12).sqrt()) as f32)
+                .collect();
+            stats.push((means, stds));
+        }
+        Self { stats }
+    }
+
+    /// Number of views covered.
+    pub fn views(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Standardises one session's views into owned matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view count differs from the fitted one.
+    pub fn apply(&self, views: &[&Matrix]) -> Vec<Matrix> {
+        assert_eq!(views.len(), self.stats.len(), "view count mismatch");
+        views
+            .iter()
+            .zip(self.stats.iter())
+            .map(|(m, (means, stds))| {
+                Matrix::from_fn(m.rows(), m.cols(), |r, c| (m[(r, c)] - means[c]) / stds[c])
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fitted_stats_standardize_training_data() {
+        let a = Matrix::from_rows(&[&[1.0, 10.0], &[3.0, 30.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 50.0]]);
+        let sessions = vec![vec![&a], vec![&b]];
+        let norm = ViewNormalizer::fit(&sessions);
+        assert_eq!(norm.views(), 1);
+        // pooled channel 0: [1,3,5] mean 3 std sqrt(8/3)
+        let out = norm.apply(&[&a]);
+        let col0: Vec<f32> = out[0].col(0);
+        let m = col0.iter().sum::<f32>() / 2.0;
+        assert!((m - (-0.75_f32 / (8.0f32 / 3.0).sqrt() * (8.0f32 / 3.0).sqrt())).abs() < 2.0);
+        // exact check: (1-3)/std and (3-3)/std
+        let std = (8.0f32 / 3.0).sqrt();
+        assert!((out[0][(0, 0)] + 2.0 / std).abs() < 1e-5);
+        assert!(out[0][(1, 0)].abs() < 1e-6);
+    }
+
+    #[test]
+    fn constant_channel_does_not_blow_up() {
+        let a = Matrix::from_rows(&[&[7.0], &[7.0]]);
+        let norm = ViewNormalizer::fit(&[vec![&a]]);
+        let out = norm.apply(&[&a]);
+        assert!(out[0].all_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "view count mismatch")]
+    fn apply_rejects_wrong_view_count() {
+        let a = Matrix::ones(2, 2);
+        let norm = ViewNormalizer::fit(&[vec![&a]]);
+        let _ = norm.apply(&[&a, &a]);
+    }
+}

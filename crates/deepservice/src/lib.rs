@@ -1,0 +1,24 @@
+//! # mdl-deepservice
+//!
+//! DEEPSERVICE (§IV-B of the paper): multi-view deep learning for mobile
+//! user identification from keystroke and accelerometer biometrics.
+//!
+//! - [`identify`]: the N-way identification model (shared architecture with
+//!   DeepMood — per-view GRU encoders plus a fusion head) and the Table I
+//!   harness comparing it against LR / SVM / decision tree / random forest /
+//!   XGBoost on flattened session features;
+//! - [`pairwise`]: the binary (shared-phone) identification scenario;
+//! - [`patterns`]: the Fig. 6 multi-view pattern analysis of the most
+//!   active users.
+
+#![warn(missing_docs)]
+
+pub mod identify;
+pub mod pairwise;
+pub mod patterns;
+
+pub use identify::{
+    as_training_pairs, deepservice_config, table_one, train_deepservice, TableRow,
+};
+pub use pairwise::{pairwise_identification, PairResult, PairwiseReport};
+pub use patterns::{analyze_top_users, format_patterns, UserPattern, SPECIAL_KEY_NAMES};

@@ -1,0 +1,478 @@
+//! Federated averaging and federated SGD (§II-B, references [17], [18]).
+//!
+//! Both algorithms share one simulation loop:
+//!
+//! 1. the server samples eligible clients;
+//! 2. each selected client downloads the global parameters, runs local
+//!    training, and uploads its new parameters weighted by `n_k`;
+//! 3. the server replaces the global model with the weighted average
+//!    `w ← Σ (n_k / n) w_k`.
+//!
+//! **FedSGD** is the degenerate case: every client takes exactly one
+//! full-batch gradient step per round, so each round is equivalent to one
+//! large-batch centralised step — correct but communication-hungry.
+//! **FedAvg** lets clients run `E` local epochs of mini-batch SGD before
+//! uploading, trading local computation for 10–100× fewer rounds.
+
+use crate::comm::CommLedger;
+use crate::model::MlpSpec;
+use crate::scheduler::AvailabilityModel;
+use crate::update::{weighted_average, DenseUpdate};
+use mdl_data::Dataset;
+use mdl_nn::{fit_classifier, Layer, Mode, ParamVector, Sgd, TrainConfig};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Hyper-parameters of a federated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FedConfig {
+    /// Maximum federation rounds.
+    pub rounds: usize,
+    /// Fraction `C` of eligible clients selected per round.
+    pub client_fraction: f64,
+    /// Local epochs `E` (1 with full batch = FedSGD).
+    pub local_epochs: usize,
+    /// Local mini-batch size `B` (`usize::MAX` = full batch).
+    pub batch_size: usize,
+    /// Client learning rate.
+    pub learning_rate: f32,
+    /// Evaluate the global model every this many rounds.
+    pub eval_every: usize,
+    /// Stop early once test accuracy reaches this level.
+    pub target_accuracy: Option<f64>,
+    /// Probability that a selected client fails mid-round (battery died,
+    /// connection dropped) and never reports its update.
+    pub failure_prob: f64,
+    /// Upload 8-bit quantized parameters instead of fp32 (4× less uplink).
+    pub quantize_uploads: bool,
+}
+
+impl Default for FedConfig {
+    fn default() -> Self {
+        Self {
+            rounds: 100,
+            client_fraction: 0.2,
+            local_epochs: 5,
+            batch_size: 16,
+            learning_rate: 0.1,
+            eval_every: 1,
+            target_accuracy: None,
+            failure_prob: 0.0,
+            quantize_uploads: false,
+        }
+    }
+}
+
+impl FedConfig {
+    /// The FedSGD baseline: all clients, one full-batch step per round.
+    pub fn fedsgd(rounds: usize, learning_rate: f32) -> Self {
+        Self {
+            rounds,
+            client_fraction: 1.0,
+            local_epochs: 1,
+            batch_size: usize::MAX,
+            learning_rate,
+            ..Default::default()
+        }
+    }
+}
+
+/// One evaluated round of a federated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundRecord {
+    /// Round index (1-based; round 0 is the initial model).
+    pub round: usize,
+    /// Global-model accuracy on the held-out test set.
+    pub test_accuracy: f64,
+    /// Cumulative bytes exchanged so far.
+    pub total_bytes: u64,
+    /// Clients that participated this round.
+    pub participants: usize,
+}
+
+/// Result of a federated simulation.
+#[derive(Debug)]
+pub struct FedRun {
+    /// Evaluated rounds in order.
+    pub history: Vec<RoundRecord>,
+    /// Final global parameters.
+    pub final_params: Vec<f32>,
+    /// Communication totals.
+    pub ledger: CommLedger,
+    /// Round at which `target_accuracy` was first reached, if ever.
+    pub rounds_to_target: Option<usize>,
+}
+
+impl FedRun {
+    /// Final test accuracy (0.0 when no round was evaluated).
+    pub fn final_accuracy(&self) -> f64 {
+        self.history.last().map(|r| r.test_accuracy).unwrap_or(0.0)
+    }
+}
+
+/// Runs FedAvg/FedSGD over pre-partitioned client datasets.
+///
+/// # Panics
+///
+/// Panics if `clients` is empty or the availability model covers a
+/// different number of clients.
+pub fn run_federated(
+    spec: &MlpSpec,
+    clients: &[Dataset],
+    test: &Dataset,
+    config: &FedConfig,
+    availability: &AvailabilityModel,
+    rng: &mut StdRng,
+) -> FedRun {
+    assert!(!clients.is_empty(), "need at least one client");
+    assert_eq!(
+        availability.clients(),
+        clients.len(),
+        "availability model must cover every client"
+    );
+
+    let mut global = spec.build();
+    let mut params = global.param_vector();
+    let mut ledger = CommLedger::new();
+    let mut history = Vec::new();
+    let mut rounds_to_target = None;
+    let param_bytes = 4 * params.len() as u64 + 8;
+
+    for round in 1..=config.rounds {
+        // 1. sample eligible clients, then C-fraction of them
+        let mut eligible = availability.sample_eligible(rng);
+        if eligible.is_empty() {
+            ledger.finish_round();
+            continue;
+        }
+        eligible.shuffle(rng);
+        let m = (((eligible.len() as f64) * config.client_fraction).round() as usize)
+            .clamp(1, eligible.len());
+        let selected = &eligible[..m];
+
+        // 2. local training, run in parallel — clients are independent
+        // devices. Seeds and failure fates are drawn *in selection order*
+        // before spawning so the run stays bit-deterministic regardless of
+        // thread scheduling.
+        let fates: Vec<(u64, bool)> = selected
+            .iter()
+            .map(|_| {
+                let seed: u64 = rng.gen();
+                let fails =
+                    config.failure_prob > 0.0 && rng.gen::<f64>() < config.failure_prob;
+                (seed, fails)
+            })
+            .collect();
+        for _ in selected {
+            ledger.record_download(param_bytes);
+        }
+        let params_ref = &params;
+        let results: Vec<Option<DenseUpdate>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = selected
+                .iter()
+                .zip(fates.iter())
+                .map(|(&c, &(seed, fails))| {
+                    scope.spawn(move |_| {
+                        if fails {
+                            return None;
+                        }
+                        let data = &clients[c];
+                        let mut local = spec.build_with(params_ref);
+                        let mut opt = Sgd::new(config.learning_rate);
+                        let mut local_rng = StdRng::seed_from_u64(seed);
+                        let batch = config.batch_size.min(data.len().max(1));
+                        let _ = fit_classifier(
+                            &mut local,
+                            &mut opt,
+                            &data.x,
+                            &data.y,
+                            &TrainConfig {
+                                epochs: config.local_epochs,
+                                batch_size: batch,
+                                shuffle: true,
+                                grad_clip: None,
+                            },
+                            &mut local_rng,
+                        );
+                        let raw = local.param_vector();
+                        Some(if config.quantize_uploads {
+                            let q =
+                                crate::update::QuantizedUpdate::quantize(&raw, data.len());
+                            DenseUpdate {
+                                values: q.dequantize(),
+                                num_examples: data.len(),
+                            }
+                        } else {
+                            DenseUpdate { values: raw, num_examples: data.len() }
+                        })
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
+        })
+        .expect("client scope");
+
+        let mut updates = Vec::with_capacity(selected.len());
+        let mut completed = 0usize;
+        for update in results.into_iter().flatten() {
+            let bytes = if config.quantize_uploads {
+                16 + update.values.len() as u64
+            } else {
+                update.wire_bytes()
+            };
+            ledger.record_upload(bytes);
+            updates.push(update);
+            completed += 1;
+        }
+
+        // 3. weighted aggregation
+        if let Some(avg) = weighted_average(&updates) {
+            params = avg;
+        }
+        ledger.finish_round();
+
+        // 4. evaluation
+        if round % config.eval_every == 0 || round == config.rounds {
+            global.set_param_vector(&params);
+            let acc = global.accuracy(&test.x, &test.y);
+            history.push(RoundRecord {
+                round,
+                test_accuracy: acc,
+                total_bytes: ledger.total_bytes(),
+                participants: completed,
+            });
+            if let Some(target) = config.target_accuracy {
+                if acc >= target {
+                    rounds_to_target = Some(round);
+                    break;
+                }
+            }
+        }
+    }
+
+    FedRun { history, final_params: params, ledger, rounds_to_target }
+}
+
+/// Trains the same architecture centrally on the union of client data —
+/// the upper-bound reference every federated curve is compared against.
+pub fn centralized_reference(
+    spec: &MlpSpec,
+    clients: &[Dataset],
+    test: &Dataset,
+    epochs: usize,
+    learning_rate: f32,
+    rng: &mut StdRng,
+) -> f64 {
+    let mut all_x = clients[0].x.clone();
+    let mut all_y = clients[0].y.clone();
+    for c in &clients[1..] {
+        all_x = all_x.vstack(&c.x);
+        all_y.extend_from_slice(&c.y);
+    }
+    let mut net = spec.build();
+    let mut opt = Sgd::new(learning_rate);
+    let _ = fit_classifier(
+        &mut net,
+        &mut opt,
+        &all_x,
+        &all_y,
+        &TrainConfig { epochs, batch_size: 32, shuffle: true, grad_clip: None },
+        rng,
+    );
+    net.accuracy(&test.x, &test.y)
+}
+
+/// Evaluates a parameter vector on a dataset using the given spec.
+pub fn evaluate_params(spec: &MlpSpec, params: &[f32], data: &Dataset) -> f64 {
+    let mut net = spec.build_with(params);
+    let pred = net.forward(&data.x, Mode::Eval).argmax_rows();
+    mdl_data::metrics::accuracy(&data.y, &pred)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdl_data::partition::{partition_dataset, Partition};
+    use mdl_data::synthetic::gaussian_blobs;
+
+    fn setup(rng: &mut StdRng) -> (MlpSpec, Vec<Dataset>, Dataset) {
+        let data = gaussian_blobs(400, 4, 0.5, rng);
+        let (train, test) = data.split(0.8, rng);
+        let clients = partition_dataset(&train, 8, Partition::Iid, rng);
+        (MlpSpec::new(vec![2, 16, 4], 3), clients, test)
+    }
+
+    #[test]
+    fn fedavg_learns_blobs() {
+        let mut rng = StdRng::seed_from_u64(190);
+        let (spec, clients, test) = setup(&mut rng);
+        let availability = AvailabilityModel::always_available(clients.len());
+        let config = FedConfig {
+            rounds: 15,
+            client_fraction: 0.5,
+            local_epochs: 3,
+            batch_size: 16,
+            learning_rate: 0.2,
+            ..Default::default()
+        };
+        let run = run_federated(&spec, &clients, &test, &config, &availability, &mut rng);
+        assert!(run.final_accuracy() > 0.9, "accuracy={}", run.final_accuracy());
+        assert_eq!(run.history.len(), 15);
+        assert!(run.ledger.bytes_up > 0 && run.ledger.bytes_down > 0);
+    }
+
+    #[test]
+    fn fedavg_converges_faster_than_fedsgd_per_round() {
+        let mut rng = StdRng::seed_from_u64(191);
+        let (spec, clients, test) = setup(&mut rng);
+        let availability = AvailabilityModel::always_available(clients.len());
+        // few rounds + small lr: FedSGD has taken only 3 full-batch steps
+        // while FedAvg has done 3 × 5 local epochs of mini-batch SGD
+        let rounds = 3;
+        let lr = 0.05;
+        let sgd_run = run_federated(
+            &spec,
+            &clients,
+            &test,
+            &FedConfig { eval_every: 1, ..FedConfig::fedsgd(rounds, lr) },
+            &availability,
+            &mut rng,
+        );
+        let avg_run = run_federated(
+            &spec,
+            &clients,
+            &test,
+            &FedConfig {
+                rounds,
+                client_fraction: 1.0,
+                local_epochs: 5,
+                batch_size: 16,
+                learning_rate: lr,
+                ..Default::default()
+            },
+            &availability,
+            &mut rng,
+        );
+        assert!(
+            avg_run.final_accuracy() > sgd_run.final_accuracy() + 0.05,
+            "FedAvg {} should beat FedSGD {} at equal rounds",
+            avg_run.final_accuracy(),
+            sgd_run.final_accuracy()
+        );
+    }
+
+    #[test]
+    fn target_accuracy_stops_early() {
+        let mut rng = StdRng::seed_from_u64(192);
+        let (spec, clients, test) = setup(&mut rng);
+        let availability = AvailabilityModel::always_available(clients.len());
+        let config = FedConfig {
+            rounds: 50,
+            target_accuracy: Some(0.8),
+            local_epochs: 3,
+            learning_rate: 0.2,
+            client_fraction: 1.0,
+            ..Default::default()
+        };
+        let run = run_federated(&spec, &clients, &test, &config, &availability, &mut rng);
+        let hit = run.rounds_to_target.expect("should reach 80% on blobs");
+        assert!(hit < 50, "early stop at round {hit}");
+        assert_eq!(run.history.last().unwrap().round, hit);
+    }
+
+    #[test]
+    fn unavailable_clients_stall_rounds() {
+        let mut rng = StdRng::seed_from_u64(193);
+        let (spec, clients, test) = setup(&mut rng);
+        let availability = AvailabilityModel::new(clients.len(), 0.0, 1.0, 1.0);
+        let run = run_federated(
+            &spec,
+            &clients,
+            &test,
+            &FedConfig { rounds: 5, ..Default::default() },
+            &availability,
+            &mut rng,
+        );
+        assert!(run.history.is_empty(), "no eligible clients → no evaluated rounds");
+        assert_eq!(run.ledger.bytes_up, 0);
+    }
+
+    #[test]
+    fn failure_injection_still_converges() {
+        let mut rng = StdRng::seed_from_u64(195);
+        let (spec, clients, test) = setup(&mut rng);
+        let availability = AvailabilityModel::always_available(clients.len());
+        let run = run_federated(
+            &spec,
+            &clients,
+            &test,
+            &FedConfig {
+                rounds: 20,
+                client_fraction: 1.0,
+                failure_prob: 0.4,
+                learning_rate: 0.2,
+                local_epochs: 3,
+                ..Default::default()
+            },
+            &availability,
+            &mut rng,
+        );
+        assert!(
+            run.final_accuracy() > 0.85,
+            "40% client failures should only slow convergence: {}",
+            run.final_accuracy()
+        );
+        // reported participants reflect survivors, not the selected cohort
+        let mean_participants = run.history.iter().map(|h| h.participants).sum::<usize>()
+            as f64
+            / run.history.len() as f64;
+        assert!(
+            mean_participants < clients.len() as f64 * 0.8,
+            "failures must shrink reporting cohorts: {mean_participants}"
+        );
+    }
+
+    #[test]
+    fn quantized_uploads_shrink_traffic_without_breaking_learning() {
+        let mut rng = StdRng::seed_from_u64(196);
+        let (spec, clients, test) = setup(&mut rng);
+        let availability = AvailabilityModel::always_available(clients.len());
+        let cfg = FedConfig {
+            rounds: 10,
+            client_fraction: 1.0,
+            learning_rate: 0.2,
+            local_epochs: 3,
+            ..Default::default()
+        };
+        let fp32 = run_federated(&spec, &clients, &test, &cfg, &availability, &mut rng);
+        let q = run_federated(
+            &spec,
+            &clients,
+            &test,
+            &FedConfig { quantize_uploads: true, ..cfg },
+            &availability,
+            &mut rng,
+        );
+        assert!(
+            q.ledger.bytes_up * 3 < fp32.ledger.bytes_up,
+            "8-bit uploads should be ~4× smaller: {} vs {}",
+            q.ledger.bytes_up,
+            fp32.ledger.bytes_up
+        );
+        assert!(
+            q.final_accuracy() > fp32.final_accuracy() - 0.1,
+            "quantization must not wreck convergence: {} vs {}",
+            q.final_accuracy(),
+            fp32.final_accuracy()
+        );
+    }
+
+    #[test]
+    fn centralized_reference_is_strong() {
+        let mut rng = StdRng::seed_from_u64(194);
+        let (spec, clients, test) = setup(&mut rng);
+        let acc = centralized_reference(&spec, &clients, &test, 20, 0.2, &mut rng);
+        assert!(acc > 0.9, "centralised accuracy {acc}");
+    }
+}

@@ -1,0 +1,88 @@
+//! # mdl-mobile
+//!
+//! Analytic mobile-hardware simulator standing in for the phones, radios
+//! and batteries the paper's arguments are grounded in (§I, §III). The
+//! model is deliberately simple — literature energy constants, bandwidth/
+//! latency link profiles — because the paper's claims are *relative*:
+//! off-chip memory ≫ on-chip, radio ≫ compute, and the placement
+//! trade-offs of Figs. 2–3 follow from those orderings.
+//!
+//! - [`device`]: compute + memory-hierarchy cost of one inference;
+//! - [`radio`]: Wi-Fi / LTE / 3G link profiles with per-byte energy;
+//! - [`battery`]: drain accounting;
+//! - [`offload`]: on-device vs cloud vs split placement comparison.
+//!
+//! # Examples
+//!
+//! ```
+//! use mdl_mobile::{DeviceProfile, NetworkProfile};
+//!
+//! let radio = NetworkProfile::lte().round_trip_cost(100_000, 40);
+//! assert!(radio.energy_j > 0.0 && radio.latency_s > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod battery;
+pub mod device;
+pub mod offload;
+pub mod radio;
+
+pub use battery::Battery;
+pub use device::{CostEstimate, DeviceProfile};
+pub use offload::{placement_cost, rank_placements, Placement, Scenario};
+pub use radio::NetworkProfile;
+
+#[cfg(test)]
+mod proptests {
+    use crate::device::DeviceProfile;
+    use crate::radio::NetworkProfile;
+    use mdl_nn::LayerInfo;
+    use proptest::prelude::*;
+
+    fn layer(params: usize, macs: u64) -> LayerInfo {
+        LayerInfo { kind: "dense", in_dim: 0, out_dim: 0, params, macs }
+    }
+
+    proptest! {
+        #[test]
+        fn inference_cost_is_monotone_in_work(
+            macs_a in 1u64..1_000_000,
+            extra in 1u64..1_000_000,
+            params in 1usize..1_000_000,
+        ) {
+            let dev = DeviceProfile::midrange_phone();
+            let small = dev.inference_cost(&[layer(params, macs_a)], 4.0);
+            let big = dev.inference_cost(&[layer(params, macs_a + extra)], 4.0);
+            prop_assert!(big.latency_s > small.latency_s);
+            prop_assert!(big.energy_j >= small.energy_j);
+        }
+
+        #[test]
+        fn memory_energy_is_monotone_in_bytes_per_weight(
+            params in 1usize..2_000_000,
+            bpw_a in 1u32..32,
+            bpw_b in 1u32..32,
+        ) {
+            let dev = DeviceProfile::wearable();
+            let a = dev.inference_cost(&[layer(params, 1)], bpw_a as f64 / 8.0);
+            let b = dev.inference_cost(&[layer(params, 1)], bpw_b as f64 / 8.0);
+            if bpw_a <= bpw_b {
+                prop_assert!(a.energy_j <= b.energy_j + 1e-18);
+            }
+        }
+
+        #[test]
+        fn radio_cost_is_monotone_in_payload(
+            up in 0u64..10_000_000,
+            extra in 1u64..1_000_000,
+        ) {
+            for net in [NetworkProfile::wifi(), NetworkProfile::lte(), NetworkProfile::cellular_3g()] {
+                let small = net.round_trip_cost(up, 100);
+                let big = net.round_trip_cost(up + extra, 100);
+                prop_assert!(big.latency_s > small.latency_s);
+                prop_assert!(big.energy_j > small.energy_j);
+            }
+        }
+    }
+}

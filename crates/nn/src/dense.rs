@@ -1,0 +1,345 @@
+//! Fully connected (dense) layer and inverted dropout.
+
+use crate::activation::Activation;
+use crate::layer::{Layer, LayerInfo, Mode};
+use mdl_tensor::{Init, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A dense layer: `y = act(x · W + b)` with `W: in × out`, `b: 1 × out`.
+///
+/// # Examples
+///
+/// ```
+/// use mdl_nn::{Dense, Activation, Layer, Mode};
+/// use mdl_tensor::Matrix;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut layer = Dense::new(3, 2, Activation::Relu, &mut rng);
+/// let y = layer.forward(&Matrix::ones(4, 3), Mode::Eval);
+/// assert_eq!(y.shape(), (4, 2));
+/// ```
+#[derive(Clone, Serialize, Deserialize)]
+pub struct Dense {
+    weight: Matrix,
+    bias: Matrix,
+    grad_weight: Matrix,
+    grad_bias: Matrix,
+    activation: Activation,
+    #[serde(skip)]
+    cache: Option<DenseCache>,
+}
+
+#[derive(Clone)]
+struct DenseCache {
+    input: Matrix,
+    pre_activation: Matrix,
+}
+
+impl std::fmt::Debug for Dense {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dense")
+            .field("in_dim", &self.weight.rows())
+            .field("out_dim", &self.weight.cols())
+            .field("activation", &self.activation)
+            .finish()
+    }
+}
+
+impl Dense {
+    /// Creates a dense layer with Xavier-initialised weights and zero bias.
+    pub fn new(in_dim: usize, out_dim: usize, activation: Activation, rng: &mut impl Rng) -> Self {
+        Self::with_init(in_dim, out_dim, activation, Init::Xavier, rng)
+    }
+
+    /// Creates a dense layer with an explicit initialisation scheme.
+    pub fn with_init(
+        in_dim: usize,
+        out_dim: usize,
+        activation: Activation,
+        init: Init,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Self {
+            weight: init.sample(in_dim, out_dim, rng),
+            bias: Matrix::zeros(1, out_dim),
+            grad_weight: Matrix::zeros(in_dim, out_dim),
+            grad_bias: Matrix::zeros(1, out_dim),
+            activation,
+            cache: None,
+        }
+    }
+
+    /// Builds a dense layer directly from a weight matrix and bias vector.
+    ///
+    /// Used by the compression codecs to materialise reconstructed layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 × weight.cols()`.
+    pub fn from_parts(weight: Matrix, bias: Matrix, activation: Activation) -> Self {
+        assert_eq!(bias.rows(), 1, "bias must be a row vector");
+        assert_eq!(bias.cols(), weight.cols(), "bias width must match weight columns");
+        let (r, c) = weight.shape();
+        Self {
+            weight,
+            bias,
+            grad_weight: Matrix::zeros(r, c),
+            grad_bias: Matrix::zeros(1, c),
+            activation,
+            cache: None,
+        }
+    }
+
+    /// The weight matrix (`in × out`).
+    pub fn weight(&self) -> &Matrix {
+        &self.weight
+    }
+
+    /// Mutable access to the weight matrix (used by pruning/quantization).
+    pub fn weight_mut(&mut self) -> &mut Matrix {
+        &mut self.weight
+    }
+
+    /// The bias row vector (`1 × out`).
+    pub fn bias(&self) -> &Matrix {
+        &self.bias
+    }
+
+    /// The layer's activation function.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+}
+
+impl Layer for Dense {
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn forward(&mut self, x: &Matrix, _mode: Mode) -> Matrix {
+        let pre = x.matmul(&self.weight).add_row_broadcast(&self.bias);
+        let out = self.activation.apply_matrix(&pre);
+        self.cache = Some(DenseCache { input: x.clone(), pre_activation: pre });
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let cache = self.cache.as_ref().expect("backward called before forward");
+        let dpre = grad_out.hadamard(&self.activation.derivative_matrix(&cache.pre_activation));
+        self.grad_weight.add_assign(&cache.input.matmul_tn(&dpre));
+        self.grad_bias.add_assign(&dpre.sum_rows());
+        dpre.matmul_nt(&self.weight)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
+        f(&mut self.weight, &mut self.grad_weight);
+        f(&mut self.bias, &mut self.grad_bias);
+    }
+
+    fn info(&self) -> LayerInfo {
+        let (in_dim, out_dim) = self.weight.shape();
+        LayerInfo {
+            kind: "dense",
+            in_dim,
+            out_dim,
+            params: self.weight.len() + self.bias.len(),
+            macs: (in_dim * out_dim) as u64,
+        }
+    }
+}
+
+/// Inverted dropout: scales kept units by `1 / keep_prob` during training so
+/// evaluation needs no rescaling.
+pub struct Dropout {
+    drop_prob: f32,
+    rng: StdRng,
+    mask: Option<Matrix>,
+    dim: usize,
+}
+
+impl std::fmt::Debug for Dropout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dropout").field("drop_prob", &self.drop_prob).finish()
+    }
+}
+
+impl Dropout {
+    /// Creates a dropout layer dropping units with probability `drop_prob`.
+    ///
+    /// `dim` is the feature width (reported by [`Layer::info`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= drop_prob < 1.0`.
+    pub fn new(dim: usize, drop_prob: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&drop_prob), "drop_prob must be in [0, 1)");
+        Self { drop_prob, rng: StdRng::seed_from_u64(seed), mask: None, dim }
+    }
+}
+
+impl Layer for Dropout {
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn forward(&mut self, x: &Matrix, mode: Mode) -> Matrix {
+        match mode {
+            Mode::Eval => {
+                self.mask = None;
+                x.clone()
+            }
+            Mode::Train => {
+                let keep = 1.0 - self.drop_prob;
+                let mask = Matrix::from_fn(x.rows(), x.cols(), |_, _| {
+                    if self.rng.gen::<f32>() < keep {
+                        1.0 / keep
+                    } else {
+                        0.0
+                    }
+                });
+                let out = x.hadamard(&mask);
+                self.mask = Some(mask);
+                out
+            }
+        }
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        match &self.mask {
+            Some(mask) => grad_out.hadamard(mask),
+            None => grad_out.clone(),
+        }
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {}
+
+    fn info(&self) -> LayerInfo {
+        LayerInfo { kind: "dropout", in_dim: self.dim, out_dim: self.dim, params: 0, macs: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::ParamVector;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut layer = Dense::new(3, 4, Activation::Identity, &mut rng);
+        layer.set_param_vector(&vec![0.0; 12 + 4]);
+        let y = layer.forward(&Matrix::ones(2, 3), Mode::Eval);
+        assert_eq!(y.shape(), (2, 4));
+        assert_eq!(y.sum(), 0.0);
+    }
+
+    #[test]
+    fn identity_layer_passes_through() {
+        let w = Matrix::identity(3);
+        let b = Matrix::zeros(1, 3);
+        let mut layer = Dense::from_parts(w, b, Activation::Identity);
+        let x = Matrix::from_rows(&[&[1.0, -2.0, 3.0]]);
+        assert_eq!(layer.forward(&x, Mode::Eval), x);
+    }
+
+    #[test]
+    fn param_vector_round_trip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut layer = Dense::new(4, 5, Activation::Relu, &mut rng);
+        let v = layer.param_vector();
+        assert_eq!(v.len(), 4 * 5 + 5);
+        let mut v2 = v.clone();
+        v2[0] = 42.0;
+        layer.set_param_vector(&v2);
+        assert_eq!(layer.param_vector()[0], 42.0);
+        assert_eq!(layer.num_params(), 25);
+    }
+
+    #[test]
+    fn backward_gradient_check() {
+        // finite-difference check of dL/dW for L = sum(y) with tanh
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut layer = Dense::new(3, 2, Activation::Tanh, &mut rng);
+        let x = Matrix::from_rows(&[&[0.5, -0.2, 0.8], &[-1.0, 0.3, 0.1]]);
+        let base = layer.param_vector();
+
+        layer.zero_grad();
+        let _ = layer.forward(&x, Mode::Train);
+        let grad_ones = Matrix::ones(2, 2);
+        let _ = layer.backward(&grad_ones);
+        let analytic = layer.grad_vector();
+
+        let eps = 1e-3f32;
+        for k in 0..base.len() {
+            let mut plus = base.clone();
+            plus[k] += eps;
+            layer.set_param_vector(&plus);
+            let lp = layer.forward(&x, Mode::Eval).sum();
+            let mut minus = base.clone();
+            minus[k] -= eps;
+            layer.set_param_vector(&minus);
+            let lm = layer.forward(&x, Mode::Eval).sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - analytic[k]).abs() < 1e-2,
+                "param {k}: fd={fd} analytic={}",
+                analytic[k]
+            );
+        }
+    }
+
+    #[test]
+    fn backward_input_gradient_check() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut layer = Dense::new(3, 2, Activation::Sigmoid, &mut rng);
+        let x = Matrix::from_rows(&[&[0.1, 0.2, -0.3]]);
+        let _ = layer.forward(&x, Mode::Train);
+        let gin = layer.backward(&Matrix::ones(1, 2));
+        let eps = 1e-3f32;
+        for k in 0..3 {
+            let mut xp = x.clone();
+            xp[(0, k)] += eps;
+            let lp = layer.forward(&xp, Mode::Eval).sum();
+            let mut xm = x.clone();
+            xm[(0, k)] -= eps;
+            let lm = layer.forward(&xm, Mode::Eval).sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((fd - gin[(0, k)]).abs() < 1e-3, "input {k}: fd={fd} vs {}", gin[(0, k)]);
+        }
+    }
+
+    #[test]
+    fn dropout_eval_is_identity_train_masks() {
+        let mut d = Dropout::new(8, 0.5, 99);
+        let x = Matrix::ones(16, 8);
+        assert_eq!(d.forward(&x, Mode::Eval), x);
+        let y = d.forward(&x, Mode::Train);
+        let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
+        assert!(zeros > 10 && zeros < 120, "zeros={zeros}");
+        // kept entries are scaled by 1/keep = 2.0
+        assert!(y.as_slice().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn dropout_backward_uses_same_mask() {
+        let mut d = Dropout::new(4, 0.5, 7);
+        let x = Matrix::ones(2, 4);
+        let y = d.forward(&x, Mode::Train);
+        let g = d.backward(&Matrix::ones(2, 4));
+        assert_eq!(y, g);
+    }
+
+    #[test]
+    fn info_reports_macs() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let layer = Dense::new(128, 64, Activation::Relu, &mut rng);
+        let info = layer.info();
+        assert_eq!(info.macs, 128 * 64);
+        assert_eq!(info.params, 128 * 64 + 64);
+        assert_eq!(info.kind, "dense");
+    }
+}

@@ -1,0 +1,491 @@
+//! Gated Recurrent Unit with full backpropagation through time.
+//!
+//! Follows the paper's Eq. (1) exactly:
+//!
+//! ```text
+//! r_k = sigmoid(W_r x_k + U_r h_{k-1} + b_r)
+//! z_k = sigmoid(W_z x_k + U_z h_{k-1} + b_z)
+//! h̃_k = tanh(W x_k + U (r_k ⊙ h_{k-1}) + b)
+//! h_k = z_k ⊙ h_{k-1} + (1 - z_k) ⊙ h̃_k
+//! ```
+//!
+//! where the update gate `z` keeps the *previous* state — note this is the
+//! paper's convention (some libraries swap `z` and `1 - z`).
+
+use crate::layer::{Layer, LayerInfo, Mode};
+use mdl_tensor::{Init, Matrix};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A single-direction GRU over one sequence.
+///
+/// [`Layer::forward`] treats the input as a `T × input_dim` sequence and
+/// returns all hidden states as `T × hidden_dim`; take the last row for a
+/// sequence embedding.
+///
+/// # Examples
+///
+/// ```
+/// use mdl_nn::{Gru, Layer, Mode};
+/// use mdl_tensor::Matrix;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut gru = Gru::new(3, 8, &mut rng);
+/// let sequence = Matrix::ones(10, 3); // 10 timesteps, 3 features
+/// let states = gru.forward(&sequence, Mode::Eval);
+/// assert_eq!(states.shape(), (10, 8));
+/// ```
+#[derive(Clone, Serialize, Deserialize)]
+pub struct Gru {
+    w_r: Matrix,
+    w_z: Matrix,
+    w_h: Matrix,
+    u_r: Matrix,
+    u_z: Matrix,
+    u_h: Matrix,
+    b_r: Matrix,
+    b_z: Matrix,
+    b_h: Matrix,
+    g_w_r: Matrix,
+    g_w_z: Matrix,
+    g_w_h: Matrix,
+    g_u_r: Matrix,
+    g_u_z: Matrix,
+    g_u_h: Matrix,
+    g_b_r: Matrix,
+    g_b_z: Matrix,
+    g_b_h: Matrix,
+    #[serde(skip)]
+    cache: Option<GruCache>,
+}
+
+#[derive(Clone)]
+struct GruCache {
+    input: Matrix,
+    /// Hidden states including the initial zero state: `(T+1) × h`.
+    hidden: Matrix,
+    r: Matrix,
+    z: Matrix,
+    hc: Matrix,
+}
+
+impl std::fmt::Debug for Gru {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gru")
+            .field("input_dim", &self.w_r.rows())
+            .field("hidden_dim", &self.w_r.cols())
+            .finish()
+    }
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl Gru {
+    /// Creates a GRU with Xavier-initialised kernels and zero biases.
+    pub fn new(input_dim: usize, hidden_dim: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            w_r: Init::Xavier.sample(input_dim, hidden_dim, rng),
+            w_z: Init::Xavier.sample(input_dim, hidden_dim, rng),
+            w_h: Init::Xavier.sample(input_dim, hidden_dim, rng),
+            u_r: Init::Xavier.sample(hidden_dim, hidden_dim, rng),
+            u_z: Init::Xavier.sample(hidden_dim, hidden_dim, rng),
+            u_h: Init::Xavier.sample(hidden_dim, hidden_dim, rng),
+            b_r: Matrix::zeros(1, hidden_dim),
+            b_z: Matrix::zeros(1, hidden_dim),
+            b_h: Matrix::zeros(1, hidden_dim),
+            g_w_r: Matrix::zeros(input_dim, hidden_dim),
+            g_w_z: Matrix::zeros(input_dim, hidden_dim),
+            g_w_h: Matrix::zeros(input_dim, hidden_dim),
+            g_u_r: Matrix::zeros(hidden_dim, hidden_dim),
+            g_u_z: Matrix::zeros(hidden_dim, hidden_dim),
+            g_u_h: Matrix::zeros(hidden_dim, hidden_dim),
+            g_b_r: Matrix::zeros(1, hidden_dim),
+            g_b_z: Matrix::zeros(1, hidden_dim),
+            g_b_h: Matrix::zeros(1, hidden_dim),
+            cache: None,
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn input_dim(&self) -> usize {
+        self.w_r.rows()
+    }
+
+    /// Hidden state dimension.
+    pub fn hidden_dim(&self) -> usize {
+        self.w_r.cols()
+    }
+
+    /// Runs the sequence and returns only the final hidden state (`1 × h`).
+    pub fn encode(&mut self, seq: &Matrix) -> Matrix {
+        let states = self.forward(seq, Mode::Eval);
+        let last = states.rows() - 1;
+        Matrix::row_vector(states.row(last))
+    }
+}
+
+impl Layer for Gru {
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn forward(&mut self, x: &Matrix, _mode: Mode) -> Matrix {
+        let t_len = x.rows();
+        let h = self.hidden_dim();
+        assert_eq!(x.cols(), self.input_dim(), "GRU input width mismatch");
+        assert!(t_len > 0, "GRU requires a non-empty sequence");
+
+        let mut hidden = Matrix::zeros(t_len + 1, h);
+        let mut r_all = Matrix::zeros(t_len, h);
+        let mut z_all = Matrix::zeros(t_len, h);
+        let mut hc_all = Matrix::zeros(t_len, h);
+
+        for k in 0..t_len {
+            let x_k = Matrix::row_vector(x.row(k));
+            let h_prev = Matrix::row_vector(hidden.row(k));
+            let a_r = x_k.matmul(&self.w_r).add(&h_prev.matmul(&self.u_r)).add(&self.b_r);
+            let a_z = x_k.matmul(&self.w_z).add(&h_prev.matmul(&self.u_z)).add(&self.b_z);
+            let r = a_r.map(sigmoid);
+            let z = a_z.map(sigmoid);
+            let rh = r.hadamard(&h_prev);
+            let a_h = x_k.matmul(&self.w_h).add(&rh.matmul(&self.u_h)).add(&self.b_h);
+            let hc = a_h.map(f32::tanh);
+            for j in 0..h {
+                let hk = z[(0, j)] * h_prev[(0, j)] + (1.0 - z[(0, j)]) * hc[(0, j)];
+                hidden[(k + 1, j)] = hk;
+                r_all[(k, j)] = r[(0, j)];
+                z_all[(k, j)] = z[(0, j)];
+                hc_all[(k, j)] = hc[(0, j)];
+            }
+        }
+
+        let out = Matrix::from_fn(t_len, h, |k, j| hidden[(k + 1, j)]);
+        self.cache = Some(GruCache { input: x.clone(), hidden, r: r_all, z: z_all, hc: hc_all });
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let cache = self.cache.as_ref().expect("backward called before forward").clone();
+        let t_len = cache.input.rows();
+        let h = self.hidden_dim();
+        let d = self.input_dim();
+        assert_eq!(grad_out.shape(), (t_len, h), "GRU grad shape mismatch");
+
+        let mut dx = Matrix::zeros(t_len, d);
+        let mut carry = Matrix::zeros(1, h);
+
+        for k in (0..t_len).rev() {
+            let x_k = Matrix::row_vector(cache.input.row(k));
+            let h_prev = Matrix::row_vector(cache.hidden.row(k));
+            let r = Matrix::row_vector(cache.r.row(k));
+            let z = Matrix::row_vector(cache.z.row(k));
+            let hc = Matrix::row_vector(cache.hc.row(k));
+
+            // total gradient flowing into h_k
+            let mut dh = carry.clone();
+            for j in 0..h {
+                dh[(0, j)] += grad_out[(k, j)];
+            }
+
+            // h_k = z ⊙ h_prev + (1 - z) ⊙ hc
+            let dz = dh.hadamard(&h_prev.sub(&hc));
+            let dhc = dh.hadamard(&z.map(|v| 1.0 - v));
+            let mut dh_prev = dh.hadamard(&z);
+
+            // candidate: hc = tanh(a_h), a_h = x W_h + (r ⊙ h_prev) U_h + b_h
+            let da_h = dhc.hadamard(&hc.map(|v| 1.0 - v * v));
+            self.g_w_h.add_assign(&x_k.matmul_tn(&da_h));
+            let rh = r.hadamard(&h_prev);
+            self.g_u_h.add_assign(&rh.matmul_tn(&da_h));
+            self.g_b_h.add_assign(&da_h);
+            let d_rh = da_h.matmul_nt(&self.u_h);
+            let dr = d_rh.hadamard(&h_prev);
+            dh_prev.add_assign(&d_rh.hadamard(&r));
+
+            // reset gate: r = sigmoid(a_r)
+            let da_r = dr.hadamard(&r.map(|v| v * (1.0 - v)));
+            self.g_w_r.add_assign(&x_k.matmul_tn(&da_r));
+            self.g_u_r.add_assign(&h_prev.matmul_tn(&da_r));
+            self.g_b_r.add_assign(&da_r);
+            dh_prev.add_assign(&da_r.matmul_nt(&self.u_r));
+
+            // update gate: z = sigmoid(a_z)
+            let da_z = dz.hadamard(&z.map(|v| v * (1.0 - v)));
+            self.g_w_z.add_assign(&x_k.matmul_tn(&da_z));
+            self.g_u_z.add_assign(&h_prev.matmul_tn(&da_z));
+            self.g_b_z.add_assign(&da_z);
+            dh_prev.add_assign(&da_z.matmul_nt(&self.u_z));
+
+            // input gradient
+            let dx_k = da_h
+                .matmul_nt(&self.w_h)
+                .add(&da_r.matmul_nt(&self.w_r))
+                .add(&da_z.matmul_nt(&self.w_z));
+            dx.row_mut(k).copy_from_slice(dx_k.row(0));
+
+            carry = dh_prev;
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
+        f(&mut self.w_r, &mut self.g_w_r);
+        f(&mut self.w_z, &mut self.g_w_z);
+        f(&mut self.w_h, &mut self.g_w_h);
+        f(&mut self.u_r, &mut self.g_u_r);
+        f(&mut self.u_z, &mut self.g_u_z);
+        f(&mut self.u_h, &mut self.g_u_h);
+        f(&mut self.b_r, &mut self.g_b_r);
+        f(&mut self.b_z, &mut self.g_b_z);
+        f(&mut self.b_h, &mut self.g_b_h);
+    }
+
+    fn info(&self) -> LayerInfo {
+        let d = self.input_dim();
+        let h = self.hidden_dim();
+        LayerInfo {
+            kind: "gru",
+            in_dim: d,
+            out_dim: h,
+            params: 3 * (d * h + h * h + h),
+            // per timestep: three input and three recurrent matvecs
+            macs: (3 * (d * h + h * h)) as u64,
+        }
+    }
+}
+
+/// Bidirectional GRU: concatenates a forward pass and a reversed-input pass,
+/// giving `T × 2h` outputs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BiGru {
+    fwd: Gru,
+    bwd: Gru,
+}
+
+impl BiGru {
+    /// Creates a bidirectional GRU with `hidden_dim` units per direction.
+    pub fn new(input_dim: usize, hidden_dim: usize, rng: &mut impl Rng) -> Self {
+        Self { fwd: Gru::new(input_dim, hidden_dim, rng), bwd: Gru::new(input_dim, hidden_dim, rng) }
+    }
+
+    /// Hidden width per direction (total output width is twice this).
+    pub fn hidden_dim(&self) -> usize {
+        self.fwd.hidden_dim()
+    }
+
+    /// Final fused state: `[h_fwd(T); h_bwd(T)]` as `1 × 2h`.
+    pub fn encode(&mut self, seq: &Matrix) -> Matrix {
+        let states = self.forward(seq, Mode::Eval);
+        let last = states.rows() - 1;
+        let h = self.hidden_dim();
+        let mut out = Matrix::zeros(1, 2 * h);
+        // forward state is best at the last step, backward at the first row
+        out.row_mut(0)[..h].copy_from_slice(&states.row(last)[..h]);
+        out.row_mut(0)[h..].copy_from_slice(&states.row(0)[h..]);
+        out
+    }
+}
+
+fn reverse_rows(m: &Matrix) -> Matrix {
+    let t = m.rows();
+    Matrix::from_fn(t, m.cols(), |r, c| m[(t - 1 - r, c)])
+}
+
+impl Layer for BiGru {
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn forward(&mut self, x: &Matrix, mode: Mode) -> Matrix {
+        let f = self.fwd.forward(x, mode);
+        let b_rev = self.bwd.forward(&reverse_rows(x), mode);
+        let b = reverse_rows(&b_rev);
+        f.hstack(&b)
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let h = self.hidden_dim();
+        let t = grad_out.rows();
+        let gf = Matrix::from_fn(t, h, |r, c| grad_out[(r, c)]);
+        let gb = Matrix::from_fn(t, h, |r, c| grad_out[(r, c + h)]);
+        let dxf = self.fwd.backward(&gf);
+        let dxb_rev = self.bwd.backward(&reverse_rows(&gb));
+        dxf.add(&reverse_rows(&dxb_rev))
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
+        self.fwd.visit_params(f);
+        self.bwd.visit_params(f);
+    }
+
+    fn info(&self) -> LayerInfo {
+        let fi = self.fwd.info();
+        LayerInfo {
+            kind: "bigru",
+            in_dim: fi.in_dim,
+            out_dim: 2 * fi.out_dim,
+            params: 2 * fi.params,
+            macs: 2 * fi.macs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::ParamVector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn loss_last_state_sum(gru: &mut Gru, x: &Matrix) -> f32 {
+        let states = gru.forward(x, Mode::Eval);
+        states.row(states.rows() - 1).iter().sum()
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let mut gru = Gru::new(5, 7, &mut rng);
+        let x = Matrix::ones(4, 5);
+        let y = gru.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), (4, 7));
+        assert!(y.all_finite());
+        assert!(y.max_abs() <= 1.0 + 1e-5, "GRU states bounded by tanh");
+    }
+
+    #[test]
+    fn initial_state_is_zero_influences_first_step() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut gru = Gru::new(2, 3, &mut rng);
+        let x = Matrix::zeros(3, 2);
+        // with zero input, zero h0 and zero biases, state stays exactly zero
+        let y = gru.forward(&x, Mode::Eval);
+        assert_eq!(y.sum(), 0.0);
+    }
+
+    #[test]
+    fn bptt_gradient_check_params() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut gru = Gru::new(3, 4, &mut rng);
+        let x = Matrix::from_fn(5, 3, |r, c| ((r * 3 + c) as f32 * 0.7).sin() * 0.5);
+        let base = gru.param_vector();
+
+        gru.zero_grad();
+        let states = gru.forward(&x, Mode::Train);
+        // L = sum of last hidden state
+        let mut gout = Matrix::zeros(5, 4);
+        for j in 0..4 {
+            gout[(4, j)] = 1.0;
+        }
+        let _ = gru.backward(&gout);
+        let analytic = gru.grad_vector();
+        assert!(states.all_finite());
+
+        let eps = 1e-3f32;
+        // spot-check a spread of parameters (full check is slow)
+        let n = base.len();
+        let picks: Vec<usize> =
+            (0..12).map(|i| i * (n / 12)).chain([n - 1, n - 2]).collect();
+        for k in picks {
+            let mut plus = base.clone();
+            plus[k] += eps;
+            gru.set_param_vector(&plus);
+            let lp = loss_last_state_sum(&mut gru, &x);
+            let mut minus = base.clone();
+            minus[k] -= eps;
+            gru.set_param_vector(&minus);
+            let lm = loss_last_state_sum(&mut gru, &x);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - analytic[k]).abs() < 2e-2,
+                "param {k}: fd={fd} analytic={}",
+                analytic[k]
+            );
+        }
+    }
+
+    #[test]
+    fn bptt_gradient_check_inputs() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut gru = Gru::new(2, 3, &mut rng);
+        let x = Matrix::from_fn(4, 2, |r, c| ((r + c) as f32 * 0.9).cos() * 0.4);
+        let _ = gru.forward(&x, Mode::Train);
+        let mut gout = Matrix::zeros(4, 3);
+        for j in 0..3 {
+            gout[(3, j)] = 1.0;
+        }
+        let dx = gru.backward(&gout);
+        let eps = 1e-3f32;
+        for r in 0..4 {
+            for c in 0..2 {
+                let mut xp = x.clone();
+                xp[(r, c)] += eps;
+                let lp = loss_last_state_sum(&mut gru, &xp);
+                let mut xm = x.clone();
+                xm[(r, c)] -= eps;
+                let lm = loss_last_state_sum(&mut gru, &xm);
+                let fd = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (fd - dx[(r, c)]).abs() < 5e-3,
+                    "input ({r},{c}): fd={fd} analytic={}",
+                    dx[(r, c)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn encode_returns_last_state() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let mut gru = Gru::new(2, 3, &mut rng);
+        let x = Matrix::from_fn(6, 2, |r, c| (r as f32 - c as f32) * 0.1);
+        let states = gru.forward(&x, Mode::Eval);
+        let enc = gru.encode(&x);
+        assert_eq!(enc.row(0), states.row(5));
+    }
+
+    #[test]
+    fn bigru_shapes_and_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let mut big = BiGru::new(2, 3, &mut rng);
+        let x = Matrix::from_fn(4, 2, |r, c| ((r * 2 + c) as f32).sin() * 0.3);
+        let y = big.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), (4, 6));
+
+        let base = big.param_vector();
+        big.zero_grad();
+        let _ = big.forward(&x, Mode::Train);
+        let _ = big.backward(&Matrix::ones(4, 6));
+        let analytic = big.grad_vector();
+
+        let eps = 1e-3f32;
+        let n = base.len();
+        for k in [0, n / 3, n / 2, 2 * n / 3, n - 1] {
+            let mut plus = base.clone();
+            plus[k] += eps;
+            big.set_param_vector(&plus);
+            let lp = big.forward(&x, Mode::Eval).sum();
+            let mut minus = base.clone();
+            minus[k] -= eps;
+            big.set_param_vector(&minus);
+            let lm = big.forward(&x, Mode::Eval).sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - analytic[k]).abs() < 2e-2,
+                "param {k}: fd={fd} analytic={}",
+                analytic[k]
+            );
+        }
+    }
+
+    #[test]
+    fn gru_param_count_matches_formula() {
+        let mut rng = StdRng::seed_from_u64(26);
+        let mut gru = Gru::new(8, 16, &mut rng);
+        assert_eq!(gru.num_params(), 3 * (8 * 16 + 16 * 16 + 16));
+        assert_eq!(gru.info().params, gru.num_params());
+    }
+}

@@ -1,0 +1,105 @@
+//! The [`Layer`] trait: manual forward/backward with cached state.
+
+use mdl_tensor::Matrix;
+
+/// Whether a forward pass is part of training (enables dropout etc.).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Training-time forward pass.
+    Train,
+    /// Inference-time forward pass.
+    Eval,
+}
+
+/// Static description of a layer, used by cost models and reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerInfo {
+    /// Human-readable layer kind, e.g. `"dense"` or `"gru"`.
+    pub kind: &'static str,
+    /// Input feature dimension.
+    pub in_dim: usize,
+    /// Output feature dimension.
+    pub out_dim: usize,
+    /// Number of trainable parameters.
+    pub params: usize,
+    /// Multiply–accumulate operations per example.
+    pub macs: u64,
+}
+
+/// A differentiable layer with explicit forward and backward passes.
+///
+/// Layers cache whatever they need during [`Layer::forward`] so that
+/// [`Layer::backward`] can compute input gradients and *accumulate* parameter
+/// gradients. Call [`Layer::zero_grad`] before accumulating a new batch.
+pub trait Layer: Send {
+    /// Computes outputs for a batch (`rows = examples`).
+    fn forward(&mut self, x: &Matrix, mode: Mode) -> Matrix;
+
+    /// Propagates `grad_out` (∂L/∂output) back, returning ∂L/∂input and
+    /// accumulating parameter gradients internally.
+    ///
+    /// Must be called after a matching [`Layer::forward`].
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix;
+
+    /// Visits each `(value, gradient)` parameter pair in a stable order.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix));
+
+    /// Resets accumulated gradients to zero.
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |_, g| g.map_mut(|_| 0.0));
+    }
+
+    /// Structural description for cost models.
+    fn info(&self) -> LayerInfo;
+
+    /// Runtime downcasting hook, used by the compression passes to reach
+    /// concrete layer types inside a [`crate::Sequential`].
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// Extension helpers shared by everything that owns parameters.
+pub trait ParamVector {
+    /// Flattens all parameter values into one vector (stable order).
+    fn param_vector(&mut self) -> Vec<f32>;
+    /// Flattens all parameter gradients into one vector (stable order).
+    fn grad_vector(&mut self) -> Vec<f32>;
+    /// Overwrites all parameters from a flat vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat` has the wrong length.
+    fn set_param_vector(&mut self, flat: &[f32]);
+    /// Total number of scalar parameters.
+    fn num_params(&mut self) -> usize;
+}
+
+impl<L: Layer + ?Sized> ParamVector for L {
+    fn param_vector(&mut self) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.visit_params(&mut |v, _| out.extend_from_slice(v.as_slice()));
+        out
+    }
+
+    fn grad_vector(&mut self) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.visit_params(&mut |_, g| out.extend_from_slice(g.as_slice()));
+        out
+    }
+
+    fn set_param_vector(&mut self, flat: &[f32]) {
+        let mut offset = 0usize;
+        self.visit_params(&mut |v, _| {
+            let n = v.len();
+            assert!(offset + n <= flat.len(), "parameter vector too short");
+            v.as_mut_slice().copy_from_slice(&flat[offset..offset + n]);
+            offset += n;
+        });
+        assert_eq!(offset, flat.len(), "parameter vector too long: {} > {offset}", flat.len());
+    }
+
+    fn num_params(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |v, _| n += v.len());
+        n
+    }
+}

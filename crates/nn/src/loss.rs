@@ -1,0 +1,204 @@
+//! Loss functions returning `(loss, gradient-wrt-input)` pairs.
+
+use mdl_tensor::stats::{log_softmax_rows, softmax_rows};
+use mdl_tensor::Matrix;
+
+/// Softmax cross-entropy over logits with integer class labels.
+///
+/// Returns the mean loss over the batch and `∂L/∂logits`.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.rows()` or a label is out of range.
+pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> (f32, Matrix) {
+    assert_eq!(labels.len(), logits.rows(), "one label per logit row required");
+    let n = labels.len() as f32;
+    let log_p = log_softmax_rows(logits);
+    let mut loss = 0.0f32;
+    for (r, &y) in labels.iter().enumerate() {
+        assert!(y < logits.cols(), "label {y} out of range");
+        loss -= log_p[(r, y)];
+    }
+    loss /= n;
+
+    let mut grad = softmax_rows(logits);
+    for (r, &y) in labels.iter().enumerate() {
+        grad[(r, y)] -= 1.0;
+    }
+    grad.scale_mut(1.0 / n);
+    (loss, grad)
+}
+
+/// Mean squared error `mean((pred - target)²)` and its gradient.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn mse(pred: &Matrix, target: &Matrix) -> (f32, Matrix) {
+    assert_eq!(pred.shape(), target.shape(), "mse requires matching shapes");
+    let n = pred.len() as f32;
+    let diff = pred.sub(target);
+    let loss = diff.as_slice().iter().map(|v| v * v).sum::<f32>() / n;
+    let grad = diff.scale(2.0 / n);
+    (loss, grad)
+}
+
+/// Multi-class hinge loss (Crammer–Singer style, margin 1) and gradient.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != scores.rows()`.
+pub fn multiclass_hinge(scores: &Matrix, labels: &[usize]) -> (f32, Matrix) {
+    assert_eq!(labels.len(), scores.rows(), "one label per score row required");
+    let n = labels.len() as f32;
+    let mut loss = 0.0f32;
+    let mut grad = Matrix::zeros(scores.rows(), scores.cols());
+    for (r, &y) in labels.iter().enumerate() {
+        let sy = scores[(r, y)];
+        for c in 0..scores.cols() {
+            if c == y {
+                continue;
+            }
+            let margin = scores[(r, c)] - sy + 1.0;
+            if margin > 0.0 {
+                loss += margin;
+                grad[(r, c)] += 1.0;
+                grad[(r, y)] -= 1.0;
+            }
+        }
+    }
+    grad.scale_mut(1.0 / n);
+    (loss / n, grad)
+}
+
+/// Knowledge-distillation loss (Hinton et al., paper reference [37]).
+///
+/// Cross-entropy between the student's temperature-softened predictions and
+/// the teacher's temperature-softened probabilities, scaled by `T²` so the
+/// gradient magnitude is comparable to the hard-label loss.
+///
+/// # Panics
+///
+/// Panics if shapes differ or `temperature <= 0`.
+pub fn distillation(student_logits: &Matrix, teacher_logits: &Matrix, temperature: f32) -> (f32, Matrix) {
+    assert_eq!(student_logits.shape(), teacher_logits.shape(), "logit shapes must match");
+    assert!(temperature > 0.0, "temperature must be positive");
+    let t = temperature;
+    let n = student_logits.rows() as f32;
+    let p_teacher = softmax_rows(&teacher_logits.scale(1.0 / t));
+    let log_q = log_softmax_rows(&student_logits.scale(1.0 / t));
+
+    let mut loss = 0.0f32;
+    for r in 0..student_logits.rows() {
+        for c in 0..student_logits.cols() {
+            loss -= p_teacher[(r, c)] * log_q[(r, c)];
+        }
+    }
+    loss = loss * t * t / n;
+
+    // d/ds [T² · CE(p, softmax(s/T))] = T · (softmax(s/T) - p)
+    let q = softmax_rows(&student_logits.scale(1.0 / t));
+    let grad = q.sub(&p_teacher).scale(t / n);
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grad_check(
+        loss_fn: impl Fn(&Matrix) -> (f32, Matrix),
+        x: &Matrix,
+        tol: f32,
+    ) {
+        let (_, grad) = loss_fn(x);
+        let eps = 1e-3f32;
+        for r in 0..x.rows() {
+            for c in 0..x.cols() {
+                let mut xp = x.clone();
+                xp[(r, c)] += eps;
+                let (lp, _) = loss_fn(&xp);
+                let mut xm = x.clone();
+                xm[(r, c)] -= eps;
+                let (lm, _) = loss_fn(&xm);
+                let fd = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (fd - grad[(r, c)]).abs() < tol,
+                    "({r},{c}): fd={fd} analytic={}",
+                    grad[(r, c)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_is_small() {
+        let logits = Matrix::from_rows(&[&[10.0, -10.0], &[-10.0, 10.0]]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 1]);
+        assert!(loss < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_c() {
+        let logits = Matrix::zeros(3, 4);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 1, 2]);
+        assert!((loss - 4.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_check() {
+        let logits = Matrix::from_rows(&[&[0.3, -0.8, 1.2], &[2.0, 0.1, -0.5]]);
+        grad_check(|x| softmax_cross_entropy(x, &[2, 0]), &logits, 1e-3);
+    }
+
+    #[test]
+    fn mse_gradient_check() {
+        let pred = Matrix::from_rows(&[&[0.5, -0.7], &[1.2, 0.3]]);
+        let target = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        grad_check(|x| mse(x, &target), &pred, 1e-3);
+        let (loss, _) = mse(&target, &target);
+        assert_eq!(loss, 0.0);
+    }
+
+    #[test]
+    fn hinge_zero_when_margin_satisfied() {
+        let scores = Matrix::from_rows(&[&[5.0, 0.0, 0.0]]);
+        let (loss, grad) = multiclass_hinge(&scores, &[0]);
+        assert_eq!(loss, 0.0);
+        assert_eq!(grad.sum(), 0.0);
+    }
+
+    #[test]
+    fn hinge_gradient_check_active_margins() {
+        let scores = Matrix::from_rows(&[&[0.2, 0.5, -0.1], &[1.5, 1.4, 1.45]]);
+        grad_check(|x| multiclass_hinge(x, &[0, 1]), &scores, 1e-3);
+    }
+
+    #[test]
+    fn distillation_zero_when_student_matches_teacher() {
+        let logits = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+        let (_, grad) = distillation(&logits, &logits, 2.0);
+        assert!(grad.max_abs() < 1e-6);
+    }
+
+    #[test]
+    fn distillation_gradient_check() {
+        let student = Matrix::from_rows(&[&[0.1, -0.4, 0.8], &[1.0, 0.0, -1.0]]);
+        let teacher = Matrix::from_rows(&[&[2.0, 0.5, -0.5], &[0.0, 1.0, 0.5]]);
+        grad_check(|x| distillation(x, &teacher, 3.0), &student, 5e-3);
+    }
+
+    #[test]
+    fn distillation_temperature_softens() {
+        // When student == teacher the per-T² loss equals the entropy of the
+        // softened teacher distribution, which grows with temperature.
+        let teacher = Matrix::from_rows(&[&[4.0, 0.0]]);
+        let (l_t1, _) = distillation(&teacher, &teacher, 1.0);
+        let (l_t10, _) = distillation(&teacher, &teacher, 10.0);
+        assert!(
+            l_t10 / 100.0 > l_t1,
+            "softened entropy should grow with T: {l_t1} vs {}",
+            l_t10 / 100.0
+        );
+    }
+}

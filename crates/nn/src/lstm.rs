@@ -1,0 +1,410 @@
+//! Long Short-Term Memory (paper reference [42]) with full BPTT.
+//!
+//! The paper introduces the GRU as "a simplified version of Long
+//! Short-Term Memory"; this module provides the original for the
+//! GRU-vs-LSTM ablation:
+//!
+//! ```text
+//! i_t = sigmoid(W_i x_t + U_i h_{t-1} + b_i)
+//! f_t = sigmoid(W_f x_t + U_f h_{t-1} + b_f)
+//! o_t = sigmoid(W_o x_t + U_o h_{t-1} + b_o)
+//! g_t = tanh   (W_g x_t + U_g h_{t-1} + b_g)
+//! c_t = f_t ⊙ c_{t-1} + i_t ⊙ g_t
+//! h_t = o_t ⊙ tanh(c_t)
+//! ```
+
+use crate::layer::{Layer, LayerInfo, Mode};
+use mdl_tensor::{Init, Matrix};
+use rand::Rng;
+
+/// A single-direction LSTM over one sequence (`T × input_dim` in,
+/// `T × hidden_dim` of hidden states out).
+///
+/// # Examples
+///
+/// ```
+/// use mdl_nn::{Lstm, Layer, Mode};
+/// use mdl_tensor::Matrix;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut lstm = Lstm::new(2, 4, &mut rng);
+/// let states = lstm.forward(&Matrix::ones(6, 2), Mode::Eval);
+/// assert_eq!(states.shape(), (6, 4));
+/// ```
+pub struct Lstm {
+    w: [Matrix; 4], // input kernels i, f, o, g
+    u: [Matrix; 4], // recurrent kernels
+    b: [Matrix; 4],
+    g_w: [Matrix; 4],
+    g_u: [Matrix; 4],
+    g_b: [Matrix; 4],
+    cache: Option<LstmCache>,
+}
+
+struct LstmCache {
+    input: Matrix,
+    /// hidden states incl. initial zeros, `(T+1) × h`
+    h: Matrix,
+    /// cell states incl. initial zeros, `(T+1) × h`
+    c: Matrix,
+    gates: [Matrix; 4], // i, f, o, g per timestep, each `T × h`
+}
+
+impl std::fmt::Debug for Lstm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lstm")
+            .field("input_dim", &self.input_dim())
+            .field("hidden_dim", &self.hidden_dim())
+            .finish()
+    }
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl Lstm {
+    /// Creates an LSTM; the forget-gate bias starts at 1 (the standard
+    /// trick that keeps early gradients flowing).
+    pub fn new(input_dim: usize, hidden_dim: usize, rng: &mut impl Rng) -> Self {
+        let mk_w = |rng: &mut dyn rand::RngCore| {
+            Init::Xavier.sample(input_dim, hidden_dim, &mut &mut *rng)
+        };
+        let mk_u = |rng: &mut dyn rand::RngCore| {
+            Init::Xavier.sample(hidden_dim, hidden_dim, &mut &mut *rng)
+        };
+        let w = [mk_w(rng), mk_w(rng), mk_w(rng), mk_w(rng)];
+        let u = [mk_u(rng), mk_u(rng), mk_u(rng), mk_u(rng)];
+        let mut b = [
+            Matrix::zeros(1, hidden_dim),
+            Matrix::zeros(1, hidden_dim),
+            Matrix::zeros(1, hidden_dim),
+            Matrix::zeros(1, hidden_dim),
+        ];
+        b[1].map_mut(|_| 1.0); // forget-gate bias
+        let zeros_w = || Matrix::zeros(input_dim, hidden_dim);
+        let zeros_u = || Matrix::zeros(hidden_dim, hidden_dim);
+        let zeros_b = || Matrix::zeros(1, hidden_dim);
+        Self {
+            w,
+            u,
+            b,
+            g_w: [zeros_w(), zeros_w(), zeros_w(), zeros_w()],
+            g_u: [zeros_u(), zeros_u(), zeros_u(), zeros_u()],
+            g_b: [zeros_b(), zeros_b(), zeros_b(), zeros_b()],
+            cache: None,
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn input_dim(&self) -> usize {
+        self.w[0].rows()
+    }
+
+    /// Hidden state dimension.
+    pub fn hidden_dim(&self) -> usize {
+        self.w[0].cols()
+    }
+
+    /// Runs the sequence and returns only the final hidden state (`1 × h`).
+    pub fn encode(&mut self, seq: &Matrix) -> Matrix {
+        let states = self.forward(seq, Mode::Eval);
+        Matrix::row_vector(states.row(states.rows() - 1))
+    }
+}
+
+impl Layer for Lstm {
+    fn forward(&mut self, x: &Matrix, _mode: Mode) -> Matrix {
+        let t_len = x.rows();
+        let h_dim = self.hidden_dim();
+        assert_eq!(x.cols(), self.input_dim(), "LSTM input width mismatch");
+        assert!(t_len > 0, "LSTM requires a non-empty sequence");
+
+        let mut h = Matrix::zeros(t_len + 1, h_dim);
+        let mut c = Matrix::zeros(t_len + 1, h_dim);
+        let mut gates =
+            [0, 1, 2, 3].map(|_| Matrix::zeros(t_len, h_dim));
+
+        for t in 0..t_len {
+            let x_t = Matrix::row_vector(x.row(t));
+            let h_prev = Matrix::row_vector(h.row(t));
+            // pre-activations for the four gates
+            let pre: Vec<Matrix> = (0..4)
+                .map(|k| x_t.matmul(&self.w[k]).add(&h_prev.matmul(&self.u[k])).add(&self.b[k]))
+                .collect();
+            for j in 0..h_dim {
+                let i = sigmoid(pre[0][(0, j)]);
+                let f = sigmoid(pre[1][(0, j)]);
+                let o = sigmoid(pre[2][(0, j)]);
+                let g = pre[3][(0, j)].tanh();
+                let c_t = f * c[(t, j)] + i * g;
+                c[(t + 1, j)] = c_t;
+                h[(t + 1, j)] = o * c_t.tanh();
+                gates[0][(t, j)] = i;
+                gates[1][(t, j)] = f;
+                gates[2][(t, j)] = o;
+                gates[3][(t, j)] = g;
+            }
+        }
+        let out = Matrix::from_fn(t_len, h_dim, |t, j| h[(t + 1, j)]);
+        self.cache = Some(LstmCache { input: x.clone(), h, c, gates });
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let cache = self.cache.take().expect("backward called before forward");
+        let t_len = cache.input.rows();
+        let h_dim = self.hidden_dim();
+        let d_in = self.input_dim();
+        assert_eq!(grad_out.shape(), (t_len, h_dim), "LSTM grad shape mismatch");
+
+        let mut dx = Matrix::zeros(t_len, d_in);
+        let mut dh_next = Matrix::zeros(1, h_dim);
+        let mut dc_next = Matrix::zeros(1, h_dim);
+
+        for t in (0..t_len).rev() {
+            let x_t = Matrix::row_vector(cache.input.row(t));
+            let h_prev = Matrix::row_vector(cache.h.row(t));
+            let c_prev = Matrix::row_vector(cache.c.row(t));
+
+            // dL/dh_t from above + from later timesteps
+            let mut da = [0, 1, 2, 3].map(|_| Matrix::zeros(1, h_dim));
+            let mut dh_prev = Matrix::zeros(1, h_dim);
+            let mut dc_prev = Matrix::zeros(1, h_dim);
+
+            for j in 0..h_dim {
+                let dh = grad_out[(t, j)] + dh_next[(0, j)];
+                let i = cache.gates[0][(t, j)];
+                let f = cache.gates[1][(t, j)];
+                let o = cache.gates[2][(t, j)];
+                let g = cache.gates[3][(t, j)];
+                let c_t = cache.c[(t + 1, j)];
+                let tanh_c = c_t.tanh();
+
+                // h = o · tanh(c)
+                let do_ = dh * tanh_c;
+                let mut dc = dh * o * (1.0 - tanh_c * tanh_c) + dc_next[(0, j)];
+
+                // c = f·c_prev + i·g
+                let df = dc * c_prev[(0, j)];
+                let di = dc * g;
+                let dg = dc * i;
+                dc *= f;
+                dc_prev[(0, j)] = dc;
+
+                da[0][(0, j)] = di * i * (1.0 - i);
+                da[1][(0, j)] = df * f * (1.0 - f);
+                da[2][(0, j)] = do_ * o * (1.0 - o);
+                da[3][(0, j)] = dg * (1.0 - g * g);
+            }
+
+            for k in 0..4 {
+                self.g_w[k].add_assign(&x_t.matmul_tn(&da[k]));
+                self.g_u[k].add_assign(&h_prev.matmul_tn(&da[k]));
+                self.g_b[k].add_assign(&da[k]);
+                dh_prev.add_assign(&da[k].matmul_nt(&self.u[k]));
+                let dxk = da[k].matmul_nt(&self.w[k]);
+                for (o, &v) in dx.row_mut(t).iter_mut().zip(dxk.row(0).iter()) {
+                    *o += v;
+                }
+            }
+            dh_next = dh_prev;
+            dc_next = dc_prev;
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
+        for k in 0..4 {
+            f(&mut self.w[k], &mut self.g_w[k]);
+        }
+        for k in 0..4 {
+            f(&mut self.u[k], &mut self.g_u[k]);
+        }
+        for k in 0..4 {
+            f(&mut self.b[k], &mut self.g_b[k]);
+        }
+    }
+
+    fn info(&self) -> LayerInfo {
+        let d = self.input_dim();
+        let h = self.hidden_dim();
+        LayerInfo {
+            kind: "lstm",
+            in_dim: d,
+            out_dim: h,
+            params: 4 * (d * h + h * h + h),
+            macs: (4 * (d * h + h * h)) as u64,
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::ParamVector;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn loss(lstm: &mut Lstm, x: &Matrix) -> f32 {
+        let states = lstm.forward(x, Mode::Eval);
+        states.row(states.rows() - 1).iter().sum()
+    }
+
+    #[test]
+    fn forward_shapes_and_bounds() {
+        let mut rng = StdRng::seed_from_u64(710);
+        let mut lstm = Lstm::new(4, 6, &mut rng);
+        let x = Matrix::from_fn(5, 4, |r, c| ((r + c) as f32 * 0.6).sin());
+        let y = lstm.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), (5, 6));
+        assert!(y.all_finite());
+        assert!(y.max_abs() <= 1.0 + 1e-5, "h = o·tanh(c) is bounded by 1");
+    }
+
+    #[test]
+    fn param_count_is_4x_gates() {
+        let mut rng = StdRng::seed_from_u64(711);
+        let mut lstm = Lstm::new(3, 5, &mut rng);
+        assert_eq!(lstm.num_params(), 4 * (3 * 5 + 5 * 5 + 5));
+        assert_eq!(lstm.info().params, lstm.num_params());
+    }
+
+    #[test]
+    fn forget_bias_initialised_to_one() {
+        let mut rng = StdRng::seed_from_u64(712);
+        let mut lstm = Lstm::new(2, 3, &mut rng);
+        let v = lstm.param_vector();
+        // layout: 4 W kernels, 4 U kernels, then biases i, f, o, g
+        let bias_start = 4 * (2 * 3) + 4 * (3 * 3);
+        let b_f = &v[bias_start + 3..bias_start + 6];
+        assert!(b_f.iter().all(|&x| x == 1.0), "forget bias {b_f:?}");
+    }
+
+    #[test]
+    fn bptt_gradient_check_params() {
+        let mut rng = StdRng::seed_from_u64(713);
+        let mut lstm = Lstm::new(3, 4, &mut rng);
+        let x = Matrix::from_fn(5, 3, |r, c| ((r * 3 + c) as f32 * 0.7).sin() * 0.5);
+        let base = lstm.param_vector();
+
+        lstm.zero_grad();
+        let _ = lstm.forward(&x, Mode::Train);
+        let mut gout = Matrix::zeros(5, 4);
+        for j in 0..4 {
+            gout[(4, j)] = 1.0;
+        }
+        let _ = lstm.backward(&gout);
+        let analytic = lstm.grad_vector();
+
+        let eps = 1e-3f32;
+        let n = base.len();
+        let picks: Vec<usize> = (0..14).map(|i| i * (n / 14)).chain([n - 1]).collect();
+        for k in picks {
+            let mut plus = base.clone();
+            plus[k] += eps;
+            lstm.set_param_vector(&plus);
+            let lp = loss(&mut lstm, &x);
+            let mut minus = base.clone();
+            minus[k] -= eps;
+            lstm.set_param_vector(&minus);
+            let lm = loss(&mut lstm, &x);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - analytic[k]).abs() < 2e-2,
+                "param {k}: fd={fd} analytic={}",
+                analytic[k]
+            );
+        }
+    }
+
+    #[test]
+    fn bptt_gradient_check_inputs() {
+        let mut rng = StdRng::seed_from_u64(714);
+        let mut lstm = Lstm::new(2, 3, &mut rng);
+        let x = Matrix::from_fn(4, 2, |r, c| ((r + c) as f32 * 0.9).cos() * 0.4);
+        let _ = lstm.forward(&x, Mode::Train);
+        let mut gout = Matrix::zeros(4, 3);
+        for j in 0..3 {
+            gout[(3, j)] = 1.0;
+        }
+        let dx = lstm.backward(&gout);
+        let eps = 1e-3f32;
+        for r in 0..4 {
+            for c in 0..2 {
+                let mut xp = x.clone();
+                xp[(r, c)] += eps;
+                let lp = loss(&mut lstm, &xp);
+                let mut xm = x.clone();
+                xm[(r, c)] -= eps;
+                let lm = loss(&mut lstm, &xm);
+                let fd = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (fd - dx[(r, c)]).abs() < 5e-3,
+                    "input ({r},{c}): fd={fd} analytic={}",
+                    dx[(r, c)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lstm_learns_a_memory_task() {
+        // classify sequences by their FIRST element — requires carrying
+        // information across the whole sequence
+        use crate::activation::Activation;
+        use crate::dense::Dense;
+        use crate::loss::softmax_cross_entropy;
+        use crate::optim::{Adam, Optimizer};
+        use mdl_tensor::init::gaussian;
+
+        let mut rng = StdRng::seed_from_u64(715);
+        let make = |rng: &mut StdRng| -> (Matrix, usize) {
+            let label = (rng.gen::<f32>() < 0.5) as usize;
+            let first = if label == 0 { -1.0 } else { 1.0 };
+            let x = Matrix::from_fn(8, 2, |r, c| {
+                if r == 0 {
+                    first
+                } else {
+                    gaussian(rng) * 0.3 + c as f32 * 0.1
+                }
+            });
+            (x, label)
+        };
+        let mut lstm = Lstm::new(2, 6, &mut rng);
+        let mut head = Dense::new(6, 2, Activation::Identity, &mut rng);
+        // separate optimizers: Adam state is positional per model
+        let mut opt_lstm = Adam::new(0.02);
+        let mut opt_head = Adam::new(0.02);
+
+        for _ in 0..300 {
+            let (x, y) = make(&mut rng);
+            lstm.zero_grad();
+            head.zero_grad();
+            let states = lstm.forward(&x, Mode::Train);
+            let last = Matrix::row_vector(states.row(states.rows() - 1));
+            let logits = head.forward(&last, Mode::Train);
+            let (_, grad) = softmax_cross_entropy(&logits, &[y]);
+            let d_last = head.backward(&grad);
+            let mut gout = Matrix::zeros(states.rows(), 6);
+            gout.row_mut(states.rows() - 1).copy_from_slice(d_last.row(0));
+            let _ = lstm.backward(&gout);
+            opt_lstm.step(&mut lstm);
+            opt_head.step(&mut head);
+        }
+        let mut correct = 0;
+        for _ in 0..100 {
+            let (x, y) = make(&mut rng);
+            let enc = lstm.encode(&x);
+            let pred = head.forward(&enc, Mode::Eval).argmax_rows()[0];
+            correct += usize::from(pred == y);
+        }
+        assert!(correct > 85, "LSTM should remember the first token: {correct}/100");
+    }
+
+}

@@ -1,0 +1,301 @@
+//! A compact on-disk / over-the-air model format.
+//!
+//! §III of the paper worries about the size of the app bundled with its
+//! DNN and about updating models without shipping a new app. This module
+//! gives the workspace a versioned binary format for [`Sequential`]
+//! networks built from the standard layer set: a small header describing
+//! the architecture followed by the flat fp32 parameter vector.
+//!
+//! Wire layout (little-endian):
+//!
+//! ```text
+//! magic "MDLM" | version u8 | layer_count u16
+//! per layer: tag u8 | in_dim u32 | out_dim u32 | extra u32
+//! param_count u32 | params f32 × param_count
+//! ```
+
+use crate::activation::Activation;
+use crate::dense::Dense;
+use crate::gru::{BiGru, Gru};
+use crate::layer::{Layer, ParamVector};
+use crate::sequential::Sequential;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const MAGIC: &[u8; 4] = b"MDLM";
+const VERSION: u8 = 1;
+
+/// Errors produced when decoding a saved model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadModelError {
+    /// The buffer does not start with the expected magic bytes.
+    BadMagic,
+    /// The format version is not supported.
+    UnsupportedVersion(u8),
+    /// The buffer ended before the declared content.
+    Truncated,
+    /// An unknown layer tag was encountered.
+    UnknownLayer(u8),
+    /// The parameter count does not match the declared architecture.
+    ParamMismatch {
+        /// Parameters the architecture requires.
+        expected: usize,
+        /// Parameters present in the buffer.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for LoadModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadModelError::BadMagic => write!(f, "buffer is not a saved model"),
+            LoadModelError::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
+            LoadModelError::Truncated => write!(f, "buffer ended unexpectedly"),
+            LoadModelError::UnknownLayer(t) => write!(f, "unknown layer tag {t}"),
+            LoadModelError::ParamMismatch { expected, found } => {
+                write!(f, "expected {expected} parameters, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadModelError {}
+
+fn activation_tag(a: Activation) -> u32 {
+    match a {
+        Activation::Identity => 0,
+        Activation::Relu => 1,
+        Activation::Sigmoid => 2,
+        Activation::Tanh => 3,
+        Activation::LeakyRelu(_) => 4,
+    }
+}
+
+fn activation_from_tag(t: u32) -> Activation {
+    match t {
+        1 => Activation::Relu,
+        2 => Activation::Sigmoid,
+        3 => Activation::Tanh,
+        4 => Activation::LeakyRelu(0.01),
+        _ => Activation::Identity,
+    }
+}
+
+/// Serialises a network built from `Dense`, `Gru` and `BiGru` layers.
+///
+/// Returns `None` if the network contains a layer kind the format cannot
+/// describe (e.g. dropout, which is inference-irrelevant anyway).
+///
+/// # Examples
+///
+/// ```
+/// use mdl_nn::{save_model, load_model, Sequential, Dense, Activation};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut net = Sequential::new();
+/// net.push(Dense::new(4, 2, Activation::Relu, &mut rng));
+/// let bytes = save_model(&mut net).expect("dense nets are saveable");
+/// let restored = load_model(&bytes).expect("round trip");
+/// assert_eq!(restored.len(), 1);
+/// ```
+pub fn save_model(net: &mut Sequential) -> Option<Vec<u8>> {
+    let mut header: Vec<(u8, u32, u32, u32)> = Vec::new();
+    for layer in net.layers_mut() {
+        let any = layer.as_any_mut();
+        if let Some(d) = any.downcast_ref::<Dense>() {
+            header.push((
+                0,
+                d.weight().rows() as u32,
+                d.weight().cols() as u32,
+                activation_tag(d.activation()),
+            ));
+        } else if let Some(g) = any.downcast_ref::<Gru>() {
+            header.push((1, g.input_dim() as u32, g.hidden_dim() as u32, 0));
+        } else if let Some(b) = any.downcast_ref::<BiGru>() {
+            header.push((2, b.info().in_dim as u32, b.hidden_dim() as u32, 0));
+        } else {
+            return None;
+        }
+    }
+    let params = net.param_vector();
+
+    let mut out = Vec::with_capacity(16 + 13 * header.len() + 4 * params.len());
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    out.extend_from_slice(&(header.len() as u16).to_le_bytes());
+    for (tag, a, b, c) in header {
+        out.push(tag);
+        out.extend_from_slice(&a.to_le_bytes());
+        out.extend_from_slice(&b.to_le_bytes());
+        out.extend_from_slice(&c.to_le_bytes());
+    }
+    out.extend_from_slice(&(params.len() as u32).to_le_bytes());
+    for p in params {
+        out.extend_from_slice(&p.to_le_bytes());
+    }
+    Some(out)
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], LoadModelError> {
+        if self.at + n > self.buf.len() {
+            return Err(LoadModelError::Truncated);
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, LoadModelError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, LoadModelError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("length checked")))
+    }
+
+    fn u32(&mut self) -> Result<u32, LoadModelError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("length checked")))
+    }
+
+    fn f32(&mut self) -> Result<f32, LoadModelError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("length checked")))
+    }
+}
+
+/// Reconstructs a network saved by [`save_model`].
+///
+/// # Errors
+///
+/// Returns a [`LoadModelError`] on any malformed input; never panics.
+pub fn load_model(buf: &[u8]) -> Result<Sequential, LoadModelError> {
+    let mut r = Reader { buf, at: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(LoadModelError::BadMagic);
+    }
+    let version = r.u8()?;
+    if version != VERSION {
+        return Err(LoadModelError::UnsupportedVersion(version));
+    }
+    let layer_count = r.u16()? as usize;
+    // init RNG is irrelevant: every weight is overwritten below
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut net = Sequential::new();
+    for _ in 0..layer_count {
+        let tag = r.u8()?;
+        let a = r.u32()? as usize;
+        let b = r.u32()? as usize;
+        let c = r.u32()?;
+        match tag {
+            0 => {
+                net.push(Dense::new(a, b, activation_from_tag(c), &mut rng));
+            }
+            1 => {
+                net.push(Gru::new(a, b, &mut rng));
+            }
+            2 => {
+                net.push(BiGru::new(a, b, &mut rng));
+            }
+            t => return Err(LoadModelError::UnknownLayer(t)),
+        }
+    }
+    let declared = r.u32()? as usize;
+    let expected = net.num_params();
+    if declared != expected {
+        return Err(LoadModelError::ParamMismatch { expected, found: declared });
+    }
+    let mut params = Vec::with_capacity(declared);
+    for _ in 0..declared {
+        params.push(r.f32()?);
+    }
+    net.set_param_vector(&params);
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Mode;
+    use mdl_tensor::Matrix;
+
+    fn sample_net(rng: &mut StdRng) -> Sequential {
+        let mut net = Sequential::new();
+        net.push(Dense::new(6, 8, Activation::Relu, rng));
+        net.push(Dense::new(8, 3, Activation::Identity, rng));
+        net
+    }
+
+    #[test]
+    fn round_trip_preserves_function() {
+        let mut rng = StdRng::seed_from_u64(600);
+        let mut net = sample_net(&mut rng);
+        let x = Matrix::from_fn(4, 6, |r, c| ((r + c) as f32 * 0.7).sin());
+        let before = net.forward(&x, Mode::Eval);
+        let bytes = save_model(&mut net).expect("dense nets are saveable");
+        let mut restored = load_model(&bytes).expect("round trip");
+        let after = restored.forward(&x, Mode::Eval);
+        assert!(after.approx_eq(&before, 0.0), "bit-exact round trip");
+    }
+
+    #[test]
+    fn round_trip_with_recurrent_layers() {
+        let mut rng = StdRng::seed_from_u64(601);
+        let mut net = Sequential::new();
+        net.push(Gru::new(3, 5, &mut rng));
+        net.push(Dense::new(5, 2, Activation::Tanh, &mut rng));
+        let x = Matrix::from_fn(6, 3, |r, c| (r as f32 - c as f32) * 0.2);
+        let before = net.forward(&x, Mode::Eval);
+        let bytes = save_model(&mut net).expect("gru nets are saveable");
+        let mut restored = load_model(&bytes).expect("round trip");
+        assert!(restored.forward(&x, Mode::Eval).approx_eq(&before, 0.0));
+    }
+
+    #[test]
+    fn dropout_is_not_saveable() {
+        let mut rng = StdRng::seed_from_u64(602);
+        let mut net = Sequential::new();
+        net.push(Dense::new(4, 4, Activation::Relu, &mut rng));
+        net.push(crate::dense::Dropout::new(4, 0.5, 1));
+        assert!(save_model(&mut net).is_none());
+    }
+
+    #[test]
+    fn corrupt_inputs_error_cleanly() {
+        let mut rng = StdRng::seed_from_u64(603);
+        let mut net = sample_net(&mut rng);
+        let bytes = save_model(&mut net).expect("saveable");
+
+        assert_eq!(load_model(b"np").err(), Some(LoadModelError::Truncated));
+        assert_eq!(load_model(b"XXXXxxxxxxxx").err(), Some(LoadModelError::BadMagic));
+
+        let mut wrong_version = bytes.clone();
+        wrong_version[4] = 99;
+        assert_eq!(
+            load_model(&wrong_version).err(),
+            Some(LoadModelError::UnsupportedVersion(99))
+        );
+
+        let truncated = &bytes[..bytes.len() - 3];
+        assert_eq!(load_model(truncated).err(), Some(LoadModelError::Truncated));
+
+        let mut bad_tag = bytes.clone();
+        bad_tag[7] = 42; // first layer tag
+        assert!(matches!(load_model(&bad_tag).err(), Some(LoadModelError::UnknownLayer(42))));
+    }
+
+    #[test]
+    fn size_is_header_plus_params() {
+        let mut rng = StdRng::seed_from_u64(604);
+        let mut net = sample_net(&mut rng);
+        let n_params = net.num_params();
+        let bytes = save_model(&mut net).expect("saveable");
+        // magic(4) + version(1) + count(2) + 2 layers × 13 + len(4) + params
+        assert_eq!(bytes.len(), 4 + 1 + 2 + 2 * 13 + 4 + 4 * n_params);
+    }
+}

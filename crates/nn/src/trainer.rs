@@ -1,0 +1,187 @@
+//! Mini-batch training loops for classification models.
+
+use crate::layer::{Layer, Mode};
+use crate::loss::softmax_cross_entropy;
+use crate::optim::Optimizer;
+use mdl_tensor::Matrix;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Configuration for [`fit_classifier`].
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Whether to shuffle example order each epoch.
+    pub shuffle: bool,
+    /// Optional L2 gradient-norm clip applied per batch.
+    pub grad_clip: Option<f64>,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self { epochs: 10, batch_size: 32, shuffle: true, grad_clip: None }
+    }
+}
+
+/// Per-epoch training record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean cross-entropy over the epoch.
+    pub loss: f64,
+    /// Training accuracy measured over the epoch's batches.
+    pub accuracy: f64,
+}
+
+/// Trains `model` with softmax cross-entropy on `(x, labels)`.
+///
+/// Returns per-epoch loss/accuracy. The model is modified in place.
+///
+/// # Panics
+///
+/// Panics if `x.rows() != labels.len()` or the training set is empty.
+pub fn fit_classifier(
+    model: &mut dyn Layer,
+    opt: &mut dyn Optimizer,
+    x: &Matrix,
+    labels: &[usize],
+    config: &TrainConfig,
+    rng: &mut impl Rng,
+) -> Vec<EpochStats> {
+    assert_eq!(x.rows(), labels.len(), "one label per example required");
+    assert!(!labels.is_empty(), "training set must be non-empty");
+    let n = labels.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut history = Vec::with_capacity(config.epochs);
+
+    for epoch in 0..config.epochs {
+        if config.shuffle {
+            order.shuffle(rng);
+        }
+        let mut total_loss = 0.0f64;
+        let mut correct = 0usize;
+        let mut batches = 0usize;
+        for chunk in order.chunks(config.batch_size.max(1)) {
+            let bx = x.select_rows(chunk);
+            let by: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+            model.zero_grad();
+            let logits = model.forward(&bx, Mode::Train);
+            let (loss, grad) = softmax_cross_entropy(&logits, &by);
+            let _ = model.backward(&grad);
+            if let Some(max_norm) = config.grad_clip {
+                clip_gradients(model, max_norm);
+            }
+            opt.step(model);
+
+            total_loss += loss as f64;
+            batches += 1;
+            for (p, &y) in logits.argmax_rows().iter().zip(by.iter()) {
+                if *p == y {
+                    correct += 1;
+                }
+            }
+        }
+        history.push(EpochStats {
+            epoch,
+            loss: total_loss / batches.max(1) as f64,
+            accuracy: correct as f64 / n as f64,
+        });
+    }
+    history
+}
+
+/// Scales all parameter gradients so their global L2 norm is at most `max_norm`.
+pub fn clip_gradients(model: &mut dyn Layer, max_norm: f64) {
+    let mut sq = 0.0f64;
+    model.visit_params(&mut |_, g| {
+        sq += g.as_slice().iter().map(|&v| (v as f64).powi(2)).sum::<f64>();
+    });
+    let norm = sq.sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = (max_norm / norm) as f32;
+        model.visit_params(&mut |_, g| g.scale_mut(scale));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::dense::Dense;
+    use crate::optim::Adam;
+    use crate::sequential::Sequential;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Two Gaussian blobs: class 0 centred at (-1,-1), class 1 at (1,1).
+    fn blobs(n: usize, rng: &mut StdRng) -> (Matrix, Vec<usize>) {
+        let mut x = Matrix::zeros(n, 2);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let label = i % 2;
+            let centre = if label == 0 { -1.0 } else { 1.0 };
+            x[(i, 0)] = centre + mdl_tensor::init::gaussian(rng) * 0.3;
+            x[(i, 1)] = centre + mdl_tensor::init::gaussian(rng) * 0.3;
+            y.push(label);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn learns_separable_blobs() {
+        let mut rng = StdRng::seed_from_u64(50);
+        let (x, y) = blobs(200, &mut rng);
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 8, Activation::Relu, &mut rng));
+        net.push(Dense::new(8, 2, Activation::Identity, &mut rng));
+        let mut opt = Adam::new(0.01);
+        let history = fit_classifier(
+            &mut net,
+            &mut opt,
+            &x,
+            &y,
+            &TrainConfig { epochs: 20, batch_size: 16, ..Default::default() },
+            &mut rng,
+        );
+        assert_eq!(history.len(), 20);
+        assert!(history.last().unwrap().accuracy > 0.95, "{history:?}");
+        assert!(history.last().unwrap().loss < history[0].loss);
+    }
+
+    #[test]
+    fn grad_clip_bounds_norm() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 2, Activation::Identity, &mut rng));
+        net.zero_grad();
+        // inject a large gradient
+        net.visit_params(&mut |_, g| g.map_mut(|_| 100.0));
+        clip_gradients(&mut net, 1.0);
+        let mut sq = 0.0f64;
+        net.visit_params(&mut |_, g| {
+            sq += g.as_slice().iter().map(|&v| (v as f64).powi(2)).sum::<f64>();
+        });
+        assert!((sq.sqrt() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_training_set_panics() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 2, Activation::Identity, &mut rng));
+        let mut opt = Adam::new(0.01);
+        let _ = fit_classifier(
+            &mut net,
+            &mut opt,
+            &Matrix::zeros(0, 2),
+            &[],
+            &TrainConfig::default(),
+            &mut rng,
+        );
+    }
+}

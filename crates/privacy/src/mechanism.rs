@@ -1,0 +1,175 @@
+//! Basic differential-privacy mechanisms (§II-C).
+
+use mdl_tensor::init::gaussian;
+use rand::Rng;
+
+/// The Gaussian mechanism: adds `N(0, (σ·sensitivity)²)` noise per coordinate.
+///
+/// # Examples
+///
+/// ```
+/// use mdl_privacy::GaussianMechanism;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mech = GaussianMechanism::new(1.0, 1.1);
+/// let mut values = vec![0.5_f32; 8];
+/// mech.perturb(&mut values, &mut rng);
+/// assert!(mech.epsilon_single_shot(1e-5) > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaussianMechanism {
+    /// L2 sensitivity of the query being privatised.
+    pub sensitivity: f64,
+    /// Noise multiplier σ (std of the noise is `σ · sensitivity`).
+    pub noise_multiplier: f64,
+}
+
+impl GaussianMechanism {
+    /// Creates a mechanism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is non-positive.
+    pub fn new(sensitivity: f64, noise_multiplier: f64) -> Self {
+        assert!(sensitivity > 0.0, "sensitivity must be positive");
+        assert!(noise_multiplier > 0.0, "noise multiplier must be positive");
+        Self { sensitivity, noise_multiplier }
+    }
+
+    /// Noise standard deviation.
+    pub fn sigma(&self) -> f64 {
+        self.sensitivity * self.noise_multiplier
+    }
+
+    /// Adds calibrated noise to every coordinate in place.
+    pub fn perturb(&self, values: &mut [f32], rng: &mut impl Rng) {
+        let sigma = self.sigma() as f32;
+        for v in values.iter_mut() {
+            *v += gaussian(rng) * sigma;
+        }
+    }
+
+    /// Classic analytic `(ε, δ)` guarantee of a *single* release:
+    /// `σ ≥ sensitivity · sqrt(2 ln(1.25/δ)) / ε`. Returns the ε this
+    /// mechanism provides at the given δ (inverting that bound).
+    ///
+    /// The moments accountant gives much tighter *composed* bounds; this is
+    /// the single-shot reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < delta < 1`.
+    pub fn epsilon_single_shot(&self, delta: f64) -> f64 {
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+        (2.0 * (1.25 / delta).ln()).sqrt() / self.noise_multiplier
+    }
+}
+
+/// The Laplace mechanism: adds `Lap(sensitivity / ε)` noise per coordinate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaplaceMechanism {
+    /// L1 sensitivity of the query being privatised.
+    pub sensitivity: f64,
+    /// Privacy budget ε of one release.
+    pub epsilon: f64,
+}
+
+impl LaplaceMechanism {
+    /// Creates a mechanism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is non-positive.
+    pub fn new(sensitivity: f64, epsilon: f64) -> Self {
+        assert!(sensitivity > 0.0, "sensitivity must be positive");
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        Self { sensitivity, epsilon }
+    }
+
+    /// The scale parameter `b = sensitivity / ε`.
+    pub fn scale(&self) -> f64 {
+        self.sensitivity / self.epsilon
+    }
+
+    /// Draws one Laplace sample via inverse-CDF.
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        let u: f64 = rng.gen::<f64>() - 0.5;
+        -self.scale() * u.signum() * (1.0 - 2.0 * u.abs()).max(1e-300).ln()
+    }
+
+    /// Adds calibrated noise to every coordinate in place.
+    pub fn perturb(&self, values: &mut [f32], rng: &mut impl Rng) {
+        for v in values.iter_mut() {
+            *v += self.sample(rng) as f32;
+        }
+    }
+}
+
+/// Clips `update` to L2 norm `clip_norm` and reports the pre-clip norm.
+///
+/// This is the sensitivity-bounding step of DP-SGD and DP-FedAvg.
+pub fn clip_update(update: &mut [f32], clip_norm: f64) -> f64 {
+    let norm = mdl_tensor::linalg::l2_norm(update);
+    mdl_tensor::linalg::clip_l2(update, clip_norm);
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_noise_scale_is_correct() {
+        let mut rng = StdRng::seed_from_u64(210);
+        let m = GaussianMechanism::new(2.0, 1.5);
+        assert_eq!(m.sigma(), 3.0);
+        let n = 20_000;
+        let mut values = vec![0.0f32; n];
+        m.perturb(&mut values, &mut rng);
+        let var: f64 =
+            values.iter().map(|&v| (v as f64).powi(2)).sum::<f64>() / n as f64;
+        assert!((var.sqrt() - 3.0).abs() < 0.1, "std={}", var.sqrt());
+    }
+
+    #[test]
+    fn gaussian_single_shot_epsilon_monotone_in_sigma() {
+        let loose = GaussianMechanism::new(1.0, 0.5).epsilon_single_shot(1e-5);
+        let tight = GaussianMechanism::new(1.0, 4.0).epsilon_single_shot(1e-5);
+        assert!(tight < loose, "more noise ⇒ smaller ε: {tight} vs {loose}");
+    }
+
+    #[test]
+    fn laplace_scale_and_spread() {
+        let mut rng = StdRng::seed_from_u64(211);
+        let m = LaplaceMechanism::new(1.0, 0.5);
+        assert_eq!(m.scale(), 2.0);
+        let n = 40_000;
+        let samples: Vec<f64> = (0..n).map(|_| m.sample(&mut rng)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        // var of Laplace(b) is 2b² = 8
+        let var: f64 = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.1, "mean={mean}");
+        assert!((var - 8.0).abs() < 0.6, "var={var}");
+    }
+
+    #[test]
+    fn clip_update_bounds_and_reports() {
+        let mut v = vec![3.0f32, 4.0];
+        let pre = clip_update(&mut v, 1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        assert!((mdl_tensor::linalg::l2_norm(&v) - 1.0).abs() < 1e-5);
+        let mut w = vec![0.1f32, 0.1];
+        let pre_w = clip_update(&mut w, 1.0);
+        assert!(pre_w < 1.0);
+        assert_eq!(w, vec![0.1, 0.1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "noise multiplier")]
+    fn rejects_zero_noise() {
+        let _ = GaussianMechanism::new(1.0, 0.0);
+    }
+}

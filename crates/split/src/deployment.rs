@@ -1,0 +1,118 @@
+//! Deployment comparison: the three serving strategies of §III side by
+//! side — on-device (private, battery-hungry), cloud (cheap locally, raw
+//! data leaves the device), and ARDEN split inference (perturbed
+//! representation leaves the device).
+
+use crate::arden::Arden;
+use mdl_mobile::{placement_cost, CostEstimate, DeviceProfile, NetworkProfile, Placement, Scenario};
+use mdl_nn::Sequential;
+
+/// One row of the deployment-comparison table.
+#[derive(Debug, Clone)]
+pub struct DeploymentRow {
+    /// Strategy label.
+    pub strategy: &'static str,
+    /// Device-side latency and energy.
+    pub cost: CostEstimate,
+    /// Bytes uploaded per inference.
+    pub upload_bytes: u64,
+    /// Whether raw input data ever leaves the device.
+    pub raw_data_leaves_device: bool,
+    /// `(ε, δ=1e-5)` of what leaves the device (`0` when nothing leaves,
+    /// `∞` when raw data leaves).
+    pub epsilon: f64,
+}
+
+/// Builds the Fig. 2 / Fig. 3 comparison for a given model and environment.
+pub fn compare_deployments(
+    net: &Sequential,
+    arden: &Arden,
+    device: &DeviceProfile,
+    cloud: &DeviceProfile,
+    network: &NetworkProfile,
+    input_bytes: u64,
+) -> Vec<DeploymentRow> {
+    let layers = net.layer_infos();
+    let result_bytes = 4 * layers.last().map(|l| l.out_dim as u64).unwrap_or(0);
+    let scenario = Scenario {
+        layers,
+        input_bytes,
+        result_bytes,
+        bytes_per_weight: 4.0,
+    };
+    let split_at = arden.config().split_at;
+
+    vec![
+        DeploymentRow {
+            strategy: "on-device",
+            cost: placement_cost(Placement::OnDevice, &scenario, device, cloud, network),
+            upload_bytes: 0,
+            raw_data_leaves_device: false,
+            epsilon: 0.0,
+        },
+        DeploymentRow {
+            strategy: "cloud",
+            cost: placement_cost(Placement::Cloud, &scenario, device, cloud, network),
+            upload_bytes: input_bytes,
+            raw_data_leaves_device: true,
+            epsilon: f64::INFINITY,
+        },
+        DeploymentRow {
+            strategy: "arden-split",
+            cost: placement_cost(
+                Placement::Split { local_layers: split_at },
+                &scenario,
+                device,
+                cloud,
+                network,
+            ),
+            upload_bytes: arden.representation_bytes(),
+            raw_data_leaves_device: false,
+            epsilon: arden.privacy_epsilon(1e-5),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arden::ArdenConfig;
+    use mdl_nn::{Activation, Dense, ParamVector};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net(rng: &mut StdRng) -> Sequential {
+        let mut n = Sequential::new();
+        n.push(Dense::new(64, 16, Activation::Relu, rng));
+        n.push(Dense::new(16, 10, Activation::Identity, rng));
+        n
+    }
+
+    #[test]
+    fn comparison_covers_all_strategies() {
+        let mut rng = StdRng::seed_from_u64(320);
+        let full = net(&mut rng);
+        let mut copy = net(&mut rng);
+        // same params for the split copy
+        let mut full_mut = full;
+        copy.set_param_vector(&full_mut.param_vector());
+        let arden = Arden::from_pretrained(copy, ArdenConfig::default());
+        let rows = compare_deployments(
+            &full_mut,
+            &arden,
+            &DeviceProfile::midrange_phone(),
+            &DeviceProfile::cloud_server(),
+            &NetworkProfile::wifi(),
+            4 * 64,
+        );
+        assert_eq!(rows.len(), 3);
+        let cloud = rows.iter().find(|r| r.strategy == "cloud").unwrap();
+        let split = rows.iter().find(|r| r.strategy == "arden-split").unwrap();
+        let local = rows.iter().find(|r| r.strategy == "on-device").unwrap();
+        assert!(cloud.raw_data_leaves_device && !split.raw_data_leaves_device);
+        assert!(split.epsilon.is_finite() && cloud.epsilon.is_infinite());
+        assert_eq!(local.upload_bytes, 0);
+        // ARDEN's bottleneck representation uploads less than raw input
+        assert!(split.upload_bytes < cloud.upload_bytes);
+    }
+}

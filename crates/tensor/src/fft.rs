@@ -1,0 +1,232 @@
+//! Radix-2 complex FFT and circular convolution.
+//!
+//! Powers the block-circulant layers of CirCNN (paper reference [14]): a
+//! circulant matrix–vector product of size `n` costs `O(n log n)` via the
+//! convolution theorem instead of `O(n²)`.
+
+/// A complex number in rectangular form.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates a complex number from real and imaginary parts.
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Complex multiplication.
+    pub fn mul(self, other: Complex) -> Complex {
+        Complex::new(
+            self.re * other.re - self.im * other.im,
+            self.re * other.im + self.im * other.re,
+        )
+    }
+
+    /// Complex addition.
+    pub fn add(self, other: Complex) -> Complex {
+        Complex::new(self.re + other.re, self.im + other.im)
+    }
+
+    /// Complex subtraction.
+    pub fn sub(self, other: Complex) -> Complex {
+        Complex::new(self.re - other.re, self.im - other.im)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Complex {
+        Complex::new(self.re, -self.im)
+    }
+}
+
+/// In-place iterative radix-2 Cooley–Tukey FFT.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn fft(buf: &mut [Complex]) {
+    fft_dir(buf, false);
+}
+
+/// In-place inverse FFT (includes the `1/n` normalisation).
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn ifft(buf: &mut [Complex]) {
+    fft_dir(buf, true);
+    let n = buf.len() as f64;
+    for v in buf.iter_mut() {
+        v.re /= n;
+        v.im /= n;
+    }
+}
+
+fn fft_dir(buf: &mut [Complex], inverse: bool) {
+    let n = buf.len();
+    assert!(n.is_power_of_two(), "FFT length {n} must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::new(ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = buf[i + k];
+                let v = buf[i + k + len / 2].mul(w);
+                buf[i + k] = u.add(v);
+                buf[i + k + len / 2] = u.sub(v);
+                w = w.mul(wlen);
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Circular convolution of two equal-length real signals via FFT.
+///
+/// The length must be a power of two (pad beforehand if needed).
+///
+/// # Panics
+///
+/// Panics if the lengths differ or are not a power of two.
+pub fn circular_convolve(a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "circular convolution needs equal lengths");
+    let mut fa: Vec<Complex> = a.iter().map(|&x| Complex::new(x as f64, 0.0)).collect();
+    let mut fb: Vec<Complex> = b.iter().map(|&x| Complex::new(x as f64, 0.0)).collect();
+    fft(&mut fa);
+    fft(&mut fb);
+    for (x, y) in fa.iter_mut().zip(fb.iter()) {
+        *x = x.mul(*y);
+    }
+    ifft(&mut fa);
+    fa.iter().map(|c| c.re as f32).collect()
+}
+
+/// Multiplies the circulant matrix defined by first column `c` with vector `x`.
+///
+/// `circ(c)[i][j] = c[(i - j) mod n]`, so `circ(c) · x` equals the circular
+/// convolution `c ⊛ x`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ or are not a power of two.
+pub fn circulant_matvec(c: &[f32], x: &[f32]) -> Vec<f32> {
+    assert_eq!(c.len(), x.len(), "circulant product needs equal lengths");
+    circular_convolve(c, x)
+}
+
+/// Dense reference implementation of a circulant matrix–vector product.
+///
+/// Used in tests and benchmarks as the `O(n²)` baseline for
+/// [`circulant_matvec`].
+pub fn circulant_matvec_dense(c: &[f32], x: &[f32]) -> Vec<f32> {
+    assert_eq!(c.len(), x.len(), "circulant product needs equal lengths");
+    let n = c.len();
+    (0..n)
+        .map(|i| {
+            let mut acc = 0.0f64;
+            for j in 0..n {
+                acc += c[(i + n - j) % n] as f64 * x[j] as f64;
+            }
+            acc as f32
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: &[f32], b: &[f32], tol: f32) -> bool {
+        a.len() == b.len() && a.iter().zip(b.iter()).all(|(&x, &y)| (x - y).abs() <= tol)
+    }
+
+    #[test]
+    fn fft_ifft_round_trip() {
+        let orig: Vec<Complex> =
+            (0..16).map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.5).cos())).collect();
+        let mut buf = orig.clone();
+        fft(&mut buf);
+        ifft(&mut buf);
+        for (o, r) in orig.iter().zip(buf.iter()) {
+            assert!((o.re - r.re).abs() < 1e-10 && (o.im - r.im).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut buf = vec![Complex::default(); 8];
+        buf[0] = Complex::new(1.0, 0.0);
+        fft(&mut buf);
+        for v in &buf {
+            assert!((v.re - 1.0).abs() < 1e-12 && v.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_power_of_two() {
+        let mut buf = vec![Complex::default(); 6];
+        fft(&mut buf);
+    }
+
+    #[test]
+    fn convolution_matches_direct() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [0.5, -1.0, 0.25, 2.0];
+        let fast = circular_convolve(&a, &b);
+        // direct circular convolution
+        let n = 4;
+        let mut direct = vec![0.0f32; n];
+        for (i, d) in direct.iter_mut().enumerate() {
+            for j in 0..n {
+                *d += a[j] * b[(i + n - j) % n];
+            }
+        }
+        assert!(approx(&fast, &direct, 1e-4), "{fast:?} vs {direct:?}");
+    }
+
+    #[test]
+    fn circulant_fast_equals_dense() {
+        let c = [0.2, -0.5, 1.0, 0.3, -0.1, 0.7, 0.0, 0.9];
+        let x = [1.0, 0.0, -1.0, 2.0, 0.5, -0.5, 0.25, 3.0];
+        let fast = circulant_matvec(&c, &x);
+        let dense = circulant_matvec_dense(&c, &x);
+        assert!(approx(&fast, &dense, 1e-4), "{fast:?} vs {dense:?}");
+    }
+
+    #[test]
+    fn complex_arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        let p = a.mul(b);
+        assert_eq!((p.re, p.im), (5.0, 5.0));
+        assert_eq!(a.conj().im, -2.0);
+        let s = a.add(b).sub(b);
+        assert_eq!((s.re, s.im), (1.0, 2.0));
+    }
+}

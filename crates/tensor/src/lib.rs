@@ -1,0 +1,135 @@
+//! # mdl-tensor
+//!
+//! From-scratch dense linear algebra for the `mobile-dl` workspace — the
+//! numeric substrate beneath every other crate in the reproduction of
+//! *Deep Learning Towards Mobile Applications* (ICDCS 2018).
+//!
+//! The crate provides:
+//!
+//! - [`Matrix`]: a row-major `f32` matrix with the product/transpose/reduction
+//!   operations the neural-network layers need;
+//! - [`Init`]: seeded weight-initialisation schemes (uniform, Gaussian,
+//!   Xavier, He);
+//! - [`linalg`]: one-sided Jacobi SVD (for low-rank layer compression),
+//!   L2 norms and clipping (for differential privacy);
+//! - [`fft`]: radix-2 FFT and circulant products (for CirCNN-style layers);
+//! - [`stats`]: softmax/log-sum-exp, one-hot encoding, correlation and
+//!   quantile helpers used by the applications' analytics.
+//!
+//! # Examples
+//!
+//! ```
+//! use mdl_tensor::{Matrix, Init};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let w = Init::Xavier.sample(4, 3, &mut rng);
+//! let x = Matrix::ones(2, 4);
+//! let y = x.matmul(&w);
+//! assert_eq!(y.shape(), (2, 3));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod fft;
+pub mod init;
+pub mod linalg;
+pub mod matrix;
+pub mod stats;
+
+pub use init::Init;
+pub use matrix::Matrix;
+
+#[cfg(test)]
+mod proptests {
+    use crate::fft::{circulant_matvec, circulant_matvec_dense};
+    use crate::linalg::{clip_l2, l2_norm, svd};
+    use crate::stats::{log_sum_exp, softmax_rows};
+    use crate::Matrix;
+    use proptest::prelude::*;
+
+    fn small_f32() -> impl Strategy<Value = f32> {
+        (-100i32..=100).prop_map(|v| v as f32 / 10.0)
+    }
+
+    proptest! {
+        #[test]
+        fn matmul_distributes_over_add(
+            a in prop::collection::vec(small_f32(), 12),
+            b in prop::collection::vec(small_f32(), 12),
+            c in prop::collection::vec(small_f32(), 12),
+        ) {
+            let a = Matrix::from_vec(3, 4, a);
+            let b = Matrix::from_vec(4, 3, b);
+            let c = Matrix::from_vec(4, 3, c);
+            let lhs = a.matmul(&b.add(&c));
+            let rhs = a.matmul(&b).add(&a.matmul(&c));
+            prop_assert!(lhs.approx_eq(&rhs, 1e-2));
+        }
+
+        #[test]
+        fn transpose_of_product_is_reversed_product(
+            a in prop::collection::vec(small_f32(), 6),
+            b in prop::collection::vec(small_f32(), 6),
+        ) {
+            let a = Matrix::from_vec(2, 3, a);
+            let b = Matrix::from_vec(3, 2, b);
+            let lhs = a.matmul(&b).transpose();
+            let rhs = b.transpose().matmul(&a.transpose());
+            prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+        }
+
+        #[test]
+        fn clip_never_increases_norm(
+            mut v in prop::collection::vec(small_f32(), 1..32),
+            max_norm in 0.1f64..10.0,
+        ) {
+            let before = l2_norm(&v);
+            clip_l2(&mut v, max_norm);
+            let after = l2_norm(&v);
+            prop_assert!(after <= max_norm + 1e-4);
+            prop_assert!(after <= before + 1e-6);
+        }
+
+        #[test]
+        fn softmax_rows_are_distributions(
+            data in prop::collection::vec(-20f32..20.0, 12),
+        ) {
+            let p = softmax_rows(&Matrix::from_vec(3, 4, data));
+            for r in 0..3 {
+                let s: f32 = p.row(r).iter().sum();
+                prop_assert!((s - 1.0).abs() < 1e-4);
+                prop_assert!(p.row(r).iter().all(|&x| (0.0..=1.0).contains(&x)));
+            }
+        }
+
+        #[test]
+        fn log_sum_exp_bounds(xs in prop::collection::vec(-50f64..50.0, 1..16)) {
+            let lse = log_sum_exp(&xs);
+            let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(lse >= max - 1e-9);
+            prop_assert!(lse <= max + (xs.len() as f64).ln() + 1e-9);
+        }
+
+        #[test]
+        fn svd_reconstruction_property(
+            data in prop::collection::vec(small_f32(), 20),
+        ) {
+            let a = Matrix::from_vec(5, 4, data);
+            let d = svd(&a);
+            prop_assert!(d.reconstruct().approx_eq(&a, 1e-2));
+        }
+
+        #[test]
+        fn circulant_fft_equals_dense(
+            c in prop::collection::vec(small_f32(), 8),
+            x in prop::collection::vec(small_f32(), 8),
+        ) {
+            let fast = circulant_matvec(&c, &x);
+            let dense = circulant_matvec_dense(&c, &x);
+            for (f, d) in fast.iter().zip(dense.iter()) {
+                prop_assert!((f - d).abs() < 1e-2);
+            }
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Dense linear-algebra routines: SVD, norms and helpers.
+//!
+//! The singular value decomposition powers low-rank compression of dense
+//! layers (§III-B of the paper). A one-sided Jacobi iteration is used: it is
+//! simple, numerically robust for the modest layer sizes involved, and needs
+//! no external dependencies.
+
+use crate::Matrix;
+
+/// Result of a singular value decomposition `A = U · diag(S) · Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors, `m × r` (orthonormal columns).
+    pub u: Matrix,
+    /// Singular values in non-increasing order, length `r = min(m, n)`.
+    pub s: Vec<f32>,
+    /// Right singular vectors, `n × r` (orthonormal columns).
+    pub v: Matrix,
+}
+
+impl Svd {
+    /// Reconstructs the (possibly truncated) matrix `U · diag(S) · Vᵀ`.
+    pub fn reconstruct(&self) -> Matrix {
+        let r = self.s.len();
+        let mut us = self.u.clone();
+        for c in 0..r {
+            for row in 0..us.rows() {
+                us[(row, c)] *= self.s[c];
+            }
+        }
+        us.matmul_nt(&self.v)
+    }
+
+    /// Keeps only the `rank` largest singular triplets.
+    pub fn truncate(&self, rank: usize) -> Svd {
+        let r = rank.min(self.s.len());
+        let u = Matrix::from_fn(self.u.rows(), r, |i, j| self.u[(i, j)]);
+        let v = Matrix::from_fn(self.v.rows(), r, |i, j| self.v[(i, j)]);
+        Svd { u, s: self.s[..r].to_vec(), v }
+    }
+
+    /// Fraction of squared spectral energy captured by the leading `rank` values.
+    pub fn energy_captured(&self, rank: usize) -> f64 {
+        let total: f64 = self.s.iter().map(|&s| (s as f64).powi(2)).sum();
+        if total == 0.0 {
+            return 1.0;
+        }
+        let kept: f64 = self.s.iter().take(rank).map(|&s| (s as f64).powi(2)).sum();
+        kept / total
+    }
+}
+
+/// Computes the thin SVD of `a` by one-sided Jacobi rotations.
+///
+/// Works on the `m × n` input directly when `m >= n`, otherwise on the
+/// transpose, so the iteration always orthogonalises the smaller side.
+///
+/// # Examples
+///
+/// ```
+/// use mdl_tensor::{Matrix, linalg::svd};
+///
+/// let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 2.0], &[0.0, 0.0]]);
+/// let d = svd(&a);
+/// assert!((d.s[0] - 3.0).abs() < 1e-4 && (d.s[1] - 2.0).abs() < 1e-4);
+/// assert!(d.reconstruct().approx_eq(&a, 1e-4));
+/// ```
+pub fn svd(a: &Matrix) -> Svd {
+    if a.rows() >= a.cols() {
+        svd_tall(a)
+    } else {
+        let d = svd_tall(&a.transpose());
+        Svd { u: d.v, s: d.s, v: d.u }
+    }
+}
+
+/// One-sided Jacobi SVD for `m >= n`. Internally in `f64` for accuracy.
+fn svd_tall(a: &Matrix) -> Svd {
+    let m = a.rows();
+    let n = a.cols();
+    // Column-major working copy of A (columns get orthogonalised in place).
+    let mut cols: Vec<Vec<f64>> =
+        (0..n).map(|j| (0..m).map(|i| a[(i, j)] as f64).collect()).collect();
+    let mut v = vec![vec![0.0f64; n]; n];
+    for (j, row) in v.iter_mut().enumerate() {
+        row[j] = 1.0;
+    }
+
+    let eps = 1e-12;
+    for _sweep in 0..60 {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let (mut app, mut aqq, mut apq) = (0.0f64, 0.0f64, 0.0f64);
+                for i in 0..m {
+                    app += cols[p][i] * cols[p][i];
+                    aqq += cols[q][i] * cols[q][i];
+                    apq += cols[p][i] * cols[q][i];
+                }
+                if apq.abs() <= eps * (app * aqq).sqrt() {
+                    continue;
+                }
+                off += apq.abs();
+                let tau = (aqq - app) / (2.0 * apq);
+                let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                for i in 0..m {
+                    let (xp, xq) = (cols[p][i], cols[q][i]);
+                    cols[p][i] = c * xp - s * xq;
+                    cols[q][i] = s * xp + c * xq;
+                }
+                for row in v.iter_mut() {
+                    let (vp, vq) = (row[p], row[q]);
+                    row[p] = c * vp - s * vq;
+                    row[q] = s * vp + c * vq;
+                }
+            }
+        }
+        if off < 1e-14 {
+            break;
+        }
+    }
+
+    // Singular values are column norms; normalise columns to get U.
+    let mut triples: Vec<(f64, usize)> = (0..n)
+        .map(|j| {
+            let norm = cols[j].iter().map(|x| x * x).sum::<f64>().sqrt();
+            (norm, j)
+        })
+        .collect();
+    triples.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut u = Matrix::zeros(m, n);
+    let mut vv = Matrix::zeros(n, n);
+    let mut s = Vec::with_capacity(n);
+    for (out_j, &(norm, j)) in triples.iter().enumerate() {
+        s.push(norm as f32);
+        if norm > 1e-30 {
+            for i in 0..m {
+                u[(i, out_j)] = (cols[j][i] / norm) as f32;
+            }
+        }
+        for i in 0..n {
+            vv[(i, out_j)] = v[i][j] as f32;
+        }
+    }
+    Svd { u, s, v: vv }
+}
+
+/// Euclidean (L2) norm of a flat slice, accumulated in `f64`.
+pub fn l2_norm(xs: &[f32]) -> f64 {
+    xs.iter().map(|&x| (x as f64).powi(2)).sum::<f64>().sqrt()
+}
+
+/// Scales `xs` in place so its L2 norm is at most `max_norm`.
+///
+/// Returns the scaling factor applied (`1.0` when no clipping occurred).
+pub fn clip_l2(xs: &mut [f32], max_norm: f64) -> f64 {
+    let norm = l2_norm(xs);
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for x in xs.iter_mut() {
+            *x = (*x as f64 * scale) as f32;
+        }
+        scale
+    } else {
+        1.0
+    }
+}
+
+/// Dot product accumulated in `f64`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot requires equally long slices");
+    a.iter().zip(b.iter()).map(|(&x, &y)| x as f64 * y as f64).sum()
+}
+
+/// Outer product `a ⊗ b` as an `a.len() × b.len()` matrix.
+pub fn outer(a: &[f32], b: &[f32]) -> Matrix {
+    Matrix::from_fn(a.len(), b.len(), |i, j| a[i] * b[j])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn svd_reconstructs_random_tall() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = Init::Normal { std: 1.0 }.sample(12, 7, &mut rng);
+        let d = svd(&a);
+        assert!(d.reconstruct().approx_eq(&a, 1e-3));
+    }
+
+    #[test]
+    fn svd_reconstructs_random_wide() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let a = Init::Normal { std: 1.0 }.sample(5, 11, &mut rng);
+        let d = svd(&a);
+        assert!(d.reconstruct().approx_eq(&a, 1e-3));
+    }
+
+    #[test]
+    fn svd_singular_values_sorted_and_orthonormal_u() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let a = Init::Normal { std: 1.0 }.sample(10, 6, &mut rng);
+        let d = svd(&a);
+        for w in d.s.windows(2) {
+            assert!(w[0] >= w[1] - 1e-5, "singular values not sorted: {:?}", d.s);
+        }
+        let gram = d.u.matmul_tn(&d.u);
+        assert!(gram.approx_eq(&Matrix::identity(6), 1e-3));
+    }
+
+    #[test]
+    fn truncated_svd_of_low_rank_matrix_is_exact() {
+        // rank-2 matrix built from two outer products
+        let u1 = [1.0, 2.0, -1.0, 0.5];
+        let v1 = [0.3, -0.7, 1.1];
+        let u2 = [-0.2, 0.9, 0.4, -1.3];
+        let v2 = [1.0, 0.2, -0.5];
+        let a = outer(&u1, &v1).add(&outer(&u2, &v2));
+        let d = svd(&a);
+        assert!(d.s[2] < 1e-4, "third singular value should vanish: {:?}", d.s);
+        let t = d.truncate(2);
+        assert!(t.reconstruct().approx_eq(&a, 1e-3));
+        assert!(d.energy_captured(2) > 0.999_99);
+    }
+
+    #[test]
+    fn clip_l2_behaviour() {
+        let mut v = vec![3.0, 4.0];
+        let scale = clip_l2(&mut v, 1.0);
+        assert!((l2_norm(&v) - 1.0).abs() < 1e-6);
+        assert!((scale - 0.2).abs() < 1e-6);
+        let mut w = vec![0.3, 0.4];
+        assert_eq!(clip_l2(&mut w, 1.0), 1.0);
+        assert_eq!(w, vec![0.3, 0.4]);
+    }
+
+    #[test]
+    fn dot_and_outer() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        let o = outer(&[1.0, 2.0], &[5.0, 6.0, 7.0]);
+        assert_eq!(o.shape(), (2, 3));
+        assert_eq!(o[(1, 2)], 14.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Shrinking a model for a wearable (§III-B): the Deep Compression
+//! pipeline plus the device-energy payoff the compression buys.
+//!
+//! ```sh
+//! cargo run --release --example model_compression
+//! ```
+
+use mdl_core::prelude::*;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(23);
+    let data = mdl_core::data::synthetic::synthetic_digits(1600, 0.08, &mut rng);
+    let (train, test) = data.split(0.75, &mut rng);
+
+    // an intentionally roomy model: 453 KiB of fp32 weights, which does NOT
+    // fit the wearable's 256 KiB of on-chip SRAM — every inference streams
+    // the overflow from DRAM at ~100× the energy per byte (§I)
+    let mut net = Sequential::new();
+    net.push(Dense::new(64, 1536, Activation::Relu, &mut rng));
+    net.push(Dense::new(1536, 10, Activation::Identity, &mut rng));
+    let mut opt = Adam::new(0.01);
+    let _ = fit_classifier(
+        &mut net,
+        &mut opt,
+        &train.x,
+        &train.y,
+        &TrainConfig { epochs: 15, ..Default::default() },
+        &mut rng,
+    );
+    let base_acc = net.accuracy(&test.x, &test.y);
+    let infos_before = net.layer_infos();
+    println!(
+        "trained 64→1536→10 MLP: {} params, accuracy {:.2}%",
+        net.num_params(),
+        100.0 * base_acc
+    );
+
+    // prune → quantize → Huffman
+    let compressed = deep_compress(
+        &mut net,
+        Some((&train.x, &train.y)),
+        &DeepCompressionConfig {
+            sparsity: 0.85,
+            quant_bits: 4,
+            finetune: Some((5, 0.01)),
+            prune_steps: 3,
+        },
+        &mut rng,
+    );
+    let r = &compressed.report;
+    println!("\n-- Deep Compression stages --");
+    println!("fp32 weights:        {:>8} B", r.original_bytes);
+    println!("pruned (CSR):        {:>8} B  ({:.0}% sparse)", r.pruned_csr_bytes, 100.0 * r.sparsity);
+    println!("quantized (4-bit):   {:>8} B", r.quantized_bytes);
+    println!("+ Huffman:           {:>8} B  → {:.1}× smaller", r.final_bytes, r.ratio());
+
+    let mut restored = compressed.decompress();
+    println!(
+        "accuracy after compression: {:.2}% (was {:.2}%)",
+        100.0 * restored.accuracy(&test.x, &test.y),
+        100.0 * base_acc
+    );
+
+    // what the bytes buy on real hardware: a wearable with 256 KiB SRAM
+    let device = DeviceProfile::wearable();
+    let fp32_cost = device.inference_cost(&infos_before, 4.0);
+    let compressed_bytes_per_weight =
+        r.final_bytes as f64 / infos_before.iter().map(|i| i.params as u64).sum::<u64>() as f64;
+    let packed_cost = device.inference_cost(&infos_before, compressed_bytes_per_weight);
+    println!("\n-- wearable energy per inference (memory traffic dominates) --");
+    println!("fp32 model:       {:.3} µJ", 1e6 * fp32_cost.energy_j);
+    println!("compressed model: {:.3} µJ  ({:.1}× less)",
+        1e6 * packed_cost.energy_j,
+        fp32_cost.energy_j / packed_cost.energy_j
+    );
+    let battery = Battery::wearable();
+    println!(
+        "inferences per charge: {:.1}M (fp32) → {:.1}M (compressed)",
+        battery.operations_remaining(fp32_cost.energy_j) as f64 / 1e6,
+        battery.operations_remaining(packed_cost.energy_j) as f64 / 1e6,
+    );
+}

@@ -1,0 +1,90 @@
+//! DeepMood in action (§IV-A): passive mood monitoring from typing
+//! dynamics, exactly the scenario the BiAffect study motivates.
+//!
+//! Generates a clinical cohort, trains the three fusion variants, and
+//! then "monitors" one participant's held-out week of sessions.
+//!
+//! ```sh
+//! cargo run --release --example mood_monitor
+//! ```
+
+use mdl_core::deepmood::{normalized_pairs, borrow_pairs, train_and_evaluate};
+use mdl_core::prelude::*;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(13);
+    let cohort = BiAffectDataset::generate(
+        &BiAffectConfig {
+            participants: 20,
+            sessions_per_participant: 50,
+            mood_effect: 1.25,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let (train, test) = cohort.split(0.8, &mut rng);
+    println!(
+        "cohort: 20 participants, {} training sessions, {} held-out sessions",
+        train.len(),
+        test.len()
+    );
+
+    // compare the three fusion heads of Fig. 4
+    for (name, fusion) in [
+        ("fully connected (Eq. 2)", FusionKind::FullyConnected { hidden: 24 }),
+        ("factorization machine (Eq. 3)", FusionKind::FactorizationMachine { factors: 6 }),
+        ("multi-view machine (Eq. 4)", FusionKind::MultiViewMachine { factors: 6 }),
+    ] {
+        let eval = train_and_evaluate(
+            &train,
+            &test,
+            &DeepMoodConfig {
+                hidden_dim: 12,
+                fusion,
+                epochs: 14,
+                learning_rate: 0.01,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        println!(
+            "DeepMood {name:<30} accuracy {:.2}%  macro-F1 {:.2}%",
+            100.0 * eval.accuracy,
+            100.0 * eval.macro_f1
+        );
+    }
+
+    // monitor participant 0's held-out sessions with a fresh model
+    let (norm, train_owned, _) = normalized_pairs(&train, &[]);
+    let train_pairs = borrow_pairs(&train_owned);
+    let mut model = DeepMood::new(
+        &mdl_core::deepmood::biaffect_view_dims(),
+        DeepMoodConfig { hidden_dim: 12, epochs: 14, ..Default::default() },
+        &mut rng,
+    );
+    let _ = model.train(&train_pairs, &mut rng);
+
+    println!("\nmonitoring participant 0 (per-session predictions):");
+    let mut shown = 0;
+    for s in test.iter().filter(|s| s.participant == 0).take(10) {
+        let views = norm.apply(&s.session.views());
+        let refs: Vec<&Matrix> = views.iter().collect();
+        let pred = model.predict(&refs);
+        let status = if pred == s.label { "✓" } else { "✗" };
+        println!(
+            "  session ({:>2} keys, {:>4.1}s): predicted {} / actual {}  {status}",
+            s.session.keypress_count(),
+            s.session.duration_secs,
+            ["euthymic", "depressed"][pred],
+            ["euthymic", "depressed"][s.label],
+        );
+        shown += 1;
+    }
+    if shown == 0 {
+        println!("  (participant 0 had no held-out sessions in this split)");
+    }
+    println!(
+        "\nthe prediction is per session (< 1 minute of typing); daily-level\n\
+         estimates would ensemble all of a day's sessions, as the paper notes."
+    );
+}

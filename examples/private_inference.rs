@@ -1,0 +1,99 @@
+//! ARDEN private split inference (§III-A, Fig. 3), step by step.
+//!
+//! Walks through the framework's lifecycle: pretrain → split & freeze →
+//! noisy-train the cloud half → serve perturbed representations — and
+//! contrasts the three serving strategies of Figs. 2–3.
+//!
+//! ```sh
+//! cargo run --release --example private_inference
+//! ```
+
+use mdl_core::prelude::*;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(19);
+
+    // 1. pretrain on public data (the service provider's side)
+    let public = mdl_core::data::synthetic::synthetic_digits(1500, 0.08, &mut rng);
+    let (train, test) = public.split(0.75, &mut rng);
+    let mut net = Sequential::new();
+    net.push(Dense::new(64, 32, Activation::Relu, &mut rng));
+    net.push(Dense::new(32, 32, Activation::Relu, &mut rng));
+    net.push(Dense::new(32, 10, Activation::Identity, &mut rng));
+    let mut opt = Adam::new(0.01);
+    let _ = fit_classifier(
+        &mut net,
+        &mut opt,
+        &train.x,
+        &train.y,
+        &TrainConfig { epochs: 30, ..Default::default() },
+        &mut rng,
+    );
+    println!("pretrained model accuracy: {:.2}%", 100.0 * net.accuracy(&test.x, &test.y));
+
+    // keep an intact copy for the deployment comparison
+    let full_params = net.param_vector();
+    let rebuild = |rng: &mut StdRng, params: &[f32]| {
+        let mut n = Sequential::new();
+        n.push(Dense::new(64, 32, Activation::Relu, rng));
+        n.push(Dense::new(32, 32, Activation::Relu, rng));
+        n.push(Dense::new(32, 10, Activation::Identity, rng));
+        n.set_param_vector(params);
+        n
+    };
+
+    // 2. split: one frozen layer stays on the phone
+    let config = ArdenConfig {
+        split_at: 1,
+        nullification_rate: 0.2,
+        noise_sigma: 0.4,
+        clip_norm: 5.0,
+    };
+    let mut arden = Arden::from_pretrained(rebuild(&mut rng, &full_params), config);
+    println!(
+        "\nsplit after layer 1: {} B representation vs {} B raw input",
+        arden.representation_bytes(),
+        4 * 64
+    );
+    let before = arden.accuracy(&test.x, &test.y, &mut rng);
+    println!("accuracy under perturbation (plain cloud net): {:.2}%", 100.0 * before);
+
+    // 3. noisy training hardens the cloud half — the local half never changes
+    let losses = arden.noisy_train(&train.x, &train.y, 30, 0.005, &mut rng);
+    let after = arden.accuracy(&test.x, &test.y, &mut rng);
+    println!(
+        "after noisy training ({} epochs, loss {:.3}→{:.3}): {:.2}%",
+        losses.len(),
+        losses[0],
+        losses.last().unwrap(),
+        100.0 * after
+    );
+    println!("per-query (ε, δ=1e-5): ε = {:.1}", arden.privacy_epsilon(1e-5));
+
+    // 4. the three serving strategies, costed on a mid-range phone on LTE
+    println!("\n-- serving strategies (midrange phone, LTE) --");
+    let full = rebuild(&mut rng, &full_params);
+    let rows = compare_deployments(
+        &full,
+        &arden,
+        &DeviceProfile::midrange_phone(),
+        &DeviceProfile::cloud_server(),
+        &NetworkProfile::lte(),
+        4 * 64,
+    );
+    for row in rows {
+        println!(
+            "  {:<12} latency {:>8.3} ms  device energy {:>8.4} mJ  upload {:>4} B  ε={:<6}",
+            row.strategy,
+            1000.0 * row.cost.latency_s,
+            1000.0 * row.cost.energy_j,
+            row.upload_bytes,
+            if row.epsilon.is_infinite() { "∞".to_string() } else { format!("{:.1}", row.epsilon) },
+        );
+    }
+    println!(
+        "\nthe split path keeps raw data on the phone, uploads a representation\n\
+         smaller than the input, and the cloud model can be upgraded online\n\
+         without touching the app — the transparency §III-A highlights."
+    );
+}

@@ -1,0 +1,6 @@
+//! Umbrella package for the `mobile-dl` workspace.
+//!
+//! See [`mdl_core`] for the high-level API; this package hosts the runnable
+//! examples and the cross-crate integration test suite.
+
+pub use mdl_core as core;

@@ -1,0 +1,116 @@
+//! Reproducibility guarantees: every stochastic component is a pure
+//! function of its seed. These invariants keep every table in
+//! EXPERIMENTS.md regenerable bit-for-bit.
+
+use mdl_core::prelude::*;
+
+#[test]
+fn data_generators_are_seed_deterministic() {
+    let gen_biaffect = |seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        BiAffectDataset::generate(
+            &BiAffectConfig { participants: 3, sessions_per_participant: 5, ..Default::default() },
+            &mut rng,
+        )
+    };
+    assert_eq!(gen_biaffect(1), gen_biaffect(1));
+    assert_ne!(gen_biaffect(1), gen_biaffect(2));
+
+    let gen_keystroke = |seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        KeystrokeDataset::generate(
+            &KeystrokeConfig { users: 3, sessions_per_user: 4, ..Default::default() },
+            &mut rng,
+        )
+    };
+    assert_eq!(gen_keystroke(5), gen_keystroke(5));
+
+    let gen_digits = |seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        mdl_core::data::synthetic::synthetic_digits(50, 0.1, &mut rng)
+    };
+    assert_eq!(gen_digits(9), gen_digits(9));
+}
+
+#[test]
+fn training_is_seed_deterministic() {
+    let train = |seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = mdl_core::data::synthetic::gaussian_blobs(120, 3, 0.4, &mut rng);
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 8, Activation::Relu, &mut rng));
+        net.push(Dense::new(8, 3, Activation::Identity, &mut rng));
+        let mut opt = Adam::new(0.01);
+        let _ = fit_classifier(
+            &mut net,
+            &mut opt,
+            &data.x,
+            &data.y,
+            &TrainConfig { epochs: 5, ..Default::default() },
+            &mut rng,
+        );
+        net.param_vector()
+    };
+    assert_eq!(train(42), train(42));
+    assert_ne!(train(42), train(43));
+}
+
+#[test]
+fn federated_runs_are_seed_deterministic() {
+    let run = |seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = mdl_core::data::synthetic::gaussian_blobs(200, 2, 0.4, &mut rng);
+        let (train, test) = data.split(0.8, &mut rng);
+        let clients = partition_dataset(&train, 4, Partition::Iid, &mut rng);
+        let spec = MlpSpec::new(vec![2, 6, 2], 1);
+        let availability = AvailabilityModel::always_available(4);
+        mdl_core::federated::run_federated(
+            &spec,
+            &clients,
+            &test,
+            &FedConfig { rounds: 5, ..Default::default() },
+            &availability,
+            &mut rng,
+        )
+        .final_params
+    };
+    assert_eq!(run(7), run(7));
+}
+
+#[test]
+fn compression_is_seed_deterministic() {
+    let compress = |seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Sequential::new();
+        net.push(Dense::new(16, 16, Activation::Relu, &mut rng));
+        net.push(Dense::new(16, 4, Activation::Identity, &mut rng));
+        let c = deep_compress(
+            &mut net,
+            None,
+            &DeepCompressionConfig { sparsity: 0.7, quant_bits: 4, finetune: None, prune_steps: 1 },
+            &mut rng,
+        );
+        (c.report.final_bytes, c.decompress().param_vector())
+    };
+    assert_eq!(compress(3), compress(3));
+}
+
+#[test]
+fn deepmood_predictions_are_seed_deterministic() {
+    let run = |seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cohort = BiAffectDataset::generate(
+            &BiAffectConfig { participants: 3, sessions_per_participant: 10, ..Default::default() },
+            &mut rng,
+        );
+        let (train, test) = cohort.split(0.7, &mut rng);
+        let eval = mdl_core::deepmood::train_and_evaluate(
+            &train,
+            &test,
+            &DeepMoodConfig { epochs: 2, hidden_dim: 4, ..Default::default() },
+            &mut rng,
+        );
+        eval.accuracy
+    };
+    assert_eq!(run(11), run(11));
+}

@@ -1,0 +1,145 @@
+//! End-to-end lifecycle integration: the full train → compress → deploy
+//! pipeline spanning every crate in the workspace.
+
+use mdl_core::prelude::*;
+
+fn digits_clients(
+    n: usize,
+    clients: usize,
+    rng: &mut StdRng,
+) -> (Vec<Dataset>, Dataset) {
+    let data = mdl_core::data::synthetic::synthetic_digits(n, 0.08, rng);
+    let (train, test) = data.split(0.8, rng);
+    (partition_dataset(&train, clients, Partition::Iid, rng), test)
+}
+
+#[test]
+fn pipeline_end_to_end_under_non_iid_data() {
+    let mut rng = StdRng::seed_from_u64(9001);
+    let data = mdl_core::data::synthetic::synthetic_digits(1000, 0.08, &mut rng);
+    let (train, test) = data.split(0.8, &mut rng);
+    let clients = partition_dataset(&train, 16, Partition::Dirichlet(0.5), &mut rng);
+
+    let config = PipelineConfig {
+        spec: MlpSpec::new(vec![64, 48, 24, 10], 3),
+        federated: DpFedConfig {
+            rounds: 20,
+            sample_prob: 0.8,
+            local_epochs: 3,
+            learning_rate: 0.15,
+            clip_norm: 2.0,
+            noise_multiplier: 0.2,
+            ..Default::default()
+        },
+        compression: DeepCompressionConfig {
+            sparsity: 0.6,
+            quant_bits: 5,
+            finetune: Some((3, 0.005)),
+            prune_steps: 2,
+        },
+        arden: ArdenConfig {
+            split_at: 1,
+            nullification_rate: 0.1,
+            noise_sigma: 0.3,
+            clip_norm: 5.0,
+        },
+        device: DeviceProfile::flagship_phone(),
+        network: NetworkProfile::lte(),
+    };
+    let report = run_pipeline(&config, &clients, &test, &mut rng);
+
+    // the non-IID partition should still train a usable model
+    assert!(report.trained_accuracy > 0.55, "trained {}", report.trained_accuracy);
+    // every stage reports coherent artefacts
+    assert!(report.compression_ratio > 4.0);
+    assert!(report.compressed_accuracy > 0.4);
+    assert!(report.training_epsilon.is_finite());
+    assert_eq!(report.deployments.len(), 3);
+    // the split row keeps data private at finite epsilon
+    let split = report.deployments.iter().find(|r| r.strategy == "arden-split").unwrap();
+    assert!(!split.raw_data_leaves_device && split.epsilon.is_finite());
+}
+
+#[test]
+fn federated_then_compressed_model_still_classifies() {
+    let mut rng = StdRng::seed_from_u64(9002);
+    let (clients, test) = digits_clients(800, 10, &mut rng);
+    let spec = MlpSpec::new(vec![64, 64, 10], 5);
+    let availability = AvailabilityModel::always_available(10);
+    let run = run_federated(
+        &clients,
+        &test,
+        &spec,
+        &availability,
+        &mut rng,
+    );
+    assert!(run.0 > 0.7, "federated accuracy {}", run.0);
+
+    // compress the federated model and verify the codec round-trips
+    let mut model = spec.build_with(&run.1);
+    let c = deep_compress(
+        &mut model,
+        None,
+        &DeepCompressionConfig { sparsity: 0.5, quant_bits: 5, finetune: None, prune_steps: 1 },
+        &mut rng,
+    );
+    let mut restored = c.decompress();
+    let acc = restored.accuracy(&test.x, &test.y);
+    assert!(acc > 0.55, "compressed accuracy {acc}");
+    // the restored net agrees with the quantized weights bit-for-bit
+    for (layer, compressed) in restored.layers_mut().iter_mut().zip(c.layers.iter()) {
+        let dense = layer.as_any_mut().downcast_mut::<Dense>().unwrap();
+        assert!(dense.weight().approx_eq(&compressed.weights.dequantize(), 0.0));
+    }
+}
+
+// helper wrapping run_federated with a simpler signature for this test file
+fn run_federated(
+    clients: &[Dataset],
+    test: &Dataset,
+    spec: &MlpSpec,
+    availability: &AvailabilityModel,
+    rng: &mut StdRng,
+) -> (f64, Vec<f32>) {
+    let run = mdl_core::federated::run_federated(
+        spec,
+        clients,
+        test,
+        &FedConfig {
+            rounds: 15,
+            client_fraction: 0.5,
+            local_epochs: 3,
+            learning_rate: 0.2,
+            ..Default::default()
+        },
+        availability,
+        rng,
+    );
+    (run.final_accuracy(), run.final_params)
+}
+
+#[test]
+fn availability_throttles_participation() {
+    let mut rng = StdRng::seed_from_u64(9003);
+    let (clients, test) = digits_clients(600, 12, &mut rng);
+    let spec = MlpSpec::new(vec![64, 32, 10], 5);
+
+    let always = AvailabilityModel::always_available(12);
+    let overnight = AvailabilityModel::overnight(12);
+    let cfg = FedConfig { rounds: 10, client_fraction: 1.0, ..Default::default() };
+    let run_always =
+        mdl_core::federated::run_federated(&spec, &clients, &test, &cfg, &always, &mut rng);
+    let run_night =
+        mdl_core::federated::run_federated(&spec, &clients, &test, &cfg, &overnight, &mut rng);
+
+    let avg = |r: &mdl_core::federated::FedRun| {
+        r.history.iter().map(|h| h.participants).sum::<usize>() as f64
+            / r.history.len().max(1) as f64
+    };
+    assert!(
+        avg(&run_night) < avg(&run_always),
+        "eligibility policy must reduce cohort sizes: {} vs {}",
+        avg(&run_night),
+        avg(&run_always)
+    );
+}

@@ -1,0 +1,118 @@
+//! Cross-crate privacy integration: the accountant, mechanisms, DP
+//! training and the ARDEN perturbation working together.
+
+use mdl_core::prelude::*;
+
+#[test]
+fn accountant_matches_across_entry_points() {
+    // the ε reported by a DP-FedAvg run must equal a fresh accountant fed
+    // the same (q, z, steps)
+    let mut rng = StdRng::seed_from_u64(9201);
+    let data = mdl_core::data::synthetic::gaussian_blobs(300, 3, 0.5, &mut rng);
+    let (train, test) = data.split(0.8, &mut rng);
+    let clients = partition_dataset(&train, 10, Partition::Iid, &mut rng);
+    let spec = MlpSpec::new(vec![2, 8, 3], 2);
+    let rounds = 12;
+    let q = 0.5;
+    let z = 0.8;
+    let run = run_dp_fedavg(
+        &spec,
+        &clients,
+        &test,
+        &DpFedConfig {
+            rounds,
+            sample_prob: q,
+            noise_multiplier: z,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let expected = compute_epsilon(q, z, rounds as u64, 1e-5);
+    assert!(
+        (run.epsilon - expected).abs() < 1e-9,
+        "run ε {} vs accountant ε {expected}",
+        run.epsilon
+    );
+}
+
+#[test]
+fn dp_noise_actually_randomises_the_model() {
+    // two DP runs from the same init but different noise draws must differ;
+    // two noiseless runs with identical seeds must agree exactly
+    let mut rng = StdRng::seed_from_u64(9202);
+    let data = mdl_core::data::synthetic::gaussian_blobs(200, 2, 0.4, &mut rng);
+    let (train, test) = data.split(0.8, &mut rng);
+    let clients = partition_dataset(&train, 5, Partition::Iid, &mut rng);
+    let spec = MlpSpec::new(vec![2, 6, 2], 4);
+
+    let run_with = |seed: u64, z: f64| {
+        let mut r = StdRng::seed_from_u64(seed);
+        run_dp_fedavg(
+            &spec,
+            &clients,
+            &test,
+            &DpFedConfig {
+                rounds: 4,
+                noise_multiplier: z,
+                clip_norm: 1.0,
+                ..Default::default()
+            },
+            &mut r,
+        )
+        .final_params
+    };
+    assert_eq!(run_with(7, 0.0), run_with(7, 0.0), "deterministic given seed");
+    assert_ne!(run_with(7, 1.0), run_with(8, 1.0), "noise must differ across seeds");
+}
+
+#[test]
+fn arden_privacy_epsilon_tracks_the_gaussian_mechanism() {
+    let mut rng = StdRng::seed_from_u64(9203);
+    let mut net = Sequential::new();
+    net.push(Dense::new(8, 4, Activation::Relu, &mut rng));
+    net.push(Dense::new(4, 2, Activation::Identity, &mut rng));
+    let arden = Arden::from_pretrained(
+        net,
+        ArdenConfig { split_at: 1, nullification_rate: 0.0, noise_sigma: 2.0, clip_norm: 1.0 },
+    );
+    // sensitivity 2·clip = 2, multiplier = σ/sens = 1.0
+    let expected = GaussianMechanism::new(2.0, 1.0).epsilon_single_shot(1e-5);
+    assert!((arden.privacy_epsilon(1e-5) - expected).abs() < 1e-12);
+}
+
+#[test]
+fn sparse_vector_composes_with_selective_sgd_style_selection() {
+    // use SVT to decide which gradient magnitudes are worth uploading —
+    // the privacy-preserving variant of reference [16]'s selection rule
+    use mdl_core::privacy::{SparseVector, SvtAnswer};
+    let mut rng = StdRng::seed_from_u64(9204);
+    let gradients: Vec<f64> =
+        (0..100).map(|i| if i % 10 == 0 { 5.0 } else { 0.01 }).collect();
+    let mut svt = SparseVector::new(1.0, 1e5, 1.0, 10, &mut rng);
+    let picked = svt.select_indices(&gradients, &mut rng);
+    assert_eq!(picked.len(), 10, "all ten large coordinates found: {picked:?}");
+    assert!(picked.iter().all(|&i| i % 10 == 0));
+    assert_eq!(svt.query(100.0, &mut rng), SvtAnswer::Exhausted);
+}
+
+#[test]
+fn dp_sgd_epsilon_grows_monotonically_during_training() {
+    let mut rng = StdRng::seed_from_u64(9205);
+    let data = mdl_core::data::synthetic::gaussian_blobs(150, 2, 0.4, &mut rng);
+    let mut eps_prev = 0.0;
+    for epochs in [1usize, 3, 6] {
+        let mut model = Sequential::new();
+        let mut r = StdRng::seed_from_u64(1);
+        model.push(Dense::new(2, 6, Activation::Relu, &mut r));
+        model.push(Dense::new(6, 2, Activation::Identity, &mut r));
+        let report = train_dp_sgd(
+            &mut model,
+            &data.x,
+            &data.y,
+            &DpSgdConfig { epochs, ..Default::default() },
+            &mut rng,
+        );
+        assert!(report.epsilon > eps_prev, "ε must grow with training length");
+        eps_prev = report.epsilon;
+    }
+}
