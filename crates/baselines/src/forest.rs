@@ -77,13 +77,7 @@ impl Classifier for RandomForest {
         }
         votes
             .iter()
-            .map(|v| {
-                v.iter()
-                    .enumerate()
-                    .max_by_key(|&(_, &c)| c)
-                    .map(|(i, _)| i)
-                    .unwrap_or(0)
-            })
+            .map(|v| v.iter().enumerate().max_by_key(|&(_, &c)| c).map(|(i, _)| i).unwrap_or(0))
             .collect()
     }
 

@@ -68,18 +68,31 @@ impl RegTree {
             if let Some(split) =
                 best_split(x, idx, grad, hess, g, h, lambda, gamma, min_child_weight)
             {
-                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
-                    .iter()
-                    .partition(|&&i| x[(i, split.feature)] <= split.threshold);
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                    idx.iter().partition(|&&i| x[(i, split.feature)] <= split.threshold);
                 if !left_idx.is_empty() && !right_idx.is_empty() {
                     let me = self.nodes.len();
                     self.nodes.push(RegNode::Leaf { weight: 0.0 });
                     let left = self.build(
-                        x, &left_idx, grad, hess, depth + 1, max_depth, lambda, gamma,
+                        x,
+                        &left_idx,
+                        grad,
+                        hess,
+                        depth + 1,
+                        max_depth,
+                        lambda,
+                        gamma,
                         min_child_weight,
                     );
                     let right = self.build(
-                        x, &right_idx, grad, hess, depth + 1, max_depth, lambda, gamma,
+                        x,
+                        &right_idx,
+                        grad,
+                        hess,
+                        depth + 1,
+                        max_depth,
+                        lambda,
+                        gamma,
                         min_child_weight,
                     );
                     self.nodes[me] = RegNode::Split {
@@ -145,10 +158,9 @@ fn best_split(
             if hl < min_child_weight || hr < min_child_weight {
                 continue;
             }
-            let gain = 0.5
-                * (gl * gl / (hl + lambda) + gr * gr / (hr + lambda) - parent_score)
-                - gamma;
-            if gain > 0.0 && best.as_ref().map_or(true, |(b, _)| gain > *b) {
+            let gain =
+                0.5 * (gl * gl / (hl + lambda) + gr * gr / (hr + lambda) - parent_score) - gamma;
+            if gain > 0.0 && best.as_ref().is_none_or(|(b, _)| gain > *b) {
                 best = Some((gain, SplitSpec { feature: f, threshold: 0.5 * (v_here + v_next) }));
             }
         }

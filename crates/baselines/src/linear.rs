@@ -24,14 +24,7 @@ pub struct LogisticRegression {
 
 impl Default for LogisticRegression {
     fn default() -> Self {
-        Self {
-            learning_rate: 0.1,
-            l2: 1e-4,
-            epochs: 60,
-            batch_size: 32,
-            weights: None,
-            bias: None,
-        }
+        Self { learning_rate: 0.1, l2: 1e-4, epochs: 60, batch_size: 32, weights: None, bias: None }
     }
 }
 

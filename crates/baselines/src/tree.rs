@@ -10,15 +10,8 @@ use serde::{Deserialize, Serialize};
 /// Tree nodes stored in a flat arena.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub(crate) enum Node {
-    Leaf {
-        class: usize,
-    },
-    Split {
-        feature: usize,
-        threshold: f32,
-        left: usize,
-        right: usize,
-    },
+    Leaf { class: usize },
+    Split { feature: usize, threshold: f32, left: usize, right: usize },
 }
 
 /// A CART-style classification tree.
@@ -37,7 +30,13 @@ pub struct DecisionTree {
 
 impl Default for DecisionTree {
     fn default() -> Self {
-        Self { max_depth: 12, min_samples_split: 4, max_features: None, nodes: Vec::new(), classes: 0 }
+        Self {
+            max_depth: 12,
+            min_samples_split: 4,
+            max_features: None,
+            nodes: Vec::new(),
+            classes: 0,
+        }
     }
 }
 
@@ -51,12 +50,7 @@ fn gini(counts: &[usize]) -> f64 {
 }
 
 fn majority(counts: &[usize]) -> usize {
-    counts
-        .iter()
-        .enumerate()
-        .max_by_key(|&(_, &c)| c)
-        .map(|(i, _)| i)
-        .unwrap_or(0)
+    counts.iter().enumerate().max_by_key(|&(_, &c)| c).map(|(i, _)| i).unwrap_or(0)
 }
 
 impl DecisionTree {
@@ -108,9 +102,7 @@ impl DecisionTree {
             // sort example indices by feature value
             let mut sorted: Vec<usize> = idx.to_vec();
             sorted.sort_by(|&a, &b| {
-                data.x[(a, f)]
-                    .partial_cmp(&data.x[(b, f)])
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                data.x[(a, f)].partial_cmp(&data.x[(b, f)]).unwrap_or(std::cmp::Ordering::Equal)
             });
             let mut left_counts = vec![0usize; self.classes];
             let mut right_counts = parent_counts.clone();
@@ -125,10 +117,9 @@ impl DecisionTree {
                 }
                 let nl = (w + 1) as f64;
                 let nr = n - nl;
-                let weighted =
-                    nl / n * gini(&left_counts) + nr / n * gini(&right_counts);
+                let weighted = nl / n * gini(&left_counts) + nr / n * gini(&right_counts);
                 let decrease = parent_gini - weighted;
-                if best.map_or(true, |(_, _, d)| decrease > d) {
+                if best.is_none_or(|(_, _, d)| decrease > d) {
                     best = Some((f, 0.5 * (v_here + v_next), decrease));
                 }
             }
@@ -138,9 +129,8 @@ impl DecisionTree {
 
     fn build(&mut self, data: &Dataset, idx: &[usize], depth: usize, rng: &mut StdRng) -> usize {
         let counts = self.class_counts(data, idx);
-        let make_leaf = depth >= self.max_depth
-            || idx.len() < self.min_samples_split
-            || gini(&counts) == 0.0;
+        let make_leaf =
+            depth >= self.max_depth || idx.len() < self.min_samples_split || gini(&counts) == 0.0;
         if !make_leaf {
             if let Some((feature, threshold, _)) = self.best_split(data, idx, rng) {
                 let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =

@@ -16,11 +16,8 @@ fn bench_fusion_heads(c: &mut Criterion) {
     group.sample_size(10).measurement_time(Duration::from_secs(3));
     let mut rng = StdRng::seed_from_u64(2050);
     let sessions = sample_sessions(16, &mut rng);
-    let pairs: Vec<(Vec<&Matrix>, usize)> = sessions
-        .iter()
-        .enumerate()
-        .map(|(i, s)| (s.views().to_vec(), i % 2))
-        .collect();
+    let pairs: Vec<(Vec<&Matrix>, usize)> =
+        sessions.iter().enumerate().map(|(i, s)| (s.views().to_vec(), i % 2)).collect();
 
     for (name, fusion) in [
         ("fc", FusionKind::FullyConnected { hidden: 24 }),

@@ -51,17 +51,21 @@ fn bench_selective_round(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2011);
     let (spec, clients, test) = setup(&mut rng);
     for &theta in &[0.01f64, 0.1, 1.0] {
-        group.bench_with_input(BenchmarkId::new("theta", format!("{theta}")), &theta, |bench, &t| {
-            bench.iter(|| {
-                let cfg = SelectiveConfig {
-                    rounds: 1,
-                    upload_fraction: t,
-                    local_steps: 5,
-                    ..Default::default()
-                };
-                std::hint::black_box(run_selective_sgd(&spec, &clients, &test, &cfg, &mut rng))
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("theta", format!("{theta}")),
+            &theta,
+            |bench, &t| {
+                bench.iter(|| {
+                    let cfg = SelectiveConfig {
+                        rounds: 1,
+                        upload_fraction: t,
+                        local_steps: 5,
+                        ..Default::default()
+                    };
+                    std::hint::black_box(run_selective_sgd(&spec, &clients, &test, &cfg, &mut rng))
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mdl_core::compress::{BlockCirculant, CsrMatrix};
-use mdl_core::prelude::*;
 use mdl_core::nn::Layer;
+use mdl_core::prelude::*;
 use std::time::Duration;
 
 fn bench_forward_variants(c: &mut Criterion) {

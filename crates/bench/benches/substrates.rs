@@ -2,9 +2,9 @@
 //! and the GRU forward/backward that dominates the applications' training.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdl_core::nn::Layer;
 use mdl_core::prelude::*;
 use rand::Rng as _;
-use mdl_core::nn::Layer;
 use std::time::Duration;
 
 fn bench_matmul(c: &mut Criterion) {

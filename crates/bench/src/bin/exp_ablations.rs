@@ -81,11 +81,7 @@ fn main() {
             &availability,
             &mut rng,
         );
-        rows.push(vec![
-            label.into(),
-            pct(run.final_accuracy()),
-            fmt_bytes(run.ledger.bytes_up),
-        ]);
+        rows.push(vec![label.into(), pct(run.final_accuracy()), fmt_bytes(run.ledger.bytes_up)]);
     }
     print_table(
         "ablation — FedAvg transport and robustness (20 clients, 15 rounds)",

@@ -6,10 +6,10 @@
 //! storage/compute trade-off.
 
 use mdl_bench::{fmt_bytes, pct, print_table};
-use mdl_core::prelude::*;
 use mdl_core::compress::{
     apply_masks, factorize_network, prune_network, BlockCirculant, QuantizedMatrix,
 };
+use mdl_core::prelude::*;
 
 fn trained_net(rng: &mut StdRng) -> (Sequential, Dataset, Dataset) {
     let data = mdl_core::data::synthetic::synthetic_digits(1600, 0.08, rng);
@@ -62,11 +62,7 @@ fn main() {
             );
             apply_masks(&mut net, &masks);
         }
-        rows.push(vec![
-            pct(sparsity),
-            pct(no_ft),
-            pct(net.accuracy(&test.x, &test.y)),
-        ]);
+        rows.push(vec![pct(sparsity), pct(no_ft), pct(net.accuracy(&test.x, &test.y))]);
     }
     print_table(
         "§III-B — magnitude pruning (references [13], [28])",
@@ -85,11 +81,7 @@ fn main() {
             q_bytes += q.storage_bytes();
             *d.weight_mut() = q.dequantize();
         }
-        rows.push(vec![
-            format!("{bits}"),
-            pct(net.accuracy(&test.x, &test.y)),
-            fmt_bytes(q_bytes),
-        ]);
+        rows.push(vec![format!("{bits}"), pct(net.accuracy(&test.x, &test.y)), fmt_bytes(q_bytes)]);
     }
     print_table(
         "§III-B — k-means weight sharing (references [28], [32]–[34])",
@@ -108,12 +100,7 @@ fn main() {
         let c = deep_compress(
             &mut net,
             Some((&train.x, &train.y)),
-            &DeepCompressionConfig {
-                sparsity: 0.8,
-                quant_bits: 4,
-                finetune,
-                prune_steps: steps,
-            },
+            &DeepCompressionConfig { sparsity: 0.8, quant_bits: 4, finetune, prune_steps: steps },
             &mut rng,
         );
         let acc = c.decompress().accuracy(&test.x, &test.y);
@@ -135,14 +122,11 @@ fn main() {
     let mut rows = Vec::new();
     for rank in [2usize, 4, 8, 16, 32] {
         let mut net = rebuild(&params, &mut rng);
-        let mut fact = factorize_network(&mut net, |d| rank.min(d.weight().rows().min(d.weight().cols())));
+        let fact =
+            factorize_network(&mut net, |d| rank.min(d.weight().rows().min(d.weight().cols())));
         let infos = fact.layer_infos();
         let p: usize = infos.iter().map(|i| i.params).sum();
-        rows.push(vec![
-            format!("{rank}"),
-            format!("{p}"),
-            pct(fact.accuracy(&test.x, &test.y)),
-        ]);
+        rows.push(vec![format!("{rank}"), format!("{p}"), pct(fact.accuracy(&test.x, &test.y))]);
     }
     print_table(
         "§III-B — low-rank factorization (reference [36])",

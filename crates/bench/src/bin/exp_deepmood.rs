@@ -6,13 +6,18 @@
 //! on the synthetic BiAffect cohort.
 
 use mdl_bench::{pct, print_table};
-use mdl_core::prelude::*;
 use mdl_core::deepmood::train_and_evaluate;
+use mdl_core::prelude::*;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(1006);
     let cohort = BiAffectDataset::generate(
-        &BiAffectConfig { participants: 40, sessions_per_participant: 40, mood_effect: 1.25, ..Default::default() },
+        &BiAffectConfig {
+            participants: 40,
+            sessions_per_participant: 40,
+            mood_effect: 1.25,
+            ..Default::default()
+        },
         &mut rng,
     );
     let (train_sessions, test_sessions) = cohort.split(0.75, &mut rng);
@@ -85,10 +90,7 @@ fn main() {
         &["method", "accuracy", "macro F1"],
         &rows,
     );
-    println!(
-        "\nbest DeepMood vs XGBoost margin: {:+.2}%",
-        100.0 * (best_deep - xgb_acc)
-    );
+    println!("\nbest DeepMood vs XGBoost margin: {:+.2}%", 100.0 * (best_deep - xgb_acc));
     println!(
         "expected shape: DeepMood variants lead, XGBoost is the strongest\n\
          shallow model, and the linear models trail far behind."

@@ -6,9 +6,9 @@
 //! scatter with heterogeneous per-participant session counts.
 
 use mdl_bench::{pct, print_table};
-use mdl_core::prelude::*;
 use mdl_core::data::biaffect::MoodSession;
 use mdl_core::deepmood::per_participant_analysis;
+use mdl_core::prelude::*;
 use rand::Rng;
 
 fn main() {
@@ -25,7 +25,7 @@ fn main() {
             2 => 150,
             3 => 320,
             _ => 520,
-        } + rng.gen_range(0..20);
+        } + rng.gen_range(0..20usize);
         let single = BiAffectConfig {
             participants: 1,
             sessions_per_participant: sessions,
@@ -80,11 +80,7 @@ fn main() {
     let rows: Vec<Vec<String>> = sorted
         .iter()
         .map(|p| {
-            vec![
-                format!("{}", p.participant),
-                format!("{}", p.training_sessions),
-                pct(p.accuracy),
-            ]
+            vec![format!("{}", p.participant), format!("{}", p.training_sessions), pct(p.accuracy)]
         })
         .collect();
     print_table(

@@ -17,13 +17,7 @@ fn main() {
     let rows: Vec<Vec<String>> = report
         .pairs
         .iter()
-        .map(|p| {
-            vec![
-                format!("({}, {})", p.users.0, p.users.1),
-                pct(p.accuracy),
-                pct(p.f1),
-            ]
-        })
+        .map(|p| vec![format!("({}, {})", p.users.0, p.users.1), pct(p.accuracy), pct(p.f1)])
         .collect();
     print_table(
         "§IV-B — binary identification over 10 random user pairs (paper: 99.1% acc / 98.97% F1)",

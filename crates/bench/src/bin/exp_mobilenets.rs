@@ -5,8 +5,8 @@
 //! what the MAC reduction buys on real device classes.
 
 use mdl_bench::{pct, print_table};
-use mdl_core::prelude::*;
 use mdl_core::nn::{AvgPool2d, Conv2d, ImageShape, SeparableConv2d};
+use mdl_core::prelude::*;
 
 fn train_and_score(
     mut net: Sequential,
@@ -86,10 +86,9 @@ fn main() {
 
     // device economics of the MAC reduction
     let mut rows = Vec::new();
-    for (name, device) in [
-        ("midrange", DeviceProfile::midrange_phone()),
-        ("wearable", DeviceProfile::wearable()),
-    ] {
+    for (name, device) in
+        [("midrange", DeviceProfile::midrange_phone()), ("wearable", DeviceProfile::wearable())]
+    {
         let s = device.inference_cost(&standard.layer_infos(), 4.0);
         let m = device.inference_cost(&mobile.layer_infos(), 4.0);
         rows.push(vec![

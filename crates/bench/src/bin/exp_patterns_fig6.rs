@@ -6,8 +6,8 @@
 //! that separate users.
 
 use mdl_bench::print_table;
-use mdl_core::prelude::*;
 use mdl_core::deepservice::{analyze_top_users, format_patterns};
+use mdl_core::prelude::*;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(1010);

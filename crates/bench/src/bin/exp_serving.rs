@@ -1,0 +1,165 @@
+//! E11 — serving-tier behaviour under load: the `mdl-serve` runtime
+//! (dynamic micro-batching + placement routing + early-exit shedding)
+//! driven by a deterministic open-loop Poisson load at three offered
+//! rates. Prints the latency/throughput/shed table and writes the same
+//! numbers to `BENCH_serving.json` so the perf trajectory is tracked
+//! across commits, then demonstrates a hot model swap under load.
+
+use mdl_bench::print_table;
+use mdl_core::prelude::*;
+use mdl_serve::{run_load, InferenceServer, LoadGenConfig, LoadMode, ServeConfig};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// ~9.6M MACs per example — a wearable on Wi-Fi offloads this to the
+/// cloud path, which is where batching and shedding live.
+fn model(seed: u64) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = Sequential::new();
+    net.push(Dense::new(32, 3072, Activation::Relu, &mut rng));
+    net.push(Dense::new(3072, 3072, Activation::Relu, &mut rng));
+    net.push(Dense::new(3072, 10, Activation::Identity, &mut rng));
+    net
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig {
+        workers: 4,
+        max_batch: 8,
+        max_wait: Duration::from_millis(2),
+        queue_capacity: 256,
+        shed_queue_depth: 32,
+    }
+}
+
+struct Level {
+    offered_rps: f64,
+    report: mdl_serve::LoadReport,
+}
+
+/// The on-device early-exit head used for shedding.
+fn fallback() -> Sequential {
+    let mut rng = StdRng::seed_from_u64(1007);
+    let mut net = Sequential::new();
+    net.push(Dense::new(32, 10, Activation::Identity, &mut rng));
+    net
+}
+
+fn main() {
+    let inputs = Matrix::from_fn(128, 32, |r, c| ((r * 32 + c) as f32 * 0.37).sin());
+
+    // --- open-loop sweep: offered load vs latency/throughput/shedding ---
+    // All clients are wearables on Wi-Fi, so every request is cloud-bound
+    // and the sweep isolates the queue/batch/shed machinery. (Local and
+    // split routing are exercised by the pipeline smoke test and the
+    // integration suite.)
+    let offered = [200.0, 800.0, 3200.0];
+    let requests = 480;
+    let mut levels = Vec::new();
+    for (i, &rps) in offered.iter().enumerate() {
+        // fresh server per level so the histograms don't mix
+        let server = InferenceServer::start(model(42), Some(fallback()), serve_config());
+        let client = server.client();
+        let report = run_load(
+            &client,
+            &inputs,
+            &LoadGenConfig {
+                seed: 500 + i as u64,
+                requests,
+                mode: LoadMode::Open { rps },
+                profiles: vec![ClientProfile {
+                    device: DeviceClass::Wearable,
+                    network: NetworkClass::Wifi,
+                }],
+            },
+        );
+        drop(client);
+        server.shutdown();
+        levels.push(Level { offered_rps: rps, report });
+    }
+
+    let rows: Vec<Vec<String>> = levels
+        .iter()
+        .map(|l| {
+            let r = &l.report;
+            vec![
+                format!("{:.0}", l.offered_rps),
+                format!("{}", r.completed),
+                format!("{:.0}", r.throughput_rps()),
+                format!("{:.2}", r.percentile(50.0).as_secs_f64() * 1e3),
+                format!("{:.2}", r.percentile(95.0).as_secs_f64() * 1e3),
+                format!("{:.2}", r.percentile(99.0).as_secs_f64() * 1e3),
+                format!("{:.1}", r.mean_batch_size),
+                format!("{:.1}%", r.shed_rate() * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        "serving under open-loop Poisson load (4 workers, max_batch 8, max_wait 2ms)",
+        &["offered rps", "done", "rps", "p50 ms", "p95 ms", "p99 ms", "mean batch", "shed"],
+        &rows,
+    );
+    println!(
+        "\nexpected shape: throughput tracks offered load until the worker pool\n\
+         saturates; past that the queue fills, batches grow toward max_batch,\n\
+         and excess cloud-bound requests shed to the on-device early exit."
+    );
+
+    // --- JSON artifact ---
+    let mut json = String::from("{\n  \"benchmark\": \"serving\",\n  \"levels\": [\n");
+    for (i, l) in levels.iter().enumerate() {
+        let r = &l.report;
+        let _ = writeln!(
+            json,
+            "    {{\"offered_rps\": {:.1}, \"requests\": {}, \"completed\": {}, \
+             \"throughput_rps\": {:.1}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \
+             \"mean_batch_size\": {:.2}, \"shed_rate\": {:.4}}}{}",
+            l.offered_rps,
+            requests,
+            r.completed,
+            r.throughput_rps(),
+            r.percentile(50.0).as_micros(),
+            r.percentile(95.0).as_micros(),
+            r.percentile(99.0).as_micros(),
+            r.mean_batch_size,
+            r.shed_rate(),
+            if i + 1 < levels.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_serving.json", &json).expect("write BENCH_serving.json");
+    println!("\nwrote BENCH_serving.json");
+
+    // --- hot swap under load ---
+    let server = InferenceServer::start(model(42), None, serve_config());
+    let client = server.client();
+    let profile = ClientProfile { device: DeviceClass::Wearable, network: NetworkClass::Wifi };
+    let loader = {
+        let client = client.clone();
+        let inputs = inputs.clone();
+        std::thread::spawn(move || {
+            run_load(
+                &client,
+                &inputs,
+                &LoadGenConfig {
+                    seed: 900,
+                    requests: 240,
+                    mode: LoadMode::Closed { concurrency: 6 },
+                    profiles: vec![profile],
+                },
+            )
+        })
+    };
+    std::thread::sleep(Duration::from_millis(20));
+    let v2 = server.swap_model(model(43));
+    let report = loader.join().expect("load thread");
+    println!(
+        "\nhot swap under load: swapped to v{v2} mid-run; {} / 240 requests answered, \
+         {} swaps recorded, final served version {}",
+        report.completed,
+        server.swap_count(),
+        server.version()
+    );
+    drop(client);
+    server.shutdown();
+}

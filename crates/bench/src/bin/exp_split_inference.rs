@@ -30,7 +30,7 @@ fn pretrained(rng: &mut StdRng) -> (Sequential, Dataset, Dataset) {
 fn main() {
     let mut rng = StdRng::seed_from_u64(1004);
     let (net, train, test) = pretrained(&mut rng);
-    let mut reference = net;
+    let reference = net;
     let base_acc = reference.accuracy(&test.x, &test.y);
     println!("pretrained accuracy (no perturbation): {}", pct(base_acc));
 
@@ -85,7 +85,10 @@ fn main() {
         &["payload", "bytes"],
         &[
             vec!["raw input (cloud inference, Fig. 2)".into(), fmt_bytes(4 * 64)],
-            vec!["perturbed representation (Fig. 3)".into(), fmt_bytes(arden.representation_bytes())],
+            vec![
+                "perturbed representation (Fig. 3)".into(),
+                fmt_bytes(arden.representation_bytes()),
+            ],
         ],
     );
 
@@ -98,9 +101,11 @@ fn main() {
         ("midrange", DeviceProfile::midrange_phone()),
         ("wearable", DeviceProfile::wearable()),
     ] {
-        for (net_name, network) in
-            [("wifi", NetworkProfile::wifi()), ("lte", NetworkProfile::lte()), ("3g", NetworkProfile::cellular_3g())]
-        {
+        for (net_name, network) in [
+            ("wifi", NetworkProfile::wifi()),
+            ("lte", NetworkProfile::lte()),
+            ("3g", NetworkProfile::cellular_3g()),
+        ] {
             let comparison = compare_deployments(
                 &net3,
                 &arden,

@@ -63,11 +63,7 @@ impl BlockCirculant {
         let out_blocks = out_dim / block;
         let std = (2.0 / in_dim as f32).sqrt();
         let generators: Vec<Vec<Matrix>> = (0..in_blocks)
-            .map(|_| {
-                (0..out_blocks)
-                    .map(|_| Init::Normal { std }.sample(1, block, rng))
-                    .collect()
-            })
+            .map(|_| (0..out_blocks).map(|_| Init::Normal { std }.sample(1, block, rng)).collect())
             .collect();
         let grads = (0..in_blocks)
             .map(|_| (0..out_blocks).map(|_| Matrix::zeros(1, block)).collect())
@@ -108,14 +104,9 @@ impl BlockCirculant {
         }
         w
     }
-}
 
-impl Layer for BlockCirculant {
-    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
-        self
-    }
-
-    fn forward(&mut self, x: &Matrix, _mode: Mode) -> Matrix {
+    /// Pre-activation outputs via the FFT block products.
+    fn pre_activation(&self, x: &Matrix) -> Matrix {
         let b = self.block;
         assert_eq!(x.cols(), b * self.in_blocks, "circulant input width mismatch");
         let mut pre = Matrix::zeros(x.rows(), b * self.out_blocks);
@@ -134,9 +125,24 @@ impl Layer for BlockCirculant {
                 }
             }
         }
+        pre
+    }
+}
+
+impl Layer for BlockCirculant {
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn forward(&mut self, x: &Matrix, _mode: Mode) -> Matrix {
+        let pre = self.pre_activation(x);
         let out = self.activation.apply_matrix(&pre);
         self.cache = Some((x.clone(), pre));
         out
+    }
+
+    fn forward_eval(&self, x: &Matrix) -> Matrix {
+        self.activation.apply_matrix(&self.pre_activation(x))
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
@@ -153,9 +159,7 @@ impl Layer for BlockCirculant {
                     let xi = &input.row(r)[i * b..(i + 1) * b];
                     // dL/dc = dy ⊛ rev(x)
                     let dc = circular_convolve(dy, &rev_gen(xi));
-                    for (g, &v) in
-                        self.grads[i][j].as_mut_slice().iter_mut().zip(dc.iter())
-                    {
+                    for (g, &v) in self.grads[i][j].as_mut_slice().iter_mut().zip(dc.iter()) {
                         *g += v;
                     }
                     // dL/dx = dy ⊛ rev(c)
@@ -244,11 +248,7 @@ mod tests {
             layer.set_param_vector(&minus);
             let lm = layer.forward(&x, Mode::Eval).sum();
             let fd = (lp - lm) / (2.0 * eps);
-            assert!(
-                (fd - analytic[k]).abs() < 1e-2,
-                "param {k}: fd={fd} analytic={}",
-                analytic[k]
-            );
+            assert!((fd - analytic[k]).abs() < 1e-2, "param {k}: fd={fd} analytic={}", analytic[k]);
         }
         layer.set_param_vector(&base);
         for r in 0..2 {

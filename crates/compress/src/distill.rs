@@ -73,9 +73,7 @@ pub fn distill(
             let logits = student.forward(&bx, Mode::Train);
             let (soft_loss, soft_grad) = distillation(&logits, &bt, config.temperature);
             let (hard_loss, hard_grad) = softmax_cross_entropy(&logits, &by);
-            let grad = soft_grad
-                .scale(config.alpha)
-                .add(&hard_grad.scale(1.0 - config.alpha));
+            let grad = soft_grad.scale(config.alpha).add(&hard_grad.scale(1.0 - config.alpha));
             let _ = student.backward(&grad);
             opt.step(student);
 

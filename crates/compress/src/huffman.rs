@@ -80,11 +80,7 @@ fn code_lengths(freqs: &[u64]) -> Vec<u8> {
         let b = heap.pop().expect("heap non-empty");
         tree.children.push(Some((a.node, b.node)));
         tree.symbol.push(None);
-        heap.push(HeapNode {
-            weight: a.weight + b.weight,
-            order,
-            node: tree.symbol.len() - 1,
-        });
+        heap.push(HeapNode { weight: a.weight + b.weight, order, node: tree.symbol.len() - 1 });
         order += 1;
     }
     // DFS to collect depths
@@ -260,8 +256,7 @@ mod tests {
         let data = b"the quick brown fox jumps over the lazy dog".to_vec();
         let enc = HuffmanEncoded::encode(&data);
         let codes = canonical_codes(&enc.code_lengths);
-        let used: Vec<(u32, u8)> =
-            codes.iter().cloned().filter(|&(_, l)| l > 0).collect();
+        let used: Vec<(u32, u8)> = codes.iter().cloned().filter(|&(_, l)| l > 0).collect();
         for (i, &(ca, la)) in used.iter().enumerate() {
             for &(cb, lb) in used.iter().skip(i + 1) {
                 let (short, slen, long, llen) =
@@ -285,7 +280,7 @@ mod tests {
     fn expected_length_beats_fixed_width_on_skew() {
         let mut data = Vec::new();
         for (sym, count) in [(0u8, 800), (1, 100), (2, 60), (3, 40)] {
-            data.extend(std::iter::repeat(sym).take(count));
+            data.extend(std::iter::repeat_n(sym, count));
         }
         let enc = HuffmanEncoded::encode(&data);
         let fixed_bits = data.len() * 2; // 4 symbols = 2 bits fixed

@@ -71,7 +71,10 @@ pub fn rank_for_energy(layer: &Dense, energy: f64) -> usize {
 
 /// Replaces every dense layer of `net` with its rank-`rank_of(layer)`
 /// factorization, returning the rebuilt network.
-pub fn factorize_network(net: &mut Sequential, mut rank_of: impl FnMut(&Dense) -> usize) -> Sequential {
+pub fn factorize_network(
+    net: &mut Sequential,
+    mut rank_of: impl FnMut(&Dense) -> usize,
+) -> Sequential {
     let mut out = Sequential::new();
     for layer in net.layers_mut() {
         match layer.as_any_mut().downcast_mut::<Dense>() {

@@ -124,10 +124,8 @@ pub fn deep_compress(
     let mut zero_count = 0usize;
     let mut weight_count = 0usize;
     for layer in net.layers_mut() {
-        let dense = layer
-            .as_any_mut()
-            .downcast_mut::<Dense>()
-            .expect("all-dense network (checked above)");
+        let dense =
+            layer.as_any_mut().downcast_mut::<Dense>().expect("all-dense network (checked above)");
         let w = dense.weight().clone();
         zero_count += w.as_slice().iter().filter(|&&v| v == 0.0).count();
         weight_count += w.len();
@@ -136,9 +134,8 @@ pub fn deep_compress(
         let q = QuantizedMatrix::kmeans(&w, config.quant_bits, rng);
         quantized_bytes += q.storage_bytes() + 4 * dense.bias().len() as u64;
         let encoded = HuffmanEncoded::encode(q.indices());
-        final_bytes += encoded.storage_bytes()
-            + 4 * q.codebook().len() as u64
-            + 4 * dense.bias().len() as u64;
+        final_bytes +=
+            encoded.storage_bytes() + 4 * q.codebook().len() as u64 + 4 * dense.bias().len() as u64;
 
         layers.push(CompressedDense {
             weights: q,
@@ -213,13 +210,18 @@ mod tests {
         let compressed = deep_compress(
             &mut net,
             Some((&train.x, &train.y)),
-            &DeepCompressionConfig { sparsity: 0.8, quant_bits: 4, finetune: Some((4, 0.01)), prune_steps: 2 },
+            &DeepCompressionConfig {
+                sparsity: 0.8,
+                quant_bits: 4,
+                finetune: Some((4, 0.01)),
+                prune_steps: 2,
+            },
             &mut rng,
         );
         let ratio = compressed.report.ratio();
         assert!(ratio > 10.0, "compression ratio {ratio}");
 
-        let mut restored = compressed.decompress();
+        let restored = compressed.decompress();
         let acc = restored.accuracy(&test.x, &test.y);
         assert!(
             acc > base_acc - 0.1,
@@ -254,7 +256,7 @@ mod tests {
             &DeepCompressionConfig { sparsity: 0.5, quant_bits: 5, finetune: None, prune_steps: 1 },
             &mut rng,
         );
-        let mut restored = c.decompress();
+        let restored = c.decompress();
         let acc = restored.accuracy(&test.x, &test.y);
         assert!(acc > 0.6, "mild one-shot compression keeps accuracy: {acc}");
     }
@@ -277,12 +279,8 @@ mod tests {
         };
         let mut b = rebuild(&params, &mut rng);
 
-        let cfg_no_ft = DeepCompressionConfig {
-            sparsity: 0.9,
-            quant_bits: 5,
-            finetune: None,
-            prune_steps: 1,
-        };
+        let cfg_no_ft =
+            DeepCompressionConfig { sparsity: 0.9, quant_bits: 5, finetune: None, prune_steps: 1 };
         let cfg_ft = DeepCompressionConfig {
             sparsity: 0.9,
             quant_bits: 5,

@@ -32,12 +32,8 @@ pub fn prune_matrix(weights: &mut Matrix, sparsity: f64) -> Matrix {
     if drop == 0 {
         return mask;
     }
-    let mut magnitudes: Vec<(f32, usize)> = weights
-        .as_slice()
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| (v.abs(), i))
-        .collect();
+    let mut magnitudes: Vec<(f32, usize)> =
+        weights.as_slice().iter().enumerate().map(|(i, &v)| (v.abs(), i)).collect();
     magnitudes.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
     for &(_, i) in magnitudes.iter().take(drop) {
         weights.as_mut_slice()[i] = 0.0;
@@ -102,12 +98,8 @@ mod tests {
         assert!((achieved_sparsity(&w) - 0.7).abs() < 0.02);
         assert_eq!(mask.sum() as usize, 30);
         // the surviving weights are the largest in magnitude
-        let min_kept = w
-            .as_slice()
-            .iter()
-            .filter(|&&v| v != 0.0)
-            .map(|v| v.abs())
-            .fold(f32::MAX, f32::min);
+        let min_kept =
+            w.as_slice().iter().filter(|&&v| v != 0.0).map(|v| v.abs()).fold(f32::MAX, f32::min);
         assert!(min_kept >= 2.0, "min kept magnitude {min_kept}");
     }
 

@@ -32,8 +32,7 @@ impl QuantizedMatrix {
     pub fn kmeans(dense: &Matrix, bits: u32, rng: &mut impl Rng) -> Self {
         assert!((1..=8).contains(&bits), "codebook bits must be in 1..=8");
         let k = (1usize << bits) - 1;
-        let nonzero: Vec<f32> =
-            dense.as_slice().iter().copied().filter(|&v| v != 0.0).collect();
+        let nonzero: Vec<f32> = dense.as_slice().iter().copied().filter(|&v| v != 0.0).collect();
 
         let centroids = if nonzero.is_empty() {
             Vec::new()

@@ -17,6 +17,7 @@
 //! | §III-B compression & acceleration | [`compress`](mdl_compress) |
 //! | §IV-A DeepMood | [`deepmood`](mdl_deepmood) |
 //! | §IV-B DEEPSERVICE | [`deepservice`](mdl_deepservice) |
+//! | §III serving tier (batching, hot swap, routing) | [`serve`](mdl_serve) |
 //! | substrates | [`tensor`](mdl_tensor), [`nn`](mdl_nn), [`data`](mdl_data), [`baselines`](mdl_baselines) |
 //!
 //! # Examples
@@ -46,14 +47,15 @@ pub use mdl_federated as federated;
 pub use mdl_mobile as mobile;
 pub use mdl_nn as nn;
 pub use mdl_privacy as privacy;
+pub use mdl_serve as serve;
 pub use mdl_split as split;
 pub use mdl_tensor as tensor;
 
-pub use pipeline::{run_pipeline, PipelineConfig, PipelineReport};
+pub use pipeline::{run_pipeline, PipelineConfig, PipelineReport, ServingSummary};
 
 /// One-stop imports for examples and experiments.
 pub mod prelude {
-    pub use crate::pipeline::{run_pipeline, PipelineConfig, PipelineReport};
+    pub use crate::pipeline::{run_pipeline, PipelineConfig, PipelineReport, ServingSummary};
     pub use mdl_baselines::{
         evaluate, fit_evaluate, Classifier, DecisionTree, Evaluation, GradientBoost, LinearSvm,
         LogisticRegression, MajorityClass, RandomForest,
@@ -76,8 +78,12 @@ pub mod prelude {
         TrainConfig,
     };
     pub use mdl_privacy::{
-        compute_epsilon, run_dp_fedavg, train_dp_sgd, DpFedConfig, DpSgdConfig,
-        GaussianMechanism, MomentsAccountant,
+        compute_epsilon, run_dp_fedavg, train_dp_sgd, DpFedConfig, DpSgdConfig, GaussianMechanism,
+        MomentsAccountant,
+    };
+    pub use mdl_serve::{
+        run_load, ClientProfile, DeviceClass, InferenceServer, LoadGenConfig, LoadMode,
+        NetworkClass, Route, ServeConfig,
     };
     pub use mdl_split::{compare_deployments, Arden, ArdenConfig};
     pub use mdl_tensor::{Init, Matrix};

@@ -5,16 +5,23 @@
 //! [`run_pipeline`] wires the workspace's systems together: DP-FedAvg
 //! from `mdl-privacy` for training, Deep Compression from `mdl-compress`
 //! for the on-device artifact, ARDEN from `mdl-split` for private cloud
-//! serving, and the `mdl-mobile` cost model to choose a placement.
+//! serving, the `mdl-mobile` cost model to choose a placement, and
+//! finally `mdl-serve` to smoke-test the trained artifact behind the
+//! concurrent serving runtime.
 
 use mdl_compress::pipeline::{deep_compress, DeepCompressionConfig};
 use mdl_data::Dataset;
 use mdl_federated::MlpSpec;
 use mdl_mobile::{DeviceProfile, NetworkProfile};
-use mdl_nn::Sequential;
+use mdl_nn::{save_model, Sequential};
 use mdl_privacy::{run_dp_fedavg, DpFedConfig};
+use mdl_serve::{
+    run_load, ClientProfile, DeviceClass, InferenceServer, LoadGenConfig, LoadMode, NetworkClass,
+    ServeConfig,
+};
 use mdl_split::{compare_deployments, Arden, ArdenConfig, DeploymentRow};
 use rand::rngs::StdRng;
+use std::time::Duration;
 
 /// Configuration of a full train→compress→deploy run.
 #[derive(Debug, Clone)]
@@ -50,8 +57,63 @@ pub struct PipelineReport {
     pub arden_epsilon: f64,
     /// Cost comparison across on-device / cloud / split placements.
     pub deployments: Vec<DeploymentRow>,
+    /// Smoke-test results of the trained artifact behind the serving tier.
+    pub serving: ServingSummary,
     /// The trained (uncompressed) global model.
     pub model: Sequential,
+}
+
+/// What happened when the trained model was saved, loaded back into the
+/// `mdl-serve` runtime and driven with a short closed-loop load.
+#[derive(Debug, Clone)]
+pub struct ServingSummary {
+    /// Requests issued by the load generator.
+    pub requests: usize,
+    /// Requests that received a response.
+    pub completed: usize,
+    /// Model version the server reported (1: freshly loaded artifact).
+    pub model_version: u64,
+    /// Mean worker-pool batch size (0 when every request ran on-device).
+    pub mean_batch_size: f64,
+    /// Client-observed 99th-percentile latency.
+    pub p99: Duration,
+}
+
+/// Saves `model` to the wire format, boots a server from the bytes and
+/// drives a short deterministic closed-loop load from mixed profiles.
+fn smoke_serve(model: &mut Sequential, test: &Dataset) -> ServingSummary {
+    let bytes = save_model(model).expect("MLP layers all serialize");
+    let server = InferenceServer::from_artifact(
+        &bytes,
+        None,
+        ServeConfig { workers: 2, ..Default::default() },
+    )
+    .expect("artifact was just encoded");
+    let client = server.client();
+    let requests = 64;
+    let report = run_load(
+        &client,
+        &test.x,
+        &LoadGenConfig {
+            seed: 0x5e7e,
+            requests,
+            mode: LoadMode::Closed { concurrency: 4 },
+            profiles: vec![
+                ClientProfile { device: DeviceClass::Wearable, network: NetworkClass::Wifi },
+                ClientProfile { device: DeviceClass::Midrange, network: NetworkClass::Lte },
+            ],
+        },
+    );
+    let summary = ServingSummary {
+        requests,
+        completed: report.completed,
+        model_version: server.version(),
+        mean_batch_size: report.mean_batch_size,
+        p99: report.percentile(99.0),
+    };
+    drop(client);
+    server.shutdown();
+    summary
 }
 
 /// Runs the whole lifecycle on pre-partitioned client data.
@@ -82,7 +144,7 @@ pub fn run_pipeline(
     let mut to_compress = config.spec.build_with(&fed.final_params);
     let compressed =
         deep_compress(&mut to_compress, Some((&pool_x, &pool_y)), &config.compression, rng);
-    let mut restored = compressed.decompress();
+    let restored = compressed.decompress();
     let compressed_accuracy = restored.accuracy(&test.x, &test.y);
 
     // 3. private split serving (§III-A)
@@ -102,6 +164,11 @@ pub fn run_pipeline(
         4 * test.dim() as u64,
     );
 
+    // 5. serving smoke test (the model update loop's last mile): the
+    // trained model goes through the wire format into the concurrent
+    // serving runtime and answers a short burst of requests
+    let serving = smoke_serve(&mut model, test);
+
     PipelineReport {
         trained_accuracy,
         training_epsilon: fed.epsilon,
@@ -110,6 +177,7 @@ pub fn run_pipeline(
         arden_accuracy,
         arden_epsilon,
         deployments,
+        serving,
         model,
     }
 }
@@ -168,5 +236,8 @@ mod tests {
         assert!(report.arden_accuracy > 0.4, "arden {}", report.arden_accuracy);
         assert!(report.arden_epsilon.is_finite());
         assert_eq!(report.deployments.len(), 3);
+        assert_eq!(report.serving.completed, report.serving.requests);
+        assert_eq!(report.serving.model_version, 1);
+        assert!(report.serving.p99 > Duration::ZERO);
     }
 }

@@ -83,11 +83,7 @@ pub(crate) fn personal_profile(rng: &mut impl Rng) -> TypingProfile {
             base.key_travel[0] * (gaussian(rng) * 0.15).exp(),
             base.key_travel[1] * (gaussian(rng) * 0.15).exp(),
         ],
-        accel_base: [
-            gaussian(rng) * 0.3,
-            0.2 + gaussian(rng) * 0.3,
-            9.6 + gaussian(rng) * 0.2,
-        ],
+        accel_base: [gaussian(rng) * 0.3, 0.2 + gaussian(rng) * 0.3, 9.6 + gaussian(rng) * 0.2],
         accel_std: base.accel_std * (gaussian(rng) * 0.30).exp(),
         accel_freq: base.accel_freq * (gaussian(rng) * 0.25).exp(),
         accel_axis_gains: [
@@ -157,7 +153,8 @@ impl BiAffectDataset {
     pub fn generate(config: &BiAffectConfig, rng: &mut impl Rng) -> Self {
         assert!(config.participants > 0, "need at least one participant");
         assert!(config.sessions_per_participant > 0, "need at least one session");
-        let mut sessions = Vec::with_capacity(config.participants * config.sessions_per_participant);
+        let mut sessions =
+            Vec::with_capacity(config.participants * config.sessions_per_participant);
         for participant in 0..config.participants {
             let baseline = personal_profile(rng);
             let resp = mood_response(rng);
@@ -217,12 +214,13 @@ impl BiAffectDataset {
     /// # Panics
     ///
     /// Panics unless `0 < train_fraction < 1`.
-    pub fn split(&self, train_fraction: f64, rng: &mut impl Rng) -> (Vec<MoodSession>, Vec<MoodSession>) {
+    pub fn split(
+        &self,
+        train_fraction: f64,
+        rng: &mut impl Rng,
+    ) -> (Vec<MoodSession>, Vec<MoodSession>) {
         use rand::seq::SliceRandom;
-        assert!(
-            train_fraction > 0.0 && train_fraction < 1.0,
-            "train_fraction must be in (0, 1)"
-        );
+        assert!(train_fraction > 0.0 && train_fraction < 1.0, "train_fraction must be in (0, 1)");
         let mut train = Vec::new();
         let mut test = Vec::new();
         for p in 0..self.config.participants {
@@ -295,7 +293,11 @@ mod tests {
     fn depression_slows_typing_on_average() {
         let mut rng = StdRng::seed_from_u64(93);
         let d = BiAffectDataset::generate(
-            &BiAffectConfig { participants: 12, sessions_per_participant: 30, ..Default::default() },
+            &BiAffectConfig {
+                participants: 12,
+                sessions_per_participant: 30,
+                ..Default::default()
+            },
             &mut rng,
         );
         let mean_iki = |label: usize| {
@@ -339,7 +341,12 @@ mod tests {
     #[test]
     fn zero_effect_removes_signal() {
         let mut rng = StdRng::seed_from_u64(96);
-        let cfg = BiAffectConfig { mood_effect: 0.0, participants: 6, sessions_per_participant: 20, ..Default::default() };
+        let cfg = BiAffectConfig {
+            mood_effect: 0.0,
+            participants: 6,
+            sessions_per_participant: 20,
+            ..Default::default()
+        };
         let d = BiAffectDataset::generate(&cfg, &mut rng);
         // with zero effect the depressed and euthymic IKI distributions match
         let mean_iki = |label: usize| {

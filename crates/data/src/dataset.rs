@@ -58,10 +58,7 @@ impl Dataset {
     ///
     /// Panics unless `0 < train_fraction < 1`.
     pub fn split(&self, train_fraction: f64, rng: &mut impl Rng) -> (Dataset, Dataset) {
-        assert!(
-            train_fraction > 0.0 && train_fraction < 1.0,
-            "train_fraction must be in (0, 1)"
-        );
+        assert!(train_fraction > 0.0 && train_fraction < 1.0, "train_fraction must be in (0, 1)");
         let mut order: Vec<usize> = (0..self.len()).collect();
         order.shuffle(rng);
         let cut = ((self.len() as f64) * train_fraction).round() as usize;
@@ -75,15 +72,11 @@ impl Dataset {
     ///
     /// Panics unless `0 < train_fraction < 1`.
     pub fn split_stratified(&self, train_fraction: f64, rng: &mut impl Rng) -> (Dataset, Dataset) {
-        assert!(
-            train_fraction > 0.0 && train_fraction < 1.0,
-            "train_fraction must be in (0, 1)"
-        );
+        assert!(train_fraction > 0.0 && train_fraction < 1.0, "train_fraction must be in (0, 1)");
         let mut train_idx = Vec::new();
         let mut test_idx = Vec::new();
         for c in 0..self.classes {
-            let mut idx: Vec<usize> =
-                (0..self.len()).filter(|&i| self.y[i] == c).collect();
+            let mut idx: Vec<usize> = (0..self.len()).filter(|&i| self.y[i] == c).collect();
             idx.shuffle(rng);
             let cut = ((idx.len() as f64) * train_fraction).round() as usize;
             train_idx.extend_from_slice(&idx[..cut]);

@@ -104,13 +104,9 @@ fn blend_toward_default(profile: TypingProfile, separation: f32) -> TypingProfil
         mean_iki: lerp_mean(profile.mean_iki, base.mean_iki),
         rhythm_std: lerp(profile.rhythm_std, base.rhythm_std),
         keys_per_session: lerp_mean(profile.keys_per_session, base.keys_per_session),
-        special_rates: {
-            let mut r = [0.0; 6];
-            for i in 0..6 {
-                r[i] = lerp(profile.special_rates[i], base.special_rates[i]);
-            }
-            r
-        },
+        special_rates: std::array::from_fn(|i| {
+            lerp(profile.special_rates[i], base.special_rates[i])
+        }),
         key_travel: [
             lerp(profile.key_travel[0], base.key_travel[0]),
             lerp(profile.key_travel[1], base.key_travel[1]),
@@ -219,10 +215,7 @@ impl KeystrokeDataset {
             .filter(|s| s.user == a || s.user == b)
             .map(|s| UserSession { user: usize::from(s.user == b), session: s.session.clone() })
             .collect();
-        KeystrokeDataset {
-            sessions,
-            config: KeystrokeConfig { users: 2, ..self.config.clone() },
-        }
+        KeystrokeDataset { sessions, config: KeystrokeConfig { users: 2, ..self.config.clone() } }
     }
 
     /// Random per-user split of the sessions.
@@ -230,12 +223,13 @@ impl KeystrokeDataset {
     /// # Panics
     ///
     /// Panics unless `0 < train_fraction < 1`.
-    pub fn split(&self, train_fraction: f64, rng: &mut impl Rng) -> (Vec<UserSession>, Vec<UserSession>) {
+    pub fn split(
+        &self,
+        train_fraction: f64,
+        rng: &mut impl Rng,
+    ) -> (Vec<UserSession>, Vec<UserSession>) {
         use rand::seq::SliceRandom;
-        assert!(
-            train_fraction > 0.0 && train_fraction < 1.0,
-            "train_fraction must be in (0, 1)"
-        );
+        assert!(train_fraction > 0.0 && train_fraction < 1.0, "train_fraction must be in (0, 1)");
         let mut train = Vec::new();
         let mut test = Vec::new();
         for u in 0..self.config.users {
@@ -288,8 +282,8 @@ mod tests {
         let dim = f.dim();
         let mut centroids = vec![vec![0.0f32; dim]; 5];
         for i in 0..f.len() {
-            for j in 0..dim {
-                centroids[f.y[i]][j] += f.x[(i, j)] / counts[f.y[i]] as f32;
+            for (j, c) in centroids[f.y[i]].iter_mut().enumerate() {
+                *c += f.x[(i, j)] / counts[f.y[i]] as f32;
             }
         }
         let mut correct = 0;

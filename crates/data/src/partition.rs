@@ -106,9 +106,8 @@ fn rebalance_empty(chunks: &mut [Vec<usize>]) {
         let Some(empty) = chunks.iter().position(|c| c.is_empty()) else {
             return;
         };
-        let largest = (0..chunks.len())
-            .max_by_key(|&i| chunks[i].len())
-            .expect("at least one chunk");
+        let largest =
+            (0..chunks.len()).max_by_key(|&i| chunks[i].len()).expect("at least one chunk");
         if chunks[largest].len() <= 1 {
             return; // cannot donate without emptying the donor
         }
@@ -210,10 +209,7 @@ mod tests {
         let shards = partition_dataset(&d, 10, Partition::LabelShards, &mut rng);
         let s_iid = non_iid_score(&iid, 10);
         let s_shards = non_iid_score(&shards, 10);
-        assert!(
-            s_shards > s_iid + 0.2,
-            "shards score {s_shards} should exceed IID score {s_iid}"
-        );
+        assert!(s_shards > s_iid + 0.2, "shards score {s_shards} should exceed IID score {s_iid}");
     }
 
     #[test]
@@ -243,10 +239,7 @@ mod tests {
         for &shape in &[0.5f64, 2.0, 7.5] {
             let n = 4000;
             let mean: f64 = (0..n).map(|_| gamma_sample(shape, &mut rng)).sum::<f64>() / n as f64;
-            assert!(
-                (mean - shape).abs() / shape < 0.15,
-                "shape {shape}: sample mean {mean}"
-            );
+            assert!((mean - shape).abs() / shape < 0.15, "shape {shape}: sample mean {mean}");
         }
     }
 

@@ -149,9 +149,8 @@ mod tests {
             }
             s / k as f32
         };
-        let dist = ((mean_c(0, 0) - mean_c(1, 0)).powi(2)
-            + (mean_c(0, 1) - mean_c(1, 1)).powi(2))
-        .sqrt();
+        let dist =
+            ((mean_c(0, 0) - mean_c(1, 0)).powi(2) + (mean_c(0, 1) - mean_c(1, 1)).powi(2)).sqrt();
         assert!(dist > 4.0, "class centres too close: {dist}");
     }
 
@@ -183,16 +182,15 @@ mod tests {
         let mut centroids = vec![vec![0.0f32; 64]; 10];
         let counts = d.class_counts();
         for i in 0..d.len() {
-            for j in 0..64 {
-                centroids[d.y[i]][j] += d.x[(i, j)] / counts[d.y[i]] as f32;
+            for (j, c) in centroids[d.y[i]].iter_mut().enumerate() {
+                *c += d.x[(i, j)] / counts[d.y[i]] as f32;
             }
         }
         let mut correct = 0;
         for i in 0..d.len() {
             let mut best = (f32::MAX, 0usize);
             for (c, centroid) in centroids.iter().enumerate() {
-                let dist: f32 =
-                    (0..64).map(|j| (d.x[(i, j)] - centroid[j]).powi(2)).sum();
+                let dist: f32 = (0..64).map(|j| (d.x[(i, j)] - centroid[j]).powi(2)).sum();
                 if dist < best.0 {
                     best = (dist, c);
                 }

@@ -145,8 +145,7 @@ impl TypingProfile {
                 }
                 special_rows.push(idx);
             } else {
-                let duration =
-                    (self.mean_duration * (gaussian(rng) * 0.25).exp()).clamp(0.02, 0.6);
+                let duration = (self.mean_duration * (gaussian(rng) * 0.25).exp()).clamp(0.02, 0.6);
                 let dx = gaussian(rng) * self.key_travel[0];
                 let dy = gaussian(rng) * self.key_travel[1];
                 alpha_rows.push([duration, iki.min(4.9), dx, dy]);
@@ -162,9 +161,8 @@ impl TypingProfile {
             special_rows.push(2); // a lone space
         }
 
-        let alphanumeric = Matrix::from_fn(alpha_rows.len(), ALPHANUMERIC_CHANNELS, |r, c| {
-            alpha_rows[r][c]
-        });
+        let alphanumeric =
+            Matrix::from_fn(alpha_rows.len(), ALPHANUMERIC_CHANNELS, |r, c| alpha_rows[r][c]);
         let mut special = Matrix::zeros(special_rows.len(), SPECIAL_KEYS);
         for (r, &k) in special_rows.iter().enumerate() {
             special[(r, k)] = 1.0;
@@ -190,10 +188,8 @@ impl TypingProfile {
 }
 
 /// Number of summary features produced by [`featurize_session`].
-pub const FEATURE_DIM: usize = 5 * ALPHANUMERIC_CHANNELS + 1 + SPECIAL_KEYS + 1
-    + 2 * ACCEL_CHANNELS
-    + 3
-    + 1;
+pub const FEATURE_DIM: usize =
+    5 * ALPHANUMERIC_CHANNELS + 1 + SPECIAL_KEYS + 1 + 2 * ACCEL_CHANNELS + 3 + 1;
 
 /// Flattens a session into fixed summary statistics for shallow baselines
 /// (the LR/SVM/tree models of Table I operate on these).
@@ -235,7 +231,8 @@ pub fn featurize_session(session: &TypingSession) -> Vec<f32> {
 }
 
 /// Width of [`featurize_session_basic`].
-pub const BASIC_FEATURE_DIM: usize = ALPHANUMERIC_CHANNELS + 1 + SPECIAL_KEYS + 1 + ACCEL_CHANNELS + 1;
+pub const BASIC_FEATURE_DIM: usize =
+    ALPHANUMERIC_CHANNELS + 1 + SPECIAL_KEYS + 1 + ACCEL_CHANNELS + 1;
 
 /// A deliberately simple "traditional" feature set: per-channel means and
 /// event counts only — the kind of representation classical pipelines fed

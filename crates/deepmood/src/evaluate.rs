@@ -17,26 +17,22 @@ pub fn biaffect_view_dims() -> Vec<usize> {
 
 /// Converts owned mood sessions into the model's `(views, label)` form.
 pub fn as_training_pairs(sessions: &[MoodSession]) -> Vec<(Vec<&Matrix>, usize)> {
-    sessions
-        .iter()
-        .map(|s| (s.session.views().to_vec(), s.label))
-        .collect()
+    sessions.iter().map(|s| (s.session.views().to_vec(), s.label)).collect()
 }
+
+/// Standardised `(views, label)` pairs for one data split.
+pub type LabeledViews = Vec<(Vec<Matrix>, usize)>;
 
 /// Fits a channel normalizer on training sessions and materialises
 /// standardised `(views, label)` pairs for both splits.
 pub fn normalized_pairs(
     train: &[MoodSession],
     test: &[MoodSession],
-) -> (ViewNormalizer, Vec<(Vec<Matrix>, usize)>, Vec<(Vec<Matrix>, usize)>) {
-    let train_views: Vec<Vec<&Matrix>> =
-        train.iter().map(|s| s.session.views().to_vec()).collect();
+) -> (ViewNormalizer, LabeledViews, LabeledViews) {
+    let train_views: Vec<Vec<&Matrix>> = train.iter().map(|s| s.session.views().to_vec()).collect();
     let norm = ViewNormalizer::fit(&train_views);
     let apply = |sessions: &[MoodSession]| {
-        sessions
-            .iter()
-            .map(|s| (norm.apply(&s.session.views()), s.label))
-            .collect::<Vec<_>>()
+        sessions.iter().map(|s| (norm.apply(&s.session.views()), s.label)).collect::<Vec<_>>()
     };
     let train_pairs = apply(train);
     let test_pairs = apply(test);
@@ -61,10 +57,7 @@ pub struct MoodEvaluation {
 }
 
 impl MoodEvaluation {
-    fn from_model(
-        mut model: DeepMood,
-        test: &[(Vec<&Matrix>, usize)],
-    ) -> MoodEvaluation {
+    fn from_model(mut model: DeepMood, test: &[(Vec<&Matrix>, usize)]) -> MoodEvaluation {
         let pred = model.predictions(test);
         let truth: Vec<usize> = test.iter().map(|(_, y)| *y).collect();
         let cm = ConfusionMatrix::from_predictions(&truth, &pred, MOOD_CLASSES);

@@ -37,6 +37,10 @@ impl Layer for FullyConnectedFusion {
         self.net.forward(h, mode)
     }
 
+    fn forward_eval(&self, h: &Matrix) -> Matrix {
+        self.net.forward_eval(h)
+    }
+
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
         self.net.backward(grad_out)
     }
@@ -104,10 +108,9 @@ impl FactorizationMachineFusion {
     fn in_dim(&self) -> usize {
         self.u[0].cols()
     }
-}
 
-impl Layer for FactorizationMachineFusion {
-    fn forward(&mut self, h: &Matrix, _mode: Mode) -> Matrix {
+    /// Class scores plus the per-class latent projections `q = h · Uᵀ`.
+    fn score(&self, h: &Matrix) -> (Matrix, Vec<Matrix>) {
         let d = self.in_dim();
         assert_eq!(h.cols(), d, "FM fusion input width mismatch");
         let classes = self.u.len();
@@ -118,19 +121,26 @@ impl Layer for FactorizationMachineFusion {
             let q = h.matmul_nt(u);
             for r in 0..h.rows() {
                 let quad: f32 = q.row(r).iter().map(|v| v * v).sum();
-                let lin: f32 = h
-                    .row(r)
-                    .iter()
-                    .zip(w.row(0)[..d].iter())
-                    .map(|(&x, &wi)| x * wi)
-                    .sum::<f32>()
-                    + w[(0, d)];
+                let lin: f32 =
+                    h.row(r).iter().zip(w.row(0)[..d].iter()).map(|(&x, &wi)| x * wi).sum::<f32>()
+                        + w[(0, d)];
                 out[(r, a)] = quad + lin;
             }
             q_all.push(q);
         }
+        (out, q_all)
+    }
+}
+
+impl Layer for FactorizationMachineFusion {
+    fn forward(&mut self, h: &Matrix, _mode: Mode) -> Matrix {
+        let (out, q_all) = self.score(h);
         self.cache = Some(FmCache { input: h.clone(), q: q_all });
         out
+    }
+
+    fn forward_eval(&self, h: &Matrix) -> Matrix {
+        self.score(h).0
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
@@ -248,10 +258,9 @@ impl MultiViewMachineFusion {
         }
         out
     }
-}
 
-impl Layer for MultiViewMachineFusion {
-    fn forward(&mut self, h: &Matrix, _mode: Mode) -> Matrix {
+    /// Class scores plus the per-class, per-view factor projections.
+    fn score(&self, h: &Matrix) -> (Matrix, Vec<Vec<Matrix>>) {
         assert_eq!(h.cols(), self.total_dim(), "MVM fusion input width mismatch");
         let n = h.rows();
         let classes = self.u.len();
@@ -287,8 +296,19 @@ impl Layer for MultiViewMachineFusion {
             }
             q_all.push(q_views);
         }
+        (out, q_all)
+    }
+}
+
+impl Layer for MultiViewMachineFusion {
+    fn forward(&mut self, h: &Matrix, _mode: Mode) -> Matrix {
+        let (out, q_all) = self.score(h);
         self.cache = Some(MvmCache { input: h.clone(), q: q_all });
         out
+    }
+
+    fn forward_eval(&self, h: &Matrix) -> Matrix {
+        self.score(h).0
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {

@@ -25,6 +25,6 @@ pub use evaluate::{
     as_training_pairs, biaffect_view_dims, borrow_pairs, normalized_pairs,
     per_participant_analysis, train_and_evaluate, MoodEvaluation, ParticipantPoint,
 };
-pub use normalize::ViewNormalizer;
 pub use fusion::{FactorizationMachineFusion, FullyConnectedFusion, MultiViewMachineFusion};
 pub use model::{DeepMood, DeepMoodConfig, DeepMoodEpoch, EncoderKind, FusionKind};
+pub use normalize::ViewNormalizer;

@@ -78,9 +78,9 @@ impl Default for DeepMoodConfig {
 }
 
 enum Encoder {
-    Uni(Gru),
-    Bi(BiGru),
-    Mem(Lstm),
+    Uni(Box<Gru>),
+    Bi(Box<BiGru>),
+    Mem(Box<Lstm>),
 }
 
 impl Encoder {
@@ -146,7 +146,6 @@ impl Encoder {
             Encoder::Mem(l) => l.visit_params(f),
         }
     }
-
 }
 
 /// A multi-view sequence classifier: per-view GRUs + late-fusion head.
@@ -175,6 +174,10 @@ struct ParamsOnly<'a>(&'a mut DeepMood);
 
 impl Layer for ParamsOnly<'_> {
     fn forward(&mut self, _x: &Matrix, _mode: Mode) -> Matrix {
+        unreachable!("ParamsOnly is only used for optimizer parameter visits")
+    }
+
+    fn forward_eval(&self, _x: &Matrix) -> Matrix {
         unreachable!("ParamsOnly is only used for optimizer parameter visits")
     }
 
@@ -215,9 +218,9 @@ impl DeepMood {
         let encoders: Vec<Encoder> = view_input_dims
             .iter()
             .map(|&d| match kind {
-                EncoderKind::Gru => Encoder::Uni(Gru::new(d, config.hidden_dim, rng)),
-                EncoderKind::BiGru => Encoder::Bi(BiGru::new(d, config.hidden_dim, rng)),
-                EncoderKind::Lstm => Encoder::Mem(Lstm::new(d, config.hidden_dim, rng)),
+                EncoderKind::Gru => Encoder::Uni(Box::new(Gru::new(d, config.hidden_dim, rng))),
+                EncoderKind::BiGru => Encoder::Bi(Box::new(BiGru::new(d, config.hidden_dim, rng))),
+                EncoderKind::Lstm => Encoder::Mem(Box::new(Lstm::new(d, config.hidden_dim, rng))),
             })
             .collect();
         let view_dims: Vec<usize> = encoders.iter().map(|e| e.out_dim()).collect();
@@ -340,10 +343,8 @@ impl DeepMood {
         if sessions.is_empty() {
             return 0.0;
         }
-        let correct = sessions
-            .iter()
-            .filter(|(views, label)| self.predict(views) == *label)
-            .count();
+        let correct =
+            sessions.iter().filter(|(views, label)| self.predict(views) == *label).count();
         correct as f64 / sessions.len() as f64
     }
 
@@ -361,10 +362,7 @@ mod tests {
 
     /// Synthetic two-view sequence task: class decides the drift direction
     /// of view 0 and the frequency of view 1.
-    fn toy_sessions(
-        n: usize,
-        rng: &mut StdRng,
-    ) -> Vec<(Vec<Matrix>, usize)> {
+    fn toy_sessions(n: usize, rng: &mut StdRng) -> Vec<(Vec<Matrix>, usize)> {
         use mdl_tensor::init::gaussian;
         (0..n)
             .map(|i| {
@@ -473,11 +471,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(344);
         let data = toy_sessions(40, &mut rng);
         let sessions = as_refs(&data);
-        let mut model = DeepMood::new(
-            &[2, 3],
-            DeepMoodConfig { epochs: 2, ..Default::default() },
-            &mut rng,
-        );
+        let mut model =
+            DeepMood::new(&[2, 3], DeepMoodConfig { epochs: 2, ..Default::default() }, &mut rng);
         let _ = model.train(&sessions, &mut rng);
         assert_eq!(model.predictions(&sessions), model.predictions(&sessions));
     }

@@ -33,10 +33,7 @@ pub fn deepservice_config(users: usize) -> DeepMoodConfig {
 
 /// Converts user sessions into `(views, label)` training pairs.
 pub fn as_training_pairs(sessions: &[UserSession]) -> Vec<(Vec<&Matrix>, usize)> {
-    sessions
-        .iter()
-        .map(|s| (s.session.views().to_vec(), s.user))
-        .collect()
+    sessions.iter().map(|s| (s.session.views().to_vec(), s.user)).collect()
 }
 
 /// Trains DEEPSERVICE and evaluates accuracy / macro-F1 on test sessions.
@@ -48,14 +45,10 @@ pub fn train_deepservice(
 ) -> (Evaluation, DeepMood) {
     // standardise every channel with training statistics — raw metadata
     // mixes seconds with m/s² and would saturate the GRU gates
-    let train_views: Vec<Vec<&Matrix>> =
-        train.iter().map(|s| s.session.views().to_vec()).collect();
+    let train_views: Vec<Vec<&Matrix>> = train.iter().map(|s| s.session.views().to_vec()).collect();
     let norm = ViewNormalizer::fit(&train_views);
     let own = |sessions: &[UserSession]| -> Vec<(Vec<Matrix>, usize)> {
-        sessions
-            .iter()
-            .map(|s| (norm.apply(&s.session.views()), s.user))
-            .collect()
+        sessions.iter().map(|s| (norm.apply(&s.session.views()), s.user)).collect()
     };
     let train_owned = own(train);
     let test_owned = own(test);
@@ -99,8 +92,7 @@ pub fn table_one(cohort: &KeystrokeDataset, rng: &mut StdRng) -> Vec<TableRow> {
         let mut x = Matrix::zeros(sessions.len(), mdl_data::typing::BASIC_FEATURE_DIM);
         let mut y = Vec::with_capacity(sessions.len());
         for (r, s) in sessions.iter().enumerate() {
-            x.row_mut(r)
-                .copy_from_slice(&mdl_data::typing::featurize_session_basic(&s.session));
+            x.row_mut(r).copy_from_slice(&mdl_data::typing::featurize_session_basic(&s.session));
             y.push(s.user);
         }
         Dataset::new(x, y, cohort.config.users)

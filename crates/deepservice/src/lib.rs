@@ -17,8 +17,6 @@ pub mod identify;
 pub mod pairwise;
 pub mod patterns;
 
-pub use identify::{
-    as_training_pairs, deepservice_config, table_one, train_deepservice, TableRow,
-};
+pub use identify::{as_training_pairs, deepservice_config, table_one, train_deepservice, TableRow};
 pub use pairwise::{pairwise_identification, PairResult, PairwiseReport};
 pub use patterns::{analyze_top_users, format_patterns, UserPattern, SPECIAL_KEY_NAMES};

@@ -71,8 +71,8 @@ pub fn analyze_top_users(cohort: &KeystrokeDataset, top_k: usize) -> Vec<UserPat
                 durations.extend(a.col(0));
                 ikis.extend(a.col(1));
                 keystrokes.push(a.rows() as f32);
-                for k in 0..SPECIAL_KEYS {
-                    special_totals[k] += s.session.special.col(k).iter().sum::<f32>();
+                for (k, tot) in special_totals.iter_mut().enumerate() {
+                    *tot += s.session.special.col(k).iter().sum::<f32>();
                 }
                 let acc = &s.session.accelerometer;
                 let (x, y, z) = (acc.col(0), acc.col(1), acc.col(2));

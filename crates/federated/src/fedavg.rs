@@ -126,11 +126,7 @@ pub fn run_federated(
     rng: &mut StdRng,
 ) -> FedRun {
     assert!(!clients.is_empty(), "need at least one client");
-    assert_eq!(
-        availability.clients(),
-        clients.len(),
-        "availability model must cover every client"
-    );
+    assert_eq!(availability.clients(), clients.len(), "availability model must cover every client");
 
     let mut global = spec.build();
     let mut params = global.param_vector();
@@ -159,8 +155,7 @@ pub fn run_federated(
             .iter()
             .map(|_| {
                 let seed: u64 = rng.gen();
-                let fails =
-                    config.failure_prob > 0.0 && rng.gen::<f64>() < config.failure_prob;
+                let fails = config.failure_prob > 0.0 && rng.gen::<f64>() < config.failure_prob;
                 (seed, fails)
             })
             .collect();
@@ -197,12 +192,8 @@ pub fn run_federated(
                         );
                         let raw = local.param_vector();
                         Some(if config.quantize_uploads {
-                            let q =
-                                crate::update::QuantizedUpdate::quantize(&raw, data.len());
-                            DenseUpdate {
-                                values: q.dequantize(),
-                                num_examples: data.len(),
-                            }
+                            let q = crate::update::QuantizedUpdate::quantize(&raw, data.len());
+                            DenseUpdate { values: q.dequantize(), num_examples: data.len() }
                         } else {
                             DenseUpdate { values: raw, num_examples: data.len() }
                         })
@@ -424,8 +415,7 @@ mod tests {
             run.final_accuracy()
         );
         // reported participants reflect survivors, not the selected cohort
-        let mean_participants = run.history.iter().map(|h| h.participants).sum::<usize>()
-            as f64
+        let mean_participants = run.history.iter().map(|h| h.participants).sum::<usize>() as f64
             / run.history.len() as f64;
         assert!(
             mean_participants < clients.len() as f64 * 0.8,

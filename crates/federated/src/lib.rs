@@ -39,7 +39,9 @@ pub mod selective;
 pub mod update;
 
 pub use comm::CommLedger;
-pub use fedavg::{centralized_reference, evaluate_params, run_federated, FedConfig, FedRun, RoundRecord};
+pub use fedavg::{
+    centralized_reference, evaluate_params, run_federated, FedConfig, FedRun, RoundRecord,
+};
 pub use model::MlpSpec;
 pub use scheduler::{AvailabilityModel, DeviceState};
 pub use selective::{run_selective_sgd, SelectiveConfig, SelectiveRun};

@@ -37,11 +37,8 @@ impl MlpSpec {
         let mut net = Sequential::new();
         for w in self.dims.windows(2).enumerate() {
             let (i, pair) = w;
-            let act = if i + 2 == self.dims.len() {
-                Activation::Identity
-            } else {
-                Activation::Relu
-            };
+            let act =
+                if i + 2 == self.dims.len() { Activation::Identity } else { Activation::Relu };
             net.push(Dense::new(pair[0], pair[1], act, &mut rng));
         }
         net

@@ -5,6 +5,14 @@
 //! parameters (largest magnitude) to the parameter server, and downloads a
 //! fraction θ_d of the freshest global parameters before the next phase.
 //! Nothing about the raw data ever leaves the device.
+//!
+//! Local phases run concurrently in fixed-size waves: a wave's
+//! participants all download from the global as the previous wave left
+//! it, and the server applies uploads in participant order between
+//! waves. This keeps the asynchronous flavour (bounded staleness)
+//! while parallelising the expensive local training, and a seeded run
+//! stays deterministic because all randomness is pre-drawn in
+//! participant order.
 
 use crate::comm::CommLedger;
 use crate::fedavg::RoundRecord;
@@ -67,6 +75,52 @@ impl SelectiveRun {
     }
 }
 
+/// Participants whose local phases run concurrently between server
+/// applications; bounds gradient staleness while still giving the wave a
+/// full set of CPU cores. Fixed (not core-count-derived) so a seeded run
+/// produces the same numbers on every machine.
+const WAVE_SIZE: usize = 4;
+
+/// Estimated MACs of one local phase (`2 · params · steps · batch`) below
+/// which spawning threads costs more than it saves.
+const PARALLEL_WORK_THRESHOLD: u64 = 2_000_000;
+
+/// One participant's local phase: refresh the downloaded coordinates, run
+/// the pre-drawn mini-batch SGD steps, and select the sparse upload.
+fn local_phase(
+    spec: &MlpSpec,
+    config: &SelectiveConfig,
+    global: &[f32],
+    data: &Dataset,
+    local: &mut Vec<f32>,
+    coords: &[usize],
+    batches: &[Vec<usize>],
+) -> SparseUpdate {
+    // download a θ_d fraction of the global parameters
+    for &i in coords {
+        local[i] = global[i];
+    }
+
+    // local SGD steps from the (partially refreshed) copy
+    let mut model = spec.build_with(local);
+    let before = local.clone();
+    for batch in batches {
+        let bx = data.x.select_rows(batch);
+        let by: Vec<usize> = batch.iter().map(|&i| data.y[i]).collect();
+        model.zero_grad();
+        let logits = model.forward(&bx, Mode::Train);
+        let (_, grad) = softmax_cross_entropy(&logits, &by);
+        let _ = model.backward(&grad);
+        // manual SGD step (keeps model params equal to flattened view)
+        model.visit_params(&mut |v, g| v.add_scaled(-config.learning_rate, g));
+    }
+    *local = model.param_vector();
+
+    // select the θ_u largest-magnitude parameter *changes*
+    let delta: Vec<f32> = local.iter().zip(before.iter()).map(|(a, b)| a - b).collect();
+    SparseUpdate::top_fraction(&delta, config.upload_fraction, data.len())
+}
+
 /// Runs the distributed selective SGD protocol.
 ///
 /// # Panics
@@ -98,44 +152,75 @@ pub fn run_selective_sgd(
     let mut ledger = CommLedger::new();
     let mut history = Vec::new();
 
+    let k_down = (((dim as f64) * config.download_fraction).ceil() as usize).clamp(1, dim);
+
     for round in 1..=config.rounds {
-        for (p, data) in participants.iter().enumerate() {
-            // download a θ_d fraction of the freshest global parameters
-            let k_down = (((dim as f64) * config.download_fraction).ceil() as usize).clamp(1, dim);
-            let mut coords: Vec<usize> = (0..dim).collect();
-            if k_down < dim {
-                coords.shuffle(rng);
-                coords.truncate(k_down);
-            }
-            for &i in &coords {
-                locals[p][i] = global[i];
-            }
-            ledger.record_download(8 * k_down as u64 + 12);
+        // Pre-draw every participant's randomness in participant order so
+        // the run stays deterministic no matter how the threads interleave.
+        let draws: Vec<(Vec<usize>, Vec<Vec<usize>>)> = participants
+            .iter()
+            .map(|data| {
+                let mut coords: Vec<usize> = (0..dim).collect();
+                if k_down < dim {
+                    coords.shuffle(rng);
+                    coords.truncate(k_down);
+                }
+                let batches: Vec<Vec<usize>> = (0..config.local_steps)
+                    .map(|_| {
+                        (0..config.batch_size.min(data.len()))
+                            .map(|_| rng.gen_range(0..data.len()))
+                            .collect()
+                    })
+                    .collect();
+                (coords, batches)
+            })
+            .collect();
 
-            // local SGD steps from the (partially refreshed) local copy
-            let mut model = spec.build_with(&locals[p]);
-            let before = locals[p].clone();
-            for _ in 0..config.local_steps {
-                let batch: Vec<usize> =
-                    (0..config.batch_size.min(data.len())).map(|_| rng.gen_range(0..data.len())).collect();
-                let bx = data.x.select_rows(&batch);
-                let by: Vec<usize> = batch.iter().map(|&i| data.y[i]).collect();
-                model.zero_grad();
-                let logits = model.forward(&bx, Mode::Train);
-                let (_, grad) = softmax_cross_entropy(&logits, &by);
-                let _ = model.backward(&grad);
-                // manual SGD step (keeps model params equal to flattened view)
-                model.visit_params(&mut |v, g| v.add_scaled(-config.learning_rate, g));
-            }
-            locals[p] = model.param_vector();
+        // Local phases run concurrently in waves of WAVE_SIZE. Everyone in a
+        // wave downloads from the global as left by the previous wave, and the
+        // server applies each wave's uploads in participant order, so staleness
+        // is bounded by the wave width and gradients keep arriving one wave at
+        // a time instead of summing a whole round's worth from one snapshot
+        // (which overshoots badly at high participant counts).
+        //
+        // Tiny models are trained inline instead: thread spawn/join costs more
+        // than the local phase itself below the work threshold, and the two
+        // paths produce bit-identical results (randomness is pre-drawn and
+        // uploads are applied in participant order either way).
+        let spawn_threads = 2 * dim as u64 * config.local_steps as u64 * config.batch_size as u64
+            >= PARALLEL_WORK_THRESHOLD;
+        let mut draws = draws.into_iter();
+        for (wave, wave_locals) in participants.chunks(WAVE_SIZE).zip(locals.chunks_mut(WAVE_SIZE))
+        {
+            let wave_draws: Vec<_> = draws.by_ref().take(wave.len()).collect();
+            let members = wave.iter().zip(wave_locals.iter_mut()).zip(wave_draws);
+            let outcomes: Vec<SparseUpdate> = if spawn_threads {
+                crossbeam::thread::scope(|s| {
+                    let global = &global;
+                    let handles: Vec<_> = members
+                        .map(|((data, local), (coords, batches))| {
+                            s.spawn(move |_| {
+                                local_phase(spec, config, global, data, local, &coords, &batches)
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("participant thread")).collect()
+                })
+                .expect("participant scope")
+            } else {
+                members
+                    .map(|((data, local), (coords, batches))| {
+                        local_phase(spec, config, &global, data, local, &coords, &batches)
+                    })
+                    .collect()
+            };
 
-            // upload the θ_u largest-magnitude parameter *changes*
-            let delta: Vec<f32> =
-                locals[p].iter().zip(before.iter()).map(|(a, b)| a - b).collect();
-            let update = SparseUpdate::top_fraction(&delta, config.upload_fraction, data.len());
-            ledger.record_upload(update.wire_bytes());
-            // the server adds gradients as they arrive (asynchronous flavour)
-            update.apply_to(&mut global, 1.0);
+            // The server applies the wave's uploads in participant order.
+            for update in outcomes {
+                ledger.record_download(8 * k_down as u64 + 12);
+                ledger.record_upload(update.wire_bytes());
+                update.apply_to(&mut global, 1.0);
+            }
         }
         ledger.finish_round();
 
@@ -204,10 +289,7 @@ mod tests {
         };
         let sparse = run_with(0.01, &mut rng);
         let full = run_with(1.0, &mut rng);
-        assert!(
-            full >= sparse - 0.05,
-            "θ=1.0 ({full}) should roughly dominate θ=0.01 ({sparse})"
-        );
+        assert!(full >= sparse - 0.05, "θ=1.0 ({full}) should roughly dominate θ=0.01 ({sparse})");
     }
 
     #[test]
@@ -228,6 +310,39 @@ mod tests {
         let sparse = bytes_with(0.01, &mut rng);
         let full = bytes_with(1.0, &mut rng);
         assert!(full > sparse * 20, "full={full} sparse={sparse}");
+    }
+
+    #[test]
+    fn threaded_path_is_deterministic() {
+        // 64->512->3 is ~34k params: crosses PARALLEL_WORK_THRESHOLD, so the
+        // local phases really run on spawned threads; two seeded runs must
+        // still agree bit-for-bit.
+        let mut rng = StdRng::seed_from_u64(204);
+        let data = gaussian_blobs(240, 3, 0.5, &mut rng);
+        let (train, test) = data.split(0.8, &mut rng);
+        let parts = partition_dataset(&train, 6, Partition::Iid, &mut rng);
+        let spec = MlpSpec::new(vec![64, 512, 3], 5);
+        let wide = |d: &Dataset| {
+            let mut x = mdl_tensor::Matrix::zeros(d.len(), 64);
+            for r in 0..d.len() {
+                x[(r, 0)] = d.x[(r, 0)];
+                x[(r, 1)] = d.x[(r, 1)];
+            }
+            Dataset { x, y: d.y.clone(), classes: d.classes }
+        };
+        let parts: Vec<Dataset> = parts.iter().map(&wide).collect();
+        let test = wide(&test);
+        let config = SelectiveConfig { rounds: 3, local_steps: 2, ..Default::default() };
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            run_selective_sgd(&spec, &parts, &test, &config, &mut rng)
+        };
+        let (a, b) = (run(7), run(7));
+        assert_eq!(a.final_params, b.final_params, "thread scheduling leaked into the result");
+        assert_eq!(
+            a.history.iter().map(|r| r.test_accuracy).collect::<Vec<_>>(),
+            b.history.iter().map(|r| r.test_accuracy).collect::<Vec<_>>()
+        );
     }
 
     #[test]

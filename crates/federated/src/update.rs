@@ -84,10 +84,7 @@ impl SparseUpdate {
         let k = (((delta.len() as f64) * fraction).ceil() as usize).clamp(1, delta.len());
         let mut order: Vec<usize> = (0..delta.len()).collect();
         order.sort_by(|&a, &b| {
-            delta[b]
-                .abs()
-                .partial_cmp(&delta[a].abs())
-                .unwrap_or(std::cmp::Ordering::Equal)
+            delta[b].abs().partial_cmp(&delta[a].abs()).unwrap_or(std::cmp::Ordering::Equal)
         });
         let mut picked: Vec<usize> = order.into_iter().take(k).collect();
         picked.sort_unstable();
@@ -136,7 +133,10 @@ impl QuantizedUpdate {
         let min = values.iter().cloned().fold(f32::MAX, f32::min).min(0.0);
         let max = values.iter().cloned().fold(f32::MIN, f32::max).max(min + 1e-12);
         let scale = 255.0 / (max - min);
-        let codes = values.iter().map(|&v| (((v - min) * scale).round() as i32).clamp(0, 255) as u8).collect();
+        let codes = values
+            .iter()
+            .map(|&v| (((v - min) * scale).round() as i32).clamp(0, 255) as u8)
+            .collect();
         Self { min, max, codes, num_examples }
     }
 

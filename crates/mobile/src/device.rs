@@ -130,8 +130,7 @@ impl DeviceProfile {
         let compute_energy = total_macs as f64 * self.energy_per_mac_j;
         let on_chip = model_bytes.min(self.on_chip_bytes as f64);
         let off_chip = (model_bytes - on_chip).max(0.0);
-        let memory_energy =
-            on_chip * self.on_chip_j_per_byte + off_chip * self.off_chip_j_per_byte;
+        let memory_energy = on_chip * self.on_chip_j_per_byte + off_chip * self.off_chip_j_per_byte;
         CostEstimate { latency_s: latency, energy_j: compute_energy + memory_energy }
     }
 }
@@ -156,7 +155,7 @@ mod tests {
     #[test]
     fn off_chip_spill_dominates_energy() {
         let dev = DeviceProfile::wearable(); // 256 KiB on-chip
-        // 64 KiB model: fully on-chip
+                                             // 64 KiB model: fully on-chip
         let fits = dev.inference_cost(&[layer(16_384, 16_384)], 4.0);
         // 2.56 MiB model: 90% spills to DRAM, same MACs per weight
         let spills = dev.inference_cost(&[layer(655_360, 655_360)], 4.0);

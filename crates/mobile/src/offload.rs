@@ -66,18 +66,20 @@ pub fn placement_cost(
         Placement::Cloud => {
             let radio = network.round_trip_cost(scenario.input_bytes, scenario.result_bytes);
             let compute = cloud.inference_cost(&scenario.layers, 4.0);
-            CostEstimate { latency_s: radio.latency_s + compute.latency_s, energy_j: radio.energy_j }
+            CostEstimate {
+                latency_s: radio.latency_s + compute.latency_s,
+                energy_j: radio.energy_j,
+            }
         }
         Placement::Split { local_layers } => {
-            assert!(
-                local_layers <= scenario.layers.len(),
-                "split point beyond network depth"
-            );
-            let local = device
-                .inference_cost(&scenario.layers[..local_layers], scenario.bytes_per_weight);
+            assert!(local_layers <= scenario.layers.len(), "split point beyond network depth");
+            let local =
+                device.inference_cost(&scenario.layers[..local_layers], scenario.bytes_per_weight);
             let remote = cloud.inference_cost(&scenario.layers[local_layers..], 4.0);
-            let radio = network
-                .round_trip_cost(scenario.representation_bytes(local_layers), scenario.result_bytes);
+            let radio = network.round_trip_cost(
+                scenario.representation_bytes(local_layers),
+                scenario.result_bytes,
+            );
             CostEstimate {
                 latency_s: local.latency_s + radio.latency_s + remote.latency_s,
                 energy_j: local.energy_j + radio.energy_j,

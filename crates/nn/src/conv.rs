@@ -145,10 +145,9 @@ impl Conv2d {
     fn out_per_group(&self) -> usize {
         self.out_channels / self.groups
     }
-}
 
-impl Layer for Conv2d {
-    fn forward(&mut self, x: &Matrix, _mode: Mode) -> Matrix {
+    /// Pre-activation feature maps for a batch.
+    fn convolve(&self, x: &Matrix) -> Matrix {
         let shape = self.input_shape;
         assert_eq!(x.cols(), shape.len(), "conv input width mismatch");
         let out_shape = self.output_shape();
@@ -188,9 +187,20 @@ impl Layer for Conv2d {
                 }
             }
         }
+        pre
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Matrix, _mode: Mode) -> Matrix {
+        let pre = self.convolve(x);
         let out = self.activation.apply_matrix(&pre);
         self.cache = Some((x.clone(), pre));
         out
+    }
+
+    fn forward_eval(&self, x: &Matrix) -> Matrix {
+        self.activation.apply_matrix(&self.convolve(x))
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
@@ -298,6 +308,10 @@ impl Layer for SeparableConv2d {
         self.pointwise.forward(&mid, mode)
     }
 
+    fn forward_eval(&self, x: &Matrix) -> Matrix {
+        self.pointwise.forward_eval(&self.depthwise.forward_eval(x))
+    }
+
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
         let d_mid = self.pointwise.backward(grad_out);
         self.depthwise.backward(&d_mid)
@@ -339,7 +353,7 @@ impl AvgPool2d {
     /// Panics if either spatial dimension is odd.
     pub fn new(input_shape: ImageShape) -> Self {
         assert!(
-            input_shape.height % 2 == 0 && input_shape.width % 2 == 0,
+            input_shape.height.is_multiple_of(2) && input_shape.width.is_multiple_of(2),
             "2×2 pooling needs even spatial dimensions"
         );
         Self { input_shape }
@@ -357,6 +371,10 @@ impl AvgPool2d {
 
 impl Layer for AvgPool2d {
     fn forward(&mut self, x: &Matrix, _mode: Mode) -> Matrix {
+        self.forward_eval(x)
+    }
+
+    fn forward_eval(&self, x: &Matrix) -> Matrix {
         let shape = self.input_shape;
         assert_eq!(x.cols(), shape.len(), "pool input width mismatch");
         let out_shape = self.output_shape();

@@ -126,6 +126,11 @@ impl Layer for Dense {
         out
     }
 
+    fn forward_eval(&self, x: &Matrix) -> Matrix {
+        let pre = x.matmul(&self.weight).add_row_broadcast(&self.bias);
+        self.activation.apply_matrix(&pre)
+    }
+
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
         let cache = self.cache.as_ref().expect("backward called before forward");
         let dpre = grad_out.hadamard(&self.activation.derivative_matrix(&cache.pre_activation));
@@ -207,6 +212,10 @@ impl Layer for Dropout {
         }
     }
 
+    fn forward_eval(&self, x: &Matrix) -> Matrix {
+        x.clone()
+    }
+
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
         match &self.mask {
             Some(mask) => grad_out.hadamard(mask),
@@ -231,7 +240,7 @@ mod tests {
     fn forward_shape_and_bias() {
         let mut rng = StdRng::seed_from_u64(2);
         let mut layer = Dense::new(3, 4, Activation::Identity, &mut rng);
-        layer.set_param_vector(&vec![0.0; 12 + 4]);
+        layer.set_param_vector(&[0.0; 12 + 4]);
         let y = layer.forward(&Matrix::ones(2, 3), Mode::Eval);
         assert_eq!(y.shape(), (2, 4));
         assert_eq!(y.sum(), 0.0);
@@ -284,11 +293,7 @@ mod tests {
             layer.set_param_vector(&minus);
             let lm = layer.forward(&x, Mode::Eval).sum();
             let fd = (lp - lm) / (2.0 * eps);
-            assert!(
-                (fd - analytic[k]).abs() < 1e-2,
-                "param {k}: fd={fd} analytic={}",
-                analytic[k]
-            );
+            assert!((fd - analytic[k]).abs() < 1e-2, "param {k}: fd={fd} analytic={}", analytic[k]);
         }
     }
 

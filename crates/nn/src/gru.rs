@@ -125,14 +125,10 @@ impl Gru {
         let last = states.rows() - 1;
         Matrix::row_vector(states.row(last))
     }
-}
 
-impl Layer for Gru {
-    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
-        self
-    }
-
-    fn forward(&mut self, x: &Matrix, _mode: Mode) -> Matrix {
+    /// Runs the recurrence, returning hidden states (incl. the initial zero
+    /// row) plus the per-step gate activations needed for BPTT.
+    fn scan(&self, x: &Matrix) -> (Matrix, Matrix, Matrix, Matrix) {
         let t_len = x.rows();
         let h = self.hidden_dim();
         assert_eq!(x.cols(), self.input_dim(), "GRU input width mismatch");
@@ -161,10 +157,25 @@ impl Layer for Gru {
                 hc_all[(k, j)] = hc[(0, j)];
             }
         }
+        (hidden, r_all, z_all, hc_all)
+    }
+}
 
-        let out = Matrix::from_fn(t_len, h, |k, j| hidden[(k + 1, j)]);
+impl Layer for Gru {
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn forward(&mut self, x: &Matrix, _mode: Mode) -> Matrix {
+        let (hidden, r_all, z_all, hc_all) = self.scan(x);
+        let out = Matrix::from_fn(x.rows(), self.hidden_dim(), |k, j| hidden[(k + 1, j)]);
         self.cache = Some(GruCache { input: x.clone(), hidden, r: r_all, z: z_all, hc: hc_all });
         out
+    }
+
+    fn forward_eval(&self, x: &Matrix) -> Matrix {
+        let (hidden, _, _, _) = self.scan(x);
+        Matrix::from_fn(x.rows(), self.hidden_dim(), |k, j| hidden[(k + 1, j)])
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
@@ -268,7 +279,10 @@ pub struct BiGru {
 impl BiGru {
     /// Creates a bidirectional GRU with `hidden_dim` units per direction.
     pub fn new(input_dim: usize, hidden_dim: usize, rng: &mut impl Rng) -> Self {
-        Self { fwd: Gru::new(input_dim, hidden_dim, rng), bwd: Gru::new(input_dim, hidden_dim, rng) }
+        Self {
+            fwd: Gru::new(input_dim, hidden_dim, rng),
+            bwd: Gru::new(input_dim, hidden_dim, rng),
+        }
     }
 
     /// Hidden width per direction (total output width is twice this).
@@ -303,6 +317,12 @@ impl Layer for BiGru {
         let f = self.fwd.forward(x, mode);
         let b_rev = self.bwd.forward(&reverse_rows(x), mode);
         let b = reverse_rows(&b_rev);
+        f.hstack(&b)
+    }
+
+    fn forward_eval(&self, x: &Matrix) -> Matrix {
+        let f = self.fwd.forward_eval(x);
+        let b = reverse_rows(&self.bwd.forward_eval(&reverse_rows(x)));
         f.hstack(&b)
     }
 
@@ -387,8 +407,7 @@ mod tests {
         let eps = 1e-3f32;
         // spot-check a spread of parameters (full check is slow)
         let n = base.len();
-        let picks: Vec<usize> =
-            (0..12).map(|i| i * (n / 12)).chain([n - 1, n - 2]).collect();
+        let picks: Vec<usize> = (0..12).map(|i| i * (n / 12)).chain([n - 1, n - 2]).collect();
         for k in picks {
             let mut plus = base.clone();
             plus[k] += eps;
@@ -399,11 +418,7 @@ mod tests {
             gru.set_param_vector(&minus);
             let lm = loss_last_state_sum(&mut gru, &x);
             let fd = (lp - lm) / (2.0 * eps);
-            assert!(
-                (fd - analytic[k]).abs() < 2e-2,
-                "param {k}: fd={fd} analytic={}",
-                analytic[k]
-            );
+            assert!((fd - analytic[k]).abs() < 2e-2, "param {k}: fd={fd} analytic={}", analytic[k]);
         }
     }
 
@@ -473,11 +488,7 @@ mod tests {
             big.set_param_vector(&minus);
             let lm = big.forward(&x, Mode::Eval).sum();
             let fd = (lp - lm) / (2.0 * eps);
-            assert!(
-                (fd - analytic[k]).abs() < 2e-2,
-                "param {k}: fd={fd} analytic={}",
-                analytic[k]
-            );
+            assert!((fd - analytic[k]).abs() < 2e-2, "param {k}: fd={fd} analytic={}", analytic[k]);
         }
     }
 

@@ -31,9 +31,18 @@ pub struct LayerInfo {
 /// Layers cache whatever they need during [`Layer::forward`] so that
 /// [`Layer::backward`] can compute input gradients and *accumulate* parameter
 /// gradients. Call [`Layer::zero_grad`] before accumulating a new batch.
-pub trait Layer: Send {
+///
+/// The `Sync` bound plus [`Layer::forward_eval`] let a frozen model serve
+/// concurrent inference behind an `Arc` without cloning per thread.
+pub trait Layer: Send + Sync {
     /// Computes outputs for a batch (`rows = examples`).
     fn forward(&mut self, x: &Matrix, mode: Mode) -> Matrix;
+
+    /// Computes outputs like [`Layer::forward`] in [`Mode::Eval`], but
+    /// without mutating the layer: nothing is cached for backward, and
+    /// stochastic layers (dropout) act as identity. Safe to call from many
+    /// threads on a shared reference.
+    fn forward_eval(&self, x: &Matrix) -> Matrix;
 
     /// Propagates `grad_out` (∂L/∂output) back, returning ∂L/∂input and
     /// accumulating parameter gradients internally.

@@ -51,8 +51,8 @@ pub use activation::Activation;
 pub use conv::{AvgPool2d, Conv2d, ImageShape, SeparableConv2d};
 pub use dense::{Dense, Dropout};
 pub use gru::{BiGru, Gru};
-pub use lstm::Lstm;
 pub use layer::{Layer, LayerInfo, Mode, ParamVector};
+pub use lstm::Lstm;
 pub use optim::{AdaGrad, Adam, Optimizer, RmsProp, Sgd};
 pub use saved::{load_model, save_model, LoadModelError};
 pub use sequential::Sequential;

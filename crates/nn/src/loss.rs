@@ -80,7 +80,11 @@ pub fn multiclass_hinge(scores: &Matrix, labels: &[usize]) -> (f32, Matrix) {
 /// # Panics
 ///
 /// Panics if shapes differ or `temperature <= 0`.
-pub fn distillation(student_logits: &Matrix, teacher_logits: &Matrix, temperature: f32) -> (f32, Matrix) {
+pub fn distillation(
+    student_logits: &Matrix,
+    teacher_logits: &Matrix,
+    temperature: f32,
+) -> (f32, Matrix) {
     assert_eq!(student_logits.shape(), teacher_logits.shape(), "logit shapes must match");
     assert!(temperature > 0.0, "temperature must be positive");
     let t = temperature;
@@ -106,11 +110,7 @@ pub fn distillation(student_logits: &Matrix, teacher_logits: &Matrix, temperatur
 mod tests {
     use super::*;
 
-    fn grad_check(
-        loss_fn: impl Fn(&Matrix) -> (f32, Matrix),
-        x: &Matrix,
-        tol: f32,
-    ) {
+    fn grad_check(loss_fn: impl Fn(&Matrix) -> (f32, Matrix), x: &Matrix, tol: f32) {
         let (_, grad) = loss_fn(x);
         let eps = 1e-3f32;
         for r in 0..x.rows() {

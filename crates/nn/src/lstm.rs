@@ -112,10 +112,10 @@ impl Lstm {
         let states = self.forward(seq, Mode::Eval);
         Matrix::row_vector(states.row(states.rows() - 1))
     }
-}
 
-impl Layer for Lstm {
-    fn forward(&mut self, x: &Matrix, _mode: Mode) -> Matrix {
+    /// Runs the recurrence, returning hidden states, cell states (each
+    /// incl. the initial zero row) and per-step gate activations.
+    fn scan(&self, x: &Matrix) -> (Matrix, Matrix, [Matrix; 4]) {
         let t_len = x.rows();
         let h_dim = self.hidden_dim();
         assert_eq!(x.cols(), self.input_dim(), "LSTM input width mismatch");
@@ -123,8 +123,7 @@ impl Layer for Lstm {
 
         let mut h = Matrix::zeros(t_len + 1, h_dim);
         let mut c = Matrix::zeros(t_len + 1, h_dim);
-        let mut gates =
-            [0, 1, 2, 3].map(|_| Matrix::zeros(t_len, h_dim));
+        let mut gates = [0, 1, 2, 3].map(|_| Matrix::zeros(t_len, h_dim));
 
         for t in 0..t_len {
             let x_t = Matrix::row_vector(x.row(t));
@@ -147,9 +146,21 @@ impl Layer for Lstm {
                 gates[3][(t, j)] = g;
             }
         }
-        let out = Matrix::from_fn(t_len, h_dim, |t, j| h[(t + 1, j)]);
+        (h, c, gates)
+    }
+}
+
+impl Layer for Lstm {
+    fn forward(&mut self, x: &Matrix, _mode: Mode) -> Matrix {
+        let (h, c, gates) = self.scan(x);
+        let out = Matrix::from_fn(x.rows(), self.hidden_dim(), |t, j| h[(t + 1, j)]);
         self.cache = Some(LstmCache { input: x.clone(), h, c, gates });
         out
+    }
+
+    fn forward_eval(&self, x: &Matrix) -> Matrix {
+        let (h, _, _) = self.scan(x);
+        Matrix::from_fn(x.rows(), self.hidden_dim(), |t, j| h[(t + 1, j)])
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
@@ -199,6 +210,9 @@ impl Layer for Lstm {
                 da[3][(0, j)] = dg * (1.0 - g * g);
             }
 
+            // `k` selects the gate across five parallel arrays, so an
+            // iterator over any single one of them would obscure the math.
+            #[allow(clippy::needless_range_loop)]
             for k in 0..4 {
                 self.g_w[k].add_assign(&x_t.matmul_tn(&da[k]));
                 self.g_u[k].add_assign(&h_prev.matmul_tn(&da[k]));
@@ -315,11 +329,7 @@ mod tests {
             lstm.set_param_vector(&minus);
             let lm = loss(&mut lstm, &x);
             let fd = (lp - lm) / (2.0 * eps);
-            assert!(
-                (fd - analytic[k]).abs() < 2e-2,
-                "param {k}: fd={fd} analytic={}",
-                analytic[k]
-            );
+            assert!((fd - analytic[k]).abs() < 2e-2, "param {k}: fd={fd} analytic={}", analytic[k]);
         }
     }
 
@@ -406,5 +416,4 @@ mod tests {
         }
         assert!(correct > 85, "LSTM should remember the first token: {correct}/100");
     }
-
 }

@@ -276,10 +276,7 @@ mod tests {
 
         let mut wrong_version = bytes.clone();
         wrong_version[4] = 99;
-        assert_eq!(
-            load_model(&wrong_version).err(),
-            Some(LoadModelError::UnsupportedVersion(99))
-        );
+        assert_eq!(load_model(&wrong_version).err(), Some(LoadModelError::UnsupportedVersion(99)));
 
         let truncated = &bytes[..bytes.len() - 3];
         assert_eq!(load_model(truncated).err(), Some(LoadModelError::Truncated));
@@ -297,5 +294,109 @@ mod tests {
         let bytes = save_model(&mut net).expect("saveable");
         // magic(4) + version(1) + count(2) + 2 layers × 13 + len(4) + params
         assert_eq!(bytes.len(), 4 + 1 + 2 + 2 * 13 + 4 + 4 * n_params);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use mdl_tensor::Matrix;
+    use proptest::prelude::*;
+
+    fn act_of(tag: u8) -> Activation {
+        match tag % 5 {
+            0 => Activation::Identity,
+            1 => Activation::Relu,
+            2 => Activation::Sigmoid,
+            3 => Activation::Tanh,
+            // the format hardcodes slope 0.01, so only that round-trips
+            _ => Activation::LeakyRelu(0.01),
+        }
+    }
+
+    /// A net exercising every layer tag the format knows (Dense=0, Gru=1,
+    /// BiGru=2) with generated widths and activations.
+    fn full_tag_net(w: &[usize], acts: &[u8], seed: u64) -> (Sequential, usize) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Sequential::new();
+        net.push(Dense::new(w[0], w[1], act_of(acts[0]), &mut rng));
+        net.push(Gru::new(w[1], w[2], &mut rng));
+        net.push(BiGru::new(w[2], w[3], &mut rng));
+        net.push(Dense::new(2 * w[3], 3, act_of(acts[1]), &mut rng));
+        (net, w[0])
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn every_layer_tag_round_trips_bit_exactly(
+            w in prop::collection::vec(1usize..5, 4),
+            acts in prop::collection::vec(0u8..5, 2),
+            seed in 0u64..1000,
+        ) {
+            let (mut net, in_dim) = full_tag_net(&w, &acts, seed);
+            let x = Matrix::from_fn(5, in_dim, |r, c| ((r * 7 + c) as f32 * 0.3).sin());
+            let before = net.forward_eval(&x);
+            let bytes = save_model(&mut net).expect("standard layers serialize");
+            let restored = load_model(&bytes).expect("round trip");
+            prop_assert!(restored.forward_eval(&x).approx_eq(&before, 0.0));
+        }
+
+        #[test]
+        fn every_error_variant_is_reachable(
+            w in prop::collection::vec(1usize..5, 4),
+            acts in prop::collection::vec(0u8..5, 2),
+            seed in 0u64..1000,
+            magic_mask in 1u8..=255,
+            version_mask in 1u8..=255,
+            cut in 1usize..10_000,
+            tag_excess in 0u8..253,
+            count_mask in 1u32..1_000_000,
+        ) {
+            let (mut net, _) = full_tag_net(&w, &acts, seed);
+            let bytes = save_model(&mut net).expect("standard layers serialize");
+
+            // BadMagic: any corruption of the 4 magic bytes
+            let mut bad_magic = bytes.clone();
+            bad_magic[(seed % 4) as usize] ^= magic_mask;
+            prop_assert_eq!(load_model(&bad_magic).err(), Some(LoadModelError::BadMagic));
+
+            // UnsupportedVersion: any version byte other than 1
+            let mut bad_version = bytes.clone();
+            bad_version[4] ^= version_mask;
+            prop_assert_eq!(
+                load_model(&bad_version).err(),
+                Some(LoadModelError::UnsupportedVersion(VERSION ^ version_mask))
+            );
+
+            // Truncated: every strict prefix ends inside declared content
+            let keep = bytes.len() - (1 + cut % bytes.len());
+            prop_assert_eq!(
+                load_model(&bytes[..keep]).err(),
+                Some(LoadModelError::Truncated)
+            );
+
+            // UnknownLayer: tags 3..=255 name no layer (first tag is at 7)
+            let unknown = 3 + tag_excess;
+            let mut bad_tag = bytes.clone();
+            bad_tag[7] = unknown;
+            prop_assert_eq!(
+                load_model(&bad_tag).err(),
+                Some(LoadModelError::UnknownLayer(unknown))
+            );
+
+            // ParamMismatch: the count field disagrees with the header
+            let expected = net.num_params();
+            let found = expected ^ count_mask as usize;
+            let count_at = 4 + 1 + 2 + 13 * 4;
+            let mut bad_count = bytes.clone();
+            bad_count[count_at..count_at + 4]
+                .copy_from_slice(&(found as u32).to_le_bytes());
+            prop_assert_eq!(
+                load_model(&bad_count).err(),
+                Some(LoadModelError::ParamMismatch { expected, found })
+            );
+        }
     }
 }

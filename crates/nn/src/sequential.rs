@@ -92,17 +92,20 @@ impl Sequential {
     }
 
     /// Class probabilities (softmax over the final layer's outputs).
-    pub fn predict_proba(&mut self, x: &Matrix) -> Matrix {
-        softmax_rows(&self.forward(x, Mode::Eval))
+    ///
+    /// Runs the read-only [`Layer::forward_eval`] path, so concurrent
+    /// callers can share the model behind an `Arc`.
+    pub fn predict_proba(&self, x: &Matrix) -> Matrix {
+        softmax_rows(&self.forward_eval(x))
     }
 
-    /// Hard class predictions.
-    pub fn predict(&mut self, x: &Matrix) -> Vec<usize> {
-        self.forward(x, Mode::Eval).argmax_rows()
+    /// Hard class predictions (read-only; shareable across threads).
+    pub fn predict(&self, x: &Matrix) -> Vec<usize> {
+        self.forward_eval(x).argmax_rows()
     }
 
     /// Fraction of rows whose argmax matches the label.
-    pub fn accuracy(&mut self, x: &Matrix, labels: &[usize]) -> f64 {
+    pub fn accuracy(&self, x: &Matrix, labels: &[usize]) -> f64 {
         let pred = self.predict(x);
         let correct = pred.iter().zip(labels.iter()).filter(|(p, y)| p == y).count();
         correct as f64 / labels.len().max(1) as f64
@@ -128,6 +131,14 @@ impl Layer for Sequential {
         let mut cur = x.clone();
         for layer in &mut self.layers {
             cur = layer.forward(&cur, mode);
+        }
+        cur
+    }
+
+    fn forward_eval(&self, x: &Matrix) -> Matrix {
+        let mut cur = x.clone();
+        for layer in &self.layers {
+            cur = layer.forward_eval(&cur);
         }
         cur
     }
@@ -229,7 +240,7 @@ mod tests {
     #[test]
     fn predict_proba_rows_sum_to_one() {
         let mut rng = StdRng::seed_from_u64(43);
-        let mut net = two_layer(&mut rng);
+        let net = two_layer(&mut rng);
         let p = net.predict_proba(&Matrix::ones(3, 3));
         for r in 0..3 {
             assert!((p.row(r).iter().sum::<f32>() - 1.0).abs() < 1e-5);
@@ -250,7 +261,7 @@ mod tests {
     #[test]
     fn accuracy_on_trivial_labels() {
         let mut rng = StdRng::seed_from_u64(45);
-        let mut net = two_layer(&mut rng);
+        let net = two_layer(&mut rng);
         let x = Matrix::ones(4, 3);
         let pred = net.predict(&x);
         let acc = net.accuracy(&x, &pred);

@@ -31,14 +31,14 @@ fn log_binomial(n: u32, k: u32) -> f64 {
 fn ln_gamma(x: f64) -> f64 {
     // g = 7, n = 9 Lanczos coefficients
     const COEF: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
-        9.984_369_578_019_571_6e-6,
+        9.984_369_578_019_572e-6,
         1.505_632_735_149_311_6e-7,
     ];
     if x < 0.5 {
@@ -237,8 +237,7 @@ mod tests {
         let sigma = 1.5;
         let steps = 2000;
         let accountant = compute_epsilon(q, sigma, steps, 1e-5);
-        let single = crate::mechanism::GaussianMechanism::new(1.0, sigma)
-            .epsilon_single_shot(1e-5);
+        let single = crate::mechanism::GaussianMechanism::new(1.0, sigma).epsilon_single_shot(1e-5);
         let naive = single * steps as f64 * q; // even charging only q·T steps
         assert!(accountant < naive / 3.0, "accountant={accountant} naive={naive}");
     }

@@ -144,12 +144,8 @@ pub fn run_dp_fedavg(
                 &mut local_rng,
             );
             // 2. clip the model delta to S
-            let mut delta: Vec<f32> = local
-                .param_vector()
-                .iter()
-                .zip(params.iter())
-                .map(|(a, b)| a - b)
-                .collect();
+            let mut delta: Vec<f32> =
+                local.param_vector().iter().zip(params.iter()).map(|(a, b)| a - b).collect();
             let pre = clip_update(&mut delta, config.clip_norm);
             if pre > config.clip_norm {
                 clipped += 1;
@@ -162,8 +158,7 @@ pub fn run_dp_fedavg(
         }
 
         // 3. bounded-sensitivity estimator + 4. Gaussian noise
-        let noise_std =
-            (config.noise_multiplier * config.clip_norm / expected_cohort) as f32;
+        let noise_std = (config.noise_multiplier * config.clip_norm / expected_cohort) as f32;
         for (p, &s) in params.iter_mut().zip(sum_delta.iter()) {
             let mut avg = s / expected_cohort as f32;
             if noise_std > 0.0 {
@@ -192,11 +187,7 @@ pub fn run_dp_fedavg(
         final_params: params,
         epsilon: accountant.map(|a| a.epsilon(config.delta)).unwrap_or(f64::INFINITY),
         delta: config.delta,
-        clip_fraction: if deltas_seen == 0 {
-            0.0
-        } else {
-            clipped as f64 / deltas_seen as f64
-        },
+        clip_fraction: if deltas_seen == 0 { 0.0 } else { clipped as f64 / deltas_seen as f64 },
     }
 }
 

@@ -129,8 +129,7 @@ mod tests {
         let n = 20_000;
         let mut values = vec![0.0f32; n];
         m.perturb(&mut values, &mut rng);
-        let var: f64 =
-            values.iter().map(|&v| (v as f64).powi(2)).sum::<f64>() / n as f64;
+        let var: f64 = values.iter().map(|&v| (v as f64).powi(2)).sum::<f64>() / n as f64;
         assert!((var.sqrt() - 3.0).abs() < 0.1, "std={}", var.sqrt());
     }
 

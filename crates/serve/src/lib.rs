@@ -1,0 +1,57 @@
+//! `mdl-serve` — a concurrent inference-serving runtime for trained
+//! `mdl-nn` models, closing the deployment loop of *Deep Learning
+//! towards Mobile Applications* (ICDCS 2018): after a model is trained
+//! (federated or central), compressed and placed, something has to
+//! actually answer requests from a fleet of heterogeneous devices.
+//!
+//! The runtime combines four mechanisms:
+//!
+//! * **Versioned registry with atomic hot swap** ([`registry`]) — the
+//!   current model lives behind an `Arc`; a swap installs a new version
+//!   without interrupting in-flight work, so models can be updated
+//!   "without shipping a new app".
+//! * **Dynamic micro-batching** ([`server`]) — queued requests are
+//!   coalesced into matrix batches under a size cap and a wait deadline,
+//!   trading a bounded amount of latency for amortised matrix-matrix
+//!   throughput on the worker pool.
+//! * **Placement-aware routing** ([`router`]) — each request carries a
+//!   device/network profile; the `mdl-mobile` cost model decides whether
+//!   it should run on-device, in the cloud, or split across both, and
+//!   overload sheds cloud-bound work to a local early-exit head.
+//! * **Serving metrics and load generation** ([`metrics`], [`loadgen`])
+//!   — percentile latency histograms, batch-size distribution and
+//!   shed/swap counters, plus deterministic open/closed-loop load for
+//!   experiments and regression tests.
+//!
+//! ```
+//! use mdl_serve::{ClientProfile, DeviceClass, InferenceServer, NetworkClass, ServeConfig};
+//! use mdl_nn::{Activation, Dense, Layer, Sequential};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut model = Sequential::new();
+//! model.push(Dense::new(4, 3, Activation::Identity, &mut rng));
+//!
+//! let server = InferenceServer::start(model, None, ServeConfig::default());
+//! let client = server.client();
+//! let profile = ClientProfile { device: DeviceClass::Flagship, network: NetworkClass::Wifi };
+//! let response = client.submit(&[0.1, 0.2, 0.3, 0.4], profile).unwrap().recv().unwrap();
+//! assert_eq!(response.probs.len(), 3);
+//! drop(client);
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod loadgen;
+pub mod metrics;
+pub mod registry;
+pub mod router;
+pub mod server;
+
+pub use loadgen::{run_load, LoadGenConfig, LoadMode, LoadReport};
+pub use metrics::{LatencyHistogram, MetricsSnapshot, ServerMetrics};
+pub use registry::{ModelRegistry, VersionedModel};
+pub use router::{ClientProfile, DeviceClass, NetworkClass, Route, Router};
+pub use server::{InferenceResponse, InferenceServer, ServeClient, ServeConfig, SubmitError};

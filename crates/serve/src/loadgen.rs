@@ -1,0 +1,318 @@
+//! Deterministic load generation for the serving runtime.
+//!
+//! Two classic shapes:
+//!
+//! * **Open loop** — requests arrive on a seeded Poisson process at a
+//!   configured offered rate, regardless of how fast the server answers.
+//!   This is the honest way to measure latency under load: a slow server
+//!   cannot slow the arrival of work.
+//! * **Closed loop** — a fixed set of workers each keep exactly one
+//!   request outstanding, which measures best-case per-request latency
+//!   and natural throughput.
+//!
+//! Request *content* is fully deterministic (inputs and profiles are
+//! drawn by request index from caller-supplied pools); only wall-clock
+//! timing varies between runs.
+
+use crate::router::{ClientProfile, Route};
+use crate::server::{InferenceResponse, ServeClient};
+use mdl_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Arrival pattern for a load run.
+#[derive(Debug, Clone, Copy)]
+pub enum LoadMode {
+    /// Poisson arrivals at `rps` requests/second, independent of
+    /// completion (offered load).
+    Open {
+        /// Offered arrival rate in requests per second.
+        rps: f64,
+    },
+    /// `concurrency` workers, each with one request in flight at a time.
+    Closed {
+        /// Number of concurrent request loops.
+        concurrency: usize,
+    },
+}
+
+/// Configuration for one load run.
+#[derive(Debug, Clone)]
+pub struct LoadGenConfig {
+    /// Seed for the arrival process.
+    pub seed: u64,
+    /// Total requests to issue.
+    pub requests: usize,
+    /// Arrival pattern.
+    pub mode: LoadMode,
+    /// Client profiles, cycled by request index. Must be non-empty.
+    pub profiles: Vec<ClientProfile>,
+}
+
+/// Client-side measurements from one load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Exact client-observed latencies, sorted ascending.
+    pub latencies: Vec<Duration>,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+    /// Requests that received a response.
+    pub completed: usize,
+    /// Responses per route.
+    pub local: usize,
+    /// Responses served through the cloud batching path.
+    pub cloud: usize,
+    /// Responses served through the split path.
+    pub split: usize,
+    /// Responses answered by the shed fallback.
+    pub shed: usize,
+    /// Mean worker-pool batch size observed across batched responses.
+    pub mean_batch_size: f64,
+}
+
+impl LoadReport {
+    /// Exact `p`-th percentile latency (`0 < p <= 100`) from the sorted
+    /// client-side samples.
+    pub fn percentile(&self, p: f64) -> Duration {
+        if self.latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let rank = ((p / 100.0) * self.latencies.len() as f64).ceil().max(1.0) as usize;
+        self.latencies[rank.min(self.latencies.len()) - 1]
+    }
+
+    /// Completed requests per second.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.completed as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+
+    /// Fraction of completed requests answered by the shed path.
+    pub fn shed_rate(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.completed as f64
+        }
+    }
+
+    fn from_responses(responses: Vec<InferenceResponse>, elapsed: Duration) -> Self {
+        let mut latencies: Vec<Duration> = responses.iter().map(|r| r.latency).collect();
+        latencies.sort();
+        let (mut local, mut cloud, mut split, mut shed) = (0usize, 0, 0, 0);
+        let mut batched = 0usize;
+        let mut batch_sum = 0usize;
+        for r in &responses {
+            match r.route {
+                Route::Local => local += 1,
+                Route::Cloud => cloud += 1,
+                Route::Split { .. } => split += 1,
+                Route::EarlyExit => shed += 1,
+            }
+            if matches!(r.route, Route::Cloud | Route::Split { .. }) {
+                batched += 1;
+                batch_sum += r.batch_size;
+            }
+        }
+        Self {
+            completed: responses.len(),
+            latencies,
+            elapsed,
+            local,
+            cloud,
+            split,
+            shed,
+            mean_batch_size: if batched == 0 { 0.0 } else { batch_sum as f64 / batched as f64 },
+        }
+    }
+}
+
+/// Drives `config.requests` requests through `client`, drawing input
+/// rows from `inputs` (cycled by request index) and profiles from
+/// `config.profiles` (likewise). Returns client-side measurements.
+///
+/// # Panics
+///
+/// Panics if `config.profiles` is empty or `inputs` has no rows.
+pub fn run_load(client: &ServeClient, inputs: &Matrix, config: &LoadGenConfig) -> LoadReport {
+    assert!(!config.profiles.is_empty(), "need at least one client profile");
+    assert!(inputs.rows() > 0, "need at least one input row");
+    let started = Instant::now();
+    let responses = match config.mode {
+        LoadMode::Open { rps } => run_open(client, inputs, config, rps),
+        LoadMode::Closed { concurrency } => run_closed(client, inputs, config, concurrency),
+    };
+    LoadReport::from_responses(responses, started.elapsed())
+}
+
+fn pick<'a>(
+    inputs: &'a Matrix,
+    config: &LoadGenConfig,
+    index: usize,
+) -> (&'a [f32], ClientProfile) {
+    (inputs.row(index % inputs.rows()), config.profiles[index % config.profiles.len()])
+}
+
+fn run_open(
+    client: &ServeClient,
+    inputs: &Matrix,
+    config: &LoadGenConfig,
+    rps: f64,
+) -> Vec<InferenceResponse> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mean_gap = 1.0 / rps.max(1e-9);
+    let mut receivers = Vec::with_capacity(config.requests);
+    // Absolute-deadline pacing: each arrival is scheduled on the Poisson
+    // timeline computed up front, so oversleeping one gap (timer
+    // granularity) is recovered on the next instead of compounding into
+    // a lower offered rate.
+    let started = Instant::now();
+    let mut due = 0.0f64;
+    for i in 0..config.requests {
+        // exponential interarrival: -mean * ln(1 - U)
+        let u: f64 = rng.gen();
+        due += -mean_gap * (1.0 - u).ln().min(0.0);
+        let target = started + Duration::from_secs_f64(due.min(3600.0));
+        let now = Instant::now();
+        if target > now {
+            std::thread::sleep(target - now);
+        }
+        let (input, profile) = pick(inputs, config, i);
+        match client.submit(input, profile) {
+            Ok(rx) => receivers.push(rx),
+            Err(_) => break,
+        }
+    }
+    receivers.into_iter().filter_map(|rx| rx.recv().ok()).collect()
+}
+
+fn run_closed(
+    client: &ServeClient,
+    inputs: &Matrix,
+    config: &LoadGenConfig,
+    concurrency: usize,
+) -> Vec<InferenceResponse> {
+    let concurrency = concurrency.max(1);
+    let total = config.requests;
+    let mut responses = Vec::with_capacity(total);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..concurrency)
+            .map(|w| {
+                let client = client.clone();
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    // worker w owns request indices w, w+C, w+2C, ...
+                    let mut i = w;
+                    while i < total {
+                        let (input, profile) = pick(inputs, config, i);
+                        let Ok(rx) = client.submit(input, profile) else { break };
+                        if let Ok(resp) = rx.recv() {
+                            mine.push(resp);
+                        }
+                        i += concurrency;
+                    }
+                    mine
+                })
+            })
+            .collect();
+        for h in handles {
+            responses.extend(h.join().expect("load worker"));
+        }
+    });
+    responses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::{DeviceClass, NetworkClass};
+    use crate::server::{InferenceServer, ServeConfig};
+    use mdl_nn::{Activation, Dense, Sequential};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Big enough (~9.6M MACs) that a wearable on Wi-Fi goes cloud-bound.
+    fn model() -> Sequential {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut net = Sequential::new();
+        net.push(Dense::new(32, 3072, Activation::Relu, &mut rng));
+        net.push(Dense::new(3072, 3072, Activation::Relu, &mut rng));
+        net.push(Dense::new(3072, 3, Activation::Identity, &mut rng));
+        net
+    }
+
+    fn inputs() -> Matrix {
+        Matrix::from_fn(32, 32, |r, c| ((r * 32 + c) as f32 * 0.7).sin())
+    }
+
+    #[test]
+    fn closed_loop_answers_every_request() {
+        let server = InferenceServer::start(model(), None, ServeConfig::default());
+        let client = server.client();
+        let report = run_load(
+            &client,
+            &inputs(),
+            &LoadGenConfig {
+                seed: 1,
+                requests: 64,
+                mode: LoadMode::Closed { concurrency: 4 },
+                profiles: vec![ClientProfile {
+                    device: DeviceClass::Wearable,
+                    network: NetworkClass::Wifi,
+                }],
+            },
+        );
+        assert_eq!(report.completed, 64);
+        assert_eq!(report.latencies.len(), 64);
+        assert!(report.percentile(50.0) <= report.percentile(99.0));
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn open_loop_is_deterministic_in_content() {
+        let server = InferenceServer::start(model(), None, ServeConfig::default());
+        let client = server.client();
+        let report = run_load(
+            &client,
+            &inputs(),
+            &LoadGenConfig {
+                seed: 7,
+                requests: 40,
+                mode: LoadMode::Open { rps: 5_000.0 },
+                profiles: vec![
+                    ClientProfile { device: DeviceClass::Wearable, network: NetworkClass::Wifi },
+                    ClientProfile { device: DeviceClass::Flagship, network: NetworkClass::Offline },
+                ],
+            },
+        );
+        assert_eq!(report.completed, 40);
+        // profiles are cycled: half offline/local, half cloud-bound
+        assert_eq!(report.local, 20);
+        assert_eq!(report.cloud + report.split, 20);
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn percentile_is_exact_on_known_samples() {
+        let report = LoadReport {
+            latencies: (1..=100).map(Duration::from_micros).collect(),
+            elapsed: Duration::from_secs(1),
+            completed: 100,
+            local: 0,
+            cloud: 100,
+            split: 0,
+            shed: 0,
+            mean_batch_size: 1.0,
+        };
+        assert_eq!(report.percentile(50.0), Duration::from_micros(50));
+        assert_eq!(report.percentile(99.0), Duration::from_micros(99));
+        assert_eq!(report.percentile(100.0), Duration::from_micros(100));
+        assert!((report.throughput_rps() - 100.0).abs() < 1e-9);
+    }
+}

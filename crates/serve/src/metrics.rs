@@ -1,0 +1,266 @@
+//! Lock-free serving metrics: latency histogram with percentile readout,
+//! batch-size distribution, throughput, queue depth and event counters.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Number of power-of-two latency buckets (1 µs up to ~9 minutes).
+const LATENCY_BUCKETS: usize = 40;
+
+/// Largest tracked batch size; bigger batches land in the last bucket.
+const BATCH_BUCKETS: usize = 64;
+
+/// Geometric (power-of-two) histogram over microseconds.
+///
+/// Bucket `i` holds samples in `[2^i, 2^(i+1))` µs; percentiles are read
+/// back as the upper bound of the bucket the rank falls in, which bounds
+/// the true percentile within a factor of two — plenty for serving
+/// dashboards and regression assertions.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    fn bucket_of(us: u64) -> usize {
+        (63 - us.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1)
+    }
+
+    /// Records one sample.
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros() as u64;
+        self.buckets[Self::bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency over all samples.
+    pub fn mean(&self) -> Duration {
+        let n = self.count();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_micros(self.sum_us.load(Ordering::Relaxed) / n)
+    }
+
+    /// Upper-bound estimate of the `p`-th percentile (`0 < p <= 100`).
+    pub fn percentile(&self, p: f64) -> Duration {
+        let n = self.count();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((p / 100.0) * n as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Duration::from_micros(1u64 << (i + 1).min(63));
+            }
+        }
+        Duration::from_micros(u64::MAX >> 1)
+    }
+}
+
+/// Shared counters updated by the scheduler, workers and client handles.
+pub struct ServerMetrics {
+    /// End-to-end submit→response latency.
+    pub latency: LatencyHistogram,
+    batch_sizes: [AtomicU64; BATCH_BUCKETS],
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    completed: AtomicU64,
+    shed: AtomicU64,
+    local: AtomicU64,
+    queue_depth: AtomicUsize,
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        Self {
+            latency: LatencyHistogram::default(),
+            batch_sizes: std::array::from_fn(|_| AtomicU64::new(0)),
+            batches: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            local: AtomicU64::new(0),
+            queue_depth: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl ServerMetrics {
+    /// Records a dispatched batch of `size` requests.
+    pub fn record_batch(&self, size: usize) {
+        self.batch_sizes[size.min(BATCH_BUCKETS) - 1].fetch_add(1, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests.fetch_add(size as u64, Ordering::Relaxed);
+    }
+
+    /// Records one delivered response.
+    pub fn record_completed(&self, latency: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.latency.record(latency);
+    }
+
+    /// Records a request answered by the shed path.
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request answered on-device (routed local, never queued).
+    pub fn record_local(&self) {
+        self.local.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Publishes the instantaneous request-queue depth.
+    pub fn set_queue_depth(&self, depth: usize) {
+        self.queue_depth.store(depth, Ordering::Relaxed);
+    }
+
+    /// Point-in-time summary. `elapsed` is the measurement window used for
+    /// throughput.
+    pub fn snapshot(&self, elapsed: Duration) -> MetricsSnapshot {
+        let completed = self.completed.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched = self.batched_requests.load(Ordering::Relaxed);
+        let batch_histogram: Vec<(usize, u64)> = self
+            .batch_sizes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let n = c.load(Ordering::Relaxed);
+                (n > 0).then_some((i + 1, n))
+            })
+            .collect();
+        MetricsSnapshot {
+            completed,
+            shed: self.shed.load(Ordering::Relaxed),
+            local: self.local.load(Ordering::Relaxed),
+            batches,
+            mean_batch_size: if batches == 0 { 0.0 } else { batched as f64 / batches as f64 },
+            batch_histogram,
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            throughput_rps: if elapsed.is_zero() {
+                0.0
+            } else {
+                completed as f64 / elapsed.as_secs_f64()
+            },
+            mean_latency: self.latency.mean(),
+            p50: self.latency.percentile(50.0),
+            p95: self.latency.percentile(95.0),
+            p99: self.latency.percentile(99.0),
+        }
+    }
+}
+
+/// A frozen view of [`ServerMetrics`].
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Responses delivered (all routes, including shed answers).
+    pub completed: u64,
+    /// Requests answered by the shed (early-exit) path.
+    pub shed: u64,
+    /// Requests answered on-device without queueing.
+    pub local: u64,
+    /// Batches dispatched to the worker pool.
+    pub batches: u64,
+    /// Mean requests per dispatched batch.
+    pub mean_batch_size: f64,
+    /// `(batch size, count)` pairs, ascending, zero counts omitted.
+    pub batch_histogram: Vec<(usize, u64)>,
+    /// Request-queue depth at snapshot time.
+    pub queue_depth: usize,
+    /// Completed responses per second over the window.
+    pub throughput_rps: f64,
+    /// Mean submit→response latency.
+    pub mean_latency: Duration,
+    /// Median latency (histogram upper bound).
+    pub p50: Duration,
+    /// 95th percentile latency (histogram upper bound).
+    pub p95: Duration,
+    /// 99th percentile latency (histogram upper bound).
+    pub p99: Duration,
+}
+
+impl MetricsSnapshot {
+    /// Fraction of completed responses answered by the shed path.
+    pub fn shed_rate(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.completed as f64
+        }
+    }
+}
+
+/// Convenience stopwatch for throughput windows.
+pub struct Stopwatch(Instant);
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self(Instant::now())
+    }
+}
+
+impl Stopwatch {
+    /// Time since construction.
+    pub fn elapsed(&self) -> Duration {
+        self.0.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_track_bucket_bounds() {
+        let h = LatencyHistogram::default();
+        for _ in 0..99 {
+            h.record(Duration::from_micros(100)); // bucket [64, 128)
+        }
+        h.record(Duration::from_millis(50)); // far tail
+        let p50 = h.percentile(50.0);
+        assert!(p50 >= Duration::from_micros(100) && p50 <= Duration::from_micros(256), "{p50:?}");
+        assert!(h.percentile(99.0) <= Duration::from_micros(256));
+        assert!(h.percentile(100.0) >= Duration::from_millis(50));
+        assert_eq!(h.count(), 100);
+    }
+
+    #[test]
+    fn snapshot_aggregates_batches() {
+        let m = ServerMetrics::default();
+        m.record_batch(1);
+        m.record_batch(7);
+        m.record_completed(Duration::from_micros(10));
+        let snap = m.snapshot(Duration::from_secs(2));
+        assert_eq!(snap.batches, 2);
+        assert!((snap.mean_batch_size - 4.0).abs() < 1e-9);
+        assert_eq!(snap.batch_histogram, vec![(1, 1), (7, 1)]);
+        assert!((snap.throughput_rps - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.percentile(99.0), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,137 @@
+//! Versioned model registry with atomic hot swap.
+//!
+//! Serving keeps exactly one *current* model behind an `Arc`; workers grab
+//! a snapshot per batch, so a swap never interrupts an in-flight batch —
+//! it finishes on the version it started with while new batches pick up
+//! the replacement. This is the paper's §III "update the model without
+//! shipping a new app" concern, applied to the serving tier.
+
+use mdl_nn::saved::{load_model, LoadModelError};
+use mdl_nn::Sequential;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// One immutable, shareable model version.
+pub struct VersionedModel {
+    /// Monotonically increasing version, starting at 1.
+    pub version: u64,
+    /// The frozen network; inference goes through the read-only
+    /// [`mdl_nn::Layer::forward_eval`] path.
+    pub model: Sequential,
+}
+
+/// Holds the current [`VersionedModel`] and swaps it atomically.
+pub struct ModelRegistry {
+    current: RwLock<Arc<VersionedModel>>,
+    swaps: AtomicU64,
+}
+
+impl std::fmt::Debug for ModelRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelRegistry")
+            .field("version", &self.current().version)
+            .field("swaps", &self.swap_count())
+            .finish()
+    }
+}
+
+impl ModelRegistry {
+    /// Registers an initial model as version 1.
+    pub fn new(model: Sequential) -> Self {
+        Self {
+            current: RwLock::new(Arc::new(VersionedModel { version: 1, model })),
+            swaps: AtomicU64::new(0),
+        }
+    }
+
+    /// Decodes a saved artifact (see [`mdl_nn::saved`]) as version 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns the decoder's [`LoadModelError`] for malformed bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, LoadModelError> {
+        Ok(Self::new(load_model(bytes)?))
+    }
+
+    /// Snapshot of the current version (cheap: one `Arc` clone).
+    pub fn current(&self) -> Arc<VersionedModel> {
+        Arc::clone(&self.current.read().expect("registry lock"))
+    }
+
+    /// Current version number.
+    pub fn version(&self) -> u64 {
+        self.current().version
+    }
+
+    /// Number of completed swaps.
+    pub fn swap_count(&self) -> u64 {
+        self.swaps.load(Ordering::Relaxed)
+    }
+
+    /// Atomically replaces the model, returning the new version number.
+    /// Readers holding the previous snapshot are unaffected.
+    pub fn swap(&self, model: Sequential) -> u64 {
+        let mut slot = self.current.write().expect("registry lock");
+        let version = slot.version + 1;
+        *slot = Arc::new(VersionedModel { version, model });
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+        version
+    }
+
+    /// Decodes and swaps in a saved artifact. The current model is kept
+    /// untouched if the bytes fail validation — a corrupt upload can never
+    /// take down serving.
+    ///
+    /// # Errors
+    ///
+    /// Returns the decoder's [`LoadModelError`] for malformed bytes.
+    pub fn swap_bytes(&self, bytes: &[u8]) -> Result<u64, LoadModelError> {
+        let model = load_model(bytes)?;
+        Ok(self.swap(model))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdl_nn::{save_model, Activation, Dense, Layer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut n = Sequential::new();
+        n.push(Dense::new(4, 3, Activation::Identity, &mut rng));
+        n
+    }
+
+    #[test]
+    fn swap_bumps_version_and_keeps_old_snapshots_alive() {
+        let reg = ModelRegistry::new(net(1));
+        let before = reg.current();
+        assert_eq!(before.version, 1);
+        assert_eq!(reg.swap(net(2)), 2);
+        assert_eq!(reg.version(), 2);
+        assert_eq!(reg.swap_count(), 1);
+        // the old snapshot still works after the swap
+        let x = mdl_tensor::Matrix::ones(1, 4);
+        assert_eq!(before.model.forward_eval(&x).cols(), 3);
+    }
+
+    #[test]
+    fn bad_bytes_leave_current_model_in_place() {
+        let reg = ModelRegistry::new(net(3));
+        assert!(reg.swap_bytes(b"not a model").is_err());
+        assert_eq!(reg.version(), 1);
+        assert_eq!(reg.swap_count(), 0);
+    }
+
+    #[test]
+    fn round_trips_saved_artifacts() {
+        let mut original = net(4);
+        let bytes = save_model(&mut original).expect("dense net saves");
+        let reg = ModelRegistry::from_bytes(&bytes).expect("valid artifact");
+        let x = mdl_tensor::Matrix::ones(2, 4);
+        assert!(reg.current().model.forward_eval(&x).approx_eq(&original.forward_eval(&x), 0.0));
+    }
+}

@@ -1,0 +1,176 @@
+//! Placement-aware admission routing.
+//!
+//! Each request arrives with a [`ClientProfile`] describing the device it
+//! came from and the network it sits on. The router evaluates the
+//! `mdl-mobile` cost model over the *current* model version and picks the
+//! cheapest placement (Figs. 2–3 of the paper): run the whole model on the
+//! device, ship the input to the cloud, or split the network and ship the
+//! intermediate representation. Decisions are memoised per
+//! `(model version, profile)` since the cost model is deterministic.
+
+use crate::registry::VersionedModel;
+use mdl_mobile::{rank_placements, DeviceProfile, NetworkProfile, Placement, Scenario};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Coarse device classes exposed by the `mdl-mobile` simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceClass {
+    /// Battery- and compute-starved wearable.
+    Wearable,
+    /// Mid-range phone.
+    Midrange,
+    /// Flagship phone.
+    Flagship,
+}
+
+/// Link classes exposed by the `mdl-mobile` simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetworkClass {
+    /// Home/office Wi-Fi.
+    Wifi,
+    /// LTE cellular.
+    Lte,
+    /// Legacy 3G cellular.
+    ThreeG,
+    /// No connectivity: everything must run on-device.
+    Offline,
+}
+
+/// Where a request comes from; drives the placement decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClientProfile {
+    /// The requesting device.
+    pub device: DeviceClass,
+    /// Its current link.
+    pub network: NetworkClass,
+}
+
+impl ClientProfile {
+    /// Materialises the simulator profiles.
+    pub fn profiles(&self) -> (DeviceProfile, NetworkProfile) {
+        let device = match self.device {
+            DeviceClass::Wearable => DeviceProfile::wearable(),
+            DeviceClass::Midrange => DeviceProfile::midrange_phone(),
+            DeviceClass::Flagship => DeviceProfile::flagship_phone(),
+        };
+        let network = match self.network {
+            NetworkClass::Wifi => NetworkProfile::wifi(),
+            NetworkClass::Lte => NetworkProfile::lte(),
+            NetworkClass::ThreeG => NetworkProfile::cellular_3g(),
+            NetworkClass::Offline => NetworkProfile::offline(),
+        };
+        (device, network)
+    }
+}
+
+/// The execution path chosen for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Whole model on the requesting device; never queued at the server.
+    Local,
+    /// Raw input to the server, full model through the batching pipeline.
+    Cloud,
+    /// First `local_layers` on the device, remainder at the server.
+    Split {
+        /// Layers executed on the device before the upload.
+        local_layers: usize,
+    },
+    /// Answered by the server's early-exit fallback under overload.
+    EarlyExit,
+}
+
+/// Memoising placement router.
+#[derive(Default)]
+pub struct Router {
+    cache: Mutex<HashMap<(u64, ClientProfile), Route>>,
+}
+
+impl Router {
+    /// Creates an empty router.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Chooses the cheapest-latency placement of `snapshot` for `profile`.
+    pub fn decide(&self, snapshot: &VersionedModel, profile: ClientProfile) -> Route {
+        let key = (snapshot.version, profile);
+        if let Some(route) = self.cache.lock().expect("router lock").get(&key) {
+            return *route;
+        }
+        let route = Self::evaluate(snapshot, profile);
+        self.cache.lock().expect("router lock").insert(key, route);
+        route
+    }
+
+    fn evaluate(snapshot: &VersionedModel, profile: ClientProfile) -> Route {
+        let layers = snapshot.model.layer_infos();
+        let in_dim = layers.first().map(|l| l.in_dim).unwrap_or(0);
+        let out_dim = layers.last().map(|l| l.out_dim).unwrap_or(0);
+        let scenario = Scenario {
+            layers,
+            input_bytes: 4 * in_dim as u64,
+            result_bytes: 4 * out_dim as u64,
+            bytes_per_weight: 4.0,
+        };
+        let (device, network) = profile.profiles();
+        let cloud = DeviceProfile::cloud_server();
+        let ranked = rank_placements(&scenario, &device, &cloud, &network, false);
+        match ranked.first().map(|(p, _)| *p) {
+            Some(Placement::Cloud) => Route::Cloud,
+            Some(Placement::Split { local_layers }) => Route::Split { local_layers },
+            // OnDevice, or an empty model: nothing for the server to do.
+            _ => Route::Local,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdl_nn::{Activation, Dense, Sequential};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn snapshot(widths: &[usize], version: u64) -> VersionedModel {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut net = Sequential::new();
+        for w in widths.windows(2) {
+            net.push(Dense::new(w[0], w[1], Activation::Relu, &mut rng));
+        }
+        VersionedModel { version, model: net }
+    }
+
+    #[test]
+    fn offline_always_routes_local() {
+        let snap = snapshot(&[64, 512, 10], 1);
+        let router = Router::new();
+        for device in [DeviceClass::Wearable, DeviceClass::Midrange, DeviceClass::Flagship] {
+            let route =
+                router.decide(&snap, ClientProfile { device, network: NetworkClass::Offline });
+            assert_eq!(route, Route::Local);
+        }
+    }
+
+    #[test]
+    fn weak_device_on_wifi_offloads_big_model() {
+        // VGG-fc-sized stack: far beyond a wearable's budget
+        let snap = snapshot(&[784, 4096, 4096, 4096, 10], 1);
+        let router = Router::new();
+        let route = router.decide(
+            &snap,
+            ClientProfile { device: DeviceClass::Wearable, network: NetworkClass::Wifi },
+        );
+        assert_ne!(route, Route::Local, "wearable should offload");
+    }
+
+    #[test]
+    fn decisions_are_memoised_per_version() {
+        let router = Router::new();
+        let profile = ClientProfile { device: DeviceClass::Midrange, network: NetworkClass::Wifi };
+        let a = router.decide(&snapshot(&[64, 32, 10], 1), profile);
+        let b = router.decide(&snapshot(&[64, 32, 10], 1), profile);
+        assert_eq!(a, b);
+        assert_eq!(router.cache.lock().unwrap().len(), 1);
+    }
+}

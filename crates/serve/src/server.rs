@@ -1,0 +1,614 @@
+//! The serving runtime: a bounded admission queue feeding a dynamic
+//! micro-batching scheduler and a pool of inference workers that share
+//! the current model snapshot behind an `Arc`.
+//!
+//! Request lifecycle:
+//!
+//! ```text
+//! submit ──router──▶ Local: answered inline (simulated on-device run)
+//!                 ─▶ Cloud / Split: bounded queue ─▶ scheduler coalesces
+//!                    into batches (≤ max_batch, ≤ max_wait) ─▶ workers
+//!                 ─▶ queue too deep: shed to the early-exit fallback
+//! ```
+//!
+//! Hot swap: [`InferenceServer::swap_artifact`] atomically replaces the
+//! registry's model. Batches already dispatched finish on the snapshot
+//! they grabbed; a batch whose input no longer matches the new
+//! architecture at its entry layer falls back to the version the request
+//! was admitted under, so in-flight requests are never dropped.
+
+use crate::metrics::{MetricsSnapshot, ServerMetrics, Stopwatch};
+use crate::registry::{ModelRegistry, VersionedModel};
+use crate::router::{ClientProfile, Route, Router};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use mdl_nn::saved::LoadModelError;
+use mdl_nn::{Layer, Sequential};
+use mdl_tensor::stats::softmax_rows;
+use mdl_tensor::Matrix;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables for one server instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Inference worker threads.
+    pub workers: usize,
+    /// Largest batch the scheduler will coalesce.
+    pub max_batch: usize,
+    /// Longest a request may wait for co-batching before dispatch.
+    pub max_wait: Duration,
+    /// Capacity of the admission queue; senders block when it is full
+    /// (backpressure).
+    pub queue_capacity: usize,
+    /// Queue depth above which cloud-bound requests are shed to the
+    /// early-exit fallback (when one is installed).
+    pub shed_queue_depth: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: 256,
+            shed_queue_depth: 64,
+        }
+    }
+}
+
+/// The answer to one inference request.
+#[derive(Debug, Clone)]
+pub struct InferenceResponse {
+    /// Softmax class probabilities.
+    pub probs: Vec<f32>,
+    /// Index of the most probable class.
+    pub argmax: usize,
+    /// Model version that produced the answer.
+    pub model_version: u64,
+    /// The execution path the request took.
+    pub route: Route,
+    /// Size of the batch this request was served in (1 for inline paths).
+    pub batch_size: usize,
+    /// Submit→response latency.
+    pub latency: Duration,
+}
+
+/// A queued cloud-bound request.
+struct Job {
+    /// Feature row; raw input for [`Route::Cloud`], the intermediate
+    /// representation for [`Route::Split`].
+    input: Vec<f32>,
+    /// First layer the server must run.
+    entry_layer: usize,
+    /// Model version the request was admitted under.
+    pinned: Arc<VersionedModel>,
+    route: Route,
+    resp: Sender<InferenceResponse>,
+    submitted: Instant,
+}
+
+struct Batch {
+    entry_layer: usize,
+    jobs: Vec<Job>,
+}
+
+struct Shared {
+    registry: ModelRegistry,
+    router: Router,
+    metrics: ServerMetrics,
+    /// Early-exit model (raw input → class scores) used for shedding.
+    fallback: Option<Sequential>,
+    config: ServeConfig,
+}
+
+/// Runs `model` from layer `from` onwards through the read-only path.
+fn eval_from(model: &Sequential, x: &Matrix, from: usize) -> Matrix {
+    let mut cur = x.clone();
+    for layer in &model.layers()[from..] {
+        cur = layer.forward_eval(&cur);
+    }
+    cur
+}
+
+/// Runs only the first `to` layers of `model`.
+fn eval_prefix(model: &Sequential, x: &Matrix, to: usize) -> Matrix {
+    let mut cur = x.clone();
+    for layer in &model.layers()[..to] {
+        cur = layer.forward_eval(&cur);
+    }
+    cur
+}
+
+fn argmax(row: &[f32]) -> usize {
+    row.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// Error returned by [`ServeClient::submit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The server has shut down.
+    Shutdown,
+    /// The input row does not match the current model's input width
+    /// (e.g. a hot swap changed the architecture).
+    WidthMismatch {
+        /// Input width of the current model.
+        expected: usize,
+        /// Width of the submitted row.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Shutdown => write!(f, "inference server has shut down"),
+            Self::WidthMismatch { expected, found } => {
+                write!(f, "input has {found} features, current model expects {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A handle for submitting requests; clone freely across threads.
+pub struct ServeClient {
+    jobs: Sender<Job>,
+    shared: Arc<Shared>,
+}
+
+impl Clone for ServeClient {
+    fn clone(&self) -> Self {
+        Self { jobs: self.jobs.clone(), shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl ServeClient {
+    /// Submits one example (a feature row of the model's input width) and
+    /// returns a receiver that yields the [`InferenceResponse`].
+    ///
+    /// Routing happens at admission: locally-placed requests are answered
+    /// inline, cloud-bound requests enter the batching queue (blocking
+    /// when it is full), and over the shed threshold cloud-bound requests
+    /// are answered by the early-exit fallback instead.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Shutdown`] once the server's scheduler has exited,
+    /// or [`SubmitError::WidthMismatch`] when the row does not fit the
+    /// current model (a hot swap may have changed the input width).
+    pub fn submit(
+        &self,
+        input: &[f32],
+        profile: ClientProfile,
+    ) -> Result<Receiver<InferenceResponse>, SubmitError> {
+        let submitted = Instant::now();
+        let snapshot = self.shared.registry.current();
+        let expected = snapshot.model.layers().first().map(|l| l.info().in_dim).unwrap_or(0);
+        if input.len() != expected {
+            return Err(SubmitError::WidthMismatch { expected, found: input.len() });
+        }
+        let route = self.shared.router.decide(&snapshot, profile);
+        let (resp_tx, resp_rx) = bounded(1);
+
+        let depth = self.jobs.len();
+        self.shared.metrics.set_queue_depth(depth);
+        let cloud_bound = matches!(route, Route::Cloud | Route::Split { .. });
+
+        // Overload: answer immediately from the local early-exit head.
+        if cloud_bound && depth >= self.shared.config.shed_queue_depth {
+            if let Some(fallback) = &self.shared.fallback {
+                let x = Matrix::row_vector(input);
+                let probs = softmax_rows(&fallback.forward_eval(&x));
+                self.shared.metrics.record_shed();
+                Self::deliver(
+                    &self.shared,
+                    resp_tx,
+                    probs.row(0),
+                    snapshot.version,
+                    Route::EarlyExit,
+                    1,
+                    submitted,
+                );
+                return Ok(resp_rx);
+            }
+        }
+
+        match route {
+            Route::Local => {
+                // Simulated on-device execution: full model, no queueing.
+                let x = Matrix::row_vector(input);
+                let probs = softmax_rows(&snapshot.model.forward_eval(&x));
+                self.shared.metrics.record_local();
+                Self::deliver(
+                    &self.shared,
+                    resp_tx,
+                    probs.row(0),
+                    snapshot.version,
+                    route,
+                    1,
+                    submitted,
+                );
+            }
+            Route::Cloud => {
+                let job = Job {
+                    input: input.to_vec(),
+                    entry_layer: 0,
+                    pinned: snapshot,
+                    route,
+                    resp: resp_tx,
+                    submitted,
+                };
+                self.jobs.send(job).map_err(|_| SubmitError::Shutdown)?;
+            }
+            Route::Split { local_layers } => {
+                // Device-side trunk runs inline; the representation ships.
+                let x = Matrix::row_vector(input);
+                let rep = eval_prefix(&snapshot.model, &x, local_layers);
+                let job = Job {
+                    input: rep.row(0).to_vec(),
+                    entry_layer: local_layers,
+                    pinned: snapshot,
+                    route,
+                    resp: resp_tx,
+                    submitted,
+                };
+                self.jobs.send(job).map_err(|_| SubmitError::Shutdown)?;
+            }
+            Route::EarlyExit => unreachable!("router never emits EarlyExit"),
+        }
+        Ok(resp_rx)
+    }
+
+    fn deliver(
+        shared: &Shared,
+        resp: Sender<InferenceResponse>,
+        probs: &[f32],
+        model_version: u64,
+        route: Route,
+        batch_size: usize,
+        submitted: Instant,
+    ) {
+        let latency = submitted.elapsed();
+        shared.metrics.record_completed(latency);
+        let response = InferenceResponse {
+            argmax: argmax(probs),
+            probs: probs.to_vec(),
+            model_version,
+            route,
+            batch_size,
+            latency,
+        };
+        // the requester may have given up; that is not the server's error
+        let _ = resp.send(response);
+    }
+}
+
+/// How long the scheduler sleeps when no requests are pending.
+const IDLE_WAIT: Duration = Duration::from_millis(20);
+
+fn scheduler_loop(jobs: Receiver<Job>, batches: Sender<Batch>, shared: Arc<Shared>) {
+    // Groups keyed by (entry layer, input width): only identical shapes
+    // can share a matrix. The Instant is the oldest member's arrival.
+    let mut pending: HashMap<(usize, usize), (Instant, Vec<Job>)> = HashMap::new();
+    let max_wait = shared.config.max_wait;
+    let max_batch = shared.config.max_batch.max(1);
+
+    loop {
+        shared.metrics.set_queue_depth(jobs.len());
+        let now = Instant::now();
+        let timeout = pending
+            .values()
+            .map(|(first, _)| (*first + max_wait).saturating_duration_since(now))
+            .min()
+            .unwrap_or(IDLE_WAIT);
+        match jobs.recv_timeout(timeout) {
+            Ok(job) => {
+                let key = (job.entry_layer, job.input.len());
+                let group = pending.entry(key).or_insert_with(|| (Instant::now(), Vec::new()));
+                group.1.push(job);
+                if group.1.len() >= max_batch {
+                    let (_, ready) = pending.remove(&key).expect("group exists");
+                    dispatch(&batches, key.0, ready, &shared);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                let now = Instant::now();
+                let expired: Vec<_> = pending
+                    .iter()
+                    .filter(|(_, (first, _))| now.duration_since(*first) >= max_wait)
+                    .map(|(k, _)| *k)
+                    .collect();
+                for key in expired {
+                    let (_, ready) = pending.remove(&key).expect("group exists");
+                    dispatch(&batches, key.0, ready, &shared);
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                // all clients and the server handle are gone: drain & stop
+                for ((entry, _), (_, ready)) in pending.drain() {
+                    dispatch(&batches, entry, ready, &shared);
+                }
+                break;
+            }
+        }
+    }
+}
+
+fn dispatch(batches: &Sender<Batch>, entry_layer: usize, jobs: Vec<Job>, shared: &Shared) {
+    if jobs.is_empty() {
+        return;
+    }
+    shared.metrics.record_batch(jobs.len());
+    let _ = batches.send(Batch { entry_layer, jobs });
+}
+
+fn worker_loop(batches: Receiver<Batch>, shared: Arc<Shared>) {
+    while let Ok(batch) = batches.recv() {
+        let n = batch.jobs.len();
+        let width = batch.jobs[0].input.len();
+        let snapshot = shared.registry.current();
+        // A swap may have changed the architecture after the client ran
+        // its trunk; serve on the current model only when the entry layer
+        // still accepts this width.
+        let compatible = snapshot
+            .model
+            .layers()
+            .get(batch.entry_layer)
+            .map(|l| l.info().in_dim == width)
+            .unwrap_or(false);
+        if compatible {
+            let x = Matrix::from_fn(n, width, |r, c| batch.jobs[r].input[c]);
+            let probs = softmax_rows(&eval_from(&snapshot.model, &x, batch.entry_layer));
+            for (r, job) in batch.jobs.into_iter().enumerate() {
+                ServeClient::deliver(
+                    &shared,
+                    job.resp,
+                    probs.row(r),
+                    snapshot.version,
+                    job.route,
+                    n,
+                    job.submitted,
+                );
+            }
+        } else {
+            // finish each request on the version it was admitted under
+            for job in batch.jobs {
+                let x = Matrix::row_vector(&job.input);
+                let probs = softmax_rows(&eval_from(&job.pinned.model, &x, job.entry_layer));
+                ServeClient::deliver(
+                    &shared,
+                    job.resp,
+                    probs.row(0),
+                    job.pinned.version,
+                    job.route,
+                    n,
+                    job.submitted,
+                );
+            }
+        }
+    }
+}
+
+/// A running inference server.
+///
+/// Threads exit when every [`ServeClient`] and the server handle itself
+/// are dropped; [`InferenceServer::shutdown`] joins them explicitly
+/// (drop all clients first or it will wait for them).
+pub struct InferenceServer {
+    shared: Arc<Shared>,
+    jobs_tx: Option<Sender<Job>>,
+    threads: Vec<JoinHandle<()>>,
+    started: Stopwatch,
+}
+
+impl InferenceServer {
+    /// Starts scheduler and workers around an initial model. `fallback`
+    /// is the optional early-exit network used for load shedding; without
+    /// one, overload falls back to queue backpressure only.
+    pub fn start(model: Sequential, fallback: Option<Sequential>, config: ServeConfig) -> Self {
+        let shared = Arc::new(Shared {
+            registry: ModelRegistry::new(model),
+            router: Router::new(),
+            metrics: ServerMetrics::default(),
+            fallback,
+            config,
+        });
+        let (jobs_tx, jobs_rx) = bounded(shared.config.queue_capacity);
+        let (batch_tx, batch_rx) = bounded(shared.config.workers.max(1) * 2);
+
+        let mut threads = Vec::new();
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || {
+                scheduler_loop(jobs_rx, batch_tx, shared);
+            }));
+        }
+        for _ in 0..shared.config.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            let rx = batch_rx.clone();
+            threads.push(std::thread::spawn(move || worker_loop(rx, shared)));
+        }
+        drop(batch_rx);
+        Self { shared, jobs_tx: Some(jobs_tx), threads, started: Stopwatch::default() }
+    }
+
+    /// Starts a server from a saved artifact (see [`mdl_nn::saved`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the decoder's [`LoadModelError`] for malformed bytes.
+    pub fn from_artifact(
+        bytes: &[u8],
+        fallback: Option<Sequential>,
+        config: ServeConfig,
+    ) -> Result<Self, LoadModelError> {
+        use mdl_nn::saved::load_model;
+        Ok(Self::start(load_model(bytes)?, fallback, config))
+    }
+
+    /// A new submission handle.
+    pub fn client(&self) -> ServeClient {
+        ServeClient {
+            jobs: self.jobs_tx.as_ref().expect("server running").clone(),
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Atomically swaps in a new model from a saved artifact; in-flight
+    /// requests complete on the version they were admitted under.
+    ///
+    /// # Errors
+    ///
+    /// Returns the decoder's [`LoadModelError`]; the current model stays.
+    pub fn swap_artifact(&self, bytes: &[u8]) -> Result<u64, LoadModelError> {
+        self.shared.registry.swap_bytes(bytes)
+    }
+
+    /// Atomically swaps in an already-built model.
+    pub fn swap_model(&self, model: Sequential) -> u64 {
+        self.shared.registry.swap(model)
+    }
+
+    /// Current model version.
+    pub fn version(&self) -> u64 {
+        self.shared.registry.version()
+    }
+
+    /// Number of completed hot swaps.
+    pub fn swap_count(&self) -> u64 {
+        self.shared.registry.swap_count()
+    }
+
+    /// Metrics snapshot; throughput is measured since server start.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot(self.started.elapsed())
+    }
+
+    /// Stops accepting work and joins all threads. Every [`ServeClient`]
+    /// must be dropped first; in-flight requests are answered before the
+    /// threads exit.
+    pub fn shutdown(mut self) {
+        self.jobs_tx = None;
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::{DeviceClass, NetworkClass};
+    use mdl_nn::{Activation, Dense};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Big enough (~9.6M MACs) that a wearable on Wi-Fi offloads to the
+    /// cloud: on-device would cost ~48ms against ~20ms of radio latency.
+    fn cloud_model(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Sequential::new();
+        net.push(Dense::new(32, 3072, Activation::Relu, &mut rng));
+        net.push(Dense::new(3072, 3072, Activation::Relu, &mut rng));
+        net.push(Dense::new(3072, 4, Activation::Identity, &mut rng));
+        net
+    }
+
+    fn cloud_profile() -> ClientProfile {
+        ClientProfile { device: DeviceClass::Wearable, network: NetworkClass::Wifi }
+    }
+
+    #[test]
+    fn single_request_round_trip() {
+        let server = InferenceServer::start(cloud_model(1), None, ServeConfig::default());
+        let client = server.client();
+        let rx = client.submit(&[0.5; 32], cloud_profile()).expect("server up");
+        let resp = rx.recv().expect("answered");
+        assert_eq!(resp.probs.len(), 4);
+        assert!((resp.probs.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert_eq!(resp.model_version, 1);
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn offline_requests_run_local_and_skip_the_queue() {
+        let server = InferenceServer::start(cloud_model(2), None, ServeConfig::default());
+        let client = server.client();
+        let profile =
+            ClientProfile { device: DeviceClass::Flagship, network: NetworkClass::Offline };
+        let resp = client.submit(&[0.1; 32], profile).unwrap().recv().unwrap();
+        assert_eq!(resp.route, Route::Local);
+        assert_eq!(resp.batch_size, 1);
+        let snap = server.metrics();
+        assert_eq!(snap.local, 1);
+        assert_eq!(snap.batches, 0, "local requests never reach the worker pool");
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn responses_match_direct_model_output() {
+        let reference = cloud_model(3);
+        let server = InferenceServer::start(cloud_model(3), None, ServeConfig::default());
+        let client = server.client();
+        let input: Vec<f32> = (0..32).map(|i| (i as f32 * 0.3).sin()).collect();
+        let resp = client.submit(&input, cloud_profile()).unwrap().recv().unwrap();
+        let direct = reference.predict_proba(&Matrix::row_vector(&input));
+        for (a, b) in resp.probs.iter().zip(direct.row(0)) {
+            assert!((a - b).abs() < 1e-6, "served {a} vs direct {b}");
+        }
+        assert_eq!(
+            resp.argmax,
+            direct.row(0).iter().enumerate().fold(0, |m, (i, &v)| {
+                if v > direct.row(0)[m] {
+                    i
+                } else {
+                    m
+                }
+            })
+        );
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn hot_swap_changes_served_version() {
+        let server = InferenceServer::start(cloud_model(4), None, ServeConfig::default());
+        let client = server.client();
+        let v1 = client.submit(&[0.2; 32], cloud_profile()).unwrap().recv().unwrap();
+        assert_eq!(v1.model_version, 1);
+        assert_eq!(server.swap_model(cloud_model(5)), 2);
+        let v2 = client.submit(&[0.2; 32], cloud_profile()).unwrap().recv().unwrap();
+        assert_eq!(v2.model_version, 2);
+        assert_eq!(server.swap_count(), 1);
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shedding_uses_fallback_when_queue_is_deep() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut fallback = Sequential::new();
+        fallback.push(Dense::new(32, 4, Activation::Identity, &mut rng));
+        // shed_queue_depth 0: every cloud-bound request sheds
+        let config = ServeConfig { shed_queue_depth: 0, ..Default::default() };
+        let server = InferenceServer::start(cloud_model(6), Some(fallback), config);
+        let client = server.client();
+        let resp = client.submit(&[0.3; 32], cloud_profile()).unwrap().recv().unwrap();
+        assert_eq!(resp.route, Route::EarlyExit);
+        let snap = server.metrics();
+        assert_eq!(snap.shed, 1);
+        assert!(snap.shed_rate() > 0.99);
+        drop(client);
+        server.shutdown();
+    }
+}

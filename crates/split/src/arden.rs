@@ -222,16 +222,11 @@ mod tests {
     #[test]
     fn unperturbed_split_matches_original() {
         let mut rng = StdRng::seed_from_u64(310);
-        let (mut net, _, test) = pretrained(&mut rng);
+        let (net, _, test) = pretrained(&mut rng);
         let base = net.accuracy(&test.x, &test.y);
         let mut arden = Arden::from_pretrained(
             net,
-            ArdenConfig {
-                split_at: 1,
-                nullification_rate: 0.0,
-                noise_sigma: 0.0,
-                clip_norm: 1e9,
-            },
+            ArdenConfig { split_at: 1, nullification_rate: 0.0, noise_sigma: 0.0, clip_norm: 1e9 },
         );
         let acc = arden.accuracy(&test.x, &test.y, &mut rng);
         assert!((acc - base).abs() < 1e-9, "no perturbation ⇒ identical accuracy");
@@ -241,12 +236,8 @@ mod tests {
     fn noise_hurts_and_noisy_training_recovers() {
         let mut rng = StdRng::seed_from_u64(311);
         let (net, train, test) = pretrained(&mut rng);
-        let cfg = ArdenConfig {
-            split_at: 1,
-            nullification_rate: 0.2,
-            noise_sigma: 0.5,
-            clip_norm: 5.0,
-        };
+        let cfg =
+            ArdenConfig { split_at: 1, nullification_rate: 0.2, noise_sigma: 0.5, clip_norm: 5.0 };
         let mut arden = Arden::from_pretrained(net, cfg);
         let before = arden.accuracy(&test.x, &test.y, &mut rng);
         let losses = arden.noisy_train(&train.x, &train.y, 25, 0.005, &mut rng);
@@ -274,21 +265,15 @@ mod tests {
         let (net, _, test) = pretrained(&mut rng);
         let mut arden = Arden::from_pretrained(
             net,
-            ArdenConfig {
-                split_at: 1,
-                nullification_rate: 0.5,
-                noise_sigma: 0.0,
-                clip_norm: 1e9,
-            },
+            ArdenConfig { split_at: 1, nullification_rate: 0.5, noise_sigma: 0.0, clip_norm: 1e9 },
         );
         // ReLU representations contain natural zeros; nullification zeroes
         // half of everything on top: after ≈ μ + (1−μ)·before
         let clean = arden.transform_clean(&test.x);
-        let before = clean.as_slice().iter().filter(|&&v| v == 0.0).count() as f64
-            / clean.len() as f64;
+        let before =
+            clean.as_slice().iter().filter(|&&v| v == 0.0).count() as f64 / clean.len() as f64;
         let rep = arden.transform(&test.x, &mut rng);
-        let after =
-            rep.as_slice().iter().filter(|&&v| v == 0.0).count() as f64 / rep.len() as f64;
+        let after = rep.as_slice().iter().filter(|&&v| v == 0.0).count() as f64 / rep.len() as f64;
         let expected = 0.5 + 0.5 * before;
         assert!((after - expected).abs() < 0.05, "after={after} expected≈{expected}");
     }
@@ -298,10 +283,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(314);
         let (net, _, _) = pretrained(&mut rng);
         let mk = |sigma: f32, net: Sequential| {
-            Arden::from_pretrained(
-                net,
-                ArdenConfig { noise_sigma: sigma, ..Default::default() },
-            )
+            Arden::from_pretrained(net, ArdenConfig { noise_sigma: sigma, ..Default::default() })
         };
         let split = mk(0.5, net);
         let eps_mild = split.privacy_epsilon(1e-5);

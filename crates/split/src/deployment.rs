@@ -4,7 +4,9 @@
 //! representation leaves the device).
 
 use crate::arden::Arden;
-use mdl_mobile::{placement_cost, CostEstimate, DeviceProfile, NetworkProfile, Placement, Scenario};
+use mdl_mobile::{
+    placement_cost, CostEstimate, DeviceProfile, NetworkProfile, Placement, Scenario,
+};
 use mdl_nn::Sequential;
 
 /// One row of the deployment-comparison table.
@@ -34,12 +36,7 @@ pub fn compare_deployments(
 ) -> Vec<DeploymentRow> {
     let layers = net.layer_infos();
     let result_bytes = 4 * layers.last().map(|l| l.out_dim as u64).unwrap_or(0);
-    let scenario = Scenario {
-        layers,
-        input_bytes,
-        result_bytes,
-        bytes_per_weight: 4.0,
-    };
+    let scenario = Scenario { layers, input_bytes, result_bytes, bytes_per_weight: 4.0 };
     let split_at = arden.config().split_at;
 
     vec![

@@ -108,11 +108,8 @@ impl EarlyExitNetwork {
 
     /// Normalised entropy (0 = certain, 1 = uniform) of one probability row.
     fn normalized_entropy(probs: &[f32]) -> f64 {
-        let h: f64 = probs
-            .iter()
-            .filter(|&&p| p > 0.0)
-            .map(|&p| -(p as f64) * (p as f64).ln())
-            .sum();
+        let h: f64 =
+            probs.iter().filter(|&&p| p > 0.0).map(|&p| -(p as f64) * (p as f64).ln()).sum();
         h / (probs.len() as f64).ln()
     }
 
@@ -122,12 +119,7 @@ impl EarlyExitNetwork {
     /// # Panics
     ///
     /// Panics if `labels.len() != x.rows()`.
-    pub fn infer_adaptive(
-        &mut self,
-        x: &Matrix,
-        labels: &[usize],
-        threshold: f64,
-    ) -> ExitReport {
+    pub fn infer_adaptive(&mut self, x: &Matrix, labels: &[usize], threshold: f64) -> ExitReport {
         assert_eq!(x.rows(), labels.len(), "one label per example required");
         let rep = self.trunk.forward(x, Mode::Eval);
         let exit_probs = softmax_rows(&self.exit_head.forward(&rep, Mode::Eval));
@@ -139,7 +131,7 @@ impl EarlyExitNetwork {
         let mut cloud_total = 0usize;
         let mut upload_bytes = 0u64;
         let mut escalate_rows = Vec::new();
-        for r in 0..x.rows() {
+        for (r, &label) in labels.iter().enumerate().take(x.rows()) {
             let row = exit_probs.row(r);
             if Self::normalized_entropy(row) < threshold {
                 let pred = row
@@ -149,7 +141,7 @@ impl EarlyExitNetwork {
                     .map(|(i, _)| i)
                     .unwrap_or(0);
                 local_total += 1;
-                if pred == labels[r] {
+                if pred == label {
                     local_correct += 1;
                 }
             } else {
@@ -225,10 +217,7 @@ mod tests {
             loose.local_fraction,
             strict.local_fraction
         );
-        assert!(
-            strict.upload_bytes > loose.upload_bytes,
-            "stricter threshold escalates more"
-        );
+        assert!(strict.upload_bytes > loose.upload_bytes, "stricter threshold escalates more");
     }
 
     #[test]

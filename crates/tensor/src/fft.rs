@@ -19,27 +19,36 @@ impl Complex {
         Self { re, im }
     }
 
-    /// Complex multiplication.
-    pub fn mul(self, other: Complex) -> Complex {
+    /// Complex conjugate.
+    pub fn conj(self) -> Complex {
+        Complex::new(self.re, -self.im)
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+
+    fn mul(self, other: Complex) -> Complex {
         Complex::new(
             self.re * other.re - self.im * other.im,
             self.re * other.im + self.im * other.re,
         )
     }
+}
 
-    /// Complex addition.
-    pub fn add(self, other: Complex) -> Complex {
+impl std::ops::Add for Complex {
+    type Output = Complex;
+
+    fn add(self, other: Complex) -> Complex {
         Complex::new(self.re + other.re, self.im + other.im)
     }
+}
 
-    /// Complex subtraction.
-    pub fn sub(self, other: Complex) -> Complex {
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+
+    fn sub(self, other: Complex) -> Complex {
         Complex::new(self.re - other.re, self.im - other.im)
-    }
-
-    /// Complex conjugate.
-    pub fn conj(self) -> Complex {
-        Complex::new(self.re, -self.im)
     }
 }
 
@@ -95,10 +104,10 @@ fn fft_dir(buf: &mut [Complex], inverse: bool) {
             let mut w = Complex::new(1.0, 0.0);
             for k in 0..len / 2 {
                 let u = buf[i + k];
-                let v = buf[i + k + len / 2].mul(w);
-                buf[i + k] = u.add(v);
-                buf[i + k + len / 2] = u.sub(v);
-                w = w.mul(wlen);
+                let v = buf[i + k + len / 2] * w;
+                buf[i + k] = u + v;
+                buf[i + k + len / 2] = u - v;
+                w = w * wlen;
             }
             i += len;
         }
@@ -120,7 +129,7 @@ pub fn circular_convolve(a: &[f32], b: &[f32]) -> Vec<f32> {
     fft(&mut fa);
     fft(&mut fb);
     for (x, y) in fa.iter_mut().zip(fb.iter()) {
-        *x = x.mul(*y);
+        *x = *x * *y;
     }
     ifft(&mut fa);
     fa.iter().map(|c| c.re as f32).collect()
@@ -223,10 +232,10 @@ mod tests {
     fn complex_arithmetic() {
         let a = Complex::new(1.0, 2.0);
         let b = Complex::new(3.0, -1.0);
-        let p = a.mul(b);
+        let p = a * b;
         assert_eq!((p.re, p.im), (5.0, 5.0));
         assert_eq!(a.conj().im, -2.0);
-        let s = a.add(b).sub(b);
+        let s = a + b - b;
         assert_eq!((s.re, s.im), (1.0, 2.0));
     }
 }

@@ -83,9 +83,8 @@ mod tests {
     fn he_std_close_to_expected() {
         let mut rng = StdRng::seed_from_u64(8);
         let m = Init::He.sample(512, 512, &mut rng);
-        let std = (m.as_slice().iter().map(|v| (*v as f64).powi(2)).sum::<f64>()
-            / m.len() as f64)
-            .sqrt();
+        let std =
+            (m.as_slice().iter().map(|v| (*v as f64).powi(2)).sum::<f64>() / m.len() as f64).sqrt();
         let expected = (2.0f64 / 512.0).sqrt();
         assert!((std - expected).abs() / expected < 0.1, "std={std} expected≈{expected}");
     }

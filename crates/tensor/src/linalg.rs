@@ -75,6 +75,9 @@ pub fn svd(a: &Matrix) -> Svd {
 }
 
 /// One-sided Jacobi SVD for `m >= n`. Internally in `f64` for accuracy.
+// The rotation kernel reads and writes two columns of `cols` at the same
+// index, which has no clean iterator form.
+#[allow(clippy::needless_range_loop)]
 fn svd_tall(a: &Matrix) -> Svd {
     let m = a.rows();
     let n = a.cols();

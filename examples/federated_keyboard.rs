@@ -65,7 +65,10 @@ fn main() {
     let (clients, test) = phone_datasets(phones, &mut rng);
     let dim = test.dim();
     let spec = MlpSpec::new(vec![dim, 24, 3], 5);
-    println!("{phones} phones, {} total local examples", clients.iter().map(|c| c.len()).sum::<usize>());
+    println!(
+        "{phones} phones, {} total local examples",
+        clients.iter().map(|c| c.len()).sum::<usize>()
+    );
 
     // 1. plain FedAvg under a realistic overnight availability pattern
     let availability = AvailabilityModel::overnight(phones);

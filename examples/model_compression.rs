@@ -50,11 +50,15 @@ fn main() {
     let r = &compressed.report;
     println!("\n-- Deep Compression stages --");
     println!("fp32 weights:        {:>8} B", r.original_bytes);
-    println!("pruned (CSR):        {:>8} B  ({:.0}% sparse)", r.pruned_csr_bytes, 100.0 * r.sparsity);
+    println!(
+        "pruned (CSR):        {:>8} B  ({:.0}% sparse)",
+        r.pruned_csr_bytes,
+        100.0 * r.sparsity
+    );
     println!("quantized (4-bit):   {:>8} B", r.quantized_bytes);
     println!("+ Huffman:           {:>8} B  → {:.1}× smaller", r.final_bytes, r.ratio());
 
-    let mut restored = compressed.decompress();
+    let restored = compressed.decompress();
     println!(
         "accuracy after compression: {:.2}% (was {:.2}%)",
         100.0 * restored.accuracy(&test.x, &test.y),
@@ -69,7 +73,8 @@ fn main() {
     let packed_cost = device.inference_cost(&infos_before, compressed_bytes_per_weight);
     println!("\n-- wearable energy per inference (memory traffic dominates) --");
     println!("fp32 model:       {:.3} µJ", 1e6 * fp32_cost.energy_j);
-    println!("compressed model: {:.3} µJ  ({:.1}× less)",
+    println!(
+        "compressed model: {:.3} µJ  ({:.1}× less)",
         1e6 * packed_cost.energy_j,
         fp32_cost.energy_j / packed_cost.energy_j
     );

@@ -8,7 +8,7 @@
 //! cargo run --release --example mood_monitor
 //! ```
 
-use mdl_core::deepmood::{normalized_pairs, borrow_pairs, train_and_evaluate};
+use mdl_core::deepmood::{borrow_pairs, normalized_pairs, train_and_evaluate};
 use mdl_core::prelude::*;
 
 fn main() {

@@ -43,12 +43,8 @@ fn main() {
     };
 
     // 2. split: one frozen layer stays on the phone
-    let config = ArdenConfig {
-        split_at: 1,
-        nullification_rate: 0.2,
-        noise_sigma: 0.4,
-        clip_norm: 5.0,
-    };
+    let config =
+        ArdenConfig { split_at: 1, nullification_rate: 0.2, noise_sigma: 0.4, clip_norm: 5.0 };
     let mut arden = Arden::from_pretrained(rebuild(&mut rng, &full_params), config);
     println!(
         "\nsplit after layer 1: {} B representation vs {} B raw input",
@@ -88,7 +84,11 @@ fn main() {
             1000.0 * row.cost.latency_s,
             1000.0 * row.cost.energy_j,
             row.upload_bytes,
-            if row.epsilon.is_infinite() { "∞".to_string() } else { format!("{:.1}", row.epsilon) },
+            if row.epsilon.is_infinite() {
+                "∞".to_string()
+            } else {
+                format!("{:.1}", row.epsilon)
+            },
         );
     }
     println!(

@@ -83,10 +83,7 @@ fn deepservice_degrades_gracefully_with_more_users() {
     let ten = accuracy_at(10, &mut rng);
     assert!(two > 0.8, "binary identification {two}");
     assert!(ten > 1.5 / 10.0 * 2.0, "10-way identification {ten} barely above chance");
-    assert!(
-        two > ten,
-        "identification must get harder with more users: {two} vs {ten}"
-    );
+    assert!(two > ten, "identification must get harder with more users: {two} vs {ten}");
 }
 
 #[test]

@@ -3,8 +3,8 @@
 //! price.
 
 use mdl_core::compress::{factorize_network, BlockCirculant, CsrMatrix};
-use mdl_core::prelude::*;
 use mdl_core::nn::Layer as _;
+use mdl_core::prelude::*;
 
 fn trained(rng: &mut StdRng) -> (Sequential, Dataset, Dataset) {
     let data = mdl_core::data::synthetic::synthetic_digits(800, 0.08, rng);
@@ -46,7 +46,12 @@ fn every_compression_family_yields_a_working_smaller_model() {
     let c = deep_compress(
         &mut a,
         Some((&train.x, &train.y)),
-        &DeepCompressionConfig { sparsity: 0.7, quant_bits: 4, finetune: Some((3, 0.01)), prune_steps: 2 },
+        &DeepCompressionConfig {
+            sparsity: 0.7,
+            quant_bits: 4,
+            finetune: Some((3, 0.01)),
+            prune_steps: 2,
+        },
         &mut rng,
     );
     assert!(c.report.ratio() > 8.0);
@@ -54,7 +59,7 @@ fn every_compression_family_yields_a_working_smaller_model() {
 
     // 2. low-rank factorization at the intrinsic-energy rank
     let mut b = rebuild(&mut rng);
-    let mut fact = factorize_network(&mut b, |d| {
+    let fact = factorize_network(&mut b, |d| {
         mdl_core::compress::rank_for_energy(d, 0.95).min(d.weight().rows().min(d.weight().cols()))
     });
     assert!(fact.accuracy(&test.x, &test.y) > base_acc - 0.25);

@@ -40,10 +40,7 @@ fn threshold_sweeps_out_a_monotone_upload_curve() {
             report.upload_bytes,
             last_upload
         );
-        assert!(
-            report.local_fraction >= last_local,
-            "looser thresholds must answer more locally"
-        );
+        assert!(report.local_fraction >= last_local, "looser thresholds must answer more locally");
         assert!(report.accuracy > 0.6, "accuracy collapsed at τ={threshold}: {report:?}");
         last_upload = report.upload_bytes;
         last_local = report.local_fraction;

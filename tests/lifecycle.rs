@@ -3,11 +3,7 @@
 
 use mdl_core::prelude::*;
 
-fn digits_clients(
-    n: usize,
-    clients: usize,
-    rng: &mut StdRng,
-) -> (Vec<Dataset>, Dataset) {
+fn digits_clients(n: usize, clients: usize, rng: &mut StdRng) -> (Vec<Dataset>, Dataset) {
     let data = mdl_core::data::synthetic::synthetic_digits(n, 0.08, rng);
     let (train, test) = data.split(0.8, rng);
     (partition_dataset(&train, clients, Partition::Iid, rng), test)
@@ -66,13 +62,7 @@ fn federated_then_compressed_model_still_classifies() {
     let (clients, test) = digits_clients(800, 10, &mut rng);
     let spec = MlpSpec::new(vec![64, 64, 10], 5);
     let availability = AvailabilityModel::always_available(10);
-    let run = run_federated(
-        &clients,
-        &test,
-        &spec,
-        &availability,
-        &mut rng,
-    );
+    let run = run_federated(&clients, &test, &spec, &availability, &mut rng);
     assert!(run.0 > 0.7, "federated accuracy {}", run.0);
 
     // compress the federated model and verify the codec round-trips

@@ -19,12 +19,7 @@ fn accountant_matches_across_entry_points() {
         &spec,
         &clients,
         &test,
-        &DpFedConfig {
-            rounds,
-            sample_prob: q,
-            noise_multiplier: z,
-            ..Default::default()
-        },
+        &DpFedConfig { rounds, sample_prob: q, noise_multiplier: z, ..Default::default() },
         &mut rng,
     );
     let expected = compute_epsilon(q, z, rounds as u64, 1e-5);
@@ -51,12 +46,7 @@ fn dp_noise_actually_randomises_the_model() {
             &spec,
             &clients,
             &test,
-            &DpFedConfig {
-                rounds: 4,
-                noise_multiplier: z,
-                clip_norm: 1.0,
-                ..Default::default()
-            },
+            &DpFedConfig { rounds: 4, noise_multiplier: z, clip_norm: 1.0, ..Default::default() },
             &mut r,
         )
         .final_params
@@ -86,8 +76,7 @@ fn sparse_vector_composes_with_selective_sgd_style_selection() {
     // the privacy-preserving variant of reference [16]'s selection rule
     use mdl_core::privacy::{SparseVector, SvtAnswer};
     let mut rng = StdRng::seed_from_u64(9204);
-    let gradients: Vec<f64> =
-        (0..100).map(|i| if i % 10 == 0 { 5.0 } else { 0.01 }).collect();
+    let gradients: Vec<f64> = (0..100).map(|i| if i % 10 == 0 { 5.0 } else { 0.01 }).collect();
     let mut svt = SparseVector::new(1.0, 1e5, 1.0, 10, &mut rng);
     let picked = svt.select_indices(&gradients, &mut rng);
     assert_eq!(picked.len(), 10, "all ten large coordinates found: {picked:?}");

@@ -27,7 +27,7 @@ fn federated_model_ships_and_reloads_bit_exact() {
     let artifact = save_model(&mut server_model).expect("MLPs are saveable");
 
     // the device reloads it and must agree prediction-for-prediction
-    let mut device_model = load_model(&artifact).expect("artifact is valid");
+    let device_model = load_model(&artifact).expect("artifact is valid");
     assert_eq!(
         device_model.predict(&test.x),
         server_model.predict(&test.x),
@@ -60,7 +60,12 @@ fn compressed_artifact_is_much_smaller_than_saved_model() {
     let compressed = deep_compress(
         &mut net,
         Some((&data.x, &data.y)),
-        &DeepCompressionConfig { sparsity: 0.8, quant_bits: 4, finetune: Some((3, 0.01)), prune_steps: 2 },
+        &DeepCompressionConfig {
+            sparsity: 0.8,
+            quant_bits: 4,
+            finetune: Some((3, 0.01)),
+            prune_steps: 2,
+        },
         &mut rng,
     );
     assert!(

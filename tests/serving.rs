@@ -1,0 +1,181 @@
+//! End-to-end serving integration: a server booted from a saved artifact
+//! answers a concurrent load through the micro-batching worker pool,
+//! survives a hot model swap mid-load without dropping a request, and
+//! sheds to the early-exit head under overload.
+
+use mdl_core::nn::{save_model, Activation, Dense, Sequential};
+use mdl_core::prelude::*;
+use mdl_core::serve::{InferenceServer, LoadReport, SubmitError};
+use std::time::Duration;
+
+/// ~9.6M MACs: a wearable on Wi-Fi offloads this to the cloud path, so
+/// every request exercises the queue → scheduler → worker pipeline.
+fn artifact(seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = Sequential::new();
+    net.push(Dense::new(32, 3072, Activation::Relu, &mut rng));
+    net.push(Dense::new(3072, 3072, Activation::Relu, &mut rng));
+    net.push(Dense::new(3072, 4, Activation::Identity, &mut rng));
+    save_model(&mut net).expect("dense stack serializes")
+}
+
+fn exit_head(seed: u64) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = Sequential::new();
+    net.push(Dense::new(32, 4, Activation::Identity, &mut rng));
+    net
+}
+
+fn wearable_wifi() -> ClientProfile {
+    ClientProfile { device: DeviceClass::Wearable, network: NetworkClass::Wifi }
+}
+
+fn inputs() -> Matrix {
+    Matrix::from_fn(96, 32, |r, c| ((r * 32 + c) as f32 * 0.21).sin())
+}
+
+#[test]
+fn concurrent_load_with_hot_swap_drops_nothing() {
+    let server = InferenceServer::from_artifact(
+        &artifact(1),
+        Some(exit_head(9)),
+        ServeConfig {
+            workers: 4,
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: 256,
+            shed_queue_depth: 64,
+        },
+    )
+    .expect("artifact decodes");
+    let client = server.client();
+
+    // swap to a same-architecture retrained model while the load runs
+    let bytes2 = artifact(2);
+    let report: LoadReport = std::thread::scope(|s| {
+        let swapper = s.spawn(|| {
+            std::thread::sleep(Duration::from_millis(40));
+            server.swap_artifact(&bytes2).expect("valid artifact")
+        });
+        let report = run_load(
+            &client,
+            &inputs(),
+            &LoadGenConfig {
+                seed: 77,
+                requests: 1024,
+                mode: LoadMode::Closed { concurrency: 16 },
+                profiles: vec![wearable_wifi()],
+            },
+        );
+        assert_eq!(swapper.join().expect("swap thread"), 2, "swap fired mid-load");
+        report
+    });
+
+    assert_eq!(report.completed, 1024, "no request dropped");
+    assert_eq!(report.cloud, 1024, "wearable+wifi is cloud-bound");
+    assert!(report.mean_batch_size > 1.0, "batching never kicked in: {}", report.mean_batch_size);
+    assert!(
+        report.percentile(99.0) < Duration::from_millis(500),
+        "p99 {:?} breaches the bound",
+        report.percentile(99.0)
+    );
+    assert!(report.shed_rate() < 0.05, "closed loop under the shed threshold must not shed");
+
+    let snap = server.metrics();
+    assert_eq!(snap.completed, 1024);
+    assert!(snap.mean_batch_size > 1.0);
+    assert!(snap.batches >= 128, "1024 requests at max_batch 8 need >= 128 batches");
+
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn hot_swap_mid_load_serves_both_versions() {
+    let server = InferenceServer::from_artifact(
+        &artifact(3),
+        None,
+        ServeConfig { workers: 4, ..Default::default() },
+    )
+    .expect("artifact decodes");
+    let client = server.client();
+
+    let loader = {
+        let client = client.clone();
+        let inputs = inputs();
+        std::thread::spawn(move || {
+            run_load(
+                &client,
+                &inputs,
+                &LoadGenConfig {
+                    seed: 31,
+                    requests: 512,
+                    mode: LoadMode::Closed { concurrency: 8 },
+                    profiles: vec![wearable_wifi()],
+                },
+            )
+        })
+    };
+    std::thread::sleep(Duration::from_millis(30));
+    assert_eq!(server.swap_artifact(&artifact(4)).expect("valid artifact"), 2);
+    let report = loader.join().expect("load thread");
+
+    assert_eq!(report.completed, 512, "in-flight requests survive the swap");
+    assert_eq!(server.swap_count(), 1);
+    assert_eq!(server.version(), 2);
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn overload_sheds_to_early_exit_within_bounds() {
+    let server = InferenceServer::from_artifact(
+        &artifact(5),
+        Some(exit_head(10)),
+        ServeConfig { workers: 4, shed_queue_depth: 8, ..Default::default() },
+    )
+    .expect("artifact decodes");
+    let client = server.client();
+
+    // offered far beyond the pool's capacity: the queue fills and the
+    // shed path must absorb the excess, still answering every request
+    let report = run_load(
+        &client,
+        &inputs(),
+        &LoadGenConfig {
+            seed: 5,
+            requests: 600,
+            mode: LoadMode::Open { rps: 20_000.0 },
+            profiles: vec![wearable_wifi()],
+        },
+    );
+    assert_eq!(report.completed, 600, "shed answers are still answers");
+    assert!(report.shed_rate() > 0.1, "overload must shed: rate {}", report.shed_rate());
+    assert!(report.shed_rate() < 1.0, "some requests must reach the workers");
+    assert_eq!(server.metrics().shed as usize, report.shed);
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn swap_to_new_input_width_rejects_stale_clients_cleanly() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut wide = Sequential::new();
+    wide.push(Dense::new(48, 3072, Activation::Relu, &mut rng));
+    wide.push(Dense::new(3072, 4, Activation::Identity, &mut rng));
+
+    let server = InferenceServer::from_artifact(
+        &artifact(7),
+        None,
+        ServeConfig { workers: 2, ..Default::default() },
+    )
+    .expect("artifact decodes");
+    let client = server.client();
+    assert!(client.submit(&[0.1; 32], wearable_wifi()).is_ok());
+
+    server.swap_model(wide);
+    let err = client.submit(&[0.1; 32], wearable_wifi()).unwrap_err();
+    assert_eq!(err, SubmitError::WidthMismatch { expected: 48, found: 32 });
+    drop(client);
+    server.shutdown();
+}

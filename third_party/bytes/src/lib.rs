@@ -1,0 +1,238 @@
+//! Offline vendored subset of the `bytes` crate: [`Bytes`], [`BytesMut`],
+//! and the big-endian [`Buf`]/[`BufMut`] accessors the federated wire
+//! formats use. Network byte order matches upstream (`put_u32` is BE).
+
+use std::sync::Arc;
+
+/// A cheaply cloneable, sliceable immutable byte buffer.
+#[derive(Debug, Clone, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps a static slice.
+    pub fn from_static(s: &'static [u8]) -> Self {
+        Self::from(s.to_vec())
+    }
+
+    /// Bytes remaining.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` when no bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies the remaining bytes into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+
+    /// Splits off and returns the first `at` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at > self.len()`.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = Bytes { data: Arc::clone(&self.data), start: self.start, end: self.start + at };
+        self.start += at;
+        head
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Self { data: Arc::new(v), start: 0, end }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_ref()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+impl Eq for Bytes {}
+
+/// A growable byte buffer for building frames.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { data: Vec::with_capacity(cap) }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Freezes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Read-side accessors (big-endian, as upstream).
+pub trait Buf {
+    /// Bytes remaining.
+    fn remaining(&self) -> usize;
+    /// Consumes and returns the next `n` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than `n` bytes remain.
+    fn take_bytes(&mut self, n: usize) -> Vec<u8>;
+
+    /// Consumes one byte.
+    fn get_u8(&mut self) -> u8 {
+        self.take_bytes(1)[0]
+    }
+
+    /// Consumes a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take_bytes(4).try_into().expect("length checked"))
+    }
+
+    /// Consumes a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.take_bytes(8).try_into().expect("length checked"))
+    }
+
+    /// Consumes a big-endian `f32`.
+    fn get_f32(&mut self) -> f32 {
+        f32::from_be_bytes(self.take_bytes(4).try_into().expect("length checked"))
+    }
+
+    /// Consumes a big-endian `f64`.
+    fn get_f64(&mut self) -> f64 {
+        f64::from_be_bytes(self.take_bytes(8).try_into().expect("length checked"))
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn take_bytes(&mut self, n: usize) -> Vec<u8> {
+        assert!(n <= self.len(), "buffer underflow");
+        let out = self.data[self.start..self.start + n].to_vec();
+        self.start += n;
+        out
+    }
+}
+
+/// Write-side accessors (big-endian, as upstream).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `f32`.
+    fn put_f32(&mut self, v: f32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `f64`.
+    fn put_f64(&mut self, v: f64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_frame() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u32(7);
+        b.put_f32(1.5);
+        b.put_u8(9);
+        let mut frozen = b.freeze();
+        assert_eq!(frozen.len(), 9);
+        assert_eq!(frozen.get_u32(), 7);
+        assert_eq!(frozen.get_f32(), 1.5);
+        assert_eq!(frozen.get_u8(), 9);
+        assert_eq!(frozen.remaining(), 0);
+    }
+
+    #[test]
+    fn split_to_advances() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4]);
+        let head = b.split_to(2);
+        assert_eq!(head.as_ref(), &[1, 2]);
+        assert_eq!(b.as_ref(), &[3, 4]);
+    }
+}

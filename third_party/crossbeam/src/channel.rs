@@ -1,0 +1,345 @@
+//! A multi-producer multi-consumer FIFO channel (bounded or unbounded)
+//! with the `crossbeam-channel` calling convention: cloneable senders and
+//! receivers, blocking and timeout receives, and disconnect detection
+//! when one side is fully dropped.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+struct Shared<T> {
+    queue: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: Option<usize>,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+/// The sending half; cloning adds another producer.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> std::fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+/// The receiving half; cloning adds another consumer.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> std::fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+/// Error returned when all receivers are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error for [`Sender::try_send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The bounded queue is at capacity.
+    Full(T),
+    /// All receivers are gone.
+    Disconnected(T),
+}
+
+/// Error returned when the channel is empty and all senders are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error for [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The queue is currently empty.
+    Empty,
+    /// Empty and all senders are gone.
+    Disconnected,
+}
+
+/// Error for [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No item arrived within the deadline.
+    Timeout,
+    /// Empty and all senders are gone.
+    Disconnected,
+}
+
+/// Creates an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_capacity(None)
+}
+
+/// Creates a bounded channel holding at most `cap` items.
+/// A zero capacity is bumped to one (upstream's rendezvous semantics are
+/// not needed by this workspace).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    with_capacity(Some(cap.max(1)))
+}
+
+fn with_capacity<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(State { items: VecDeque::new(), senders: 1, receivers: 1 }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        cap,
+    });
+    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.queue.lock().expect("channel lock").senders += 1;
+        Self { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.queue.lock().expect("channel lock");
+        state.senders -= 1;
+        if state.senders == 0 {
+            drop(state);
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.queue.lock().expect("channel lock").receivers += 1;
+        Self { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.queue.lock().expect("channel lock");
+        state.receivers -= 1;
+        if state.receivers == 0 {
+            drop(state);
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Blocks until the item is enqueued (or every receiver is dropped).
+    pub fn send(&self, item: T) -> Result<(), SendError<T>> {
+        let mut state = self.shared.queue.lock().expect("channel lock");
+        loop {
+            if state.receivers == 0 {
+                return Err(SendError(item));
+            }
+            match self.shared.cap {
+                Some(cap) if state.items.len() >= cap => {
+                    state = self.shared.not_full.wait(state).expect("channel lock");
+                }
+                _ => break,
+            }
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues without blocking; fails on a full bounded queue.
+    pub fn try_send(&self, item: T) -> Result<(), TrySendError<T>> {
+        let mut state = self.shared.queue.lock().expect("channel lock");
+        if state.receivers == 0 {
+            return Err(TrySendError::Disconnected(item));
+        }
+        if let Some(cap) = self.shared.cap {
+            if state.items.len() >= cap {
+                return Err(TrySendError::Full(item));
+            }
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.queue.lock().expect("channel lock").items.len()
+    }
+
+    /// `true` when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until an item arrives (or every sender is dropped).
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.shared.queue.lock().expect("channel lock");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.shared.not_full.notify_one();
+                return Ok(item);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self.shared.not_empty.wait(state).expect("channel lock");
+        }
+    }
+
+    /// Dequeues without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.shared.queue.lock().expect("channel lock");
+        if let Some(item) = state.items.pop_front() {
+            drop(state);
+            self.shared.not_full.notify_one();
+            return Ok(item);
+        }
+        if state.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Blocks up to `timeout` for an item.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.queue.lock().expect("channel lock");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.shared.not_full.notify_one();
+                return Ok(item);
+            }
+            if state.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, res) =
+                self.shared.not_empty.wait_timeout(state, deadline - now).expect("channel lock");
+            state = guard;
+            if res.timed_out() && state.items.is_empty() {
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                return Err(RecvTimeoutError::Timeout);
+            }
+        }
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.queue.lock().expect("channel lock").items.len()
+    }
+
+    /// `true` when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).expect("send");
+        }
+        for i in 0..10 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn bounded_try_send_fills() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).expect("slot 1");
+        tx.try_send(2).expect("slot 2");
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).expect("slot freed");
+    }
+
+    #[test]
+    fn disconnect_on_sender_drop() {
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(5).expect("send");
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(5));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn disconnect_on_receiver_drop() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError(1)));
+    }
+
+    #[test]
+    fn timeout_elapses_when_empty() {
+        let (_tx, rx) = unbounded::<u32>();
+        let r = rx.recv_timeout(Duration::from_millis(20));
+        assert_eq!(r, Err(RecvTimeoutError::Timeout));
+    }
+
+    #[test]
+    fn multi_producer_multi_consumer_delivers_everything() {
+        let (tx, rx) = bounded(4);
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    for i in 0..100u64 {
+                        tx.send(p * 1000 + i).expect("send");
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let rx = rx.clone();
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().expect("producer");
+        }
+        let mut all: Vec<u64> =
+            consumers.into_iter().flat_map(|c| c.join().expect("consumer")).collect();
+        all.sort_unstable();
+        let expected: Vec<u64> = (0..4).flat_map(|p| (0..100).map(move |i| p * 1000 + i)).collect();
+        assert_eq!(all, expected);
+    }
+}

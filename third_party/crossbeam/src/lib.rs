@@ -1,0 +1,8 @@
+//! Offline vendored subset of `crossbeam`: [`thread::scope`] (delegating
+//! to `std::thread::scope`) and a multi-producer multi-consumer
+//! [`channel`] with bounded/unbounded flavours, timeouts and disconnect
+//! semantics — the surface the federated trainer and the serving runtime
+//! use.
+
+pub mod channel;
+pub mod thread;

@@ -1,0 +1,66 @@
+//! Scoped threads with the `crossbeam::thread` calling convention
+//! (`scope(|s| …)` returning `Result`, spawn closures taking `&Scope`),
+//! implemented on `std::thread::scope`.
+
+/// A handle for spawning threads that must join before the scope exits.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// A handle to a spawned scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread to finish; `Err` carries its panic payload.
+    pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a thread inside the scope. The closure receives the scope so
+    /// it can spawn further threads.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner_scope = self.inner;
+        ScopedJoinHandle { inner: self.inner.spawn(move || f(&Scope { inner: inner_scope })) }
+    }
+}
+
+/// Runs `f` with a scope handle; every spawned thread joins before this
+/// returns. Unlike upstream, child panics propagate as panics rather than
+/// surfacing in the returned `Result` (the workspace treats both as fatal).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = super::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&v| s.spawn(move |_| v * 10)).collect();
+            handles.into_iter().map(|h| h.join().expect("no panic")).sum()
+        })
+        .expect("scope");
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn nested_spawn_works() {
+        let n = super::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 21).join().expect("inner") * 2).join().expect("outer")
+        })
+        .expect("scope");
+        assert_eq!(n, 42);
+    }
+}

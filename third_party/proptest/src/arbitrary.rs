@@ -1,0 +1,30 @@
+//! `any::<T>()`: full-domain strategies for primitive types.
+
+use crate::strategy::Strategy;
+use rand::distributions::{Distribution, Standard};
+use rand::rngs::StdRng;
+use std::marker::PhantomData;
+
+/// Strategy producing uniformly distributed values over all of `T`.
+pub struct Any<T> {
+    _marker: PhantomData<T>,
+}
+
+/// Builds the full-domain strategy for `T`.
+pub fn any<T>() -> Any<T>
+where
+    Standard: Distribution<T>,
+{
+    Any { _marker: PhantomData }
+}
+
+impl<T> Strategy for Any<T>
+where
+    Standard: Distribution<T>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        Standard.sample(rng)
+    }
+}

@@ -1,0 +1,163 @@
+//! Offline vendored mini `proptest`.
+//!
+//! Re-implements the slice of the proptest API this workspace uses —
+//! `proptest! { #![proptest_config(…)] fn case(x in strategy, …) { … } }`,
+//! numeric-range and `any::<T>()` strategies, `prop::collection::vec`,
+//! `.prop_map`, and the `prop_assert*` macros — on a deterministic seeded
+//! RNG. Each case runs with a seed derived from the test name and case
+//! index, so failures reproduce exactly; the failing seed and case index
+//! are printed on panic.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace mirror of upstream's `prop::` paths (`prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Runs `cases` deterministic iterations of a property body.
+#[doc(hidden)]
+pub fn run_cases(test_name: &str, cases: u32, mut body: impl FnMut(&mut rand::rngs::StdRng, u64)) {
+    // FNV-1a over the test name keeps seeds stable across runs and
+    // distinct across tests.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    for case in 0..cases as u64 {
+        let seed = h.wrapping_add(case);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let guard = CaseGuard { seed, case };
+        body(&mut rng, case);
+        std::mem::forget(guard);
+    }
+}
+
+/// Prints the failing case's seed when the property body panics.
+struct CaseGuard {
+    seed: u64,
+    case: u64,
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!("proptest: case {} failed (rng seed {:#018x})", self.case, self.seed);
+        }
+    }
+}
+
+/// The main harness macro: expands each contained function into a
+/// `#[test]` that evaluates its strategies `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{
+            @cfg($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            $crate::run_cases(
+                concat!(module_path!(), "::", stringify!($name)),
+                config.cases,
+                |__proptest_rng, __proptest_case| {
+                    $(let $arg =
+                        $crate::strategy::Strategy::generate(&($strat), __proptest_rng);)+
+                    $body
+                },
+            );
+        }
+        $crate::__proptest_fns!{ @cfg($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in -2f32..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_follow_size(v in prop::collection::vec(0u8..=255, 4..9)) {
+            prop_assert!(v.len() >= 4 && v.len() < 9, "len={}", v.len());
+        }
+
+        #[test]
+        fn prop_map_applies(mut x in (1u32..5).prop_map(|v| v * 10)) {
+            x += 1;
+            prop_assert!(x == 11 || x == 21 || x == 31 || x == 41);
+        }
+
+        #[test]
+        fn any_u8_covers_bytes(b in any::<u8>()) {
+            let _ = b;
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut first = Vec::new();
+        crate::run_cases("det", 5, |rng, _| {
+            first.push(crate::strategy::Strategy::generate(&(0u64..1000), rng));
+        });
+        let mut second = Vec::new();
+        crate::run_cases("det", 5, |rng, _| {
+            second.push(crate::strategy::Strategy::generate(&(0u64..1000), rng));
+        });
+        assert_eq!(first, second);
+    }
+}

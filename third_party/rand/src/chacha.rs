@@ -1,0 +1,142 @@
+//! ChaCha block function and a buffered word-stream generator, matching
+//! the `rand_chacha` layout: a 256-bit key, 64-bit block counter and
+//! 64-bit stream id, emitting four blocks (64 words) per refill.
+
+/// A buffered ChaCha word stream with `R` double-rounds per block.
+#[derive(Debug, Clone)]
+pub struct ChaChaRng<const DR: usize> {
+    key: [u32; 8],
+    counter: u64,
+    stream: u64,
+    buf: [u32; 64],
+    index: usize,
+}
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl<const DR: usize> ChaChaRng<DR> {
+    /// Builds the stream from a 32-byte seed, counter 0, stream 0.
+    pub fn from_seed_bytes(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            key[i] = u32::from_le_bytes(chunk.try_into().expect("length checked"));
+        }
+        Self { key, counter: 0, stream: 0, buf: [0; 64], index: 64 }
+    }
+
+    fn block(&self, counter: u64) -> [u32; 16] {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = counter as u32;
+        state[13] = (counter >> 32) as u32;
+        state[14] = self.stream as u32;
+        state[15] = (self.stream >> 32) as u32;
+        let mut working = state;
+        for _ in 0..DR {
+            // column round
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // diagonal round
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (w, s) in working.iter_mut().zip(state.iter()) {
+            *w = w.wrapping_add(*s);
+        }
+        working
+    }
+
+    fn refill(&mut self) {
+        for b in 0..4 {
+            let block = self.block(self.counter.wrapping_add(b as u64));
+            self.buf[16 * b..16 * (b + 1)].copy_from_slice(&block);
+        }
+        self.counter = self.counter.wrapping_add(4);
+        self.index = 0;
+    }
+
+    /// Next 32-bit word of the stream.
+    #[inline]
+    pub fn next_word(&mut self) -> u32 {
+        if self.index >= 64 {
+            self.refill();
+        }
+        let w = self.buf[self.index];
+        self.index += 1;
+        w
+    }
+
+    /// Next 64 bits, with `rand_core::BlockRng`'s buffer-boundary rules so
+    /// seeded `u64` streams match upstream.
+    #[inline]
+    pub fn next_two_words(&mut self) -> u64 {
+        if self.index < 63 {
+            let lo = self.buf[self.index] as u64;
+            let hi = self.buf[self.index + 1] as u64;
+            self.index += 2;
+            (hi << 32) | lo
+        } else if self.index >= 64 {
+            self.refill();
+            self.index = 2;
+            (u64::from(self.buf[1]) << 32) | u64::from(self.buf[0])
+        } else {
+            let lo = u64::from(self.buf[63]);
+            self.refill();
+            self.index = 1;
+            (u64::from(self.buf[0]) << 32) | lo
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chacha20_matches_rfc7539_first_block() {
+        // RFC 7539 §2.3.2 test vector: key 00..1f, counter 1, nonce
+        // 000000090000004a00000000. Our layout splits counter/nonce as
+        // 64/64, so replicate via stream bits.
+        let mut seed = [0u8; 32];
+        for (i, b) in seed.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let mut rng: ChaChaRng<10> = ChaChaRng::from_seed_bytes(seed);
+        // nonce bytes 00 00 00 09 / 00 00 00 4a read as little-endian words
+        rng.stream = 0x4a00_0000;
+        let counter = 1u64 | (0x0900_0000_u64 << 32);
+        let block = rng.block(counter);
+        assert_eq!(block[0], 0xe4e7_f110);
+        assert_eq!(block[1], 0x1559_3bd1);
+        assert_eq!(block[15], 0x4e3c_50a2);
+    }
+
+    #[test]
+    fn word_and_two_word_streams_agree() {
+        let seed = [7u8; 32];
+        let mut a: ChaChaRng<6> = ChaChaRng::from_seed_bytes(seed);
+        let mut b: ChaChaRng<6> = ChaChaRng::from_seed_bytes(seed);
+        for _ in 0..40 {
+            let lo = a.next_word() as u64;
+            let hi = a.next_word() as u64;
+            assert_eq!(b.next_two_words(), (hi << 32) | lo);
+        }
+    }
+}

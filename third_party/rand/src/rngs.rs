@@ -1,0 +1,73 @@
+//! Standard generators.
+
+use crate::chacha::ChaChaRng;
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard seeded generator: ChaCha with 12 rounds, the
+/// same algorithm upstream `rand` 0.8 uses for `StdRng`.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    core: ChaChaRng<6>,
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        self.core.next_word()
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.core.next_two_words()
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        Self { core: ChaChaRng::from_seed_bytes(seed) }
+    }
+}
+
+/// A small fast generator (xoshiro256++ here; upstream uses the same
+/// family). Seeding follows the shared [`SeedableRng::seed_from_u64`].
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl RngCore for SmallRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = (self.s[0].wrapping_add(self.s[3])).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl SeedableRng for SmallRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().expect("length checked"));
+        }
+        if s == [0; 4] {
+            s = [0x9e37_79b9_7f4a_7c15, 1, 2, 3];
+        }
+        Self { s }
+    }
+}

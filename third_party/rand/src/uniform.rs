@@ -1,0 +1,142 @@
+//! Uniform sampling from `Range` / `RangeInclusive`, following the
+//! widening-multiply rejection scheme of upstream `rand` 0.8's
+//! `UniformInt::sample_single` (and the `[1, 2)` exponent trick for
+//! floats) so seeded `gen_range` draws match.
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// Ranges that [`crate::Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! uniform_int {
+    ($ty:ty, $unsigned:ty, $large:ty, $next:ident) => {
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let range = self.end.wrapping_sub(self.start) as $unsigned as $large;
+                sample_below::<R, $large>(rng, range, |r| r.$next() as $large)
+                    .map(|hi| self.start.wrapping_add(hi as $ty))
+                    .unwrap_or_else(|| rng.$next() as $ty)
+            }
+        }
+
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range in gen_range");
+                let range = (end.wrapping_sub(start) as $unsigned as $large).wrapping_add(1);
+                if range == 0 {
+                    // full type range
+                    return rng.$next() as $ty;
+                }
+                sample_below::<R, $large>(rng, range, |r| r.$next() as $large)
+                    .map(|hi| start.wrapping_add(hi as $ty))
+                    .unwrap_or_else(|| rng.$next() as $ty)
+            }
+        }
+    };
+}
+
+/// Lemire-style widening multiply with a rejection zone; `None` means the
+/// range spans the whole type (caller draws directly).
+fn sample_below<R: RngCore + ?Sized, U>(
+    rng: &mut R,
+    range: U,
+    next: impl Fn(&mut R) -> U,
+) -> Option<U>
+where
+    U: WideMul + Copy + PartialOrd + Default,
+{
+    if range == U::default() {
+        return None;
+    }
+    let zone = range.zone();
+    loop {
+        let v = next(rng);
+        let (hi, lo) = v.wmul(range);
+        if lo <= zone {
+            return Some(hi);
+        }
+    }
+}
+
+/// Widening multiply + rejection-zone computation per word size.
+pub trait WideMul: Sized {
+    /// `(high, low)` words of `self * rhs`.
+    fn wmul(self, rhs: Self) -> (Self, Self);
+    /// Largest low-word value accepted without bias.
+    fn zone(self) -> Self;
+}
+
+impl WideMul for u32 {
+    fn wmul(self, rhs: Self) -> (Self, Self) {
+        let wide = self as u64 * rhs as u64;
+        ((wide >> 32) as u32, wide as u32)
+    }
+    fn zone(self) -> Self {
+        (self << self.leading_zeros()).wrapping_sub(1)
+    }
+}
+
+impl WideMul for u64 {
+    fn wmul(self, rhs: Self) -> (Self, Self) {
+        let wide = self as u128 * rhs as u128;
+        ((wide >> 64) as u64, wide as u64)
+    }
+    fn zone(self) -> Self {
+        (self << self.leading_zeros()).wrapping_sub(1)
+    }
+}
+
+uniform_int!(u8, u8, u32, next_u32);
+uniform_int!(u16, u16, u32, next_u32);
+uniform_int!(u32, u32, u32, next_u32);
+uniform_int!(i8, u8, u32, next_u32);
+uniform_int!(i16, u16, u32, next_u32);
+uniform_int!(i32, u32, u32, next_u32);
+uniform_int!(u64, u64, u64, next_u64);
+uniform_int!(i64, u64, u64, next_u64);
+uniform_int!(usize, usize, u64, next_u64);
+uniform_int!(isize, usize, u64, next_u64);
+
+fn unit_f32<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+    f32::from_bits((rng.next_u32() >> 9) | 0x3f80_0000) - 1.0
+}
+
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    f64::from_bits((rng.next_u64() >> 12) | 0x3ff0_0000_0000_0000) - 1.0
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        unit_f32(rng) * (self.end - self.start) + self.start
+    }
+}
+
+impl SampleRange<f32> for RangeInclusive<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty range in gen_range");
+        unit_f32(rng) * (end - start) + start
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        unit_f64(rng) * (self.end - self.start) + self.start
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty range in gen_range");
+        unit_f64(rng) * (end - start) + start
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline vendored `serde` facade.
+//!
+//! The workspace annotates types with `#[derive(Serialize, Deserialize)]`
+//! but never drives an actual serializer in this environment, so the
+//! traits are markers and the derives (re-exported from the vendored
+//! `serde_derive`) expand to nothing.
+
+/// Marker for types annotated as serialisable.
+pub trait Serialize {}
+
+/// Marker for types annotated as deserialisable.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

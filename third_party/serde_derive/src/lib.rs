@@ -1,0 +1,21 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! The workspace only uses serde derives as annotations (no serializer is
+//! ever instantiated offline), so the derives accept the usual `#[serde]`
+//! helper attributes and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts the derive input (and `#[serde(...)]` field attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts the derive input (and `#[serde(...)]` field attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
