@@ -1,0 +1,175 @@
+//! E12 — federated training over a faulty network: the same FedAvg task
+//! run over the ideal fabric (the pre-`mdl-net` assumption) and over an
+//! LTE cohort with 20% dropout, 2x stragglers and a flaky radio. The
+//! server aggregates whatever a majority quorum delivers by the deadline.
+//! Prints the accuracy/transport table, checks the faulty run is
+//! bit-reproducible, and writes `BENCH_faults.json`.
+
+use mdl_bench::{fmt_bytes, print_table};
+use mdl_core::prelude::*;
+use std::fmt::Write as _;
+
+const CLIENTS: usize = 10;
+const ROUNDS: usize = 20;
+const SEED: u64 = 42;
+const FABRIC_SEED: u64 = 0xFA17;
+
+fn fed_config() -> FedConfig {
+    FedConfig {
+        rounds: ROUNDS,
+        client_fraction: 1.0,
+        learning_rate: 0.2,
+        local_epochs: 3,
+        ..Default::default()
+    }
+}
+
+/// LTE with mild ambient loss and jitter; 2x stragglers overshoot the
+/// 120 ms per-message timeout (a healthy transfer takes ~77 ms), so
+/// straggling shows up as timeouts and ambient loss as successful retries.
+fn faulty_fabric() -> Fabric {
+    let link = LinkConfig {
+        loss_prob: 0.08,
+        jitter_frac: 0.1,
+        ..LinkConfig::clean(NetworkProfile::lte())
+    };
+    let config = FabricConfig {
+        faults: FaultPlan {
+            dropout_prob: 0.2,
+            straggler_prob: 0.25,
+            straggler_slowdown: 2.0,
+            flaky_prob: 0.1,
+            flaky_loss: 0.25,
+            partitions: Vec::new(),
+        },
+        retry: RetryPolicy {
+            timeout_s: 0.12,
+            max_attempts: 3,
+            base_backoff_s: 0.05,
+            backoff_multiplier: 2.0,
+            max_backoff_s: 0.4,
+        },
+        round_deadline_s: 5.0,
+        quorum_fraction: 0.4,
+        max_failed_rounds: 5,
+        link,
+    };
+    Fabric::new(CLIENTS, config, FABRIC_SEED)
+}
+
+struct FaultyRun {
+    accuracy: f64,
+    aggregated_rounds: usize,
+    transport: TransportMetrics,
+}
+
+fn run_faulty(
+    spec: &MlpSpec,
+    clients: &[Dataset],
+    test: &Dataset,
+    availability: &AvailabilityModel,
+) -> FaultyRun {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut fabric = faulty_fabric();
+    let run =
+        run_federated_over(spec, clients, test, &fed_config(), availability, &mut fabric, &mut rng)
+            .expect("a 40% quorum is reachable under this fault plan");
+    FaultyRun {
+        accuracy: run.final_accuracy(),
+        aggregated_rounds: run.history.len(),
+        transport: run.transport,
+    }
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let data = mdl_core::data::synthetic::synthetic_digits(800, 0.08, &mut rng);
+    let (train, test) = data.split(0.8, &mut rng);
+    let clients = partition_dataset(&train, CLIENTS, Partition::Iid, &mut rng);
+    let spec = MlpSpec::new(vec![64, 32, 10], 17);
+    let availability = AvailabilityModel::always_available(CLIENTS);
+
+    // --- baseline: the ideal fabric (exactly the legacy simulation) ---
+    let mut base_rng = StdRng::seed_from_u64(SEED);
+    let baseline =
+        run_federated(&spec, &clients, &test, &fed_config(), &availability, &mut base_rng);
+
+    // --- the faulty cohort, twice, to prove bit-reproducibility ---
+    let faulty = run_faulty(&spec, &clients, &test, &availability);
+    let replay = run_faulty(&spec, &clients, &test, &availability);
+    assert_eq!(
+        faulty.transport, replay.transport,
+        "same seeds must reproduce the transport bit-for-bit"
+    );
+    assert!(
+        (faulty.accuracy - replay.accuracy).abs() < f64::EPSILON,
+        "same seeds must reproduce the model"
+    );
+
+    let gap_points = 100.0 * (baseline.final_accuracy() - faulty.accuracy);
+    let row = |label: &str, acc: f64, aggregated: usize, t: &TransportMetrics| {
+        vec![
+            label.to_string(),
+            format!("{:.2}%", 100.0 * acc),
+            format!("{aggregated}/{ROUNDS}"),
+            format!("{}", t.attempts),
+            format!("{}", t.retries),
+            format!("{}", t.timeouts),
+            format!("{}", t.drops),
+            fmt_bytes(t.bytes_up + t.bytes_down),
+            fmt_bytes(t.wasted_bytes),
+            format!("{:.1} s", t.sim_clock_s),
+        ]
+    };
+    print_table(
+        "FedAvg over mdl-net: ideal vs faulty LTE cohort (10 clients, 20 rounds, 40% quorum)",
+        &[
+            "fabric",
+            "accuracy",
+            "aggregated",
+            "attempts",
+            "retries",
+            "timeouts",
+            "drops",
+            "delivered",
+            "wasted",
+            "sim clock",
+        ],
+        &[
+            row("ideal", baseline.final_accuracy(), baseline.history.len(), &baseline.transport),
+            row("faulty-lte", faulty.accuracy, faulty.aggregated_rounds, &faulty.transport),
+        ],
+    );
+    println!(
+        "\naccuracy gap under faults: {gap_points:.2} points \
+         (dropouts and timed-out stragglers shrink each round's cohort;\n\
+         quorum aggregation keeps the run moving and convergence survives)"
+    );
+
+    assert!(faulty.transport.retries > 0, "ambient loss must force retries");
+    assert!(faulty.transport.timeouts > 0, "2x stragglers must time out");
+    assert!(faulty.transport.drops > 0, "20% dropout must be visible");
+    assert!(gap_points.abs() < 3.0, "fault tolerance must hold the accuracy gap under 3 points");
+
+    // --- JSON artifact ---
+    let t = &faulty.transport;
+    let mut json = String::from("{\n  \"benchmark\": \"faults\",\n");
+    let _ = writeln!(json, "  \"clients\": {CLIENTS},");
+    let _ = writeln!(json, "  \"rounds\": {ROUNDS},");
+    let _ = writeln!(json, "  \"baseline_accuracy\": {:.4},", baseline.final_accuracy());
+    let _ = writeln!(json, "  \"faulty_accuracy\": {:.4},", faulty.accuracy);
+    let _ = writeln!(json, "  \"accuracy_gap_points\": {gap_points:.2},");
+    let _ = writeln!(json, "  \"aggregated_rounds\": {},", faulty.aggregated_rounds);
+    let _ = writeln!(json, "  \"attempts\": {},", t.attempts);
+    let _ = writeln!(json, "  \"retries\": {},", t.retries);
+    let _ = writeln!(json, "  \"timeouts\": {},", t.timeouts);
+    let _ = writeln!(json, "  \"drops\": {},", t.drops);
+    let _ = writeln!(json, "  \"bytes_up\": {},", t.bytes_up);
+    let _ = writeln!(json, "  \"bytes_down\": {},", t.bytes_down);
+    let _ = writeln!(json, "  \"wasted_bytes\": {},", t.wasted_bytes);
+    let _ = writeln!(json, "  \"sim_clock_s\": {:.3},", t.sim_clock_s);
+    let _ = writeln!(json, "  \"bit_reproducible\": true");
+    json.push_str("}\n");
+    std::fs::write("BENCH_faults.json", &json).expect("write BENCH_faults.json");
+    println!("\nwrote BENCH_faults.json");
+}

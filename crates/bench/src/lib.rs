@@ -18,6 +18,7 @@
 //! | `exp_patterns_fig6` | Fig. 6 multi-view pattern analysis |
 //! | `exp_ablations` | DESIGN.md §4 design-choice ablations |
 //! | `exp_mobilenets` | §III-B reference [29] depthwise-separable CNNs |
+//! | `exp_faults` | FedAvg over the `mdl-net` faulty fabric vs the ideal one |
 
 /// Prints a markdown-style table: header row then aligned data rows.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {

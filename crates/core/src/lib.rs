@@ -18,6 +18,7 @@
 //! | §IV-A DeepMood | [`deepmood`](mdl_deepmood) |
 //! | §IV-B DEEPSERVICE | [`deepservice`](mdl_deepservice) |
 //! | §III serving tier (batching, hot swap, routing) | [`serve`](mdl_serve) |
+//! | faulty-network transport fabric | [`net`](mdl_net) |
 //! | substrates | [`tensor`](mdl_tensor), [`nn`](mdl_nn), [`data`](mdl_data), [`baselines`](mdl_baselines) |
 //!
 //! # Examples
@@ -45,17 +46,22 @@ pub use mdl_deepmood as deepmood;
 pub use mdl_deepservice as deepservice;
 pub use mdl_federated as federated;
 pub use mdl_mobile as mobile;
+pub use mdl_net as net;
 pub use mdl_nn as nn;
 pub use mdl_privacy as privacy;
 pub use mdl_serve as serve;
 pub use mdl_split as split;
 pub use mdl_tensor as tensor;
 
-pub use pipeline::{run_pipeline, PipelineConfig, PipelineReport, ServingSummary};
+pub use pipeline::{
+    run_pipeline, PipelineConfig, PipelineReport, ServingSummary, TransportSummary,
+};
 
 /// One-stop imports for examples and experiments.
 pub mod prelude {
-    pub use crate::pipeline::{run_pipeline, PipelineConfig, PipelineReport, ServingSummary};
+    pub use crate::pipeline::{
+        run_pipeline, PipelineConfig, PipelineReport, ServingSummary, TransportSummary,
+    };
     pub use mdl_baselines::{
         evaluate, fit_evaluate, Classifier, DecisionTree, Evaluation, GradientBoost, LinearSvm,
         LogisticRegression, MajorityClass, RandomForest,
@@ -70,9 +76,14 @@ pub mod prelude {
     pub use mdl_deepmood::{DeepMood, DeepMoodConfig, FusionKind};
     pub use mdl_deepservice::{pairwise_identification, table_one, train_deepservice};
     pub use mdl_federated::{
-        run_federated, run_selective_sgd, AvailabilityModel, FedConfig, MlpSpec, SelectiveConfig,
+        run_federated, run_federated_over, run_selective_sgd, run_selective_sgd_over,
+        AvailabilityModel, FedConfig, MlpSpec, SelectiveConfig,
     };
     pub use mdl_mobile::{Battery, DeviceProfile, NetworkProfile, Placement, Scenario};
+    pub use mdl_net::{
+        Fabric, FabricConfig, FaultPlan, LinkConfig, LinkState, NetError, RetryPolicy,
+        TransportMetrics,
+    };
     pub use mdl_nn::{
         fit_classifier, Activation, Adam, Dense, Gru, Layer, Mode, ParamVector, Sequential, Sgd,
         TrainConfig,

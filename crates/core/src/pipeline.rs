@@ -13,6 +13,7 @@ use mdl_compress::pipeline::{deep_compress, DeepCompressionConfig};
 use mdl_data::Dataset;
 use mdl_federated::MlpSpec;
 use mdl_mobile::{DeviceProfile, NetworkProfile};
+use mdl_net::{Fabric, FabricConfig, FaultPlan, LinkConfig, TransportMetrics};
 use mdl_nn::{save_model, Sequential};
 use mdl_privacy::{run_dp_fedavg, DpFedConfig};
 use mdl_serve::{
@@ -38,6 +39,10 @@ pub struct PipelineConfig {
     pub device: DeviceProfile,
     /// Network the device sits on.
     pub network: NetworkProfile,
+    /// Faults the `mdl-net` transport probe injects when rehearsing model
+    /// distribution over [`PipelineConfig::network`]
+    /// ([`FaultPlan::none`] probes the clean link).
+    pub faults: FaultPlan,
 }
 
 /// Everything a deployment decision needs, produced by one pipeline run.
@@ -57,6 +62,8 @@ pub struct PipelineReport {
     pub arden_epsilon: f64,
     /// Cost comparison across on-device / cloud / split placements.
     pub deployments: Vec<DeploymentRow>,
+    /// What the faulty-transport rehearsal of model distribution observed.
+    pub transport: TransportSummary,
     /// Smoke-test results of the trained artifact behind the serving tier.
     pub serving: ServingSummary,
     /// The trained (uncompressed) global model.
@@ -77,6 +84,62 @@ pub struct ServingSummary {
     pub mean_batch_size: f64,
     /// Client-observed 99th-percentile latency.
     pub p99: Duration,
+}
+
+/// What the transport rehearsal observed when pushing the trained
+/// artifact to a small device cohort over the configured (possibly
+/// faulty) network.
+#[derive(Debug, Clone)]
+pub struct TransportSummary {
+    /// Aggregate link counters across the rehearsal.
+    pub metrics: TransportMetrics,
+    /// Devices in the probe cohort.
+    pub probe_clients: usize,
+    /// Distribution rounds attempted.
+    pub probe_rounds: usize,
+    /// Rounds in which a majority of the cohort got the artifact and
+    /// acknowledged it.
+    pub delivered_rounds: usize,
+}
+
+/// Rehearses model distribution over the configured network: a small
+/// cohort downloads the artifact and uploads an acknowledgement for a few
+/// rounds, with the configured [`FaultPlan`] injected. Deterministic for a
+/// fixed configuration (the fabric owns its own seeded RNG).
+fn probe_transport(
+    artifact_bytes: u64,
+    network: &NetworkProfile,
+    faults: &FaultPlan,
+) -> TransportSummary {
+    const PROBE_CLIENTS: usize = 8;
+    const PROBE_ROUNDS: usize = 3;
+    let fabric_config = FabricConfig {
+        faults: faults.clone(),
+        quorum_fraction: 0.5,
+        ..FabricConfig::faulty(LinkConfig::clean(network.clone()))
+    };
+    let mut fabric = Fabric::new(PROBE_CLIENTS, fabric_config, 0xFA6);
+    let ack_bytes = 64;
+    let mut delivered_rounds = 0;
+    for _ in 0..PROBE_ROUNDS {
+        fabric.begin_round();
+        let mut acked = 0;
+        for c in 0..PROBE_CLIENTS {
+            if fabric.send_down(c, artifact_bytes).is_ok() && fabric.send_up(c, ack_bytes).is_ok() {
+                acked += 1;
+            }
+        }
+        if acked >= fabric.quorum_min(PROBE_CLIENTS) {
+            delivered_rounds += 1;
+        }
+        fabric.end_round();
+    }
+    TransportSummary {
+        metrics: fabric.metrics(),
+        probe_clients: PROBE_CLIENTS,
+        probe_rounds: PROBE_ROUNDS,
+        delivered_rounds,
+    }
 }
 
 /// Saves `model` to the wire format, boots a server from the bytes and
@@ -164,7 +227,13 @@ pub fn run_pipeline(
         4 * test.dim() as u64,
     );
 
-    // 5. serving smoke test (the model update loop's last mile): the
+    // 5. transport rehearsal: push the compressed artifact to a small
+    // device cohort over the configured network with the configured fault
+    // plan, so the report carries retry/timeout/byte counts alongside the
+    // placement economics
+    let transport = probe_transport(compressed.report.final_bytes, &config.network, &config.faults);
+
+    // 6. serving smoke test (the model update loop's last mile): the
     // trained model goes through the wire format into the concurrent
     // serving runtime and answers a short burst of requests
     let serving = smoke_serve(&mut model, test);
@@ -177,6 +246,7 @@ pub fn run_pipeline(
         arden_accuracy,
         arden_epsilon,
         deployments,
+        transport,
         serving,
         model,
     }
@@ -221,6 +291,7 @@ mod tests {
             },
             device: DeviceProfile::midrange_phone(),
             network: NetworkProfile::wifi(),
+            faults: FaultPlan::lossy_cohort(),
         };
         let report = run_pipeline(&config, &clients, &test, &mut rng);
 
@@ -236,6 +307,13 @@ mod tests {
         assert!(report.arden_accuracy > 0.4, "arden {}", report.arden_accuracy);
         assert!(report.arden_epsilon.is_finite());
         assert_eq!(report.deployments.len(), 3);
+        assert_eq!(report.transport.probe_rounds, 3);
+        assert!(report.transport.delivered_rounds > 0, "wifi cohort should reach quorum");
+        assert!(report.transport.metrics.attempts > 0);
+        assert!(
+            report.transport.metrics.bytes_down > 0,
+            "the artifact must reach at least one device"
+        );
         assert_eq!(report.serving.completed, report.serving.requests);
         assert_eq!(report.serving.model_version, 1);
         assert!(report.serving.p99 > Duration::ZERO);

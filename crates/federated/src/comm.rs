@@ -1,67 +1,9 @@
 //! Communication accounting for federated simulations.
+//!
+//! The ledger itself lives in `mdl-net` next to [`TransportMetrics`], the
+//! transport-layer counters it is derived from
+//! ([`TransportMetrics::ledger`]) — one source of truth for byte
+//! accounting. This module re-exports both under the historical
+//! `mdl_federated::comm` path.
 
-use serde::{Deserialize, Serialize};
-
-/// Running totals of bytes and messages exchanged with the server.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct CommLedger {
-    /// Bytes uploaded from clients to the server.
-    pub bytes_up: u64,
-    /// Bytes downloaded from the server to clients.
-    pub bytes_down: u64,
-    /// Client→server messages.
-    pub messages_up: u64,
-    /// Server→client messages.
-    pub messages_down: u64,
-    /// Completed federation rounds.
-    pub rounds: u64,
-}
-
-impl CommLedger {
-    /// A fresh ledger.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Records one client upload of `bytes`.
-    pub fn record_upload(&mut self, bytes: u64) {
-        self.bytes_up += bytes;
-        self.messages_up += 1;
-    }
-
-    /// Records one server→client download of `bytes`.
-    pub fn record_download(&mut self, bytes: u64) {
-        self.bytes_down += bytes;
-        self.messages_down += 1;
-    }
-
-    /// Marks a round complete.
-    pub fn finish_round(&mut self) {
-        self.rounds += 1;
-    }
-
-    /// Total traffic in both directions.
-    pub fn total_bytes(&self) -> u64 {
-        self.bytes_up + self.bytes_down
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn accumulates() {
-        let mut l = CommLedger::new();
-        l.record_upload(100);
-        l.record_upload(50);
-        l.record_download(200);
-        l.finish_round();
-        assert_eq!(l.bytes_up, 150);
-        assert_eq!(l.bytes_down, 200);
-        assert_eq!(l.messages_up, 2);
-        assert_eq!(l.messages_down, 1);
-        assert_eq!(l.rounds, 1);
-        assert_eq!(l.total_bytes(), 350);
-    }
-}
+pub use mdl_net::{CommLedger, TransportMetrics};

@@ -19,6 +19,7 @@ use crate::model::MlpSpec;
 use crate::scheduler::AvailabilityModel;
 use crate::update::{weighted_average, DenseUpdate};
 use mdl_data::Dataset;
+use mdl_net::{Fabric, NetError, TransportMetrics};
 use mdl_nn::{fit_classifier, Layer, Mode, ParamVector, Sgd, TrainConfig};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -98,8 +99,11 @@ pub struct FedRun {
     pub history: Vec<RoundRecord>,
     /// Final global parameters.
     pub final_params: Vec<f32>,
-    /// Communication totals.
+    /// Communication totals (delivered traffic, derived from `transport`).
     pub ledger: CommLedger,
+    /// Transport-layer counters: attempts, retries, timeouts, drops,
+    /// wasted bytes and the simulated wall clock.
+    pub transport: TransportMetrics,
     /// Round at which `target_accuracy` was first reached, if ever.
     pub rounds_to_target: Option<usize>,
 }
@@ -111,7 +115,11 @@ impl FedRun {
     }
 }
 
-/// Runs FedAvg/FedSGD over pre-partitioned client datasets.
+/// Runs FedAvg/FedSGD over pre-partitioned client datasets, on an ideal
+/// (fault-free, infinitely patient) network.
+///
+/// Equivalent to [`run_federated_over`] with [`Fabric::ideal`] — same
+/// randomness, same byte accounting — and therefore infallible.
 ///
 /// # Panics
 ///
@@ -125,21 +133,58 @@ pub fn run_federated(
     availability: &AvailabilityModel,
     rng: &mut StdRng,
 ) -> FedRun {
+    let mut fabric = Fabric::ideal(clients.len());
+    run_federated_over(spec, clients, test, config, availability, &mut fabric, rng)
+        .expect("an ideal fabric never drops, times out, or misses quorum")
+}
+
+/// Runs FedAvg/FedSGD with every byte flowing through a simulated
+/// transport [`Fabric`]: parameter broadcasts and update uploads can be
+/// delayed, retried, lost to dropout or partitions, or cut off by the
+/// per-round deadline. The server aggregates whatever quorum of updates
+/// actually arrived; a round below quorum keeps the previous global model.
+///
+/// The fabric owns all fault/jitter randomness, so `rng` is consumed
+/// exactly as in the fault-free [`run_federated`] — an idle fabric
+/// reproduces it bit-for-bit.
+///
+/// # Errors
+///
+/// Returns [`NetError::QuorumUnreachable`] once
+/// `fabric.config().max_failed_rounds` consecutive rounds fail to deliver
+/// a quorum, instead of looping (or blocking) forever.
+///
+/// # Panics
+///
+/// Panics if `clients` is empty, or the availability model or fabric
+/// covers a different number of clients.
+pub fn run_federated_over(
+    spec: &MlpSpec,
+    clients: &[Dataset],
+    test: &Dataset,
+    config: &FedConfig,
+    availability: &AvailabilityModel,
+    fabric: &mut Fabric,
+    rng: &mut StdRng,
+) -> Result<FedRun, NetError> {
     assert!(!clients.is_empty(), "need at least one client");
     assert_eq!(availability.clients(), clients.len(), "availability model must cover every client");
+    assert_eq!(fabric.clients(), clients.len(), "fabric must cover every client");
 
     let mut global = spec.build();
     let mut params = global.param_vector();
-    let mut ledger = CommLedger::new();
     let mut history = Vec::new();
     let mut rounds_to_target = None;
+    let mut consecutive_quorum_misses = 0usize;
     let param_bytes = 4 * params.len() as u64 + 8;
 
     for round in 1..=config.rounds {
+        fabric.begin_round();
+
         // 1. sample eligible clients, then C-fraction of them
         let mut eligible = availability.sample_eligible(rng);
         if eligible.is_empty() {
-            ledger.finish_round();
+            fabric.end_round();
             continue;
         }
         eligible.shuffle(rng);
@@ -150,7 +195,10 @@ pub fn run_federated(
         // 2. local training, run in parallel — clients are independent
         // devices. Seeds and failure fates are drawn *in selection order*
         // before spawning so the run stays bit-deterministic regardless of
-        // thread scheduling.
+        // thread scheduling. The parameter broadcast goes over the fabric
+        // first: a client that never received the model cannot train, and
+        // one the fault plan dropped would never report back, so neither
+        // gets a thread.
         let fates: Vec<(u64, bool)> = selected
             .iter()
             .map(|_| {
@@ -159,17 +207,18 @@ pub fn run_federated(
                 (seed, fails)
             })
             .collect();
-        for _ in selected {
-            ledger.record_download(param_bytes);
-        }
+        let reached: Vec<bool> = selected
+            .iter()
+            .map(|&c| fabric.send_down(c, param_bytes).is_ok() && !fabric.client_dropped(c))
+            .collect();
         let params_ref = &params;
         let results: Vec<Option<DenseUpdate>> = crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = selected
                 .iter()
-                .zip(fates.iter())
-                .map(|(&c, &(seed, fails))| {
+                .zip(fates.iter().zip(reached.iter()))
+                .map(|(&c, (&(seed, fails), &reached))| {
                     scope.spawn(move |_| {
-                        if fails {
+                        if fails || !reached {
                             return None;
                         }
                         let data = &clients[c];
@@ -205,23 +254,36 @@ pub fn run_federated(
         .expect("client scope");
 
         let mut updates = Vec::with_capacity(selected.len());
-        let mut completed = 0usize;
-        for update in results.into_iter().flatten() {
+        for (&c, update) in selected.iter().zip(results) {
+            let Some(update) = update else { continue };
             let bytes = if config.quantize_uploads {
                 16 + update.values.len() as u64
             } else {
                 update.wire_bytes()
             };
-            ledger.record_upload(bytes);
-            updates.push(update);
-            completed += 1;
+            if fabric.send_up(c, bytes).is_ok() {
+                updates.push(update);
+            }
         }
+        let completed = updates.len();
 
-        // 3. weighted aggregation
+        // 3. weighted aggregation over the quorum that actually arrived;
+        // a round below quorum keeps the previous global model, and too
+        // many consecutive misses is a typed failure, not a hang
+        let needed = fabric.quorum_min(selected.len());
+        if completed < needed {
+            consecutive_quorum_misses += 1;
+            if consecutive_quorum_misses >= fabric.config().max_failed_rounds {
+                return Err(NetError::QuorumUnreachable { round, needed, got: completed });
+            }
+            fabric.end_round();
+            continue;
+        }
+        consecutive_quorum_misses = 0;
         if let Some(avg) = weighted_average(&updates) {
             params = avg;
         }
-        ledger.finish_round();
+        fabric.end_round();
 
         // 4. evaluation
         if round % config.eval_every == 0 || round == config.rounds {
@@ -230,7 +292,7 @@ pub fn run_federated(
             history.push(RoundRecord {
                 round,
                 test_accuracy: acc,
-                total_bytes: ledger.total_bytes(),
+                total_bytes: fabric.metrics().ledger().total_bytes(),
                 participants: completed,
             });
             if let Some(target) = config.target_accuracy {
@@ -242,7 +304,14 @@ pub fn run_federated(
         }
     }
 
-    FedRun { history, final_params: params, ledger, rounds_to_target }
+    let transport = fabric.metrics();
+    Ok(FedRun {
+        history,
+        final_params: params,
+        ledger: transport.ledger(),
+        transport,
+        rounds_to_target,
+    })
 }
 
 /// Trains the same architecture centrally on the union of client data —
@@ -456,6 +525,84 @@ mod tests {
             q.final_accuracy(),
             fp32.final_accuracy()
         );
+    }
+
+    #[test]
+    fn fabric_dropout_shrinks_cohorts_but_learning_survives() {
+        use mdl_net::{FabricConfig, FaultPlan};
+        let mut rng = StdRng::seed_from_u64(197);
+        let (spec, clients, test) = setup(&mut rng);
+        let availability = AvailabilityModel::always_available(clients.len());
+        let config = FedConfig {
+            rounds: 15,
+            client_fraction: 1.0,
+            learning_rate: 0.2,
+            local_epochs: 3,
+            ..Default::default()
+        };
+        let fabric_cfg = FabricConfig {
+            faults: FaultPlan { dropout_prob: 0.3, ..FaultPlan::none() },
+            quorum_fraction: 0.25,
+            max_failed_rounds: 10,
+            ..FabricConfig::ideal()
+        };
+        let mut fabric = Fabric::new(clients.len(), fabric_cfg, 11);
+        let run = run_federated_over(
+            &spec,
+            &clients,
+            &test,
+            &config,
+            &availability,
+            &mut fabric,
+            &mut rng,
+        )
+        .expect("quorum of 25% is reachable under 30% dropout");
+        assert!(run.final_accuracy() > 0.85, "accuracy={}", run.final_accuracy());
+        assert!(run.transport.drops > 0, "dropout must surface in the metrics");
+        assert_eq!(run.ledger, run.transport.ledger(), "ledger is derived from transport");
+        let mean_participants = run.history.iter().map(|h| h.participants).sum::<usize>() as f64
+            / run.history.len() as f64;
+        assert!(mean_participants < clients.len() as f64, "dropped clients never report");
+    }
+
+    #[test]
+    fn unreachable_quorum_is_a_typed_error_not_a_hang() {
+        use mdl_net::{FabricConfig, FaultPlan, NetError, PartitionWindow};
+        let mut rng = StdRng::seed_from_u64(198);
+        let (spec, clients, test) = setup(&mut rng);
+        let availability = AvailabilityModel::always_available(clients.len());
+        let fabric_cfg = FabricConfig {
+            faults: FaultPlan {
+                partitions: vec![PartitionWindow {
+                    from_round: 1,
+                    until_round: usize::MAX,
+                    clients: vec![],
+                }],
+                ..FaultPlan::none()
+            },
+            quorum_fraction: 0.5,
+            max_failed_rounds: 3,
+            ..FabricConfig::ideal()
+        };
+        let mut fabric = Fabric::new(clients.len(), fabric_cfg, 5);
+        let err = run_federated_over(
+            &spec,
+            &clients,
+            &test,
+            &FedConfig { rounds: 50, ..Default::default() },
+            &availability,
+            &mut fabric,
+            &mut rng,
+        )
+        .expect_err("a fully partitioned cohort can never reach quorum");
+        match err {
+            NetError::QuorumUnreachable { round, needed, got } => {
+                assert_eq!(round, 3, "gives up after max_failed_rounds consecutive misses");
+                assert!(needed >= 1);
+                assert_eq!(got, 0);
+            }
+            other => panic!("expected QuorumUnreachable, got {other:?}"),
+        }
     }
 
     #[test]

@@ -10,6 +10,11 @@
 //! - transport framing and byte accounting ([`update`], [`comm`]) so every
 //!   experiment can report communication costs.
 //!
+//! Both simulations can also run over the `mdl-net` faulty-transport
+//! fabric ([`run_federated_over`], [`run_selective_sgd_over`]): dropouts,
+//! stragglers, partitions and packet loss with retries, per-round
+//! deadlines and quorum aggregation — all seeded and bit-reproducible.
+//!
 //! # Examples
 //!
 //! ```
@@ -38,13 +43,14 @@ pub mod scheduler;
 pub mod selective;
 pub mod update;
 
-pub use comm::CommLedger;
+pub use comm::{CommLedger, TransportMetrics};
 pub use fedavg::{
-    centralized_reference, evaluate_params, run_federated, FedConfig, FedRun, RoundRecord,
+    centralized_reference, evaluate_params, run_federated, run_federated_over, FedConfig, FedRun,
+    RoundRecord,
 };
 pub use model::MlpSpec;
 pub use scheduler::{AvailabilityModel, DeviceState};
-pub use selective::{run_selective_sgd, SelectiveConfig, SelectiveRun};
+pub use selective::{run_selective_sgd, run_selective_sgd_over, SelectiveConfig, SelectiveRun};
 pub use update::{weighted_average, DenseUpdate, QuantizedUpdate, SparseUpdate};
 
 #[cfg(test)]

@@ -19,6 +19,7 @@ use crate::fedavg::RoundRecord;
 use crate::model::MlpSpec;
 use crate::update::SparseUpdate;
 use mdl_data::Dataset;
+use mdl_net::{Fabric, TransportMetrics};
 use mdl_nn::{loss::softmax_cross_entropy, Layer, Mode, ParamVector};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -64,8 +65,10 @@ pub struct SelectiveRun {
     pub history: Vec<RoundRecord>,
     /// Final global parameters.
     pub final_params: Vec<f32>,
-    /// Communication totals.
+    /// Communication totals (delivered traffic, derived from `transport`).
     pub ledger: CommLedger,
+    /// Transport-layer counters from the fabric the run flowed over.
+    pub transport: TransportMetrics,
 }
 
 impl SelectiveRun {
@@ -121,7 +124,10 @@ fn local_phase(
     SparseUpdate::top_fraction(&delta, config.upload_fraction, data.len())
 }
 
-/// Runs the distributed selective SGD protocol.
+/// Runs the distributed selective SGD protocol on an ideal network.
+///
+/// Equivalent to [`run_selective_sgd_over`] with [`Fabric::ideal`] — same
+/// randomness, same byte accounting.
 ///
 /// # Panics
 ///
@@ -133,7 +139,32 @@ pub fn run_selective_sgd(
     config: &SelectiveConfig,
     rng: &mut StdRng,
 ) -> SelectiveRun {
+    let mut fabric = Fabric::ideal(participants.len());
+    run_selective_sgd_over(spec, participants, test, config, &mut fabric, rng)
+}
+
+/// Runs distributed selective SGD with every download and sparse upload
+/// flowing through a simulated transport [`Fabric`].
+///
+/// The protocol is asynchronous by design, so faults degrade rather than
+/// fail it: a participant whose download was lost trains from its stale
+/// local copy without the θ_d refresh, and a participant whose upload was
+/// dropped simply contributes nothing to the server this round.
+///
+/// # Panics
+///
+/// Panics if `participants` is empty, fractions fall outside `(0, 1]`, or
+/// the fabric covers a different number of participants.
+pub fn run_selective_sgd_over(
+    spec: &MlpSpec,
+    participants: &[Dataset],
+    test: &Dataset,
+    config: &SelectiveConfig,
+    fabric: &mut Fabric,
+    rng: &mut StdRng,
+) -> SelectiveRun {
     assert!(!participants.is_empty(), "need at least one participant");
+    assert_eq!(fabric.clients(), participants.len(), "fabric must cover every participant");
     assert!(
         config.upload_fraction > 0.0 && config.upload_fraction <= 1.0,
         "upload fraction must be in (0, 1]"
@@ -149,12 +180,14 @@ pub fn run_selective_sgd(
 
     // each participant keeps a persistent (possibly stale) local copy
     let mut locals: Vec<Vec<f32>> = vec![global.clone(); participants.len()];
-    let mut ledger = CommLedger::new();
     let mut history = Vec::new();
 
     let k_down = (((dim as f64) * config.download_fraction).ceil() as usize).clamp(1, dim);
+    let down_bytes = 8 * k_down as u64 + 12;
 
     for round in 1..=config.rounds {
+        fabric.begin_round();
+
         // Pre-draw every participant's randomness in participant order so
         // the run stays deterministic no matter how the threads interleave.
         let draws: Vec<(Vec<usize>, Vec<Vec<usize>>)> = participants
@@ -189,18 +222,30 @@ pub fn run_selective_sgd(
         // uploads are applied in participant order either way).
         let spawn_threads = 2 * dim as u64 * config.local_steps as u64 * config.batch_size as u64
             >= PARALLEL_WORK_THRESHOLD;
+
+        // The θ_d download goes over the fabric before the waves start; a
+        // participant whose download was lost (or who is partitioned or
+        // dropped) keeps training from its stale copy without the refresh.
+        let refreshed: Vec<bool> =
+            (0..participants.len()).map(|p| fabric.send_down(p, down_bytes).is_ok()).collect();
+
         let mut draws = draws.into_iter();
-        for (wave, wave_locals) in participants.chunks(WAVE_SIZE).zip(locals.chunks_mut(WAVE_SIZE))
+        for (wave_idx, (wave, wave_locals)) in
+            participants.chunks(WAVE_SIZE).zip(locals.chunks_mut(WAVE_SIZE)).enumerate()
         {
+            let wave_start = wave_idx * WAVE_SIZE;
             let wave_draws: Vec<_> = draws.by_ref().take(wave.len()).collect();
-            let members = wave.iter().zip(wave_locals.iter_mut()).zip(wave_draws);
+            let members = wave.iter().enumerate().zip(wave_locals.iter_mut()).zip(wave_draws);
+            let refreshed = &refreshed;
             let outcomes: Vec<SparseUpdate> = if spawn_threads {
                 crossbeam::thread::scope(|s| {
                     let global = &global;
                     let handles: Vec<_> = members
-                        .map(|((data, local), (coords, batches))| {
+                        .map(|(((off, data), local), (coords, batches))| {
                             s.spawn(move |_| {
-                                local_phase(spec, config, global, data, local, &coords, &batches)
+                                let coords =
+                                    if refreshed[wave_start + off] { &coords[..] } else { &[] };
+                                local_phase(spec, config, global, data, local, coords, &batches)
                             })
                         })
                         .collect();
@@ -209,20 +254,22 @@ pub fn run_selective_sgd(
                 .expect("participant scope")
             } else {
                 members
-                    .map(|((data, local), (coords, batches))| {
-                        local_phase(spec, config, &global, data, local, &coords, &batches)
+                    .map(|(((off, data), local), (coords, batches))| {
+                        let coords = if refreshed[wave_start + off] { &coords[..] } else { &[] };
+                        local_phase(spec, config, &global, data, local, coords, &batches)
                     })
                     .collect()
             };
 
-            // The server applies the wave's uploads in participant order.
-            for update in outcomes {
-                ledger.record_download(8 * k_down as u64 + 12);
-                ledger.record_upload(update.wire_bytes());
-                update.apply_to(&mut global, 1.0);
+            // The server applies the wave's uploads in participant order —
+            // but only the uploads the fabric actually delivered.
+            for (off, update) in outcomes.into_iter().enumerate() {
+                if fabric.send_up(wave_start + off, update.wire_bytes()).is_ok() {
+                    update.apply_to(&mut global, 1.0);
+                }
             }
         }
-        ledger.finish_round();
+        fabric.end_round();
 
         if round % config.eval_every == 0 || round == config.rounds {
             global_model.set_param_vector(&global);
@@ -230,13 +277,14 @@ pub fn run_selective_sgd(
             history.push(RoundRecord {
                 round,
                 test_accuracy: acc,
-                total_bytes: ledger.total_bytes(),
+                total_bytes: fabric.metrics().ledger().total_bytes(),
                 participants: participants.len(),
             });
         }
     }
 
-    SelectiveRun { history, final_params: global, ledger }
+    let transport = fabric.metrics();
+    SelectiveRun { history, final_params: global, ledger: transport.ledger(), transport }
 }
 
 #[cfg(test)]

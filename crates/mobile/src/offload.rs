@@ -149,6 +149,29 @@ mod tests {
     }
 
     #[test]
+    fn offline_forces_on_device_under_energy_objective() {
+        // regression: offline round trips used to report 0 J, which made the
+        // energy ranker place Cloud (no device compute, "free" radio) above
+        // OnDevice even though the link cannot move a single byte
+        let s = mlp_scenario();
+        let ranked = rank_placements(
+            &s,
+            &DeviceProfile::midrange_phone(),
+            &DeviceProfile::cloud_server(),
+            &NetworkProfile::offline(),
+            true,
+        );
+        assert_eq!(ranked[0].0, Placement::OnDevice, "ranked: {ranked:?}");
+        assert!(ranked[0].1.energy_j.is_finite());
+        for (placement, cost) in &ranked[1..] {
+            assert!(
+                cost.energy_j.is_infinite(),
+                "{placement:?} must be infinitely expensive offline"
+            );
+        }
+    }
+
+    #[test]
     fn split_sends_fewer_bytes_than_cloud_after_bottleneck() {
         let s = mlp_scenario();
         // after layer 2 the representation is 128 floats < 784-float input

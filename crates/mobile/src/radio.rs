@@ -85,11 +85,14 @@ impl NetworkProfile {
     }
 
     /// Device-side cost of a round trip uploading `up` bytes and
-    /// downloading `down` bytes. Returns an infinite-latency estimate when
-    /// offline.
+    /// downloading `down` bytes. Returns an infinite estimate (latency
+    /// *and* energy) when offline, so that neither the latency- nor the
+    /// energy-minimising objective can ever pick a network path — a zero
+    /// energy cost here used to make offline cloud offload look free to
+    /// the energy ranker.
     pub fn round_trip_cost(&self, up: u64, down: u64) -> CostEstimate {
         if !self.is_connected() {
-            return CostEstimate { latency_s: f64::INFINITY, energy_j: 0.0 };
+            return CostEstimate { latency_s: f64::INFINITY, energy_j: f64::INFINITY };
         }
         let latency = 2.0 * self.one_way_latency_s
             + up as f64 / self.up_bytes_per_sec
@@ -117,7 +120,12 @@ mod tests {
     fn offline_is_unusable() {
         let off = NetworkProfile::offline();
         assert!(!off.is_connected());
-        assert!(off.round_trip_cost(10, 10).latency_s.is_infinite());
+        let cost = off.round_trip_cost(10, 10);
+        assert!(cost.latency_s.is_infinite());
+        assert!(
+            cost.energy_j.is_infinite(),
+            "offline transfers must not look free to the energy objective"
+        );
     }
 
     #[test]

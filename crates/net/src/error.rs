@@ -1,0 +1,62 @@
+//! Typed transport errors — a faulty network fails loudly, never by
+//! hanging or dividing by zero.
+
+use std::fmt;
+
+/// Why a send (or a whole round) failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetError {
+    /// The link cannot move data at all (offline profile or an active
+    /// partition window).
+    Unreachable,
+    /// The remote endpoint vanished mid-round (battery died, app killed).
+    PeerDropped,
+    /// Every attempt timed out and the retry budget is spent.
+    RetriesExhausted {
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// The per-round deadline expired before the transfer completed.
+    DeadlineExceeded,
+    /// The server could not assemble a quorum of client updates within the
+    /// configured number of consecutive rounds.
+    QuorumUnreachable {
+        /// Round at which the server gave up.
+        round: usize,
+        /// Updates the quorum required.
+        needed: usize,
+        /// Updates actually delivered in the final attempted round.
+        got: usize,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Unreachable => write!(f, "link unreachable (offline or partitioned)"),
+            NetError::PeerDropped => write!(f, "peer dropped out mid-round"),
+            NetError::RetriesExhausted { attempts } => {
+                write!(f, "retries exhausted after {attempts} attempts")
+            }
+            NetError::DeadlineExceeded => write!(f, "round deadline exceeded"),
+            NetError::QuorumUnreachable { round, needed, got } => {
+                write!(f, "quorum unreachable at round {round}: needed {needed}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_their_context() {
+        let e = NetError::QuorumUnreachable { round: 3, needed: 5, got: 1 };
+        let s = e.to_string();
+        assert!(s.contains("round 3") && s.contains("needed 5") && s.contains("got 1"));
+        assert!(NetError::RetriesExhausted { attempts: 4 }.to_string().contains('4'));
+    }
+}

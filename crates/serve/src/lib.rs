@@ -51,6 +51,7 @@ pub mod router;
 pub mod server;
 
 pub use loadgen::{run_load, LoadGenConfig, LoadMode, LoadReport};
+pub use mdl_net::LinkState;
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ServerMetrics};
 pub use registry::{ModelRegistry, VersionedModel};
 pub use router::{ClientProfile, DeviceClass, NetworkClass, Route, Router};

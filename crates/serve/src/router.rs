@@ -6,10 +6,18 @@
 //! cheapest placement (Figs. 2–3 of the paper): run the whole model on the
 //! device, ship the input to the cloud, or split the network and ship the
 //! intermediate representation. Decisions are memoised per
-//! `(model version, profile)` since the cost model is deterministic.
+//! `(model version, profile, link state)` since the cost model is
+//! deterministic.
+//!
+//! The router can also consult the *observed* state of the client's link
+//! as reported by the `mdl-net` fabric ([`Router::decide_with_link`]):
+//! a [`LinkState::Down`] link forces local execution regardless of the
+//! nominal profile, and a degraded link has its profile derated before
+//! ranking, so stragglers and flaky radios steer traffic back on-device.
 
 use crate::registry::VersionedModel;
 use mdl_mobile::{rank_placements, DeviceProfile, NetworkProfile, Placement, Scenario};
+use mdl_net::LinkState;
 use std::collections::HashMap;
 use std::sync::Mutex;
 
@@ -83,7 +91,7 @@ pub enum Route {
 /// Memoising placement router.
 #[derive(Default)]
 pub struct Router {
-    cache: Mutex<HashMap<(u64, ClientProfile), Route>>,
+    cache: Mutex<HashMap<(u64, ClientProfile, LinkState), Route>>,
 }
 
 impl Router {
@@ -92,18 +100,54 @@ impl Router {
         Self::default()
     }
 
-    /// Chooses the cheapest-latency placement of `snapshot` for `profile`.
+    /// Chooses the cheapest-latency placement of `snapshot` for `profile`,
+    /// assuming the link is at its nominal quality.
     pub fn decide(&self, snapshot: &VersionedModel, profile: ClientProfile) -> Route {
-        let key = (snapshot.version, profile);
+        self.decide_with_link(snapshot, profile, LinkState::Up)
+    }
+
+    /// Chooses a placement with the fabric's *observed* link state folded
+    /// in: a down link never leaves the device, and a degraded link has
+    /// its bandwidth/latency derated by the observed slowdown before the
+    /// cost model runs.
+    pub fn decide_with_link(
+        &self,
+        snapshot: &VersionedModel,
+        profile: ClientProfile,
+        link: LinkState,
+    ) -> Route {
+        if link == LinkState::Down {
+            return Route::Local;
+        }
+        let key = (snapshot.version, profile, link);
         if let Some(route) = self.cache.lock().expect("router lock").get(&key) {
             return *route;
         }
-        let route = Self::evaluate(snapshot, profile);
+        let route = Self::evaluate(snapshot, profile, link);
         self.cache.lock().expect("router lock").insert(key, route);
         route
     }
 
-    fn evaluate(snapshot: &VersionedModel, profile: ClientProfile) -> Route {
+    /// A nominal profile derated by the link's observed slowdown: the
+    /// effective bandwidth shrinks and the latency stretches by the same
+    /// factor, mirroring how retries and loss inflate transfer times in
+    /// the fabric.
+    fn derate(network: NetworkProfile, link: LinkState) -> NetworkProfile {
+        match link {
+            LinkState::Degraded { slowdown_pct } => {
+                let factor = 1.0 + slowdown_pct as f64 / 100.0;
+                NetworkProfile {
+                    up_bytes_per_sec: network.up_bytes_per_sec / factor,
+                    down_bytes_per_sec: network.down_bytes_per_sec / factor,
+                    one_way_latency_s: network.one_way_latency_s * factor,
+                    ..network
+                }
+            }
+            LinkState::Up | LinkState::Down => network,
+        }
+    }
+
+    fn evaluate(snapshot: &VersionedModel, profile: ClientProfile, link: LinkState) -> Route {
         let layers = snapshot.model.layer_infos();
         let in_dim = layers.first().map(|l| l.in_dim).unwrap_or(0);
         let out_dim = layers.last().map(|l| l.out_dim).unwrap_or(0);
@@ -114,6 +158,7 @@ impl Router {
             bytes_per_weight: 4.0,
         };
         let (device, network) = profile.profiles();
+        let network = Self::derate(network, link);
         let cloud = DeviceProfile::cloud_server();
         let ranked = rank_placements(&scenario, &device, &cloud, &network, false);
         match ranked.first().map(|(p, _)| *p) {
@@ -172,5 +217,34 @@ mod tests {
         let b = router.decide(&snapshot(&[64, 32, 10], 1), profile);
         assert_eq!(a, b);
         assert_eq!(router.cache.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn down_link_overrides_nominal_profile() {
+        // nominally this wearable-on-wifi offloads; a down link pins it local
+        let snap = snapshot(&[784, 4096, 4096, 4096, 10], 1);
+        let router = Router::new();
+        let profile = ClientProfile { device: DeviceClass::Wearable, network: NetworkClass::Wifi };
+        assert_ne!(router.decide(&snap, profile), Route::Local);
+        assert_eq!(router.decide_with_link(&snap, profile, LinkState::Down), Route::Local);
+        // the Down shortcut never pollutes the cache
+        assert_eq!(router.cache.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn heavy_degradation_steers_back_on_device() {
+        // the wearable offloads this stack on healthy wifi (~21 ms round
+        // trip vs ~184 ms local), but a link crawling at 21x slowdown
+        // (~430 ms round trip) loses to local compute
+        let snap = snapshot(&[784, 4096, 4096, 4096, 10], 1);
+        let router = Router::new();
+        let profile = ClientProfile { device: DeviceClass::Wearable, network: NetworkClass::Wifi };
+        let healthy = router.decide_with_link(&snap, profile, LinkState::Up);
+        let degraded =
+            router.decide_with_link(&snap, profile, LinkState::Degraded { slowdown_pct: 2000 });
+        assert_ne!(healthy, Route::Local, "healthy wifi should offload: {healthy:?}");
+        assert_eq!(degraded, Route::Local);
+        // distinct link states memoise separately
+        assert_eq!(router.cache.lock().unwrap().len(), 2);
     }
 }

@@ -15,16 +15,22 @@
 //! Fig. 2 — pure on-device and pure cloud inference — using the
 //! `mdl-mobile` cost model, so every experiment can report latency, device
 //! energy, upload bytes and privacy in one table.
+//!
+//! [`offload`] rides the ARDEN upload over an `mdl-net` faulty link:
+//! retries and timeouts on the representation upload, with an on-device
+//! fallback when the cloud is unreachable.
 
 #![warn(missing_docs)]
 
 pub mod arden;
 pub mod deployment;
 pub mod early_exit;
+pub mod offload;
 
 pub use arden::{Arden, ArdenConfig};
 pub use deployment::{compare_deployments, DeploymentRow};
 pub use early_exit::{EarlyExitNetwork, ExitReport};
+pub use offload::{infer_over_link, OffloadOutcome, ServedBy};
 
 #[cfg(test)]
 mod proptests {

@@ -1,0 +1,77 @@
+//! Federated averaging over a faulty mobile network.
+//!
+//! The same training task runs twice: once over the ideal fabric the
+//! simulations used to assume, and once over an LTE cohort where clients
+//! drop out mid-round, straggle at half speed, and lose packets — with
+//! retries, per-round deadlines and majority-quorum aggregation keeping
+//! the run alive. Both runs are bit-reproducible from their seeds.
+//!
+//! ```sh
+//! cargo run --release --example federated_faults
+//! ```
+
+use mdl_core::prelude::*;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let data = mdl_core::data::synthetic::synthetic_digits(800, 0.08, &mut rng);
+    let (train, test) = data.split(0.8, &mut rng);
+    let clients = partition_dataset(&train, 10, Partition::Iid, &mut rng);
+    let spec = MlpSpec::new(vec![64, 32, 10], 17);
+    let availability = AvailabilityModel::always_available(10);
+    let config = FedConfig {
+        rounds: 15,
+        client_fraction: 1.0,
+        learning_rate: 0.2,
+        local_epochs: 3,
+        ..Default::default()
+    };
+
+    // the legacy assumption: a perfect network
+    let mut clean_rng = StdRng::seed_from_u64(5);
+    let clean = run_federated(&spec, &clients, &test, &config, &availability, &mut clean_rng);
+
+    // an LTE cohort with the stock "lossy cohort" fault plan: 20% dropout,
+    // 25% of clients straggling at 2x, 15% flaky radios
+    let mut faulty_rng = StdRng::seed_from_u64(5);
+    let mut fabric = Fabric::new(
+        10,
+        FabricConfig::faulty(LinkConfig {
+            loss_prob: 0.05,
+            jitter_frac: 0.1,
+            ..LinkConfig::clean(NetworkProfile::lte())
+        }),
+        0xFA17,
+    );
+    let faulty = run_federated_over(
+        &spec,
+        &clients,
+        &test,
+        &config,
+        &availability,
+        &mut fabric,
+        &mut faulty_rng,
+    )
+    .expect("majority quorum is reachable under the stock fault plan");
+
+    println!("ideal fabric:  accuracy {:.2}%", 100.0 * clean.final_accuracy());
+    println!(
+        "faulty LTE:    accuracy {:.2}%  ({} of {} rounds aggregated)",
+        100.0 * faulty.final_accuracy(),
+        faulty.history.len(),
+        config.rounds,
+    );
+    let t = &faulty.transport;
+    println!(
+        "transport:     {} attempts, {} retries, {} timeouts, {} dropouts",
+        t.attempts, t.retries, t.timeouts, t.drops,
+    );
+    println!(
+        "               {} delivered up, {} down, {} wasted, {:.1} s simulated",
+        t.bytes_up, t.bytes_down, t.wasted_bytes, t.sim_clock_s,
+    );
+    println!(
+        "\nthe fault-tolerant run lands within {:.2} accuracy points of the ideal one",
+        100.0 * (clean.final_accuracy() - faulty.final_accuracy()).abs()
+    );
+}

@@ -47,6 +47,7 @@ fn main() {
         },
         device: DeviceProfile::midrange_phone(),
         network: NetworkProfile::wifi(),
+        faults: FaultPlan::none(),
     };
 
     let report = run_pipeline(&config, &clients, &test, &mut rng);
@@ -62,6 +63,19 @@ fn main() {
     println!("\n-- private split inference (§III-A) --");
     println!("ARDEN accuracy:       {:.2}%", 100.0 * report.arden_accuracy);
     println!("per-query ε:           {:.1}", report.arden_epsilon);
+
+    println!("\n-- transport rehearsal (mdl-net) --");
+    let t = &report.transport;
+    println!(
+        "delivered {}/{} rounds to {} devices  attempts {}  retries {}  timeouts {}  bytes down {}",
+        t.delivered_rounds,
+        t.probe_rounds,
+        t.probe_clients,
+        t.metrics.attempts,
+        t.metrics.retries,
+        t.metrics.timeouts,
+        t.metrics.bytes_down,
+    );
 
     println!("\n-- deployment economics (§III) --");
     for row in &report.deployments {

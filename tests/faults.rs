@@ -1,0 +1,134 @@
+//! Fault-tolerance integration: federated training over the `mdl-net`
+//! fabric keeps converging under dropout, reproduces bit-for-bit from a
+//! seed, and fails fast (not hangs) when quorum is unreachable.
+
+use mdl_core::net::{NetError, PartitionWindow};
+use mdl_core::prelude::*;
+
+fn digits_clients(rng: &mut StdRng) -> (Vec<Dataset>, Dataset) {
+    let data = mdl_core::data::synthetic::synthetic_digits(800, 0.08, rng);
+    let (train, test) = data.split(0.8, rng);
+    (partition_dataset(&train, 10, Partition::Iid, rng), test)
+}
+
+fn fed_config() -> FedConfig {
+    FedConfig {
+        rounds: 15,
+        client_fraction: 1.0,
+        learning_rate: 0.2,
+        local_epochs: 3,
+        ..Default::default()
+    }
+}
+
+fn dropout_fabric(seed: u64) -> Fabric {
+    let config = FabricConfig {
+        faults: FaultPlan { dropout_prob: 0.2, ..FaultPlan::none() },
+        quorum_fraction: 0.5,
+        max_failed_rounds: 5,
+        ..FabricConfig::ideal()
+    };
+    Fabric::new(10, config, seed)
+}
+
+#[test]
+fn dropout_run_converges_near_the_fault_free_run() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let (clients, test) = digits_clients(&mut rng);
+    let spec = MlpSpec::new(vec![64, 32, 10], 17);
+    let availability = AvailabilityModel::always_available(10);
+
+    let mut clean_rng = StdRng::seed_from_u64(5);
+    let clean = run_federated(&spec, &clients, &test, &fed_config(), &availability, &mut clean_rng);
+
+    let mut faulty_rng = StdRng::seed_from_u64(5);
+    let mut fabric = dropout_fabric(13);
+    let faulty = run_federated_over(
+        &spec,
+        &clients,
+        &test,
+        &fed_config(),
+        &availability,
+        &mut fabric,
+        &mut faulty_rng,
+    )
+    .expect("a 50% quorum is reachable under 20% dropout");
+
+    assert!(faulty.transport.drops > 0, "the fault plan must actually fire");
+    assert!(
+        clean.final_accuracy() - faulty.final_accuracy() < 0.05,
+        "20% dropout may cost at most 5 accuracy points: clean {} vs faulty {}",
+        clean.final_accuracy(),
+        faulty.final_accuracy()
+    );
+}
+
+#[test]
+fn identical_seeds_give_bit_identical_transport() {
+    let mut data_rng = StdRng::seed_from_u64(77);
+    let (clients, test) = digits_clients(&mut data_rng);
+    let spec = MlpSpec::new(vec![64, 32, 10], 17);
+    let availability = AvailabilityModel::always_available(10);
+
+    let run = || {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut fabric = dropout_fabric(13);
+        run_federated_over(
+            &spec,
+            &clients,
+            &test,
+            &fed_config(),
+            &availability,
+            &mut fabric,
+            &mut rng,
+        )
+        .expect("quorum reachable")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.transport, b.transport, "TransportMetrics must be bit-identical");
+    assert_eq!(a.final_params, b.final_params, "and so must the model");
+    assert_eq!(a.ledger, b.ledger);
+}
+
+#[test]
+fn unreachable_quorum_is_a_typed_error_not_a_hang() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let (clients, test) = digits_clients(&mut rng);
+    let spec = MlpSpec::new(vec![64, 32, 10], 17);
+    let availability = AvailabilityModel::always_available(10);
+
+    // every client partitioned away for the whole run
+    let config = FabricConfig {
+        faults: FaultPlan {
+            partitions: vec![PartitionWindow {
+                from_round: 1,
+                until_round: usize::MAX,
+                clients: vec![],
+            }],
+            ..FaultPlan::none()
+        },
+        quorum_fraction: 0.5,
+        max_failed_rounds: 2,
+        ..FabricConfig::ideal()
+    };
+    let mut fabric = Fabric::new(10, config, 3);
+    let err = run_federated_over(
+        &spec,
+        &clients,
+        &test,
+        &FedConfig { rounds: 100, ..fed_config() },
+        &availability,
+        &mut fabric,
+        &mut rng,
+    )
+    .expect_err("a fully partitioned cohort can never aggregate");
+    match err {
+        NetError::QuorumUnreachable { round, needed, got } => {
+            assert_eq!(round, 2, "fails after max_failed_rounds misses, not after 100 rounds");
+            assert!(needed > 0);
+            assert_eq!(got, 0);
+        }
+        other => panic!("expected QuorumUnreachable, got {other:?}"),
+    }
+}

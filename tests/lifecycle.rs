@@ -41,6 +41,7 @@ fn pipeline_end_to_end_under_non_iid_data() {
         },
         device: DeviceProfile::flagship_phone(),
         network: NetworkProfile::lte(),
+        faults: FaultPlan::lossy_cohort(),
     };
     let report = run_pipeline(&config, &clients, &test, &mut rng);
 
@@ -51,6 +52,9 @@ fn pipeline_end_to_end_under_non_iid_data() {
     assert!(report.compressed_accuracy > 0.4);
     assert!(report.training_epsilon.is_finite());
     assert_eq!(report.deployments.len(), 3);
+    // the faulty-transport rehearsal ran and moved real bytes
+    assert!(report.transport.metrics.attempts > 0);
+    assert!(report.transport.delivered_rounds > 0);
     // the split row keeps data private at finite epsilon
     let split = report.deployments.iter().find(|r| r.strategy == "arden-split").unwrap();
     assert!(!split.raw_data_leaves_device && split.epsilon.is_finite());
