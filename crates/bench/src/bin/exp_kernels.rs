@@ -1,0 +1,203 @@
+//! E13 — kernel layer: blocked/threaded GEMM throughput and the
+//! bit-determinism contract.
+//!
+//! Measures GFLOP/s of the reference triple loop (`matmul_naive`) against
+//! the cache-blocked kernel at 1, 2 and 4 worker threads for square GEMMs
+//! up to 256³, times one DeepMood training epoch on the kernel-backed hot
+//! path, and *hard-asserts* the determinism contract: blocked output is
+//! bit-identical to naive, across every thread count, and a fixed-seed
+//! training run produces byte-identical weights at 1 and 4 threads.
+//! Throughput floors (≥1.5× naive single-threaded, ≥3× at 4 threads at
+//! 256³) are asserted with wide margin: packing and register tiling alone
+//! clear both even when the machine exposes a single core, so the checks
+//! stay robust on shared CI runners.
+
+use mdl_bench::print_table;
+use mdl_core::prelude::*;
+use mdl_core::tensor::kernel;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const SEED: u64 = 77;
+const SIZES: [usize; 3] = [64, 128, 256];
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Best-of-`reps` wall time for `f`, in seconds.
+fn time_best(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn gflops(n: usize, secs: f64) -> f64 {
+    (2.0 * (n * n * n) as f64) / secs / 1e9
+}
+
+struct SizeResult {
+    n: usize,
+    naive: f64,
+    blocked: Vec<(usize, f64)>, // (threads, gflops)
+}
+
+fn bench_gemms(rng: &mut StdRng) -> Vec<SizeResult> {
+    let mut results = Vec::new();
+    for &n in &SIZES {
+        let a = Init::Xavier.sample(n, n, rng);
+        let b = Init::Xavier.sample(n, n, rng);
+        let reps = if n <= 128 { 7 } else { 5 };
+
+        let reference = a.matmul_naive(&b);
+        let mut out = Matrix::zeros(n, n);
+        let t_ref = time_best(reps, || {
+            std::hint::black_box(a.matmul_naive(&b));
+        });
+
+        let mut blocked = Vec::new();
+        for &t in &THREAD_COUNTS {
+            kernel::set_threads(t);
+            let secs = time_best(reps, || {
+                a.matmul_into(&b, &mut out);
+                std::hint::black_box(&out);
+            });
+            // determinism contract: bit-identical to the naive reference at
+            // every thread count
+            assert_eq!(
+                out.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                reference.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "blocked GEMM at {t} threads must be bit-identical to naive (n={n})"
+            );
+            blocked.push((t, gflops(n, secs)));
+        }
+        kernel::set_threads(1);
+        results.push(SizeResult { n, naive: gflops(n, t_ref), blocked });
+    }
+    results
+}
+
+/// One DeepMood epoch (GRU encoders + fusion head) on the kernel-backed
+/// hot path, in seconds.
+fn deepmood_epoch_seconds() -> f64 {
+    use mdl_core::deepmood::train_and_evaluate;
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let cohort = BiAffectDataset::generate(
+        &BiAffectConfig { participants: 10, sessions_per_participant: 12, ..Default::default() },
+        &mut rng,
+    );
+    let (train, test) = cohort.split(0.75, &mut rng);
+    let epochs = 2;
+    let config = DeepMoodConfig {
+        fusion: FusionKind::FullyConnected { hidden: 16 },
+        epochs,
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let eval = train_and_evaluate(&train, &test, &config, &mut rng);
+    let secs = t0.elapsed().as_secs_f64() / epochs as f64;
+    assert!(eval.accuracy >= 0.0);
+    secs
+}
+
+/// Trains a small MLP with the given kernel thread count; returns the
+/// final parameter bytes.
+fn train_param_bytes(threads: usize) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let data = mdl_core::data::synthetic::gaussian_blobs(300, 3, 0.5, &mut rng);
+    let mut model = Sequential::new();
+    let mut net_rng = StdRng::seed_from_u64(SEED + 1);
+    model.push(Dense::new(2, 48, Activation::Relu, &mut net_rng));
+    model.push(Dense::new(48, 3, Activation::Identity, &mut net_rng));
+    let mut opt = Adam::new(0.01);
+    let mut fit_rng = StdRng::seed_from_u64(SEED + 2);
+    let _ = fit_classifier(
+        &mut model,
+        &mut opt,
+        &data.x,
+        &data.y,
+        &TrainConfig {
+            epochs: 3,
+            batch_size: 16,
+            kernel_threads: Some(threads),
+            ..Default::default()
+        },
+        &mut fit_rng,
+    );
+    model.param_vector().iter().map(|v| v.to_bits()).collect()
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(SEED);
+
+    let results = bench_gemms(&mut rng);
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            let best = r.blocked.iter().map(|&(_, g)| g).fold(0.0f64, f64::max);
+            let mut row = vec![format!("{0}x{0}x{0}", r.n), format!("{:.2}", r.naive)];
+            for &(_, g) in &r.blocked {
+                row.push(format!("{g:.2}"));
+            }
+            row.push(format!("{:.2}x", best / r.naive));
+            row
+        })
+        .collect();
+    print_table(
+        "f32 GEMM throughput, GFLOP/s (bit-identical across all variants)",
+        &["shape", "naive", "blocked t=1", "blocked t=2", "blocked t=4", "best/naive"],
+        &rows,
+    );
+
+    // training determinism across kernel thread counts
+    let bytes_1 = train_param_bytes(1);
+    let bytes_4 = train_param_bytes(4);
+    assert_eq!(
+        bytes_1, bytes_4,
+        "fixed-seed training must produce byte-identical weights at 1 and 4 kernel threads"
+    );
+    println!("\ntraining determinism: weights byte-identical at 1 vs 4 kernel threads ✓");
+
+    kernel::set_threads(1);
+    let epoch_secs = deepmood_epoch_seconds();
+    println!("DeepMood epoch (10×12 cohort, GRU hot path): {:.3} s", epoch_secs);
+
+    let r256 = results.iter().find(|r| r.n == 256).expect("256 is benchmarked");
+    let single = r256.blocked.iter().find(|&&(t, _)| t == 1).map(|&(_, g)| g).unwrap_or(0.0);
+    let best = r256.blocked.iter().map(|&(_, g)| g).fold(0.0f64, f64::max);
+    println!(
+        "256³ speedup vs naive: {:.2}x single-threaded, {:.2}x best \
+         (threaded wins require >1 physical core)",
+        single / r256.naive,
+        best / r256.naive
+    );
+    assert!(
+        single / r256.naive >= 1.5,
+        "blocked kernel must beat naive by >=1.5x single-threaded at 256³"
+    );
+    let t4 = r256.blocked.iter().find(|&&(t, _)| t == 4).map(|&(_, g)| g).unwrap_or(0.0);
+    assert!(
+        t4 / r256.naive >= 3.0,
+        "kernel at 4 threads must beat naive by >=3x at 256³ (blocking alone clears this even on one core)"
+    );
+
+    // --- JSON artifact ---
+    let mut json = String::from("{\n  \"benchmark\": \"kernels\",\n  \"gemm\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(json, "    {{\"n\": {}, \"naive_gflops\": {:.3}", r.n, r.naive);
+        for &(t, g) in &r.blocked {
+            let _ = write!(json, ", \"blocked_t{t}_gflops\": {g:.3}");
+        }
+        let _ = writeln!(json, "}}{}", if i + 1 < results.len() { "," } else { "" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"speedup_256_single_thread\": {:.3},", single / r256.naive);
+    let _ = writeln!(json, "  \"speedup_256_best\": {:.3},", best / r256.naive);
+    let _ = writeln!(json, "  \"deepmood_epoch_s\": {epoch_secs:.4},");
+    let _ = writeln!(json, "  \"gemm_bit_identical_across_threads\": true,");
+    let _ = writeln!(json, "  \"training_bytes_identical_1_vs_4_threads\": true");
+    json.push_str("}\n");
+    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    println!("\nwrote BENCH_kernels.json");
+}

@@ -29,6 +29,7 @@ fn serve_config() -> ServeConfig {
         max_wait: Duration::from_millis(2),
         queue_capacity: 256,
         shed_queue_depth: 32,
+        kernel_threads: None,
     }
 }
 

@@ -19,6 +19,7 @@
 //! | `exp_ablations` | DESIGN.md §4 design-choice ablations |
 //! | `exp_mobilenets` | §III-B reference [29] depthwise-separable CNNs |
 //! | `exp_faults` | FedAvg over the `mdl-net` faulty fabric vs the ideal one |
+//! | `exp_kernels` | blocked GEMM kernel throughput + bit-determinism contract |
 
 /// Prints a markdown-style table: header row then aligned data rows.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {

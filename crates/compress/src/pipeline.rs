@@ -108,7 +108,7 @@ pub fn deep_compress(
                     &mut opt,
                     x,
                     y,
-                    &TrainConfig { epochs: 1, batch_size: 32, shuffle: true, grad_clip: None },
+                    &TrainConfig { epochs: 1, batch_size: 32, ..Default::default() },
                     rng,
                 );
                 apply_masks(net, &masks);

@@ -47,6 +47,11 @@ pub struct FedConfig {
     pub failure_prob: f64,
     /// Upload 8-bit quantized parameters instead of fp32 (4× less uplink).
     pub quantize_uploads: bool,
+    /// GEMM kernel threads used inside each client's local step (`None`
+    /// keeps the process default). Clients already train on one scoped
+    /// thread each, so keep this low to avoid oversubscription; changing
+    /// it never changes results — the kernel is bit-deterministic.
+    pub kernel_threads: Option<usize>,
 }
 
 impl Default for FedConfig {
@@ -61,6 +66,7 @@ impl Default for FedConfig {
             target_accuracy: None,
             failure_prob: 0.0,
             quantize_uploads: false,
+            kernel_threads: None,
         }
     }
 }
@@ -236,6 +242,7 @@ pub fn run_federated_over(
                                 batch_size: batch,
                                 shuffle: true,
                                 grad_clip: None,
+                                kernel_threads: config.kernel_threads,
                             },
                             &mut local_rng,
                         );
@@ -337,7 +344,7 @@ pub fn centralized_reference(
         &mut opt,
         &all_x,
         &all_y,
-        &TrainConfig { epochs, batch_size: 32, shuffle: true, grad_clip: None },
+        &TrainConfig { epochs, batch_size: 32, ..Default::default() },
         rng,
     );
     net.accuracy(&test.x, &test.y)

@@ -30,9 +30,12 @@ pub struct Dense {
     activation: Activation,
     #[serde(skip)]
     cache: Option<DenseCache>,
+    /// Reused `dpre` buffer for backward; skipped in serde and clones.
+    #[serde(skip)]
+    scratch: Matrix,
 }
 
-#[derive(Clone)]
+#[derive(Clone, Default)]
 struct DenseCache {
     input: Matrix,
     pre_activation: Matrix,
@@ -69,6 +72,7 @@ impl Dense {
             grad_bias: Matrix::zeros(1, out_dim),
             activation,
             cache: None,
+            scratch: Matrix::default(),
         }
     }
 
@@ -90,6 +94,7 @@ impl Dense {
             grad_bias: Matrix::zeros(1, c),
             activation,
             cache: None,
+            scratch: Matrix::default(),
         }
     }
 
@@ -120,23 +125,38 @@ impl Layer for Dense {
     }
 
     fn forward(&mut self, x: &Matrix, _mode: Mode) -> Matrix {
-        let pre = x.matmul(&self.weight).add_row_broadcast(&self.bias);
-        let out = self.activation.apply_matrix(&pre);
-        self.cache = Some(DenseCache { input: x.clone(), pre_activation: pre });
+        // take/restore the cache so its buffers are reused across steps:
+        // the fused x·W + b lands straight in `pre_activation`.
+        let mut cache = self.cache.take().unwrap_or_default();
+        cache.input.copy_from(x);
+        x.matmul_bias_into(&self.weight, &self.bias, &mut cache.pre_activation);
+        let out = self.activation.apply_matrix(&cache.pre_activation);
+        self.cache = Some(cache);
         out
     }
 
     fn forward_eval(&self, x: &Matrix) -> Matrix {
-        let pre = x.matmul(&self.weight).add_row_broadcast(&self.bias);
-        self.activation.apply_matrix(&pre)
+        let mut pre = Matrix::default();
+        x.matmul_bias_into(&self.weight, &self.bias, &mut pre);
+        pre.map_mut(|v| self.activation.apply(v));
+        pre
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
         let cache = self.cache.as_ref().expect("backward called before forward");
-        let dpre = grad_out.hadamard(&self.activation.derivative_matrix(&cache.pre_activation));
-        self.grad_weight.add_assign(&cache.input.matmul_tn(&dpre));
-        self.grad_bias.add_assign(&dpre.sum_rows());
-        dpre.matmul_nt(&self.weight)
+        // dpre = grad_out ⊙ act'(pre), built in the reused scratch buffer
+        let act = self.activation;
+        let pre = &cache.pre_activation;
+        assert_eq!(grad_out.shape(), pre.shape(), "Dense grad shape mismatch");
+        self.scratch.resize_to(pre.rows(), pre.cols());
+        for ((d, &g), &p) in
+            self.scratch.as_mut_slice().iter_mut().zip(grad_out.as_slice()).zip(pre.as_slice())
+        {
+            *d = g * act.derivative(p);
+        }
+        cache.input.matmul_tn_acc(&self.scratch, &mut self.grad_weight);
+        self.scratch.sum_rows_acc(&mut self.grad_bias);
+        self.scratch.matmul_nt(&self.weight)
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {

@@ -13,6 +13,7 @@
 //! paper's convention (some libraries swap `z` and `1 - z`).
 
 use crate::layer::{Layer, LayerInfo, Mode};
+use mdl_tensor::kernel::{self, Trans};
 use mdl_tensor::{Init, Matrix};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -58,9 +59,11 @@ pub struct Gru {
     g_b_h: Matrix,
     #[serde(skip)]
     cache: Option<GruCache>,
+    #[serde(skip)]
+    scratch: GruScratch,
 }
 
-#[derive(Clone)]
+#[derive(Clone, Default)]
 struct GruCache {
     input: Matrix,
     /// Hidden states including the initial zero state: `(T+1) × h`.
@@ -68,6 +71,21 @@ struct GruCache {
     r: Matrix,
     z: Matrix,
     hc: Matrix,
+    /// Per-step reset-gated states `r_k ⊙ h_{k-1}` as `T × h`, kept for the
+    /// batched `g_U` gradient product.
+    rh: Matrix,
+}
+
+/// Reusable workspace for the BPTT sweep; persists across calls so the
+/// training loop's steady state performs no per-step allocation.
+#[derive(Clone, Default)]
+struct GruScratch {
+    dh: Vec<f32>,
+    carry: Vec<f32>,
+    drh: Vec<f32>,
+    da_r: Matrix,
+    da_z: Matrix,
+    da_h: Matrix,
 }
 
 impl std::fmt::Debug for Gru {
@@ -106,6 +124,7 @@ impl Gru {
             g_b_z: Matrix::zeros(1, hidden_dim),
             g_b_h: Matrix::zeros(1, hidden_dim),
             cache: None,
+            scratch: GruScratch::default(),
         }
     }
 
@@ -126,38 +145,78 @@ impl Gru {
         Matrix::row_vector(states.row(last))
     }
 
-    /// Runs the recurrence, returning hidden states (incl. the initial zero
-    /// row) plus the per-step gate activations needed for BPTT.
-    fn scan(&self, x: &Matrix) -> (Matrix, Matrix, Matrix, Matrix) {
+    /// Runs the recurrence into `cache`, reusing its buffers across calls.
+    ///
+    /// The input projections for all three gates are evaluated as fused
+    /// whole-sequence `X·W + b` products up front; the sequential part is
+    /// then three `1 × h` recurrent accumulations per step, activated in
+    /// place, with no per-step allocation.
+    fn scan_into(&self, x: &Matrix, cache: &mut GruCache) {
         let t_len = x.rows();
         let h = self.hidden_dim();
         assert_eq!(x.cols(), self.input_dim(), "GRU input width mismatch");
         assert!(t_len > 0, "GRU requires a non-empty sequence");
 
-        let mut hidden = Matrix::zeros(t_len + 1, h);
-        let mut r_all = Matrix::zeros(t_len, h);
-        let mut z_all = Matrix::zeros(t_len, h);
-        let mut hc_all = Matrix::zeros(t_len, h);
+        cache.input.copy_from(x);
+        cache.hidden.resize_to(t_len + 1, h);
+        cache.hidden.fill(0.0);
+        cache.rh.resize_to(t_len, h);
+
+        // fused x·W + b for every timestep at once
+        x.matmul_bias_into(&self.w_r, &self.b_r, &mut cache.r);
+        x.matmul_bias_into(&self.w_z, &self.b_z, &mut cache.z);
+        x.matmul_bias_into(&self.w_h, &self.b_h, &mut cache.hc);
 
         for k in 0..t_len {
-            let x_k = Matrix::row_vector(x.row(k));
-            let h_prev = Matrix::row_vector(hidden.row(k));
-            let a_r = x_k.matmul(&self.w_r).add(&h_prev.matmul(&self.u_r)).add(&self.b_r);
-            let a_z = x_k.matmul(&self.w_z).add(&h_prev.matmul(&self.u_z)).add(&self.b_z);
-            let r = a_r.map(sigmoid);
-            let z = a_z.map(sigmoid);
-            let rh = r.hadamard(&h_prev);
-            let a_h = x_k.matmul(&self.w_h).add(&rh.matmul(&self.u_h)).add(&self.b_h);
-            let hc = a_h.map(f32::tanh);
+            let (head, tail) = cache.hidden.as_mut_slice().split_at_mut((k + 1) * h);
+            let h_prev = &head[k * h..];
+            let h_next = &mut tail[..h];
+
+            let r_row = cache.r.row_mut(k);
+            kernel::gemm(Trans::N, Trans::N, 1, h, h, h_prev, self.u_r.as_slice(), r_row, true);
+            for v in r_row.iter_mut() {
+                *v = sigmoid(*v);
+            }
+            let z_row = cache.z.row_mut(k);
+            kernel::gemm(Trans::N, Trans::N, 1, h, h, h_prev, self.u_z.as_slice(), z_row, true);
+            for v in z_row.iter_mut() {
+                *v = sigmoid(*v);
+            }
+
+            let rh_row = cache.rh.row_mut(k);
+            for ((rh, &r), &hp) in rh_row.iter_mut().zip(cache.r.row(k)).zip(h_prev) {
+                *rh = r * hp;
+            }
+            let hc_row = cache.hc.row_mut(k);
+            kernel::gemm(
+                Trans::N,
+                Trans::N,
+                1,
+                h,
+                h,
+                cache.rh.row(k),
+                self.u_h.as_slice(),
+                hc_row,
+                true,
+            );
+            for v in hc_row.iter_mut() {
+                *v = v.tanh();
+            }
+
+            let z_row = cache.z.row(k);
+            let hc_row = cache.hc.row(k);
             for j in 0..h {
-                let hk = z[(0, j)] * h_prev[(0, j)] + (1.0 - z[(0, j)]) * hc[(0, j)];
-                hidden[(k + 1, j)] = hk;
-                r_all[(k, j)] = r[(0, j)];
-                z_all[(k, j)] = z[(0, j)];
-                hc_all[(k, j)] = hc[(0, j)];
+                h_next[j] = z_row[j] * h_prev[j] + (1.0 - z_row[j]) * hc_row[j];
             }
         }
-        (hidden, r_all, z_all, hc_all)
+    }
+
+    /// Copies hidden states `1..=T` (contiguous in the `(T+1) × h` buffer)
+    /// into the `T × h` output layout.
+    fn states_output(cache: &GruCache) -> Matrix {
+        let t_len = cache.input.rows();
+        let h = cache.hidden.cols();
+        Matrix::from_vec(t_len, h, cache.hidden.as_slice()[h..].to_vec())
     }
 }
 
@@ -167,78 +226,155 @@ impl Layer for Gru {
     }
 
     fn forward(&mut self, x: &Matrix, _mode: Mode) -> Matrix {
-        let (hidden, r_all, z_all, hc_all) = self.scan(x);
-        let out = Matrix::from_fn(x.rows(), self.hidden_dim(), |k, j| hidden[(k + 1, j)]);
-        self.cache = Some(GruCache { input: x.clone(), hidden, r: r_all, z: z_all, hc: hc_all });
+        // take/restore rather than clone: the cache buffers are reused
+        // across forward calls and handed to backward without copying.
+        let mut cache = self.cache.take().unwrap_or_default();
+        self.scan_into(x, &mut cache);
+        let out = Self::states_output(&cache);
+        self.cache = Some(cache);
         out
     }
 
     fn forward_eval(&self, x: &Matrix) -> Matrix {
-        let (hidden, _, _, _) = self.scan(x);
-        Matrix::from_fn(x.rows(), self.hidden_dim(), |k, j| hidden[(k + 1, j)])
+        let mut cache = GruCache::default();
+        self.scan_into(x, &mut cache);
+        Self::states_output(&cache)
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let cache = self.cache.as_ref().expect("backward called before forward").clone();
+        let cache = self.cache.take().expect("backward called before forward");
+        let mut scratch = std::mem::take(&mut self.scratch);
         let t_len = cache.input.rows();
         let h = self.hidden_dim();
         let d = self.input_dim();
         assert_eq!(grad_out.shape(), (t_len, h), "GRU grad shape mismatch");
 
-        let mut dx = Matrix::zeros(t_len, d);
-        let mut carry = Matrix::zeros(1, h);
+        // The sequential sweep only resolves the recurrent couplings: it
+        // fills per-step pre-activation gradients dA_r/dA_z/dA_h and the
+        // carried dh. All parameter gradients then come from whole-sequence
+        // products below, where the GEMM kernel (not a per-step loop) does
+        // the heavy lifting.
+        scratch.da_r.resize_to(t_len, h);
+        scratch.da_z.resize_to(t_len, h);
+        scratch.da_h.resize_to(t_len, h);
+        scratch.dh.clear();
+        scratch.dh.resize(h, 0.0);
+        scratch.carry.clear();
+        scratch.carry.resize(h, 0.0);
+        scratch.drh.clear();
+        scratch.drh.resize(h, 0.0);
 
         for k in (0..t_len).rev() {
-            let x_k = Matrix::row_vector(cache.input.row(k));
-            let h_prev = Matrix::row_vector(cache.hidden.row(k));
-            let r = Matrix::row_vector(cache.r.row(k));
-            let z = Matrix::row_vector(cache.z.row(k));
-            let hc = Matrix::row_vector(cache.hc.row(k));
+            let h_prev = cache.hidden.row(k);
+            let r = cache.r.row(k);
+            let z = cache.z.row(k);
+            let hc = cache.hc.row(k);
 
             // total gradient flowing into h_k
-            let mut dh = carry.clone();
-            for j in 0..h {
-                dh[(0, j)] += grad_out[(k, j)];
+            for (dh, (&c, &g)) in
+                scratch.dh.iter_mut().zip(scratch.carry.iter().zip(grad_out.row(k)))
+            {
+                *dh = c + g;
             }
 
-            // h_k = z ⊙ h_prev + (1 - z) ⊙ hc
-            let dz = dh.hadamard(&h_prev.sub(&hc));
-            let dhc = dh.hadamard(&z.map(|v| 1.0 - v));
-            let mut dh_prev = dh.hadamard(&z);
+            // h_k = z ⊙ h_prev + (1 - z) ⊙ hc, then through each gate's
+            // nonlinearity to the pre-activation gradients
+            let da_h = scratch.da_h.row_mut(k);
+            let da_z = scratch.da_z.row_mut(k);
+            for j in 0..h {
+                let dh = scratch.dh[j];
+                let dhc = dh * (1.0 - z[j]);
+                da_h[j] = dhc * (1.0 - hc[j] * hc[j]);
+                let dz = dh * (h_prev[j] - hc[j]);
+                da_z[j] = dz * z[j] * (1.0 - z[j]);
+                scratch.carry[j] = dh * z[j];
+            }
 
-            // candidate: hc = tanh(a_h), a_h = x W_h + (r ⊙ h_prev) U_h + b_h
-            let da_h = dhc.hadamard(&hc.map(|v| 1.0 - v * v));
-            self.g_w_h.add_assign(&x_k.matmul_tn(&da_h));
-            let rh = r.hadamard(&h_prev);
-            self.g_u_h.add_assign(&rh.matmul_tn(&da_h));
-            self.g_b_h.add_assign(&da_h);
-            let d_rh = da_h.matmul_nt(&self.u_h);
-            let dr = d_rh.hadamard(&h_prev);
-            dh_prev.add_assign(&d_rh.hadamard(&r));
+            // candidate path: d(r ⊙ h_prev) = dA_h · U_hᵀ
+            kernel::gemm(
+                Trans::N,
+                Trans::T,
+                1,
+                h,
+                h,
+                da_h,
+                self.u_h.as_slice(),
+                &mut scratch.drh,
+                false,
+            );
+            let da_r = scratch.da_r.row_mut(k);
+            for j in 0..h {
+                let dr = scratch.drh[j] * h_prev[j];
+                da_r[j] = dr * r[j] * (1.0 - r[j]);
+                scratch.carry[j] += scratch.drh[j] * r[j];
+            }
 
-            // reset gate: r = sigmoid(a_r)
-            let da_r = dr.hadamard(&r.map(|v| v * (1.0 - v)));
-            self.g_w_r.add_assign(&x_k.matmul_tn(&da_r));
-            self.g_u_r.add_assign(&h_prev.matmul_tn(&da_r));
-            self.g_b_r.add_assign(&da_r);
-            dh_prev.add_assign(&da_r.matmul_nt(&self.u_r));
-
-            // update gate: z = sigmoid(a_z)
-            let da_z = dz.hadamard(&z.map(|v| v * (1.0 - v)));
-            self.g_w_z.add_assign(&x_k.matmul_tn(&da_z));
-            self.g_u_z.add_assign(&h_prev.matmul_tn(&da_z));
-            self.g_b_z.add_assign(&da_z);
-            dh_prev.add_assign(&da_z.matmul_nt(&self.u_z));
-
-            // input gradient
-            let dx_k = da_h
-                .matmul_nt(&self.w_h)
-                .add(&da_r.matmul_nt(&self.w_r))
-                .add(&da_z.matmul_nt(&self.w_z));
-            dx.row_mut(k).copy_from_slice(dx_k.row(0));
-
-            carry = dh_prev;
+            // recurrent contributions to dh_{k-1}
+            kernel::gemm(
+                Trans::N,
+                Trans::T,
+                1,
+                h,
+                h,
+                da_r,
+                self.u_r.as_slice(),
+                &mut scratch.carry,
+                true,
+            );
+            kernel::gemm(
+                Trans::N,
+                Trans::T,
+                1,
+                h,
+                h,
+                da_z,
+                self.u_z.as_slice(),
+                &mut scratch.carry,
+                true,
+            );
         }
+
+        // batched parameter gradients: g_W += Xᵀ·DA, g_U += H_prevᵀ·DA
+        // (hidden rows 0..T are the predecessors, a prefix of the buffer)
+        let h_prev_all = &cache.hidden.as_slice()[..t_len * h];
+        cache.input.matmul_tn_acc(&scratch.da_r, &mut self.g_w_r);
+        cache.input.matmul_tn_acc(&scratch.da_z, &mut self.g_w_z);
+        cache.input.matmul_tn_acc(&scratch.da_h, &mut self.g_w_h);
+        kernel::gemm(
+            Trans::T,
+            Trans::N,
+            h,
+            h,
+            t_len,
+            h_prev_all,
+            scratch.da_r.as_slice(),
+            self.g_u_r.as_mut_slice(),
+            true,
+        );
+        kernel::gemm(
+            Trans::T,
+            Trans::N,
+            h,
+            h,
+            t_len,
+            h_prev_all,
+            scratch.da_z.as_slice(),
+            self.g_u_z.as_mut_slice(),
+            true,
+        );
+        cache.rh.matmul_tn_acc(&scratch.da_h, &mut self.g_u_h);
+        scratch.da_r.sum_rows_acc(&mut self.g_b_r);
+        scratch.da_z.sum_rows_acc(&mut self.g_b_z);
+        scratch.da_h.sum_rows_acc(&mut self.g_b_h);
+
+        // input gradient: dX = DA_h·W_hᵀ + DA_r·W_rᵀ + DA_z·W_zᵀ
+        let mut dx = Matrix::zeros(t_len, d);
+        scratch.da_h.matmul_nt_acc(&self.w_h, &mut dx);
+        scratch.da_r.matmul_nt_acc(&self.w_r, &mut dx);
+        scratch.da_z.matmul_nt_acc(&self.w_z, &mut dx);
+
+        self.scratch = scratch;
+        self.cache = Some(cache);
         dx
     }
 
@@ -331,9 +467,10 @@ impl Layer for BiGru {
         let t = grad_out.rows();
         let gf = Matrix::from_fn(t, h, |r, c| grad_out[(r, c)]);
         let gb = Matrix::from_fn(t, h, |r, c| grad_out[(r, c + h)]);
-        let dxf = self.fwd.backward(&gf);
+        let mut dx = self.fwd.backward(&gf);
         let dxb_rev = self.bwd.backward(&reverse_rows(&gb));
-        dxf.add(&reverse_rows(&dxb_rev))
+        dx.add_assign(&reverse_rows(&dxb_rev));
+        dx
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {

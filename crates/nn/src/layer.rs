@@ -55,7 +55,7 @@ pub trait Layer: Send + Sync {
 
     /// Resets accumulated gradients to zero.
     fn zero_grad(&mut self) {
-        self.visit_params(&mut |_, g| g.map_mut(|_| 0.0));
+        self.visit_params(&mut |_, g| g.fill(0.0));
     }
 
     /// Structural description for cost models.

@@ -14,6 +14,7 @@
 //! ```
 
 use crate::layer::{Layer, LayerInfo, Mode};
+use mdl_tensor::kernel::{self, Trans};
 use mdl_tensor::{Init, Matrix};
 use rand::Rng;
 
@@ -40,8 +41,10 @@ pub struct Lstm {
     g_u: [Matrix; 4],
     g_b: [Matrix; 4],
     cache: Option<LstmCache>,
+    scratch: LstmScratch,
 }
 
+#[derive(Default)]
 struct LstmCache {
     input: Matrix,
     /// hidden states incl. initial zeros, `(T+1) × h`
@@ -49,6 +52,16 @@ struct LstmCache {
     /// cell states incl. initial zeros, `(T+1) × h`
     c: Matrix,
     gates: [Matrix; 4], // i, f, o, g per timestep, each `T × h`
+}
+
+/// Reusable BPTT workspace, kept across calls so the training loop's
+/// steady state performs no per-step allocation.
+#[derive(Default)]
+struct LstmScratch {
+    /// per-step pre-activation gradients, one `T × h` matrix per gate
+    da: [Matrix; 4],
+    dh: Vec<f32>,
+    dc: Vec<f32>,
 }
 
 impl std::fmt::Debug for Lstm {
@@ -94,6 +107,7 @@ impl Lstm {
             g_u: [zeros_u(), zeros_u(), zeros_u(), zeros_u()],
             g_b: [zeros_b(), zeros_b(), zeros_b(), zeros_b()],
             cache: None,
+            scratch: LstmScratch::default(),
         }
     }
 
@@ -113,119 +127,184 @@ impl Lstm {
         Matrix::row_vector(states.row(states.rows() - 1))
     }
 
-    /// Runs the recurrence, returning hidden states, cell states (each
-    /// incl. the initial zero row) and per-step gate activations.
-    fn scan(&self, x: &Matrix) -> (Matrix, Matrix, [Matrix; 4]) {
+    /// Runs the recurrence into `cache`, reusing its buffers across calls.
+    ///
+    /// All four gates' input projections `X·W + b` are evaluated as fused
+    /// whole-sequence products up front; the sequential part is four
+    /// `1 × h` recurrent accumulations per step, activated in place, with
+    /// no per-step allocation.
+    fn scan_into(&self, x: &Matrix, cache: &mut LstmCache) {
         let t_len = x.rows();
         let h_dim = self.hidden_dim();
         assert_eq!(x.cols(), self.input_dim(), "LSTM input width mismatch");
         assert!(t_len > 0, "LSTM requires a non-empty sequence");
 
-        let mut h = Matrix::zeros(t_len + 1, h_dim);
-        let mut c = Matrix::zeros(t_len + 1, h_dim);
-        let mut gates = [0, 1, 2, 3].map(|_| Matrix::zeros(t_len, h_dim));
+        cache.input.copy_from(x);
+        cache.h.resize_to(t_len + 1, h_dim);
+        cache.h.fill(0.0);
+        cache.c.resize_to(t_len + 1, h_dim);
+        cache.c.fill(0.0);
+        for k in 0..4 {
+            x.matmul_bias_into(&self.w[k], &self.b[k], &mut cache.gates[k]);
+        }
 
         for t in 0..t_len {
-            let x_t = Matrix::row_vector(x.row(t));
-            let h_prev = Matrix::row_vector(h.row(t));
-            // pre-activations for the four gates
-            let pre: Vec<Matrix> = (0..4)
-                .map(|k| x_t.matmul(&self.w[k]).add(&h_prev.matmul(&self.u[k])).add(&self.b[k]))
-                .collect();
+            let (head, tail) = cache.h.as_mut_slice().split_at_mut((t + 1) * h_dim);
+            let h_prev = &head[t * h_dim..];
+            let h_next = &mut tail[..h_dim];
+            for k in 0..4 {
+                kernel::gemm(
+                    Trans::N,
+                    Trans::N,
+                    1,
+                    h_dim,
+                    h_dim,
+                    h_prev,
+                    self.u[k].as_slice(),
+                    cache.gates[k].row_mut(t),
+                    true,
+                );
+            }
+            let (chead, ctail) = cache.c.as_mut_slice().split_at_mut((t + 1) * h_dim);
+            let c_prev = &chead[t * h_dim..];
+            let c_next = &mut ctail[..h_dim];
+            let [gi, gf, go, gg] = &mut cache.gates;
+            let (gi, gf) = (gi.row_mut(t), gf.row_mut(t));
+            let (go, gg) = (go.row_mut(t), gg.row_mut(t));
             for j in 0..h_dim {
-                let i = sigmoid(pre[0][(0, j)]);
-                let f = sigmoid(pre[1][(0, j)]);
-                let o = sigmoid(pre[2][(0, j)]);
-                let g = pre[3][(0, j)].tanh();
-                let c_t = f * c[(t, j)] + i * g;
-                c[(t + 1, j)] = c_t;
-                h[(t + 1, j)] = o * c_t.tanh();
-                gates[0][(t, j)] = i;
-                gates[1][(t, j)] = f;
-                gates[2][(t, j)] = o;
-                gates[3][(t, j)] = g;
+                let i = sigmoid(gi[j]);
+                let f = sigmoid(gf[j]);
+                let o = sigmoid(go[j]);
+                let g = gg[j].tanh();
+                gi[j] = i;
+                gf[j] = f;
+                go[j] = o;
+                gg[j] = g;
+                let c_t = f * c_prev[j] + i * g;
+                c_next[j] = c_t;
+                h_next[j] = o * c_t.tanh();
             }
         }
-        (h, c, gates)
+    }
+
+    /// Copies hidden states `1..=T` (contiguous in the `(T+1) × h` buffer)
+    /// into the `T × h` output layout.
+    fn states_output(cache: &LstmCache) -> Matrix {
+        let t_len = cache.input.rows();
+        let h_dim = cache.h.cols();
+        Matrix::from_vec(t_len, h_dim, cache.h.as_slice()[h_dim..].to_vec())
     }
 }
 
 impl Layer for Lstm {
     fn forward(&mut self, x: &Matrix, _mode: Mode) -> Matrix {
-        let (h, c, gates) = self.scan(x);
-        let out = Matrix::from_fn(x.rows(), self.hidden_dim(), |t, j| h[(t + 1, j)]);
-        self.cache = Some(LstmCache { input: x.clone(), h, c, gates });
+        // take/restore rather than reallocate: the cache buffers are
+        // reused across forward calls and handed to backward uncloned.
+        let mut cache = self.cache.take().unwrap_or_default();
+        self.scan_into(x, &mut cache);
+        let out = Self::states_output(&cache);
+        self.cache = Some(cache);
         out
     }
 
     fn forward_eval(&self, x: &Matrix) -> Matrix {
-        let (h, _, _) = self.scan(x);
-        Matrix::from_fn(x.rows(), self.hidden_dim(), |t, j| h[(t + 1, j)])
+        let mut cache = LstmCache::default();
+        self.scan_into(x, &mut cache);
+        Self::states_output(&cache)
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
         let cache = self.cache.take().expect("backward called before forward");
+        let mut scratch = std::mem::take(&mut self.scratch);
         let t_len = cache.input.rows();
         let h_dim = self.hidden_dim();
         let d_in = self.input_dim();
         assert_eq!(grad_out.shape(), (t_len, h_dim), "LSTM grad shape mismatch");
 
-        let mut dx = Matrix::zeros(t_len, d_in);
-        let mut dh_next = Matrix::zeros(1, h_dim);
-        let mut dc_next = Matrix::zeros(1, h_dim);
+        // The sequential sweep only resolves the recurrent couplings: it
+        // fills the per-step pre-activation gradients dA and carries
+        // dh/dc. Parameter gradients come from the whole-sequence GEMMs
+        // below.
+        for da in &mut scratch.da {
+            da.resize_to(t_len, h_dim);
+        }
+        scratch.dh.clear();
+        scratch.dh.resize(h_dim, 0.0);
+        scratch.dc.clear();
+        scratch.dc.resize(h_dim, 0.0);
 
         for t in (0..t_len).rev() {
-            let x_t = Matrix::row_vector(cache.input.row(t));
-            let h_prev = Matrix::row_vector(cache.h.row(t));
-            let c_prev = Matrix::row_vector(cache.c.row(t));
-
-            // dL/dh_t from above + from later timesteps
-            let mut da = [0, 1, 2, 3].map(|_| Matrix::zeros(1, h_dim));
-            let mut dh_prev = Matrix::zeros(1, h_dim);
-            let mut dc_prev = Matrix::zeros(1, h_dim);
+            let c_prev = cache.c.row(t);
+            let c_now = cache.c.row(t + 1);
+            let [gi, gf, go, gg] = &cache.gates;
+            let (gi, gf, go, gg) = (gi.row(t), gf.row(t), go.row(t), gg.row(t));
+            let [da_i, da_f, da_o, da_g] = &mut scratch.da;
+            let (da_i, da_f) = (da_i.row_mut(t), da_f.row_mut(t));
+            let (da_o, da_g) = (da_o.row_mut(t), da_g.row_mut(t));
 
             for j in 0..h_dim {
-                let dh = grad_out[(t, j)] + dh_next[(0, j)];
-                let i = cache.gates[0][(t, j)];
-                let f = cache.gates[1][(t, j)];
-                let o = cache.gates[2][(t, j)];
-                let g = cache.gates[3][(t, j)];
-                let c_t = cache.c[(t + 1, j)];
-                let tanh_c = c_t.tanh();
+                // dL/dh_t from above + from later timesteps
+                let dh = grad_out[(t, j)] + scratch.dh[j];
+                let (i, f, o, g) = (gi[j], gf[j], go[j], gg[j]);
+                let tanh_c = c_now[j].tanh();
 
                 // h = o · tanh(c)
                 let do_ = dh * tanh_c;
-                let mut dc = dh * o * (1.0 - tanh_c * tanh_c) + dc_next[(0, j)];
+                let mut dc = dh * o * (1.0 - tanh_c * tanh_c) + scratch.dc[j];
 
                 // c = f·c_prev + i·g
-                let df = dc * c_prev[(0, j)];
+                let df = dc * c_prev[j];
                 let di = dc * g;
                 let dg = dc * i;
                 dc *= f;
-                dc_prev[(0, j)] = dc;
+                scratch.dc[j] = dc;
 
-                da[0][(0, j)] = di * i * (1.0 - i);
-                da[1][(0, j)] = df * f * (1.0 - f);
-                da[2][(0, j)] = do_ * o * (1.0 - o);
-                da[3][(0, j)] = dg * (1.0 - g * g);
+                da_i[j] = di * i * (1.0 - i);
+                da_f[j] = df * f * (1.0 - f);
+                da_o[j] = do_ * o * (1.0 - o);
+                da_g[j] = dg * (1.0 - g * g);
             }
 
-            // `k` selects the gate across five parallel arrays, so an
-            // iterator over any single one of them would obscure the math.
-            #[allow(clippy::needless_range_loop)]
+            // dh_{t-1} = Σ_k dA_k · U_kᵀ
+            scratch.dh.fill(0.0);
             for k in 0..4 {
-                self.g_w[k].add_assign(&x_t.matmul_tn(&da[k]));
-                self.g_u[k].add_assign(&h_prev.matmul_tn(&da[k]));
-                self.g_b[k].add_assign(&da[k]);
-                dh_prev.add_assign(&da[k].matmul_nt(&self.u[k]));
-                let dxk = da[k].matmul_nt(&self.w[k]);
-                for (o, &v) in dx.row_mut(t).iter_mut().zip(dxk.row(0).iter()) {
-                    *o += v;
-                }
+                kernel::gemm(
+                    Trans::N,
+                    Trans::T,
+                    1,
+                    h_dim,
+                    h_dim,
+                    scratch.da[k].row(t),
+                    self.u[k].as_slice(),
+                    &mut scratch.dh,
+                    true,
+                );
             }
-            dh_next = dh_prev;
-            dc_next = dc_prev;
         }
+
+        // batched parameter gradients: g_W += Xᵀ·DA, g_U += H_prevᵀ·DA
+        // (hidden rows 0..T are the predecessors, a prefix of the buffer)
+        let h_prev_all = &cache.h.as_slice()[..t_len * h_dim];
+        let mut dx = Matrix::zeros(t_len, d_in);
+        for k in 0..4 {
+            cache.input.matmul_tn_acc(&scratch.da[k], &mut self.g_w[k]);
+            kernel::gemm(
+                Trans::T,
+                Trans::N,
+                h_dim,
+                h_dim,
+                t_len,
+                h_prev_all,
+                scratch.da[k].as_slice(),
+                self.g_u[k].as_mut_slice(),
+                true,
+            );
+            scratch.da[k].sum_rows_acc(&mut self.g_b[k]);
+            scratch.da[k].matmul_nt_acc(&self.w[k], &mut dx);
+        }
+
+        self.scratch = scratch;
+        self.cache = Some(cache);
         dx
     }
 

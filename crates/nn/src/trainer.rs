@@ -18,11 +18,16 @@ pub struct TrainConfig {
     pub shuffle: bool,
     /// Optional L2 gradient-norm clip applied per batch.
     pub grad_clip: Option<f64>,
+    /// GEMM kernel worker threads for this run (`None` keeps the process
+    /// default from `MDL_THREADS`/available parallelism). Thread count
+    /// never affects results — the kernel is bit-deterministic — only
+    /// wall-clock time.
+    pub kernel_threads: Option<usize>,
 }
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { epochs: 10, batch_size: 32, shuffle: true, grad_clip: None }
+        Self { epochs: 10, batch_size: 32, shuffle: true, grad_clip: None, kernel_threads: None }
     }
 }
 
@@ -54,6 +59,9 @@ pub fn fit_classifier(
 ) -> Vec<EpochStats> {
     assert_eq!(x.rows(), labels.len(), "one label per example required");
     assert!(!labels.is_empty(), "training set must be non-empty");
+    if let Some(t) = config.kernel_threads {
+        mdl_tensor::kernel::set_threads(t);
+    }
     let n = labels.len();
     let mut order: Vec<usize> = (0..n).collect();
     let mut history = Vec::with_capacity(config.epochs);

@@ -140,6 +140,7 @@ pub fn run_dp_fedavg(
                     batch_size: config.batch_size.min(data.len().max(1)),
                     shuffle: true,
                     grad_clip: None,
+                    kernel_threads: None,
                 },
                 &mut local_rng,
             );

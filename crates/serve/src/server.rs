@@ -45,6 +45,10 @@ pub struct ServeConfig {
     /// Queue depth above which cloud-bound requests are shed to the
     /// early-exit fallback (when one is installed).
     pub shed_queue_depth: usize,
+    /// GEMM kernel threads for the batch forward pass (`None` keeps the
+    /// process default). Workers already run in parallel, so this stays
+    /// low unless batches are large; results are bit-identical either way.
+    pub kernel_threads: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -55,6 +59,7 @@ impl Default for ServeConfig {
             max_wait: Duration::from_millis(2),
             queue_capacity: 256,
             shed_queue_depth: 64,
+            kernel_threads: None,
         }
     }
 }
@@ -414,6 +419,9 @@ impl InferenceServer {
     /// is the optional early-exit network used for load shedding; without
     /// one, overload falls back to queue backpressure only.
     pub fn start(model: Sequential, fallback: Option<Sequential>, config: ServeConfig) -> Self {
+        if let Some(t) = config.kernel_threads {
+            mdl_tensor::kernel::set_threads(t);
+        }
         let shared = Arc::new(Shared {
             registry: ModelRegistry::new(model),
             router: Router::new(),

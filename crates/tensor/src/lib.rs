@@ -8,6 +8,9 @@
 //!
 //! - [`Matrix`]: a row-major `f32` matrix with the product/transpose/reduction
 //!   operations the neural-network layers need;
+//! - [`kernel`]: the cache-blocked, panel-packed GEMM every matrix product
+//!   dispatches to, parallelized over row panels with bit-identical results
+//!   for any thread count;
 //! - [`Init`]: seeded weight-initialisation schemes (uniform, Gaussian,
 //!   Xavier, He);
 //! - [`linalg`]: one-sided Jacobi SVD (for low-rank layer compression),
@@ -33,6 +36,7 @@
 
 pub mod fft;
 pub mod init;
+pub mod kernel;
 pub mod linalg;
 pub mod matrix;
 pub mod stats;
@@ -118,6 +122,64 @@ mod proptests {
             let a = Matrix::from_vec(5, 4, data);
             let d = svd(&a);
             prop_assert!(d.reconstruct().approx_eq(&a, 1e-2));
+        }
+
+        #[test]
+        fn blocked_kernel_bitwise_matches_naive_on_arbitrary_shapes(
+            m in 1usize..24,
+            n in 1usize..40,
+            k in 0usize..48,
+            a_pool in prop::collection::vec(small_f32(), 24 * 48),
+            b_pool in prop::collection::vec(small_f32(), 48 * 40),
+        ) {
+            use crate::kernel::{gemm, gemm_naive, Trans};
+            // The same flat buffer serves as m×k or k×m (equal length), so
+            // all four transposition combinations reuse one pool slice.
+            let a = &a_pool[..m * k];
+            let b = &b_pool[..k * n];
+            for (ta, tb) in [
+                (Trans::N, Trans::N),
+                (Trans::T, Trans::N),
+                (Trans::N, Trans::T),
+                (Trans::T, Trans::T),
+            ] {
+                let mut fast = vec![f32::NAN; m * n];
+                let mut slow = vec![f32::NAN; m * n];
+                gemm(ta, tb, m, n, k, a, b, &mut fast, false);
+                gemm_naive(ta, tb, m, n, k, a, b, &mut slow, false);
+                prop_assert!(
+                    fast.iter().zip(slow.iter()).all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "blocked != naive at {m}x{n}x{k} {ta:?}{tb:?}"
+                );
+            }
+        }
+
+        #[test]
+        fn kernel_bits_do_not_depend_on_thread_count(
+            m in 1usize..32,
+            n in 1usize..32,
+            k in 1usize..32,
+            a_pool in prop::collection::vec(small_f32(), 32 * 32),
+            b_pool in prop::collection::vec(small_f32(), 32 * 32),
+        ) {
+            use crate::kernel::{gemm, set_threads, threads, Trans, TEST_THREADS_LOCK};
+            let a = &a_pool[..m * k];
+            let b = &b_pool[..k * n];
+            let _guard = TEST_THREADS_LOCK.lock().unwrap();
+            let before = threads();
+            set_threads(1);
+            let mut reference = vec![0.0f32; m * n];
+            gemm(Trans::N, Trans::N, m, n, k, a, b, &mut reference, false);
+            for nt in [2usize, 8] {
+                set_threads(nt);
+                let mut out = vec![0.0f32; m * n];
+                gemm(Trans::N, Trans::N, m, n, k, a, b, &mut out, false);
+                prop_assert!(
+                    out.iter().zip(reference.iter()).all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "threads={nt} diverged at {m}x{n}x{k}"
+                );
+            }
+            set_threads(before);
         }
 
         #[test]

@@ -6,6 +6,7 @@
 //! magic: shape mismatches are programming errors and panic with a clear
 //! message rather than being silently broadcast.
 
+use crate::kernel::{self, Trans};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -260,31 +261,15 @@ impl Matrix {
 
     /// Matrix product `self · other`.
     ///
+    /// Dispatches to the blocked, panel-packed kernel in [`crate::kernel`];
+    /// results are bit-identical regardless of the kernel thread count.
+    ///
     /// # Panics
     ///
     /// Panics if `self.cols() != other.rows()`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(
-            self.cols, other.rows,
-            "matmul shape mismatch: {}x{} · {}x{}",
-            self.rows, self.cols, other.rows, other.cols
-        );
         let mut out = Matrix::zeros(self.rows, other.cols);
-        // i-k-j loop order keeps the inner loop contiguous in both `other`
-        // and `out`, which matters more than blocking at the sizes used here.
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            for (k, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a_ik * b;
-                }
-            }
-        }
+        self.matmul_into(other, &mut out);
         out
     }
 
@@ -294,25 +279,8 @@ impl Matrix {
     ///
     /// Panics if `self.rows() != other.rows()`.
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
-        assert_eq!(
-            self.rows, other.rows,
-            "matmul_tn shape mismatch: ({}x{})ᵀ · {}x{}",
-            self.rows, self.cols, other.rows, other.cols
-        );
         let mut out = Matrix::zeros(self.cols, other.cols);
-        for k in 0..self.rows {
-            let a_row = self.row(k);
-            let b_row = other.row(k);
-            for (i, &a_ki) in a_row.iter().enumerate() {
-                if a_ki == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a_ki * b;
-                }
-            }
-        }
+        self.matmul_tn_into(other, &mut out);
         out
     }
 
@@ -322,23 +290,193 @@ impl Matrix {
     ///
     /// Panics if `self.cols() != other.cols()`.
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        self.matmul_nt_into(other, &mut out);
+        out
+    }
+
+    /// `out = self · other`, reshaping `out`'s buffer without reallocating
+    /// when capacity suffices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        out.resize_to(self.rows, other.cols);
+        kernel::gemm(
+            Trans::N,
+            Trans::N,
+            self.rows,
+            other.cols,
+            self.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+            false,
+        );
+    }
+
+    /// `out = selfᵀ · other` without materialising the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != other.rows()`.
+    pub fn matmul_tn_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn shape mismatch: ({}x{})ᵀ · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        out.resize_to(self.cols, other.cols);
+        kernel::gemm(
+            Trans::T,
+            Trans::N,
+            self.cols,
+            other.cols,
+            self.rows,
+            &self.data,
+            &other.data,
+            &mut out.data,
+            false,
+        );
+    }
+
+    /// `out = self · otherᵀ` without materialising the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.cols()`.
+    pub fn matmul_nt_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.cols,
             "matmul_nt shape mismatch: {}x{} · ({}x{})ᵀ",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..other.rows {
-                let b_row = other.row(j);
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
-                }
-                out[(i, j)] = acc;
-            }
+        out.resize_to(self.rows, other.rows);
+        kernel::gemm(
+            Trans::N,
+            Trans::T,
+            self.rows,
+            other.rows,
+            self.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+            false,
+        );
+    }
+
+    /// `out += self · other` (accumulating; `out` keeps its contents).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are inconsistent.
+    pub fn matmul_acc(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.rows, "matmul_acc inner dimension mismatch");
+        assert_eq!(out.shape(), (self.rows, other.cols), "matmul_acc output shape mismatch");
+        kernel::gemm(
+            Trans::N,
+            Trans::N,
+            self.rows,
+            other.cols,
+            self.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+            true,
+        );
+    }
+
+    /// `out += selfᵀ · other` (accumulating gradient form).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are inconsistent.
+    pub fn matmul_tn_acc(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.rows, other.rows, "matmul_tn_acc inner dimension mismatch");
+        assert_eq!(out.shape(), (self.cols, other.cols), "matmul_tn_acc output shape mismatch");
+        kernel::gemm(
+            Trans::T,
+            Trans::N,
+            self.cols,
+            other.cols,
+            self.rows,
+            &self.data,
+            &other.data,
+            &mut out.data,
+            true,
+        );
+    }
+
+    /// `out += self · otherᵀ` (accumulating).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are inconsistent.
+    pub fn matmul_nt_acc(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.cols, "matmul_nt_acc inner dimension mismatch");
+        assert_eq!(out.shape(), (self.rows, other.rows), "matmul_nt_acc output shape mismatch");
+        kernel::gemm(
+            Trans::N,
+            Trans::T,
+            self.rows,
+            other.rows,
+            self.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+            true,
+        );
+    }
+
+    /// Fused dense layer: `out = self · other + bias` with the `1 × n`
+    /// bias broadcast over rows, without any intermediate allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are inconsistent.
+    pub fn matmul_bias_into(&self, other: &Matrix, bias: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.rows, "matmul_bias inner dimension mismatch");
+        assert_eq!(bias.rows, 1, "bias must be a row vector");
+        assert_eq!(bias.cols, other.cols, "bias width mismatch");
+        out.resize_to(self.rows, other.cols);
+        for r in 0..self.rows {
+            out.row_mut(r).copy_from_slice(&bias.data);
         }
+        kernel::gemm(
+            Trans::N,
+            Trans::N,
+            self.rows,
+            other.cols,
+            self.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+            true,
+        );
+    }
+
+    /// Reference `self · other` using the naive triple-loop kernel; kept
+    /// for benchmarking against the blocked path.
+    pub fn matmul_naive(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        kernel::gemm_naive(
+            Trans::N,
+            Trans::N,
+            self.rows,
+            other.cols,
+            self.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+            false,
+        );
         out
     }
 
@@ -392,6 +530,30 @@ impl Matrix {
         }
     }
 
+    /// In-place `self -= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn sub_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "sub_assign requires equal shapes");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a -= b;
+        }
+    }
+
+    /// In-place element-wise `self *= other` (Hadamard product).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn hadamard_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "hadamard_assign requires equal shapes");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a *= b;
+        }
+    }
+
     /// In-place `self += alpha * other` (axpy).
     ///
     /// # Panics
@@ -401,6 +563,59 @@ impl Matrix {
         assert_eq!(self.shape(), other.shape(), "add_scaled requires equal shapes");
         for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
             *a += alpha * b;
+        }
+    }
+
+    /// Sets every element to `value` without reallocating.
+    pub fn fill(&mut self, value: f32) {
+        self.data.fill(value);
+    }
+
+    /// Reshapes `self` to `rows × cols`, reusing the existing buffer when
+    /// its capacity suffices. Element values are unspecified afterwards —
+    /// this is a workspace primitive for `_into` targets, not a resize
+    /// that preserves contents.
+    pub fn resize_to(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Makes `self` a same-shaped copy of `other`, reusing the buffer.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
+    /// In-place row broadcast: adds the `1 × cols` vector to every row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is not `1 × self.cols()`.
+    pub fn add_row_broadcast_assign(&mut self, row: &Matrix) {
+        assert_eq!(row.rows, 1, "broadcast source must be a row vector");
+        assert_eq!(row.cols, self.cols, "broadcast width mismatch");
+        for r in 0..self.rows {
+            for (o, &b) in self.row_mut(r).iter_mut().zip(row.data.iter()) {
+                *o += b;
+            }
+        }
+    }
+
+    /// Accumulates the row-sum of `self` into the `1 × cols` vector `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not `1 × self.cols()`.
+    pub fn sum_rows_acc(&self, out: &mut Matrix) {
+        assert_eq!(out.rows, 1, "sum_rows_acc target must be a row vector");
+        assert_eq!(out.cols, self.cols, "sum_rows_acc width mismatch");
+        for r in 0..self.rows {
+            for (o, &v) in out.data.iter_mut().zip(self.row(r).iter()) {
+                *o += v;
+            }
         }
     }
 
@@ -505,6 +720,14 @@ impl Matrix {
     pub fn approx_eq(&self, other: &Matrix, tol: f32) -> bool {
         self.shape() == other.shape()
             && self.data.iter().zip(other.data.iter()).all(|(&a, &b)| (a - b).abs() <= tol)
+    }
+}
+
+impl Default for Matrix {
+    /// An empty `0 × 0` matrix — the natural starting state for scratch
+    /// buffers later shaped by `resize_to`/`_into` calls.
+    fn default() -> Self {
+        Self { rows: 0, cols: 0, data: Vec::new() }
     }
 }
 
@@ -632,6 +855,78 @@ mod tests {
         assert!(m.all_finite());
         m[(0, 0)] = f32::NAN;
         assert!(!m.all_finite());
+    }
+
+    #[test]
+    fn into_variants_match_allocating_forms() {
+        let a = Matrix::from_fn(5, 7, |r, c| (r * 7 + c) as f32 * 0.3 - 2.0);
+        let b = Matrix::from_fn(7, 4, |r, c| (r as f32 - c as f32) * 0.7);
+        let mut out = Matrix::default();
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+        // reuse the same target with new shapes
+        a.matmul_nt_into(&a, &mut out);
+        assert_eq!(out, a.matmul_nt(&a));
+        a.matmul_tn_into(&a, &mut out);
+        assert_eq!(out, a.matmul_tn(&a));
+    }
+
+    #[test]
+    fn acc_variants_accumulate() {
+        let a = Matrix::from_fn(3, 4, |r, c| (r + c) as f32);
+        let b = Matrix::from_fn(4, 2, |r, c| (r * 2 + c) as f32 * 0.5);
+        let mut out = Matrix::ones(3, 2);
+        a.matmul_acc(&b, &mut out);
+        let expect = a.matmul(&b).add(&Matrix::ones(3, 2));
+        assert!(out.approx_eq(&expect, 1e-6));
+    }
+
+    #[test]
+    fn matmul_bias_fuses_broadcast() {
+        let a = Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f32 * 0.1);
+        let w = Matrix::from_fn(3, 5, |r, c| (r as f32) - (c as f32) * 0.2);
+        let bias = Matrix::row_vector(&[1.0, -2.0, 3.0, -4.0, 5.0]);
+        let mut out = Matrix::default();
+        a.matmul_bias_into(&w, &bias, &mut out);
+        assert!(out.approx_eq(&a.matmul(&w).add_row_broadcast(&bias), 1e-6));
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_bitwise() {
+        let a = Matrix::from_fn(33, 19, |r, c| ((r * 19 + c) as f32).sin());
+        let b = Matrix::from_fn(19, 21, |r, c| ((r * 21 + c) as f32).cos());
+        let fast = a.matmul(&b);
+        let slow = a.matmul_naive(&b);
+        assert!(fast
+            .as_slice()
+            .iter()
+            .zip(slow.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    #[test]
+    fn in_place_helpers() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[10.0, 20.0], &[30.0, 40.0]]);
+        let mut c = b.clone();
+        c.sub_assign(&a);
+        assert_eq!(c, b.sub(&a));
+        let mut d = a.clone();
+        d.hadamard_assign(&b);
+        assert_eq!(d, a.hadamard(&b));
+        d.fill(7.0);
+        assert_eq!(d.sum(), 28.0);
+        let mut e = Matrix::default();
+        e.copy_from(&a);
+        assert_eq!(e, a);
+        e.resize_to(1, 2);
+        assert_eq!(e.shape(), (1, 2));
+        let mut f = a.clone();
+        f.add_row_broadcast_assign(&Matrix::row_vector(&[10.0, 20.0]));
+        assert_eq!(f, a.add_row_broadcast(&Matrix::row_vector(&[10.0, 20.0])));
+        let mut s = Matrix::zeros(1, 2);
+        a.sum_rows_acc(&mut s);
+        assert_eq!(s, a.sum_rows());
     }
 
     #[test]

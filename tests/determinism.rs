@@ -55,6 +55,35 @@ fn training_is_seed_deterministic() {
     assert_ne!(train(42), train(43));
 }
 
+/// The blocked GEMM kernel partitions work over row panels without
+/// changing any per-element accumulation order, so training results must
+/// be byte-for-byte independent of the kernel thread count.
+#[test]
+fn training_is_kernel_thread_count_invariant() {
+    let train = |threads: usize| {
+        let mut rng = StdRng::seed_from_u64(42);
+        let data = mdl_core::data::synthetic::gaussian_blobs(150, 3, 0.4, &mut rng);
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 40, Activation::Relu, &mut rng));
+        net.push(Dense::new(40, 3, Activation::Identity, &mut rng));
+        let mut opt = Adam::new(0.01);
+        let _ = fit_classifier(
+            &mut net,
+            &mut opt,
+            &data.x,
+            &data.y,
+            &TrainConfig { epochs: 4, kernel_threads: Some(threads), ..Default::default() },
+            &mut rng,
+        );
+        net.param_vector().iter().map(|v| v.to_bits()).collect::<Vec<u32>>()
+    };
+    let reference = train(1);
+    for threads in [2, 4, 8] {
+        assert_eq!(reference, train(threads), "weights diverged at {threads} kernel threads");
+    }
+    mdl_core::tensor::kernel::set_threads(1);
+}
+
 #[test]
 fn federated_runs_are_seed_deterministic() {
     let run = |seed: u64| {

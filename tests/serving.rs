@@ -45,6 +45,7 @@ fn concurrent_load_with_hot_swap_drops_nothing() {
             max_wait: Duration::from_millis(2),
             queue_capacity: 256,
             shed_queue_depth: 64,
+            kernel_threads: None,
         },
     )
     .expect("artifact decodes");
