@@ -61,6 +61,9 @@ struct FaultyRun {
     accuracy: f64,
     aggregated_rounds: usize,
     transport: TransportMetrics,
+    /// Observability export of the same run; the `net.*` counters here are
+    /// the single source of truth for the byte accounting below.
+    obs: ObsSnapshot,
 }
 
 fn run_faulty(
@@ -71,6 +74,8 @@ fn run_faulty(
 ) -> FaultyRun {
     let mut rng = StdRng::seed_from_u64(SEED);
     let mut fabric = faulty_fabric();
+    let obs = Obs::sim();
+    fabric.attach_obs(obs.clone());
     let run =
         run_federated_over(spec, clients, test, &fed_config(), availability, &mut fabric, &mut rng)
             .expect("a 40% quorum is reachable under this fault plan");
@@ -78,6 +83,7 @@ fn run_faulty(
         accuracy: run.final_accuracy(),
         aggregated_rounds: run.history.len(),
         transport: run.transport,
+        obs: obs.snapshot(),
     }
 }
 
@@ -101,13 +107,33 @@ fn main() {
         faulty.transport, replay.transport,
         "same seeds must reproduce the transport bit-for-bit"
     );
+    assert_eq!(
+        faulty.obs, replay.obs,
+        "same seeds must reproduce the observability export bit-for-bit"
+    );
     assert!(
         (faulty.accuracy - replay.accuracy).abs() < f64::EPSILON,
         "same seeds must reproduce the model"
     );
 
+    // Byte accounting has exactly one source of truth: the fabric's
+    // `net.delivered_bytes` registry counter. The ledger-derived
+    // TransportMetrics must agree with it, and the table/JSON below read
+    // the counter rather than re-summing up/down traffic themselves.
+    let t = &faulty.transport;
+    let delivered_bytes =
+        faulty.obs.counter("net.delivered_bytes").expect("fabric exports delivered bytes");
+    assert_eq!(
+        delivered_bytes,
+        t.bytes_up + t.bytes_down,
+        "registry and transport ledger disagree on delivered bytes"
+    );
+    assert_eq!(faulty.obs.counter("net.wasted_bytes"), Some(t.wasted_bytes));
+    assert_eq!(faulty.obs.counter("net.attempts"), Some(t.attempts));
+    assert_eq!(faulty.obs.counter("net.rounds"), Some(t.rounds));
+
     let gap_points = 100.0 * (baseline.final_accuracy() - faulty.accuracy);
-    let row = |label: &str, acc: f64, aggregated: usize, t: &TransportMetrics| {
+    let row = |label: &str, acc: f64, aggregated: usize, t: &TransportMetrics, delivered: u64| {
         vec![
             label.to_string(),
             format!("{:.2}%", 100.0 * acc),
@@ -116,7 +142,7 @@ fn main() {
             format!("{}", t.retries),
             format!("{}", t.timeouts),
             format!("{}", t.drops),
-            fmt_bytes(t.bytes_up + t.bytes_down),
+            fmt_bytes(delivered),
             fmt_bytes(t.wasted_bytes),
             format!("{:.1} s", t.sim_clock_s),
         ]
@@ -136,8 +162,20 @@ fn main() {
             "sim clock",
         ],
         &[
-            row("ideal", baseline.final_accuracy(), baseline.history.len(), &baseline.transport),
-            row("faulty-lte", faulty.accuracy, faulty.aggregated_rounds, &faulty.transport),
+            row(
+                "ideal",
+                baseline.final_accuracy(),
+                baseline.history.len(),
+                &baseline.transport,
+                baseline.transport.bytes_up + baseline.transport.bytes_down,
+            ),
+            row(
+                "faulty-lte",
+                faulty.accuracy,
+                faulty.aggregated_rounds,
+                &faulty.transport,
+                delivered_bytes,
+            ),
         ],
     );
     println!(
@@ -152,7 +190,6 @@ fn main() {
     assert!(gap_points.abs() < 3.0, "fault tolerance must hold the accuracy gap under 3 points");
 
     // --- JSON artifact ---
-    let t = &faulty.transport;
     let mut json = String::from("{\n  \"benchmark\": \"faults\",\n");
     let _ = writeln!(json, "  \"clients\": {CLIENTS},");
     let _ = writeln!(json, "  \"rounds\": {ROUNDS},");
@@ -166,6 +203,7 @@ fn main() {
     let _ = writeln!(json, "  \"drops\": {},", t.drops);
     let _ = writeln!(json, "  \"bytes_up\": {},", t.bytes_up);
     let _ = writeln!(json, "  \"bytes_down\": {},", t.bytes_down);
+    let _ = writeln!(json, "  \"delivered_bytes\": {delivered_bytes},");
     let _ = writeln!(json, "  \"wasted_bytes\": {},", t.wasted_bytes);
     let _ = writeln!(json, "  \"sim_clock_s\": {:.3},", t.sim_clock_s);
     let _ = writeln!(json, "  \"bit_reproducible\": true");

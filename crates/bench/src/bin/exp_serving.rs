@@ -30,6 +30,7 @@ fn serve_config() -> ServeConfig {
         queue_capacity: 256,
         shed_queue_depth: 32,
         kernel_threads: None,
+        obs: None,
     }
 }
 

@@ -1,0 +1,66 @@
+//! Property tests for the lossless and bounded-loss compression
+//! primitives: Huffman coding must be the identity after a round trip,
+//! and uniform quantization must never move a weight by more than half a
+//! quantization step.
+
+use mdl_compress::{HuffmanEncoded, QuantizedMatrix};
+use mdl_tensor::Matrix;
+use proptest::prelude::*;
+
+proptest! {
+    /// decode ∘ encode = id for arbitrary byte streams, including the
+    /// empty and single-distinct-symbol edge cases the tree builder
+    /// special-cases.
+    #[test]
+    fn huffman_roundtrip_is_identity(symbols in prop::collection::vec(any::<u8>(), 0..512)) {
+        let encoded = HuffmanEncoded::encode(&symbols);
+        prop_assert_eq!(encoded.decode(), symbols);
+    }
+
+    /// Uniform quantization reconstructs every entry within step/2, where
+    /// step spans the value range over the codebook levels.
+    #[test]
+    fn uniform_quantization_error_is_bounded(
+        raw in prop::collection::vec(-2000i32..2000, 1..128),
+        bits in 1u32..9,
+    ) {
+        let vals: Vec<f32> = raw.iter().map(|&v| v as f32 * 0.01).collect();
+        let dense = Matrix::from_vec(1, vals.len(), vals.clone());
+        let q = QuantizedMatrix::uniform(&dense, bits);
+        let restored = q.dequantize();
+
+        let lo = vals.iter().cloned().fold(f32::MAX, f32::min);
+        let hi = vals.iter().cloned().fold(f32::MIN, f32::max);
+        let levels = 1usize << bits;
+        let step = if hi > lo { (hi - lo) / (levels - 1) as f32 } else { 0.0 };
+        // half a step, padded by one ulp-scale term for the float math in
+        // the index computation
+        let bound = 0.5 * step + (hi - lo).abs() * 1e-6;
+
+        for (&v, &r) in vals.iter().zip(restored.as_slice()) {
+            prop_assert!(
+                (v - r).abs() <= bound,
+                "|{v} - {r}| = {} > {bound} at {bits} bits (step {step})",
+                (v - r).abs()
+            );
+        }
+        prop_assert_eq!(q.max_error(&dense) <= bound, true);
+    }
+
+    /// The dequantized matrix only contains codebook values, so a second
+    /// quantize→dequantize pass is exactly the identity (idempotence).
+    #[test]
+    fn uniform_quantization_is_idempotent(
+        raw in prop::collection::vec(-500i32..500, 1..64),
+        bits in 1u32..9,
+    ) {
+        let vals: Vec<f32> = raw.iter().map(|&v| v as f32 * 0.05).collect();
+        let dense = Matrix::from_vec(1, vals.len(), vals);
+        let once = QuantizedMatrix::uniform(&dense, bits).dequantize();
+        let twice = QuantizedMatrix::uniform(&once, bits).dequantize();
+        prop_assert_eq!(
+            once.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            twice.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+}

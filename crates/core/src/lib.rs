@@ -48,6 +48,7 @@ pub use mdl_federated as federated;
 pub use mdl_mobile as mobile;
 pub use mdl_net as net;
 pub use mdl_nn as nn;
+pub use mdl_obs as obs;
 pub use mdl_privacy as privacy;
 pub use mdl_serve as serve;
 pub use mdl_split as split;
@@ -88,6 +89,7 @@ pub mod prelude {
         fit_classifier, Activation, Adam, Dense, Gru, Layer, Mode, ParamVector, Sequential, Sgd,
         TrainConfig,
     };
+    pub use mdl_obs::{Buckets, Clock, ClockKind, MetricsRegistry, Obs, ObsSnapshot};
     pub use mdl_privacy::{
         compute_epsilon, run_dp_fedavg, train_dp_sgd, DpFedConfig, DpSgdConfig, GaussianMechanism,
         MomentsAccountant,

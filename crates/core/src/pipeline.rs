@@ -15,6 +15,7 @@ use mdl_federated::MlpSpec;
 use mdl_mobile::{DeviceProfile, NetworkProfile};
 use mdl_net::{Fabric, FabricConfig, FaultPlan, LinkConfig, TransportMetrics};
 use mdl_nn::{save_model, Sequential};
+use mdl_obs::{Obs, ObsSnapshot};
 use mdl_privacy::{run_dp_fedavg, DpFedConfig};
 use mdl_serve::{
     run_load, ClientProfile, DeviceClass, InferenceServer, LoadGenConfig, LoadMode, NetworkClass,
@@ -43,6 +44,11 @@ pub struct PipelineConfig {
     /// distribution over [`PipelineConfig::network`]
     /// ([`FaultPlan::none`] probes the clean link).
     pub faults: FaultPlan,
+    /// Observability session the run records into: one `pipeline.run` span
+    /// with a child per stage, plus the `net.*` and `serve.*` instruments
+    /// of the transport rehearsal and serving smoke test. `None` disables
+    /// tracing entirely (and never changes any result).
+    pub obs: Option<Obs>,
 }
 
 /// Everything a deployment decision needs, produced by one pipeline run.
@@ -66,6 +72,9 @@ pub struct PipelineReport {
     pub transport: TransportSummary,
     /// Smoke-test results of the trained artifact behind the serving tier.
     pub serving: ServingSummary,
+    /// Frozen observability export (`Some` iff [`PipelineConfig::obs`] was
+    /// set): stage spans plus every counter/gauge/histogram the run touched.
+    pub obs: Option<ObsSnapshot>,
     /// The trained (uncompressed) global model.
     pub model: Sequential,
 }
@@ -110,6 +119,7 @@ fn probe_transport(
     artifact_bytes: u64,
     network: &NetworkProfile,
     faults: &FaultPlan,
+    obs: Option<&Obs>,
 ) -> TransportSummary {
     const PROBE_CLIENTS: usize = 8;
     const PROBE_ROUNDS: usize = 3;
@@ -119,6 +129,9 @@ fn probe_transport(
         ..FabricConfig::faulty(LinkConfig::clean(network.clone()))
     };
     let mut fabric = Fabric::new(PROBE_CLIENTS, fabric_config, 0xFA6);
+    if let Some(obs) = obs {
+        fabric.attach_obs(obs.clone());
+    }
     let ack_bytes = 64;
     let mut delivered_rounds = 0;
     for _ in 0..PROBE_ROUNDS {
@@ -144,12 +157,12 @@ fn probe_transport(
 
 /// Saves `model` to the wire format, boots a server from the bytes and
 /// drives a short deterministic closed-loop load from mixed profiles.
-fn smoke_serve(model: &mut Sequential, test: &Dataset) -> ServingSummary {
+fn smoke_serve(model: &mut Sequential, test: &Dataset, obs: Option<&Obs>) -> ServingSummary {
     let bytes = save_model(model).expect("MLP layers all serialize");
     let server = InferenceServer::from_artifact(
         &bytes,
         None,
-        ServeConfig { workers: 2, ..Default::default() },
+        ServeConfig { workers: 2, obs: obs.cloned(), ..Default::default() },
     )
     .expect("artifact was just encoded");
     let client = server.client();
@@ -191,13 +204,19 @@ pub fn run_pipeline(
     test: &Dataset,
     rng: &mut StdRng,
 ) -> PipelineReport {
+    let run_span = config.obs.as_ref().map(|o| o.root_span("pipeline.run"));
+    let stage = |name| run_span.as_ref().map(|s| s.child(name));
+
     // 1. private federated training (§II)
+    let span = stage("pipeline.train");
     let fed = run_dp_fedavg(&config.spec, clients, test, &config.federated, rng);
     let mut model = config.spec.build_with(&fed.final_params);
     let trained_accuracy = model.accuracy(&test.x, &test.y);
+    drop(span);
 
     // 2. compression for on-device deployment (§III-B); fine-tune on the
     // union of client data (in a real deployment this is a public proxy set)
+    let span = stage("pipeline.compress");
     let mut pool_x = clients[0].x.clone();
     let mut pool_y = clients[0].y.clone();
     for c in &clients[1..] {
@@ -209,15 +228,19 @@ pub fn run_pipeline(
         deep_compress(&mut to_compress, Some((&pool_x, &pool_y)), &config.compression, rng);
     let restored = compressed.decompress();
     let compressed_accuracy = restored.accuracy(&test.x, &test.y);
+    drop(span);
 
     // 3. private split serving (§III-A)
+    let span = stage("pipeline.split");
     let split_model = config.spec.build_with(&fed.final_params);
     let mut arden = Arden::from_pretrained(split_model, config.arden.clone());
     let _ = arden.noisy_train(&pool_x, &pool_y, 15, 0.005, rng);
     let arden_accuracy = arden.accuracy(&test.x, &test.y, rng);
     let arden_epsilon = arden.privacy_epsilon(1e-5);
+    drop(span);
 
     // 4. placement economics (§III, Figs. 2–3)
+    let span = stage("pipeline.placement");
     let deployments = compare_deployments(
         &model,
         &arden,
@@ -226,17 +249,38 @@ pub fn run_pipeline(
         &config.network,
         4 * test.dim() as u64,
     );
+    drop(span);
 
     // 5. transport rehearsal: push the compressed artifact to a small
     // device cohort over the configured network with the configured fault
     // plan, so the report carries retry/timeout/byte counts alongside the
     // placement economics
-    let transport = probe_transport(compressed.report.final_bytes, &config.network, &config.faults);
+    let span = stage("pipeline.transport");
+    let transport = probe_transport(
+        compressed.report.final_bytes,
+        &config.network,
+        &config.faults,
+        config.obs.as_ref(),
+    );
+    drop(span);
 
     // 6. serving smoke test (the model update loop's last mile): the
     // trained model goes through the wire format into the concurrent
     // serving runtime and answers a short burst of requests
-    let serving = smoke_serve(&mut model, test);
+    let span = stage("pipeline.serve");
+    let serving = smoke_serve(&mut model, test, config.obs.as_ref());
+    drop(span);
+
+    let obs = config.obs.as_ref().map(|o| {
+        let g = o.registry();
+        g.gauge("pipeline.trained_accuracy").set(trained_accuracy);
+        g.gauge("pipeline.compressed_accuracy").set(compressed_accuracy);
+        g.gauge("pipeline.compression_ratio").set(compressed.report.ratio());
+        if let Some(s) = run_span {
+            s.exit();
+        }
+        o.snapshot()
+    });
 
     PipelineReport {
         trained_accuracy,
@@ -248,6 +292,7 @@ pub fn run_pipeline(
         deployments,
         transport,
         serving,
+        obs,
         model,
     }
 }
@@ -292,6 +337,7 @@ mod tests {
             device: DeviceProfile::midrange_phone(),
             network: NetworkProfile::wifi(),
             faults: FaultPlan::lossy_cohort(),
+            obs: Some(Obs::wall()),
         };
         let report = run_pipeline(&config, &clients, &test, &mut rng);
 
@@ -317,5 +363,31 @@ mod tests {
         assert_eq!(report.serving.completed, report.serving.requests);
         assert_eq!(report.serving.model_version, 1);
         assert!(report.serving.p99 > Duration::ZERO);
+
+        // one bookkeeping path: the obs export carries the same story
+        let obs = report.obs.as_ref().expect("obs was configured");
+        let outline = obs.span_outline();
+        assert!(outline.contains(&(0, "pipeline.run".to_string())));
+        for child in [
+            "pipeline.train",
+            "pipeline.compress",
+            "pipeline.split",
+            "pipeline.placement",
+            "pipeline.transport",
+            "pipeline.serve",
+        ] {
+            assert!(
+                outline.contains(&(1, child.to_string())),
+                "missing stage span {child} in {outline:?}"
+            );
+        }
+        assert_eq!(obs.counter("net.rounds"), Some(3));
+        assert_eq!(
+            obs.counter("net.bytes_down"),
+            Some(report.transport.metrics.bytes_down),
+            "registry and TransportMetrics must agree on byte accounting"
+        );
+        assert_eq!(obs.counter("serve.completed"), Some(report.serving.completed as u64));
+        assert!(obs.gauge("pipeline.trained_accuracy").is_some());
     }
 }

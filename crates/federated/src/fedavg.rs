@@ -184,7 +184,20 @@ pub fn run_federated_over(
     let mut consecutive_quorum_misses = 0usize;
     let param_bytes = 4 * params.len() as u64 + 8;
 
+    // observability rides on the fabric (see `Fabric::attach_obs`): its
+    // sim clock advances with the rounds and `net.*` counters mirror the
+    // transport; here we add `fed.round` spans and `fed.*` counters
+    let fed_obs = fabric.obs().cloned();
+    let fed_counters = fed_obs.as_ref().map(|o| {
+        let r = o.registry();
+        (r.counter("fed.selected"), r.counter("fed.updates"), r.counter("fed.quorum_misses"))
+    });
+
     for round in 1..=config.rounds {
+        // declared before any `continue`, so the span closes after the
+        // round's `end_round` (and clock advance) on every path
+        let round_span = fed_obs.as_ref().map(|o| o.root_span("fed.round"));
+        let _ = &round_span;
         fabric.begin_round();
 
         // 1. sample eligible clients, then C-fraction of them
@@ -243,6 +256,10 @@ pub fn run_federated_over(
                                 shuffle: true,
                                 grad_clip: None,
                                 kernel_threads: config.kernel_threads,
+                                // client-local training stays uninstrumented:
+                                // spans from concurrent client threads would
+                                // interleave nondeterministically
+                                obs: None,
                             },
                             &mut local_rng,
                         );
@@ -273,6 +290,10 @@ pub fn run_federated_over(
             }
         }
         let completed = updates.len();
+        if let Some((selected_c, updates_c, _)) = &fed_counters {
+            selected_c.add(selected.len() as u64);
+            updates_c.add(completed as u64);
+        }
 
         // 3. weighted aggregation over the quorum that actually arrived;
         // a round below quorum keeps the previous global model, and too
@@ -280,6 +301,9 @@ pub fn run_federated_over(
         let needed = fabric.quorum_min(selected.len());
         if completed < needed {
             consecutive_quorum_misses += 1;
+            if let Some((_, _, misses)) = &fed_counters {
+                misses.inc();
+            }
             if consecutive_quorum_misses >= fabric.config().max_failed_rounds {
                 return Err(NetError::QuorumUnreachable { round, needed, got: completed });
             }
@@ -296,6 +320,9 @@ pub fn run_federated_over(
         if round % config.eval_every == 0 || round == config.rounds {
             global.set_param_vector(&params);
             let acc = global.accuracy(&test.x, &test.y);
+            if let Some(obs) = &fed_obs {
+                obs.registry().gauge("fed.test_accuracy").set(acc);
+            }
             history.push(RoundRecord {
                 round,
                 test_accuracy: acc,

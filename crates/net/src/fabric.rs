@@ -8,6 +8,7 @@ use crate::fault::FaultPlan;
 use crate::link::{Direction, Link, LinkConfig, LinkState, SendReceipt};
 use crate::metrics::TransportMetrics;
 use crate::retry::RetryPolicy;
+use mdl_obs::Obs;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -68,6 +69,7 @@ pub struct Fabric {
     round: usize,
     rounds_completed: u64,
     sim_clock_s: f64,
+    obs: Option<Obs>,
 }
 
 impl Fabric {
@@ -88,7 +90,46 @@ impl Fabric {
             round: 0,
             rounds_completed: 0,
             sim_clock_s: 0.0,
+            obs: None,
         }
+    }
+
+    /// Attaches an observability session: every [`Fabric::end_round`]
+    /// advances `obs`'s (sim) clock by the round's simulated duration and
+    /// mirrors the aggregate [`TransportMetrics`] into `net.*` registry
+    /// counters — making the registry the one bookkeeping path consumers
+    /// read, derived from the same per-link counters as
+    /// [`Fabric::metrics`].
+    pub fn attach_obs(&mut self, obs: Obs) {
+        self.obs = Some(obs);
+        self.export_obs();
+    }
+
+    /// The attached observability session, if any.
+    pub fn obs(&self) -> Option<&Obs> {
+        self.obs.as_ref()
+    }
+
+    /// Mirrors the current aggregate counters into the attached registry.
+    fn export_obs(&self) {
+        let Some(obs) = &self.obs else { return };
+        let m = self.metrics();
+        let reg = obs.registry();
+        reg.counter("net.attempts").store(m.attempts);
+        reg.counter("net.retries").store(m.retries);
+        reg.counter("net.timeouts").store(m.timeouts);
+        reg.counter("net.drops").store(m.drops);
+        reg.counter("net.messages_up").store(m.messages_up);
+        reg.counter("net.messages_down").store(m.messages_down);
+        reg.counter("net.bytes_up").store(m.bytes_up);
+        reg.counter("net.bytes_down").store(m.bytes_down);
+        // the one place total delivered traffic is computed; reports must
+        // read this counter instead of re-summing up/down themselves
+        reg.counter("net.delivered_bytes").store(m.bytes_up + m.bytes_down);
+        reg.counter("net.wasted_bytes").store(m.wasted_bytes);
+        reg.counter("net.rounds").store(m.rounds);
+        reg.gauge("net.sim_clock_s").set(m.sim_clock_s);
+        reg.gauge("net.failure_rate").set(m.failure_rate());
     }
 
     /// The perfect network: behaves exactly like no fabric at all.
@@ -127,8 +168,13 @@ impl Fabric {
     pub fn end_round(&mut self) {
         let slowest = self.links.iter().map(Link::round_elapsed_s).fold(0.0f64, f64::max);
         let deadline = self.config.round_deadline_s;
-        self.sim_clock_s += if deadline.is_finite() { slowest.min(deadline) } else { slowest };
+        let elapsed = if deadline.is_finite() { slowest.min(deadline) } else { slowest };
+        self.sim_clock_s += elapsed;
         self.rounds_completed = self.rounds_completed.saturating_add(1);
+        if let Some(obs) = &self.obs {
+            obs.clock().advance_secs(elapsed);
+        }
+        self.export_obs();
     }
 
     /// Current 1-based round (0 before the first [`Fabric::begin_round`]).
@@ -268,6 +314,40 @@ mod tests {
         assert_eq!(fabric.quorum_min(1), 1);
         assert_eq!(fabric.quorum_min(5), 3);
         assert_eq!(Fabric::ideal(4).quorum_min(5), 0, "ideal fabric has no quorum");
+    }
+
+    #[test]
+    fn attached_obs_mirrors_metrics_and_advances_sim_clock() {
+        let cfg = FabricConfig::faulty(LinkConfig {
+            loss_prob: 0.15,
+            ..LinkConfig::clean(NetworkProfile::lte())
+        });
+        let obs = Obs::sim();
+        let mut fabric = Fabric::new(4, cfg, 0xFA6);
+        fabric.attach_obs(obs.clone());
+        for _ in 0..3 {
+            fabric.begin_round();
+            for c in 0..4 {
+                let _ = fabric.send_down(c, 2048);
+                let _ = fabric.send_up(c, 2048);
+            }
+            fabric.end_round();
+        }
+        let m = fabric.metrics();
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("net.bytes_up"), Some(m.bytes_up));
+        assert_eq!(snap.counter("net.bytes_down"), Some(m.bytes_down));
+        assert_eq!(snap.counter("net.retries"), Some(m.retries));
+        assert_eq!(snap.counter("net.rounds"), Some(3));
+        assert_eq!(snap.gauge("net.sim_clock_s"), Some(m.sim_clock_s));
+        // ledger derives from the same metrics, so all three paths agree
+        let ledger = m.ledger();
+        assert_eq!(snap.counter("net.bytes_up"), Some(ledger.bytes_up));
+        assert_eq!(snap.counter("net.bytes_down"), Some(ledger.bytes_down));
+        // the obs clock advanced by the summed per-round durations
+        let expected_ns = (m.sim_clock_s * 1e9).round() as i128;
+        let drift = (snap.now_ns as i128 - expected_ns).abs();
+        assert!(drift <= 3, "clock drifted {drift} ns (per-round rounding only)");
     }
 
     #[test]

@@ -61,6 +61,13 @@ pub trait Layer: Send + Sync {
     /// Structural description for cost models.
     fn info(&self) -> LayerInfo;
 
+    /// Installs (`Some`) or removes (`None`) a per-layer profiler; see
+    /// [`crate::profile::LayerProfiler`]. The default does nothing —
+    /// only containers like [`crate::Sequential`] have per-layer timing
+    /// to report, and callers may hand any `Layer` a profiler without
+    /// caring.
+    fn set_profiler(&mut self, _profiler: Option<std::sync::Arc<crate::profile::LayerProfiler>>) {}
+
     /// Runtime downcasting hook, used by the compression passes to reach
     /// concrete layer types inside a [`crate::Sequential`].
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any;

@@ -43,6 +43,7 @@ pub mod layer;
 pub mod loss;
 pub mod lstm;
 pub mod optim;
+pub mod profile;
 pub mod saved;
 pub mod sequential;
 pub mod trainer;
@@ -54,6 +55,7 @@ pub use gru::{BiGru, Gru};
 pub use layer::{Layer, LayerInfo, Mode, ParamVector};
 pub use lstm::Lstm;
 pub use optim::{AdaGrad, Adam, Optimizer, RmsProp, Sgd};
+pub use profile::LayerProfiler;
 pub use saved::{load_model, save_model, LoadModelError};
 pub use sequential::Sequential;
 pub use trainer::{clip_gradients, fit_classifier, EpochStats, TrainConfig};

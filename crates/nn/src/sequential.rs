@@ -1,8 +1,10 @@
 //! A feed-forward stack of layers.
 
 use crate::layer::{Layer, LayerInfo, Mode};
+use crate::profile;
 use mdl_tensor::stats::softmax_rows;
 use mdl_tensor::Matrix;
+use std::sync::Arc;
 
 /// An ordered stack of layers applied front to back.
 ///
@@ -23,6 +25,9 @@ use mdl_tensor::Matrix;
 #[derive(Default)]
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
+    /// Per-layer counter handles, resolved at [`Layer::set_profiler`]
+    /// time so the forward/backward loops only touch atomics.
+    profiler: Option<profile::Attached>,
 }
 
 impl std::fmt::Debug for Sequential {
@@ -42,18 +47,21 @@ impl std::fmt::Debug for Sequential {
 impl Sequential {
     /// Creates an empty stack.
     pub fn new() -> Self {
-        Self { layers: Vec::new() }
+        Self { layers: Vec::new(), profiler: None }
     }
 
     /// Appends a layer to the stack.
     pub fn push(&mut self, layer: impl Layer + 'static) -> &mut Self {
-        self.layers.push(Box::new(layer));
-        self
+        self.push_boxed(Box::new(layer))
     }
 
     /// Appends a boxed layer.
     pub fn push_boxed(&mut self, layer: Box<dyn Layer>) -> &mut Self {
         self.layers.push(layer);
+        // keep handle count in sync if a profiler is already attached
+        if let Some(attached) = self.profiler.take() {
+            self.profiler = Some(profile::Attached::new(attached.profiler, &self.layer_infos()));
+        }
         self
     }
 
@@ -88,7 +96,9 @@ impl Sequential {
         assert!(at <= self.layers.len(), "split point beyond network depth");
         let mut layers = self.layers;
         let tail = layers.split_off(at);
-        (Sequential { layers }, Sequential { layers: tail })
+        // profiler handles are bound to the original layer indices;
+        // the halves start unprofiled
+        (Sequential { layers, profiler: None }, Sequential { layers: tail, profiler: None })
     }
 
     /// Class probabilities (softmax over the final layer's outputs).
@@ -128,25 +138,62 @@ impl Layer for Sequential {
     }
 
     fn forward(&mut self, x: &Matrix, mode: Mode) -> Matrix {
+        let Self { layers, profiler } = self;
         let mut cur = x.clone();
-        for layer in &mut self.layers {
-            cur = layer.forward(&cur, mode);
+        match profiler {
+            None => {
+                for layer in layers {
+                    cur = layer.forward(&cur, mode);
+                }
+            }
+            Some(p) => {
+                for (layer, handles) in layers.iter_mut().zip(&p.handles) {
+                    let rows = cur.rows();
+                    let t0 = p.profiler.now_ns();
+                    cur = layer.forward(&cur, mode);
+                    handles.record_fwd(rows, p.profiler.now_ns().saturating_sub(t0));
+                }
+            }
         }
         cur
     }
 
     fn forward_eval(&self, x: &Matrix) -> Matrix {
         let mut cur = x.clone();
-        for layer in &self.layers {
-            cur = layer.forward_eval(&cur);
+        match &self.profiler {
+            None => {
+                for layer in &self.layers {
+                    cur = layer.forward_eval(&cur);
+                }
+            }
+            Some(p) => {
+                for (layer, handles) in self.layers.iter().zip(&p.handles) {
+                    let rows = cur.rows();
+                    let t0 = p.profiler.now_ns();
+                    cur = layer.forward_eval(&cur);
+                    handles.record_fwd(rows, p.profiler.now_ns().saturating_sub(t0));
+                }
+            }
         }
         cur
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let Self { layers, profiler } = self;
         let mut grad = grad_out.clone();
-        for layer in self.layers.iter_mut().rev() {
-            grad = layer.backward(&grad);
+        match profiler {
+            None => {
+                for layer in layers.iter_mut().rev() {
+                    grad = layer.backward(&grad);
+                }
+            }
+            Some(p) => {
+                for (layer, handles) in layers.iter_mut().zip(&p.handles).rev() {
+                    let t0 = p.profiler.now_ns();
+                    grad = layer.backward(&grad);
+                    handles.record_bwd(p.profiler.now_ns().saturating_sub(t0));
+                }
+            }
         }
         grad
     }
@@ -155,6 +202,10 @@ impl Layer for Sequential {
         for layer in &mut self.layers {
             layer.visit_params(f);
         }
+    }
+
+    fn set_profiler(&mut self, profiler: Option<Arc<crate::profile::LayerProfiler>>) {
+        self.profiler = profiler.map(|p| profile::Attached::new(p, &self.layer_infos()));
     }
 
     fn info(&self) -> LayerInfo {

@@ -3,6 +3,8 @@
 use crate::layer::{Layer, Mode};
 use crate::loss::softmax_cross_entropy;
 use crate::optim::Optimizer;
+use crate::profile::LayerProfiler;
+use mdl_obs::{Buckets, Obs};
 use mdl_tensor::Matrix;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -23,11 +25,23 @@ pub struct TrainConfig {
     /// never affects results — the kernel is bit-deterministic — only
     /// wall-clock time.
     pub kernel_threads: Option<usize>,
+    /// Observability session: when set, the loop opens `train.fit` /
+    /// `train.epoch` / `train.batch` spans, publishes `train.*` counters
+    /// and attaches a per-layer [`LayerProfiler`] to the model.
+    /// Instrumentation never changes results — only what is recorded.
+    pub obs: Option<Obs>,
 }
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { epochs: 10, batch_size: 32, shuffle: true, grad_clip: None, kernel_threads: None }
+        Self {
+            epochs: 10,
+            batch_size: 32,
+            shuffle: true,
+            grad_clip: None,
+            kernel_threads: None,
+            obs: None,
+        }
     }
 }
 
@@ -66,7 +80,21 @@ pub fn fit_classifier(
     let mut order: Vec<usize> = (0..n).collect();
     let mut history = Vec::with_capacity(config.epochs);
 
+    // resolve instrumentation once; the batch loop then only touches
+    // atomics (counters) and the span ring buffer
+    let instruments = config.obs.as_ref().map(|obs| {
+        model.set_profiler(Some(LayerProfiler::new(obs)));
+        (
+            obs.root_span("train.fit"),
+            obs.registry().counter("train.batches"),
+            obs.registry().counter("train.examples"),
+            obs.registry().histogram("train.batch_ns", Buckets::Pow2),
+            obs.clock().clone(),
+        )
+    });
+
     for epoch in 0..config.epochs {
+        let epoch_span = instruments.as_ref().map(|(fit, _, _, _, _)| fit.child("train.epoch"));
         if config.shuffle {
             order.shuffle(rng);
         }
@@ -74,6 +102,8 @@ pub fn fit_classifier(
         let mut correct = 0usize;
         let mut batches = 0usize;
         for chunk in order.chunks(config.batch_size.max(1)) {
+            let batch_span = epoch_span.as_ref().map(|e| e.child("train.batch"));
+            let t0 = instruments.as_ref().map(|(_, _, _, _, clock)| clock.now_ns());
             let bx = x.select_rows(chunk);
             let by: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
             model.zero_grad();
@@ -92,12 +122,28 @@ pub fn fit_classifier(
                     correct += 1;
                 }
             }
+            if let Some((_, batch_counter, examples, batch_ns, clock)) = instruments.as_ref() {
+                batch_counter.inc();
+                examples.add(chunk.len() as u64);
+                batch_ns.record(clock.now_ns().saturating_sub(t0.unwrap_or(0)));
+            }
+            drop(batch_span);
         }
-        history.push(EpochStats {
+        let stats = EpochStats {
             epoch,
             loss: total_loss / batches.max(1) as f64,
             accuracy: correct as f64 / n as f64,
-        });
+        };
+        if let Some(obs) = &config.obs {
+            obs.registry().gauge("train.loss").set(stats.loss);
+            obs.registry().gauge("train.accuracy").set(stats.accuracy);
+        }
+        history.push(stats);
+        drop(epoch_span);
+    }
+    if let Some((fit, ..)) = instruments {
+        fit.exit();
+        model.set_profiler(None);
     }
     history
 }

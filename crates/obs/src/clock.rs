@@ -1,0 +1,167 @@
+//! The time source every instrument reads.
+//!
+//! Observability data is only reproducible if its clock is: a [`Clock`]
+//! is either a **wall** clock (monotonic nanoseconds since creation, for
+//! real benchmarking) or a **sim** clock (a counter that advances only
+//! when a simulation advances it — the `mdl-net` fabric drives it with
+//! its per-round transfer times). Under a sim clock, every timestamp in a
+//! trace is a pure function of the simulated events, so two seeded runs
+//! produce bit-identical snapshots.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Which source a [`Clock`] reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockKind {
+    /// Monotonic wall time (nanoseconds since the clock was created).
+    Wall,
+    /// Deterministic simulated time, advanced explicitly.
+    Sim,
+}
+
+impl ClockKind {
+    /// Stable lowercase name used in JSON exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Wall => "wall",
+            Self::Sim => "sim",
+        }
+    }
+
+    /// Parses [`ClockKind::name`] back.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "wall" => Some(Self::Wall),
+            "sim" => Some(Self::Sim),
+            _ => None,
+        }
+    }
+}
+
+enum Source {
+    Wall(Instant),
+    Sim(AtomicU64),
+}
+
+/// A cloneable handle to one time source; clones share the same time.
+#[derive(Clone)]
+pub struct Clock {
+    source: Arc<Source>,
+}
+
+impl std::fmt::Debug for Clock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Clock::{:?}@{}ns", self.kind(), self.now_ns())
+    }
+}
+
+impl Clock {
+    /// A monotonic wall clock starting at 0 ns now.
+    pub fn wall() -> Self {
+        Self { source: Arc::new(Source::Wall(Instant::now())) }
+    }
+
+    /// A simulated clock starting at 0 ns.
+    pub fn sim() -> Self {
+        Self { source: Arc::new(Source::Sim(AtomicU64::new(0))) }
+    }
+
+    /// Which source this clock reads.
+    pub fn kind(&self) -> ClockKind {
+        match *self.source {
+            Source::Wall(_) => ClockKind::Wall,
+            Source::Sim(_) => ClockKind::Sim,
+        }
+    }
+
+    /// `true` for a simulated clock.
+    pub fn is_sim(&self) -> bool {
+        self.kind() == ClockKind::Sim
+    }
+
+    /// Current time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        match &*self.source {
+            Source::Wall(epoch) => epoch.elapsed().as_nanos() as u64,
+            Source::Sim(ns) => ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Advances a simulated clock by `ns`; a no-op on a wall clock (wall
+    /// time advances itself). Saturates instead of wrapping.
+    pub fn advance_ns(&self, ns: u64) {
+        if let Source::Sim(t) = &*self.source {
+            // saturating add via CAS: fetch_add could wrap after ~584 years
+            // of simulated time, but a runaway simulation should pin, not wrap
+            let mut cur = t.load(Ordering::Relaxed);
+            loop {
+                let next = cur.saturating_add(ns);
+                match t.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                    Ok(_) => break,
+                    Err(seen) => cur = seen,
+                }
+            }
+        }
+    }
+
+    /// Advances a simulated clock by (fractional) seconds, rounding to
+    /// whole nanoseconds; a no-op on a wall clock or for non-positive `s`.
+    pub fn advance_secs(&self, s: f64) {
+        if s > 0.0 {
+            self.advance_ns((s * 1e9).round() as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_clock_advances_only_when_told() {
+        let c = Clock::sim();
+        assert_eq!(c.now_ns(), 0);
+        c.advance_ns(250);
+        c.advance_secs(1e-6);
+        assert_eq!(c.now_ns(), 1250);
+        assert!(c.is_sim());
+        assert_eq!(c.kind().name(), "sim");
+    }
+
+    #[test]
+    fn sim_clock_saturates() {
+        let c = Clock::sim();
+        c.advance_ns(u64::MAX - 5);
+        c.advance_ns(100);
+        assert_eq!(c.now_ns(), u64::MAX);
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let a = Clock::sim();
+        let b = a.clone();
+        b.advance_ns(7);
+        assert_eq!(a.now_ns(), 7);
+    }
+
+    #[test]
+    fn wall_clock_monotone_and_ignores_advance() {
+        let c = Clock::wall();
+        let t0 = c.now_ns();
+        c.advance_ns(1_000_000_000_000);
+        let t1 = c.now_ns();
+        assert!(t1 < 1_000_000_000_000, "advance must not touch wall time");
+        assert!(t1 >= t0);
+        assert_eq!(c.kind(), ClockKind::Wall);
+    }
+
+    #[test]
+    fn kind_round_trips_through_name() {
+        for k in [ClockKind::Wall, ClockKind::Sim] {
+            assert_eq!(ClockKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(ClockKind::parse("lunar"), None);
+    }
+}

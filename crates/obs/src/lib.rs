@@ -1,0 +1,182 @@
+//! `mdl-obs` — zero-dependency, deterministic observability.
+//!
+//! One [`Obs`] handle bundles the three primitives every subsystem shares:
+//!
+//! * a [`Clock`] — wall time for real benchmarking, or a **sim clock**
+//!   advanced by the `mdl-net` fabric so every timestamp is a pure
+//!   function of the simulated events;
+//! * a [`MetricsRegistry`] of named counters, gauges and fixed-bucket
+//!   histograms with lock-free, allocation-free recording;
+//! * a [`Tracer`] building a tree of timed [`Span`]s in a fixed-size
+//!   ring buffer.
+//!
+//! [`Obs::snapshot`] freezes everything into an [`ObsSnapshot`] that
+//! compares with `==` and round-trips through JSON bit-exactly.
+//!
+//! # Determinism contract
+//!
+//! Under [`Obs::sim`], a seeded run produces a bit-identical snapshot
+//! across repeats and across `MDL_THREADS` settings, provided the
+//! instrumented control flow is itself deterministic (spans entered in
+//! one order, counters fed the same totals). Wall-clock handles
+//! ([`Obs::wall`]) trade that away for real timings.
+//!
+//! # Span naming
+//!
+//! Dotted lowercase paths, subsystem first: `train.fit` > `train.epoch` >
+//! `train.batch`, `fed.round`, `serve.batch`, `pipeline.train` … Metric
+//! names follow the same convention (`serve.completed`,
+//! `net.bytes_up`, `kernel.gemm.calls`).
+//!
+//! ```
+//! use mdl_obs::Obs;
+//!
+//! let obs = Obs::sim();
+//! let span = obs.root_span("train.fit");
+//! obs.clock().advance_ns(1_000);
+//! obs.registry().counter("train.batches").inc();
+//! span.exit();
+//!
+//! let snap = obs.snapshot();
+//! assert_eq!(snap.counter("train.batches"), Some(1));
+//! assert_eq!(snap.spans[0].duration_ns(), 1_000);
+//! let restored = mdl_obs::ObsSnapshot::from_json(&snap.to_json()).unwrap();
+//! assert_eq!(restored, snap);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod json;
+pub mod registry;
+pub mod snapshot;
+pub mod span;
+
+pub use clock::{Clock, ClockKind};
+pub use json::{Json, JsonError};
+pub use registry::{Buckets, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry};
+pub use snapshot::{build_span_tree, ObsSnapshot, SpanNode};
+pub use span::{Span, SpanRecord, Tracer, DEFAULT_SPAN_CAPACITY};
+
+use std::sync::Arc;
+
+struct ObsInner {
+    clock: Clock,
+    registry: MetricsRegistry,
+    tracer: Tracer,
+}
+
+/// A cloneable observability session: one clock, one registry, one
+/// tracer. Clones share all three, so a handle can be passed to the
+/// trainer, the serving stack and the network fabric and everything
+/// lands in a single snapshot.
+#[derive(Clone)]
+pub struct Obs {
+    inner: Arc<ObsInner>,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Obs({:?}, {:?})", self.inner.clock, self.inner.tracer)
+    }
+}
+
+impl Obs {
+    /// A session over `clock` with the given span ring-buffer capacity.
+    pub fn with_clock(clock: Clock, span_capacity: usize) -> Self {
+        Self {
+            inner: Arc::new(ObsInner {
+                clock: clock.clone(),
+                registry: MetricsRegistry::new(),
+                tracer: Tracer::new(clock, span_capacity),
+            }),
+        }
+    }
+
+    /// A wall-clock session (real timings, not reproducible).
+    pub fn wall() -> Self {
+        Self::with_clock(Clock::wall(), DEFAULT_SPAN_CAPACITY)
+    }
+
+    /// A sim-clock session (deterministic; time advances only via
+    /// [`Clock::advance_ns`] / [`Clock::advance_secs`]).
+    pub fn sim() -> Self {
+        Self::with_clock(Clock::sim(), DEFAULT_SPAN_CAPACITY)
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &Clock {
+        &self.inner.clock
+    }
+
+    /// The shared metrics registry.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.inner.registry
+    }
+
+    /// The shared tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.inner.tracer
+    }
+
+    /// Opens a top-level span.
+    pub fn root_span(&self, name: &'static str) -> Span {
+        self.inner.tracer.root(name)
+    }
+
+    /// Freezes the current state of everything into one snapshot.
+    pub fn snapshot(&self) -> ObsSnapshot {
+        let (counters, gauges, histograms) = self.inner.registry.snapshot_parts();
+        let (records, dropped_spans) = self.inner.tracer.drain_view();
+        ObsSnapshot {
+            clock: self.inner.clock.kind(),
+            now_ns: self.inner.clock.now_ns(),
+            counters,
+            gauges,
+            histograms,
+            spans: build_span_tree(&records),
+            dropped_spans,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state() {
+        let obs = Obs::sim();
+        let other = obs.clone();
+        other.registry().counter("x").add(3);
+        other.clock().advance_ns(11);
+        other.root_span("r").exit();
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("x"), Some(3));
+        assert_eq!(snap.now_ns, 11);
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.clock, ClockKind::Sim);
+    }
+
+    #[test]
+    fn identical_sim_sessions_snapshot_identically() {
+        let run = || {
+            let obs = Obs::sim();
+            let fit = obs.root_span("train.fit");
+            for _ in 0..3 {
+                let epoch = fit.child("train.epoch");
+                obs.clock().advance_ns(500);
+                obs.registry().counter("train.batches").add(4);
+                obs.registry().histogram("train.batch_ns", Buckets::Pow2).record(125);
+                epoch.exit();
+            }
+            fit.exit();
+            obs.snapshot()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+}

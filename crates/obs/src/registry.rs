@@ -1,0 +1,498 @@
+//! The [`MetricsRegistry`]: named counters, gauges and fixed-bucket
+//! histograms behind lock-free handles.
+//!
+//! Registration (`counter`/`gauge`/`histogram`) takes a short mutex and
+//! allocates the name once; the returned handles are `Arc`-backed and
+//! record with plain atomic operations — **no allocation and no lock on
+//! the hot path**. Snapshots iterate names in sorted order, so two
+//! registries fed the same samples export byte-identical JSON.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Bucket layout of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Buckets {
+    /// Bucket `i` holds values in `[2^i, 2^(i+1))` (value 0 lands in
+    /// bucket 0). 64 buckets cover the whole `u64` range.
+    Pow2,
+    /// Bucket `i` holds values in `[i·width, (i+1)·width)`; the last of
+    /// `count` buckets also absorbs everything larger.
+    Linear {
+        /// Width of each bucket (must be ≥ 1).
+        width: u64,
+        /// Number of buckets (must be ≥ 1).
+        count: usize,
+    },
+}
+
+impl Buckets {
+    /// Number of buckets this layout allocates.
+    pub fn len(&self) -> usize {
+        match *self {
+            Self::Pow2 => 64,
+            Self::Linear { count, .. } => count,
+        }
+    }
+
+    /// `true` for a zero-bucket layout (never constructed by the
+    /// registry, which clamps `count` to at least 1).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Index of the bucket `value` falls in.
+    pub fn index_of(&self, value: u64) -> usize {
+        match *self {
+            Self::Pow2 => 63 - value.max(1).leading_zeros() as usize,
+            Self::Linear { width, count } => {
+                ((value / width.max(1)) as usize).min(count.saturating_sub(1))
+            }
+        }
+    }
+
+    /// Inclusive upper bound reported for bucket `i` (the quantile
+    /// estimate returned when a rank lands in it).
+    pub fn upper_bound(&self, i: usize) -> u64 {
+        match *self {
+            Self::Pow2 => {
+                if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                }
+            }
+            Self::Linear { width, .. } => (i as u64 + 1).saturating_mul(width.max(1)) - 1,
+        }
+    }
+
+    /// Stable name used in JSON exports.
+    pub fn scheme_name(&self) -> &'static str {
+        match self {
+            Self::Pow2 => "pow2",
+            Self::Linear { .. } => "linear",
+        }
+    }
+}
+
+/// A monotonically increasing named counter.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n` (saturating; a counter pins at `u64::MAX`, never wraps).
+    pub fn add(&self, n: u64) {
+        if self.0.fetch_add(n, Ordering::Relaxed) > u64::MAX - n {
+            self.0.store(u64::MAX, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Overwrites the value. For exporters mirroring an externally
+    /// accumulated total (e.g. transport metrics) into the registry —
+    /// normal instrumentation should only ever [`Counter::add`].
+    pub fn store(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A named gauge holding one `f64` (last write wins).
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Publishes a new value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+struct HistInner {
+    scheme: Buckets,
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A fixed-bucket histogram; quantiles read back as the upper bound of
+/// the bucket the rank falls in, without allocating.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistInner>);
+
+impl Histogram {
+    fn new(scheme: Buckets) -> Self {
+        let n = scheme.len().max(1);
+        Self(Arc::new(HistInner {
+            scheme,
+            buckets: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        let h = &self.0;
+        h.buckets[h.scheme.index_of(value)].fetch_add(1, Ordering::Relaxed);
+        h.count.fetch_add(1, Ordering::Relaxed);
+        h.sum.fetch_add(value, Ordering::Relaxed);
+        h.min.fetch_min(value, Ordering::Relaxed);
+        h.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Upper-bound estimate of the `p`-th percentile (`0 < p <= 100`);
+    /// 0 when empty.
+    pub fn quantile(&self, p: f64) -> u64 {
+        let h = &self.0;
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * n as f64).ceil().clamp(1.0, n as f64) as u64;
+        let mut seen = 0u64;
+        for (i, b) in h.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return h.scheme.upper_bound(i);
+            }
+        }
+        h.scheme.upper_bound(h.buckets.len() - 1)
+    }
+
+    /// Point-in-time copy of every field.
+    pub fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        let h = &self.0;
+        let buckets: Vec<(usize, u64)> = h
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Ordering::Relaxed);
+                (c > 0).then_some((i, c))
+            })
+            .collect();
+        let count = h.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            name: name.to_string(),
+            scheme: h.scheme,
+            count,
+            sum: h.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { h.min.load(Ordering::Relaxed) },
+            max: h.max.load(Ordering::Relaxed),
+            p50: self.quantile(50.0),
+            p95: self.quantile(95.0),
+            p99: self.quantile(99.0),
+            buckets,
+        }
+    }
+}
+
+/// A frozen view of one histogram; see [`Histogram::snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Bucket layout.
+    pub scheme: Buckets,
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Median upper-bound estimate.
+    pub p50: u64,
+    /// 95th-percentile upper-bound estimate.
+    pub p95: u64,
+    /// 99th-percentile upper-bound estimate.
+    pub p99: u64,
+    /// `(bucket index, count)` pairs, ascending, zero counts omitted.
+    pub buckets: Vec<(usize, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Folds `other` into this snapshot (same name and scheme required).
+    /// Bucket-count merging is exact, so the operation is associative and
+    /// commutative; `min`/`max`/quantiles are recomputed from the merged
+    /// buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schemes differ.
+    pub fn merge(&self, other: &Self) -> Self {
+        assert_eq!(self.scheme, other.scheme, "cannot merge histograms with different buckets");
+        let mut counts: BTreeMap<usize, u64> = self.buckets.iter().copied().collect();
+        for &(i, c) in &other.buckets {
+            *counts.entry(i).or_insert(0) += c;
+        }
+        let buckets: Vec<(usize, u64)> = counts.into_iter().collect();
+        let count = self.count + other.count;
+        let (min, max) = match (self.count, other.count) {
+            (0, 0) => (0, 0),
+            (0, _) => (other.min, other.max),
+            (_, 0) => (self.min, self.max),
+            _ => (self.min.min(other.min), self.max.max(other.max)),
+        };
+        let quantile = |p: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let rank = ((p / 100.0) * count as f64).ceil().clamp(1.0, count as f64) as u64;
+            let mut seen = 0u64;
+            for &(i, c) in &buckets {
+                seen += c;
+                if seen >= rank {
+                    return self.scheme.upper_bound(i);
+                }
+            }
+            self.scheme.upper_bound(self.scheme.len().saturating_sub(1))
+        };
+        Self {
+            name: self.name.clone(),
+            scheme: self.scheme,
+            count,
+            sum: self.sum + other.sum,
+            min,
+            max,
+            p50: quantile(50.0),
+            p95: quantile(95.0),
+            p99: quantile(99.0),
+            buckets,
+        }
+    }
+}
+
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// Frozen `(counters, gauges, histograms)` views of a registry.
+pub type RegistryParts = (Vec<(String, u64)>, Vec<(String, f64)>, Vec<HistogramSnapshot>);
+
+/// A shared registry of named instruments; clones share the same store.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    items: Arc<Mutex<BTreeMap<String, Instrument>>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.items.lock().map(|m| m.len()).unwrap_or(0);
+        write!(f, "MetricsRegistry({n} instruments)")
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it on first
+    /// use. Cache the handle — this takes the registration lock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different instrument
+    /// kind (an instrumentation bug, not a runtime condition).
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut items = self.items.lock().expect("registry poisoned");
+        match items
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Counter(Counter(Arc::new(AtomicU64::new(0)))))
+        {
+            Instrument::Counter(c) => c.clone(),
+            _ => panic!("metric {name:?} is not a counter"),
+        }
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first
+    /// use (initial value 0.0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is registered as a different instrument kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut items = self.items.lock().expect("registry poisoned");
+        match items
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Gauge(Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))))
+        {
+            Instrument::Gauge(g) => g.clone(),
+            _ => panic!("metric {name:?} is not a gauge"),
+        }
+    }
+
+    /// Returns the histogram registered under `name`, creating it with
+    /// `scheme` on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is registered as a different instrument kind or a
+    /// histogram with a different bucket layout.
+    pub fn histogram(&self, name: &str, scheme: Buckets) -> Histogram {
+        let mut items = self.items.lock().expect("registry poisoned");
+        match items
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Histogram(Histogram::new(scheme)))
+        {
+            Instrument::Histogram(h) => {
+                assert_eq!(h.0.scheme, scheme, "metric {name:?} has a different bucket layout");
+                h.clone()
+            }
+            _ => panic!("metric {name:?} is not a histogram"),
+        }
+    }
+
+    /// Frozen views of every instrument, names ascending.
+    pub fn snapshot_parts(&self) -> RegistryParts {
+        let items = self.items.lock().expect("registry poisoned");
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for (name, item) in items.iter() {
+            match item {
+                Instrument::Counter(c) => counters.push((name.clone(), c.get())),
+                Instrument::Gauge(g) => gauges.push((name.clone(), g.get())),
+                Instrument::Histogram(h) => histograms.push(h.snapshot(name)),
+            }
+        }
+        (counters, gauges, histograms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_saturate() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("a");
+        c.inc();
+        c.add(41);
+        assert_eq!(reg.counter("a").get(), 42, "same name returns the same counter");
+        c.store(u64::MAX - 1);
+        c.add(10);
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn gauges_hold_last_value() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("q");
+        g.set(2.5);
+        g.set(-7.25);
+        assert_eq!(reg.gauge("q").get(), -7.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.gauge("x");
+        let _ = reg.counter("x");
+    }
+
+    #[test]
+    fn pow2_histogram_quantiles_bound_samples() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat", Buckets::Pow2);
+        for _ in 0..99 {
+            h.record(100); // bucket [64, 128)
+        }
+        h.record(50_000);
+        let p50 = h.quantile(50.0);
+        assert!((100..=255).contains(&p50), "{p50}");
+        assert!(h.quantile(99.0) <= 255);
+        assert!(h.quantile(100.0) >= 50_000);
+        let snap = h.snapshot("lat");
+        assert_eq!(snap.count, 100);
+        assert_eq!(snap.min, 100);
+        assert_eq!(snap.max, 50_000);
+        assert_eq!(snap.sum, 99 * 100 + 50_000);
+    }
+
+    #[test]
+    fn linear_histogram_keeps_exact_small_values() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("batch", Buckets::Linear { width: 1, count: 65 });
+        h.record(1);
+        h.record(7);
+        h.record(7);
+        h.record(1_000); // clamps to last bucket
+        let snap = h.snapshot("batch");
+        assert_eq!(snap.buckets, vec![(1, 1), (7, 2), (64, 1)]);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("e", Buckets::Pow2);
+        assert_eq!(h.quantile(99.0), 0);
+        let snap = h.snapshot("e");
+        assert_eq!((snap.count, snap.min, snap.max, snap.sum), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn snapshot_parts_sorted_by_name() {
+        let reg = MetricsRegistry::new();
+        reg.counter("z").inc();
+        reg.counter("a").inc();
+        reg.gauge("m").set(1.0);
+        let (counters, gauges, _) = reg.snapshot_parts();
+        assert_eq!(counters.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(), vec!["a", "z"]);
+        assert_eq!(gauges.len(), 1);
+    }
+
+    #[test]
+    fn merge_is_exact_on_buckets() {
+        let reg = MetricsRegistry::new();
+        let a = reg.histogram("a", Buckets::Pow2);
+        let b = reg.histogram("b", Buckets::Pow2);
+        let all = reg.histogram("all", Buckets::Pow2);
+        for v in [1u64, 5, 9, 200] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [3u64, 5, 1000] {
+            b.record(v);
+            all.record(v);
+        }
+        let merged = a.snapshot("x").merge(&b.snapshot("x"));
+        let direct = all.snapshot("x");
+        assert_eq!(merged.buckets, direct.buckets);
+        assert_eq!(merged.count, direct.count);
+        assert_eq!(merged.sum, direct.sum);
+        assert_eq!((merged.min, merged.max), (direct.min, direct.max));
+        assert_eq!((merged.p50, merged.p95, merged.p99), (direct.p50, direct.p95, direct.p99));
+    }
+}

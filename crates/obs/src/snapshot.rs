@@ -1,0 +1,367 @@
+//! [`ObsSnapshot`]: the single frozen export of an observability session —
+//! every counter, gauge and histogram from the registry plus the span
+//! tree — with a bit-exact JSON round-trip.
+
+use crate::clock::ClockKind;
+use crate::json::{Json, JsonError};
+use crate::registry::{Buckets, HistogramSnapshot};
+use crate::span::SpanRecord;
+
+/// One node of the exported span tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Pre-order id assigned at enter time.
+    pub id: u64,
+    /// Region name.
+    pub name: String,
+    /// Clock reading at enter.
+    pub start_ns: u64,
+    /// Clock reading at exit.
+    pub end_ns: u64,
+    /// Child spans, ascending by id.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+
+    /// Flattens the subtree into `(depth, name)` pairs in pre-order —
+    /// a compact shape for asserting on structure in tests.
+    pub fn outline(&self) -> Vec<(usize, String)> {
+        fn walk(node: &SpanNode, depth: usize, out: &mut Vec<(usize, String)>) {
+            out.push((depth, node.name.clone()));
+            for c in &node.children {
+                walk(c, depth + 1, out);
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, 0, &mut out);
+        out
+    }
+}
+
+/// Rebuilds the span forest from flat ring-buffer records. Records whose
+/// parent was overwritten by the ring buffer are promoted to roots; the
+/// forest and every child list are ordered by id (= enter order).
+pub fn build_span_tree(records: &[SpanRecord]) -> Vec<SpanNode> {
+    let mut sorted: Vec<&SpanRecord> = records.iter().collect();
+    sorted.sort_by_key(|r| r.id);
+    let present: std::collections::BTreeSet<u64> = sorted.iter().map(|r| r.id).collect();
+    let mut nodes: std::collections::BTreeMap<u64, SpanNode> = sorted
+        .iter()
+        .map(|r| {
+            (
+                r.id,
+                SpanNode {
+                    id: r.id,
+                    name: r.name.to_string(),
+                    start_ns: r.start_ns,
+                    end_ns: r.end_ns,
+                    children: Vec::new(),
+                },
+            )
+        })
+        .collect();
+    let mut roots = Vec::new();
+    // children have larger ids than parents (pre-order assignment), so
+    // walking ids descending lets each node be complete before it is
+    // attached to its parent
+    for r in sorted.iter().rev() {
+        let node = nodes.remove(&r.id).expect("node present");
+        if r.parent != 0 && present.contains(&r.parent) {
+            nodes.get_mut(&r.parent).expect("parent still pending").children.insert(0, node);
+        } else {
+            roots.insert(0, node);
+        }
+    }
+    roots
+}
+
+/// A frozen, comparable, JSON-serializable view of one observability
+/// session. Two seeded sim-clock runs produce equal snapshots; see the
+/// crate docs for the determinism contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsSnapshot {
+    /// Which clock stamped the data.
+    pub clock: ClockKind,
+    /// Clock reading when the snapshot was taken.
+    pub now_ns: u64,
+    /// `(name, value)` for every counter, names ascending.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge, names ascending.
+    pub gauges: Vec<(String, f64)>,
+    /// Every histogram, names ascending.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Span forest ordered by enter time.
+    pub spans: Vec<SpanNode>,
+    /// Spans lost to ring-buffer wrap-around.
+    pub dropped_spans: u64,
+}
+
+impl ObsSnapshot {
+    /// Counter value by name, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Gauge value by name, if present.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Histogram by name, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Pre-order `(depth, name)` outline of the whole span forest.
+    pub fn span_outline(&self) -> Vec<(usize, String)> {
+        let mut out = Vec::new();
+        for root in &self.spans {
+            out.extend(root.outline());
+        }
+        out
+    }
+
+    /// Serializes to compact JSON. The output is a pure function of the
+    /// snapshot contents (keys in fixed order, shortest-round-trip float
+    /// formatting), so equal snapshots produce identical strings.
+    pub fn to_json(&self) -> String {
+        fn span_json(node: &SpanNode) -> Json {
+            Json::Obj(vec![
+                ("id".into(), Json::u64(node.id)),
+                ("name".into(), Json::str(node.name.clone())),
+                ("start_ns".into(), Json::u64(node.start_ns)),
+                ("end_ns".into(), Json::u64(node.end_ns)),
+                ("children".into(), Json::Arr(node.children.iter().map(span_json).collect())),
+            ])
+        }
+        let hist_json = |h: &HistogramSnapshot| {
+            let mut members = vec![
+                ("name".into(), Json::str(h.name.clone())),
+                ("scheme".into(), Json::str(h.scheme.scheme_name())),
+            ];
+            if let Buckets::Linear { width, count } = h.scheme {
+                members.push(("width".into(), Json::u64(width)));
+                members.push(("bucket_count".into(), Json::u64(count as u64)));
+            }
+            members.extend([
+                ("count".into(), Json::u64(h.count)),
+                ("sum".into(), Json::u64(h.sum)),
+                ("min".into(), Json::u64(h.min)),
+                ("max".into(), Json::u64(h.max)),
+                ("p50".into(), Json::u64(h.p50)),
+                ("p95".into(), Json::u64(h.p95)),
+                ("p99".into(), Json::u64(h.p99)),
+                (
+                    "buckets".into(),
+                    Json::Arr(
+                        h.buckets
+                            .iter()
+                            .map(|&(i, c)| Json::Arr(vec![Json::u64(i as u64), Json::u64(c)]))
+                            .collect(),
+                    ),
+                ),
+            ]);
+            Json::Obj(members)
+        };
+        Json::Obj(vec![
+            ("clock".into(), Json::str(self.clock.name())),
+            ("now_ns".into(), Json::u64(self.now_ns)),
+            (
+                "counters".into(),
+                Json::Obj(self.counters.iter().map(|(n, v)| (n.clone(), Json::u64(*v))).collect()),
+            ),
+            (
+                "gauges".into(),
+                Json::Obj(self.gauges.iter().map(|(n, v)| (n.clone(), Json::Num(*v))).collect()),
+            ),
+            ("histograms".into(), Json::Arr(self.histograms.iter().map(hist_json).collect())),
+            ("spans".into(), Json::Arr(self.spans.iter().map(span_json).collect())),
+            ("dropped_spans".into(), Json::u64(self.dropped_spans)),
+        ])
+        .to_string()
+    }
+
+    /// Parses a snapshot back from [`ObsSnapshot::to_json`] output.
+    pub fn from_json(text: &str) -> Result<Self, JsonError> {
+        let bad = |message: &'static str| JsonError { message, offset: 0 };
+        let doc = Json::parse(text)?;
+        let clock = doc
+            .get("clock")
+            .and_then(Json::as_str)
+            .and_then(ClockKind::parse)
+            .ok_or(bad("missing or invalid clock"))?;
+        let now_ns = doc.get("now_ns").and_then(Json::as_u64).ok_or(bad("missing now_ns"))?;
+        let counters = match doc.get("counters") {
+            Some(Json::Obj(members)) => members
+                .iter()
+                .map(|(n, v)| v.as_u64().map(|v| (n.clone(), v)))
+                .collect::<Option<Vec<_>>>()
+                .ok_or(bad("non-integer counter"))?,
+            _ => return Err(bad("missing counters")),
+        };
+        let gauges = match doc.get("gauges") {
+            Some(Json::Obj(members)) => members
+                .iter()
+                .map(|(n, v)| v.as_f64().map(|v| (n.clone(), v)))
+                .collect::<Option<Vec<_>>>()
+                .ok_or(bad("non-number gauge"))?,
+            _ => return Err(bad("missing gauges")),
+        };
+
+        fn parse_hist(v: &Json) -> Option<HistogramSnapshot> {
+            let scheme = match v.get("scheme")?.as_str()? {
+                "pow2" => Buckets::Pow2,
+                "linear" => Buckets::Linear {
+                    width: v.get("width")?.as_u64()?,
+                    count: v.get("bucket_count")?.as_u64()? as usize,
+                },
+                _ => return None,
+            };
+            let buckets = v
+                .get("buckets")?
+                .as_arr()?
+                .iter()
+                .map(|pair| {
+                    let pair = pair.as_arr()?;
+                    match pair {
+                        [i, c] => Some((i.as_u64()? as usize, c.as_u64()?)),
+                        _ => None,
+                    }
+                })
+                .collect::<Option<Vec<_>>>()?;
+            Some(HistogramSnapshot {
+                name: v.get("name")?.as_str()?.to_string(),
+                scheme,
+                count: v.get("count")?.as_u64()?,
+                sum: v.get("sum")?.as_u64()?,
+                min: v.get("min")?.as_u64()?,
+                max: v.get("max")?.as_u64()?,
+                p50: v.get("p50")?.as_u64()?,
+                p95: v.get("p95")?.as_u64()?,
+                p99: v.get("p99")?.as_u64()?,
+                buckets,
+            })
+        }
+        let histograms = doc
+            .get("histograms")
+            .and_then(Json::as_arr)
+            .ok_or(bad("missing histograms"))?
+            .iter()
+            .map(parse_hist)
+            .collect::<Option<Vec<_>>>()
+            .ok_or(bad("invalid histogram"))?;
+
+        fn parse_span(v: &Json) -> Option<SpanNode> {
+            Some(SpanNode {
+                id: v.get("id")?.as_u64()?,
+                name: v.get("name")?.as_str()?.to_string(),
+                start_ns: v.get("start_ns")?.as_u64()?,
+                end_ns: v.get("end_ns")?.as_u64()?,
+                children: v
+                    .get("children")?
+                    .as_arr()?
+                    .iter()
+                    .map(parse_span)
+                    .collect::<Option<Vec<_>>>()?,
+            })
+        }
+        let spans = doc
+            .get("spans")
+            .and_then(Json::as_arr)
+            .ok_or(bad("missing spans"))?
+            .iter()
+            .map(parse_span)
+            .collect::<Option<Vec<_>>>()
+            .ok_or(bad("invalid span"))?;
+        let dropped_spans =
+            doc.get("dropped_spans").and_then(Json::as_u64).ok_or(bad("missing dropped_spans"))?;
+        Ok(Self { clock, now_ns, counters, gauges, histograms, spans, dropped_spans })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: u64, parent: u64, name: &'static str, start: u64, end: u64) -> SpanRecord {
+        SpanRecord { id, parent, name, start_ns: start, end_ns: end }
+    }
+
+    #[test]
+    fn tree_rebuild_orders_by_id_and_orphans_become_roots() {
+        // close order (ring order) differs from enter order; parent of id 5
+        // was overwritten
+        let records = vec![
+            record(3, 1, "batch", 5, 6),
+            record(2, 1, "setup", 1, 4),
+            record(1, 0, "fit", 0, 10),
+            record(5, 4, "orphan", 20, 21),
+        ];
+        let roots = build_span_tree(&records);
+        assert_eq!(roots.len(), 2);
+        assert_eq!(roots[0].name, "fit");
+        assert_eq!(
+            roots[0].children.iter().map(|c| c.name.as_str()).collect::<Vec<_>>(),
+            vec!["setup", "batch"]
+        );
+        assert_eq!(roots[1].name, "orphan");
+        assert_eq!(
+            roots[0].outline(),
+            vec![(0, "fit".to_string()), (1, "setup".to_string()), (1, "batch".to_string())]
+        );
+    }
+
+    fn sample_snapshot() -> ObsSnapshot {
+        ObsSnapshot {
+            clock: ClockKind::Sim,
+            now_ns: 12_345,
+            counters: vec![("a.count".into(), 7), ("b.bytes".into(), 1 << 40)],
+            gauges: vec![("loss".into(), 0.1), ("neg".into(), -3.5)],
+            histograms: vec![HistogramSnapshot {
+                name: "lat".into(),
+                scheme: Buckets::Linear { width: 2, count: 8 },
+                count: 3,
+                sum: 9,
+                min: 1,
+                max: 5,
+                p50: 3,
+                p95: 5,
+                p99: 5,
+                buckets: vec![(0, 1), (2, 2)],
+            }],
+            spans: build_span_tree(&[record(2, 1, "epoch", 1, 9), record(1, 0, "fit", 0, 10)]),
+            dropped_spans: 0,
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let snap = sample_snapshot();
+        let text = snap.to_json();
+        let back = ObsSnapshot::from_json(&text).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn accessors_find_by_name() {
+        let snap = sample_snapshot();
+        assert_eq!(snap.counter("a.count"), Some(7));
+        assert_eq!(snap.counter("missing"), None);
+        assert_eq!(snap.gauge("loss"), Some(0.1));
+        assert_eq!(snap.histogram("lat").unwrap().count, 3);
+        assert_eq!(snap.span_outline(), vec![(0, "fit".to_string()), (1, "epoch".to_string())]);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(ObsSnapshot::from_json("{}").is_err());
+        assert!(ObsSnapshot::from_json("not json").is_err());
+        assert!(ObsSnapshot::from_json("{\"clock\":\"lunar\"}").is_err());
+    }
+}

@@ -1,0 +1,251 @@
+//! Structured span tracing: a tree of timed regions feeding a fixed-size
+//! ring buffer.
+//!
+//! Spans carry an explicit parent (no thread-local ambient context — the
+//! serve worker pool and the federated client threads would make that
+//! nondeterministic): a root span comes from [`Tracer::root`], children
+//! from [`Span::child`]. Ids are assigned at *enter* time from one atomic
+//! counter, so under deterministic control flow the pre-order numbering —
+//! and therefore the whole exported tree — is reproducible. Closing a
+//! span (drop or [`Span::exit`]) stamps its duration from the shared
+//! [`Clock`] and pushes one record into a ring buffer of fixed capacity;
+//! when the buffer wraps, the oldest records are overwritten and a
+//! `dropped` counter remembers how many were lost.
+
+use crate::clock::Clock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default ring-buffer capacity (closed spans retained).
+pub const DEFAULT_SPAN_CAPACITY: usize = 4096;
+
+/// One closed span as stored in the ring buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Pre-order id assigned at enter time (1-based; 0 means "no parent").
+    pub id: u64,
+    /// Id of the enclosing span, 0 for roots.
+    pub parent: u64,
+    /// Static region name, e.g. `"train.epoch"`.
+    pub name: &'static str,
+    /// Clock reading at enter.
+    pub start_ns: u64,
+    /// Clock reading at exit (`>= start_ns`).
+    pub end_ns: u64,
+}
+
+struct RingLog {
+    records: Vec<SpanRecord>,
+    capacity: usize,
+    /// Next write position when full (records.len() == capacity).
+    head: usize,
+    dropped: u64,
+}
+
+impl RingLog {
+    fn push(&mut self, rec: SpanRecord) {
+        if self.records.len() < self.capacity {
+            self.records.push(rec);
+        } else {
+            self.records[self.head] = rec;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+}
+
+struct TracerInner {
+    clock: Clock,
+    next_id: AtomicU64,
+    log: Mutex<RingLog>,
+}
+
+/// A cloneable handle to one span log; clones share clock, ids and buffer.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let log = self.inner.log.lock().expect("tracer poisoned");
+        write!(f, "Tracer({} spans, {} dropped)", log.records.len(), log.dropped)
+    }
+}
+
+impl Tracer {
+    /// A tracer reading `clock`, retaining up to `capacity` closed spans.
+    pub fn new(clock: Clock, capacity: usize) -> Self {
+        Self {
+            inner: Arc::new(TracerInner {
+                clock,
+                next_id: AtomicU64::new(1),
+                log: Mutex::new(RingLog {
+                    records: Vec::new(),
+                    capacity: capacity.max(1),
+                    head: 0,
+                    dropped: 0,
+                }),
+            }),
+        }
+    }
+
+    /// Opens a top-level span named `name`.
+    pub fn root(&self, name: &'static str) -> Span {
+        self.open(name, 0)
+    }
+
+    fn open(&self, name: &'static str, parent: u64) -> Span {
+        Span {
+            tracer: self.clone(),
+            id: self.inner.next_id.fetch_add(1, Ordering::Relaxed),
+            parent,
+            name,
+            start_ns: self.inner.clock.now_ns(),
+            closed: false,
+        }
+    }
+
+    /// Closed spans in close order, plus how many older ones the ring
+    /// buffer overwrote.
+    pub fn drain_view(&self) -> (Vec<SpanRecord>, u64) {
+        let log = self.inner.log.lock().expect("tracer poisoned");
+        let mut out = Vec::with_capacity(log.records.len());
+        // unwind the ring so the result is oldest-first
+        out.extend_from_slice(&log.records[log.head..]);
+        out.extend_from_slice(&log.records[..log.head]);
+        (out, log.dropped)
+    }
+
+    /// The clock this tracer stamps spans with.
+    pub fn clock(&self) -> &Clock {
+        &self.inner.clock
+    }
+}
+
+/// An open timed region; closes on [`Span::exit`] or drop.
+pub struct Span {
+    tracer: Tracer,
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    start_ns: u64,
+    closed: bool,
+}
+
+impl std::fmt::Debug for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Span#{}({})", self.id, self.name)
+    }
+}
+
+impl Span {
+    /// Opens a child region of this span.
+    pub fn child(&self, name: &'static str) -> Span {
+        self.tracer.open(name, self.id)
+    }
+
+    /// This span's pre-order id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The region name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Closes the span now (otherwise drop does it).
+    pub fn exit(mut self) {
+        self.close();
+    }
+
+    fn close(&mut self) {
+        if self.closed {
+            return;
+        }
+        self.closed = true;
+        let end_ns = self.tracer.inner.clock.now_ns().max(self.start_ns);
+        let rec = SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            name: self.name,
+            start_ns: self.start_ns,
+            end_ns,
+        };
+        self.tracer.inner.log.lock().expect("tracer poisoned").push(rec);
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_nesting_and_sim_time() {
+        let clock = Clock::sim();
+        let tracer = Tracer::new(clock.clone(), 64);
+        let root = tracer.root("fit");
+        clock.advance_ns(10);
+        {
+            let epoch = root.child("epoch");
+            clock.advance_ns(5);
+            epoch.child("batch").exit();
+            clock.advance_ns(5);
+            epoch.exit();
+        }
+        root.exit();
+        let (recs, dropped) = tracer.drain_view();
+        assert_eq!(dropped, 0);
+        // close order: batch, epoch, fit
+        assert_eq!(recs.iter().map(|r| r.name).collect::<Vec<_>>(), vec!["batch", "epoch", "fit"]);
+        let batch = &recs[0];
+        let epoch = &recs[1];
+        let fit = &recs[2];
+        assert_eq!(fit.parent, 0);
+        assert_eq!(epoch.parent, fit.id);
+        assert_eq!(batch.parent, epoch.id);
+        assert_eq!((fit.start_ns, fit.end_ns), (0, 20));
+        assert_eq!((epoch.start_ns, epoch.end_ns), (10, 20));
+        assert_eq!((batch.start_ns, batch.end_ns), (15, 15));
+    }
+
+    #[test]
+    fn ids_are_preorder() {
+        let tracer = Tracer::new(Clock::sim(), 8);
+        let a = tracer.root("a");
+        let b = a.child("b");
+        let c = tracer.root("c");
+        assert!(a.id() < b.id() && b.id() < c.id());
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let tracer = Tracer::new(Clock::sim(), 2);
+        tracer.root("one").exit();
+        tracer.root("two").exit();
+        tracer.root("three").exit();
+        let (recs, dropped) = tracer.drain_view();
+        assert_eq!(dropped, 1);
+        assert_eq!(recs.iter().map(|r| r.name).collect::<Vec<_>>(), vec!["two", "three"]);
+    }
+
+    #[test]
+    fn drop_closes_span() {
+        let clock = Clock::sim();
+        let tracer = Tracer::new(clock.clone(), 8);
+        {
+            let _s = tracer.root("scoped");
+            clock.advance_ns(3);
+        }
+        let (recs, _) = tracer.drain_view();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].end_ns, 3);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests for histogram quantile invariants and the
+//! `ObsSnapshot` JSON round-trip (mirrors the `mdl_nn::saved` proptests).
+
+use mdl_obs::{Buckets, HistogramSnapshot, Json, MetricsRegistry, Obs, ObsSnapshot};
+use proptest::prelude::*;
+
+/// Derives a bucket layout from one seed: a third Pow2, the rest linear
+/// with varied width/count (the vendored proptest has no `prop_oneof`).
+fn scheme_of(sel: u64) -> Buckets {
+    if sel.is_multiple_of(3) {
+        Buckets::Pow2
+    } else {
+        Buckets::Linear { width: sel % 63 + 1, count: (sel % 78 + 2) as usize }
+    }
+}
+
+fn filled(scheme: Buckets, samples: &[u64]) -> HistogramSnapshot {
+    let reg = MetricsRegistry::new();
+    let h = reg.histogram("h", scheme);
+    for &s in samples {
+        h.record(s);
+    }
+    h.snapshot("h")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// p50 ≤ p95 ≤ p99, and all quantiles sit in [min, upper_bound(max)].
+    #[test]
+    fn quantiles_monotone_and_bounded(
+        sel in 0u64..10_000,
+        samples in prop::collection::vec(0u64..1_000_000, 1..200),
+    ) {
+        let scheme = scheme_of(sel);
+        let snap = filled(scheme, &samples);
+        prop_assert!(snap.p50 <= snap.p95);
+        prop_assert!(snap.p95 <= snap.p99);
+        // quantiles are bucket upper bounds, so they are bracketed by the
+        // bounds of the buckets holding the extreme samples (a linear
+        // layout clamps large values into its last bucket, so comparing
+        // against the raw min/max values would be too strong)
+        let min_bound = scheme.upper_bound(scheme.index_of(snap.min));
+        let max_bound = scheme.upper_bound(scheme.index_of(snap.max));
+        prop_assert!(snap.p50 >= min_bound, "p50 {} < bound {}", snap.p50, min_bound);
+        prop_assert!(snap.p99 <= max_bound, "p99 {} > bound {}", snap.p99, max_bound);
+        prop_assert_eq!(snap.count, samples.len() as u64);
+        prop_assert_eq!(snap.sum, samples.iter().sum::<u64>());
+        prop_assert_eq!(snap.min, *samples.iter().min().unwrap());
+        prop_assert_eq!(snap.max, *samples.iter().max().unwrap());
+    }
+
+    /// (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c), a ⊕ b == b ⊕ a, and merging in pieces
+    /// equals recording everything into one histogram.
+    #[test]
+    fn merge_associative_and_commutative(
+        sel in 0u64..10_000,
+        xs in prop::collection::vec(0u64..1_000_000, 0..60),
+        ys in prop::collection::vec(0u64..1_000_000, 0..60),
+        zs in prop::collection::vec(0u64..1_000_000, 0..60),
+    ) {
+        let scheme = scheme_of(sel);
+        let a = filled(scheme, &xs);
+        let b = filled(scheme, &ys);
+        let c = filled(scheme, &zs);
+        prop_assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
+        prop_assert_eq!(a.merge(&b), b.merge(&a));
+        let all: Vec<u64> = xs.iter().chain(&ys).chain(&zs).copied().collect();
+        prop_assert_eq!(a.merge(&b).merge(&c), filled(scheme, &all));
+    }
+
+    /// Snapshot → JSON → snapshot → JSON is bit-exact for arbitrary
+    /// counters, gauges, histogram samples and span shapes.
+    #[test]
+    fn snapshot_json_round_trip(
+        counter_seeds in prop::collection::vec(any::<u64>(), 1..6),
+        gauge_bits in prop::collection::vec(any::<i64>(), 0..4),
+        samples in prop::collection::vec(0u64..1_000_000, 0..50),
+        advances in prop::collection::vec(1u64..1_000_000, 1..6),
+    ) {
+        let obs = Obs::sim();
+        for (i, seed) in counter_seeds.iter().enumerate() {
+            obs.registry().counter(&format!("c{i}.count")).add(seed % 1_000_000);
+        }
+        for (i, bits) in gauge_bits.iter().enumerate() {
+            obs.registry().gauge(&format!("g{i}")).set(*bits as f64 / 1e6);
+        }
+        let h = obs.registry().histogram("lat", Buckets::Pow2);
+        let root = obs.root_span("root");
+        for (i, ns) in advances.iter().enumerate() {
+            let child = root.child(if i % 2 == 0 { "even" } else { "odd" });
+            obs.clock().advance_ns(*ns);
+            child.exit();
+        }
+        for &s in &samples {
+            h.record(s);
+        }
+        root.exit();
+
+        let snap = obs.snapshot();
+        let text = snap.to_json();
+        let back = ObsSnapshot::from_json(&text).unwrap();
+        prop_assert_eq!(&back, &snap);
+        prop_assert_eq!(back.to_json(), text);
+    }
+
+    /// The JSON writer/parser round-trips arbitrary strings, including
+    /// quotes, backslashes, control characters and non-ASCII.
+    #[test]
+    fn json_string_round_trip(codes in prop::collection::vec(0u32..0x11_0000, 0..40)) {
+        let s: String = codes.iter().filter_map(|&c| char::from_u32(c)).collect();
+        let text = Json::str(s.clone()).to_string();
+        prop_assert_eq!(Json::parse(&text).unwrap().as_str(), Some(s.as_str()));
+    }
+
+    /// Finite f64 values survive format → parse with identical bits.
+    #[test]
+    fn json_f64_round_trip(bits in any::<u64>()) {
+        let v = f64::from_bits(bits);
+        if !v.is_finite() {
+            return;
+        }
+        let text = Json::Num(v).to_string();
+        let back = Json::parse(&text).unwrap().as_f64().unwrap();
+        prop_assert_eq!(back.to_bits(), v.to_bits());
+    }
+}

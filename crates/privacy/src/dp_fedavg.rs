@@ -141,6 +141,7 @@ pub fn run_dp_fedavg(
                     shuffle: true,
                     grad_clip: None,
                     kernel_threads: None,
+                    obs: None,
                 },
                 &mut local_rng,
             );

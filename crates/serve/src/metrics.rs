@@ -1,171 +1,139 @@
-//! Lock-free serving metrics: latency histogram with percentile readout,
-//! batch-size distribution, throughput, queue depth and event counters.
+//! Serving metrics, backed by the [`mdl_obs`] registry.
+//!
+//! [`ServerMetrics`] is a thin facade over cached `serve.*` instruments in
+//! an [`mdl_obs::MetricsRegistry`]: every event recorded here lands in the
+//! registry (and therefore in [`mdl_obs::ObsSnapshot`] exports) — there is
+//! no second bookkeeping path. The instrument names are:
+//!
+//! | name                     | kind                     | meaning                         |
+//! |--------------------------|--------------------------|---------------------------------|
+//! | `serve.latency_us`       | histogram (pow2)         | submit→response latency, µs     |
+//! | `serve.batch_size`       | histogram (linear, w=1)  | dispatched batch sizes          |
+//! | `serve.completed`        | counter                  | responses delivered             |
+//! | `serve.shed`             | counter                  | answered by the early-exit path |
+//! | `serve.local`            | counter                  | answered on-device              |
+//! | `serve.batches`          | counter                  | batches dispatched              |
+//! | `serve.batched_requests` | counter                  | requests inside those batches   |
+//! | `serve.queue_depth`      | gauge                    | instantaneous admission depth   |
+//!
+//! Timestamps come from the observability clock, so a server attached to a
+//! simulated clock ([`mdl_obs::Clock`] in sim mode) reports deterministic
+//! latencies (zero unless the simulation advances time), while the default
+//! wall clock measures real elapsed time.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::time::{Duration, Instant};
-
-/// Number of power-of-two latency buckets (1 µs up to ~9 minutes).
-const LATENCY_BUCKETS: usize = 40;
+use mdl_obs::{Buckets, Clock, Counter, Gauge, Histogram, Obs};
+use std::time::Duration;
 
 /// Largest tracked batch size; bigger batches land in the last bucket.
 const BATCH_BUCKETS: usize = 64;
 
-/// Geometric (power-of-two) histogram over microseconds.
+/// Shared handles updated by the scheduler, workers and client handles.
 ///
-/// Bucket `i` holds samples in `[2^i, 2^(i+1))` µs; percentiles are read
-/// back as the upper bound of the bucket the rank falls in, which bounds
-/// the true percentile within a factor of two — plenty for serving
-/// dashboards and regression assertions.
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; LATENCY_BUCKETS],
-    count: AtomicU64,
-    sum_us: AtomicU64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
-            sum_us: AtomicU64::new(0),
-        }
-    }
-}
-
-impl LatencyHistogram {
-    fn bucket_of(us: u64) -> usize {
-        (63 - us.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1)
-    }
-
-    /// Records one sample.
-    pub fn record(&self, latency: Duration) {
-        let us = latency.as_micros() as u64;
-        self.buckets[Self::bucket_of(us)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_us.fetch_add(us, Ordering::Relaxed);
-    }
-
-    /// Number of recorded samples.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Mean latency over all samples.
-    pub fn mean(&self) -> Duration {
-        let n = self.count();
-        if n == 0 {
-            return Duration::ZERO;
-        }
-        Duration::from_micros(self.sum_us.load(Ordering::Relaxed) / n)
-    }
-
-    /// Upper-bound estimate of the `p`-th percentile (`0 < p <= 100`).
-    pub fn percentile(&self, p: f64) -> Duration {
-        let n = self.count();
-        if n == 0 {
-            return Duration::ZERO;
-        }
-        let rank = ((p / 100.0) * n as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= rank {
-                return Duration::from_micros(1u64 << (i + 1).min(63));
-            }
-        }
-        Duration::from_micros(u64::MAX >> 1)
-    }
-}
-
-/// Shared counters updated by the scheduler, workers and client handles.
+/// Cloning is cheap; clones observe and record into the same registry
+/// instruments.
+#[derive(Clone)]
 pub struct ServerMetrics {
-    /// End-to-end submit→response latency.
-    pub latency: LatencyHistogram,
-    batch_sizes: [AtomicU64; BATCH_BUCKETS],
-    batches: AtomicU64,
-    batched_requests: AtomicU64,
-    completed: AtomicU64,
-    shed: AtomicU64,
-    local: AtomicU64,
-    queue_depth: AtomicUsize,
-}
-
-impl Default for ServerMetrics {
-    fn default() -> Self {
-        Self {
-            latency: LatencyHistogram::default(),
-            batch_sizes: std::array::from_fn(|_| AtomicU64::new(0)),
-            batches: AtomicU64::new(0),
-            batched_requests: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            shed: AtomicU64::new(0),
-            local: AtomicU64::new(0),
-            queue_depth: AtomicUsize::new(0),
-        }
-    }
+    clock: Clock,
+    latency_us: Histogram,
+    batch_size: Histogram,
+    batches: Counter,
+    batched_requests: Counter,
+    completed: Counter,
+    shed: Counter,
+    local: Counter,
+    queue_depth: Gauge,
 }
 
 impl ServerMetrics {
+    /// Binds the `serve.*` instruments in `obs`'s registry.
+    pub fn new(obs: &Obs) -> Self {
+        let r = obs.registry();
+        Self {
+            clock: obs.clock().clone(),
+            latency_us: r.histogram("serve.latency_us", Buckets::Pow2),
+            // Width-1 linear buckets make bucket index == batch size, so
+            // the snapshot's `(size, count)` pairs read off directly.
+            batch_size: r.histogram(
+                "serve.batch_size",
+                Buckets::Linear { width: 1, count: BATCH_BUCKETS + 1 },
+            ),
+            batches: r.counter("serve.batches"),
+            batched_requests: r.counter("serve.batched_requests"),
+            completed: r.counter("serve.completed"),
+            shed: r.counter("serve.shed"),
+            local: r.counter("serve.local"),
+            queue_depth: r.gauge("serve.queue_depth"),
+        }
+    }
+
+    /// Current observability-clock time in nanoseconds (wall or simulated).
+    pub fn now_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
     /// Records a dispatched batch of `size` requests.
     pub fn record_batch(&self, size: usize) {
-        self.batch_sizes[size.min(BATCH_BUCKETS) - 1].fetch_add(1, Ordering::Relaxed);
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        self.batched_requests.fetch_add(size as u64, Ordering::Relaxed);
+        self.batch_size.record(size as u64);
+        self.batches.inc();
+        self.batched_requests.add(size as u64);
     }
 
     /// Records one delivered response.
     pub fn record_completed(&self, latency: Duration) {
-        self.completed.fetch_add(1, Ordering::Relaxed);
-        self.latency.record(latency);
+        self.completed.inc();
+        self.latency_us.record(latency.as_micros() as u64);
     }
 
     /// Records a request answered by the shed path.
     pub fn record_shed(&self) {
-        self.shed.fetch_add(1, Ordering::Relaxed);
+        self.shed.inc();
     }
 
     /// Records a request answered on-device (routed local, never queued).
     pub fn record_local(&self) {
-        self.local.fetch_add(1, Ordering::Relaxed);
+        self.local.inc();
     }
 
     /// Publishes the instantaneous request-queue depth.
     pub fn set_queue_depth(&self, depth: usize) {
-        self.queue_depth.store(depth, Ordering::Relaxed);
+        self.queue_depth.set(depth as f64);
     }
 
     /// Point-in-time summary. `elapsed` is the measurement window used for
     /// throughput.
     pub fn snapshot(&self, elapsed: Duration) -> MetricsSnapshot {
-        let completed = self.completed.load(Ordering::Relaxed);
-        let batches = self.batches.load(Ordering::Relaxed);
-        let batched = self.batched_requests.load(Ordering::Relaxed);
+        let completed = self.completed.get();
+        let batches = self.batches.get();
+        let batched = self.batched_requests.get();
+        let lat = self.latency_us.snapshot("serve.latency_us");
         let batch_histogram: Vec<(usize, u64)> = self
-            .batch_sizes
-            .iter()
-            .enumerate()
-            .filter_map(|(i, c)| {
-                let n = c.load(Ordering::Relaxed);
-                (n > 0).then_some((i + 1, n))
-            })
+            .batch_size
+            .snapshot("serve.batch_size")
+            .buckets
+            .into_iter()
+            .filter(|&(size, _)| size > 0)
             .collect();
+        let us = |q: u64| Duration::from_micros(q);
         MetricsSnapshot {
             completed,
-            shed: self.shed.load(Ordering::Relaxed),
-            local: self.local.load(Ordering::Relaxed),
+            shed: self.shed.get(),
+            local: self.local.get(),
             batches,
             mean_batch_size: if batches == 0 { 0.0 } else { batched as f64 / batches as f64 },
             batch_histogram,
-            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.get() as usize,
             throughput_rps: if elapsed.is_zero() {
                 0.0
             } else {
                 completed as f64 / elapsed.as_secs_f64()
             },
-            mean_latency: self.latency.mean(),
-            p50: self.latency.percentile(50.0),
-            p95: self.latency.percentile(95.0),
-            p99: self.latency.percentile(99.0),
+            mean_latency: lat
+                .sum
+                .checked_div(lat.count)
+                .map_or(Duration::ZERO, Duration::from_micros),
+            p50: us(lat.p50),
+            p95: us(lat.p95),
+            p99: us(lat.p99),
         }
     }
 }
@@ -191,11 +159,11 @@ pub struct MetricsSnapshot {
     pub throughput_rps: f64,
     /// Mean submit→response latency.
     pub mean_latency: Duration,
-    /// Median latency (histogram upper bound).
+    /// Median latency (histogram bucket upper bound).
     pub p50: Duration,
-    /// 95th percentile latency (histogram upper bound).
+    /// 95th percentile latency (histogram bucket upper bound).
     pub p95: Duration,
-    /// 99th percentile latency (histogram upper bound).
+    /// 99th percentile latency (histogram bucket upper bound).
     pub p99: Duration,
 }
 
@@ -210,43 +178,31 @@ impl MetricsSnapshot {
     }
 }
 
-/// Convenience stopwatch for throughput windows.
-pub struct Stopwatch(Instant);
-
-impl Default for Stopwatch {
-    fn default() -> Self {
-        Self(Instant::now())
-    }
-}
-
-impl Stopwatch {
-    /// Time since construction.
-    pub fn elapsed(&self) -> Duration {
-        self.0.elapsed()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn percentiles_track_bucket_bounds() {
-        let h = LatencyHistogram::default();
+        let m = ServerMetrics::new(&Obs::wall());
         for _ in 0..99 {
-            h.record(Duration::from_micros(100)); // bucket [64, 128)
+            m.record_completed(Duration::from_micros(100)); // bucket [64, 128)
         }
-        h.record(Duration::from_millis(50)); // far tail
-        let p50 = h.percentile(50.0);
-        assert!(p50 >= Duration::from_micros(100) && p50 <= Duration::from_micros(256), "{p50:?}");
-        assert!(h.percentile(99.0) <= Duration::from_micros(256));
-        assert!(h.percentile(100.0) >= Duration::from_millis(50));
-        assert_eq!(h.count(), 100);
+        m.record_completed(Duration::from_millis(50)); // far tail
+        let snap = m.snapshot(Duration::from_secs(1));
+        assert!(
+            snap.p50 >= Duration::from_micros(100) && snap.p50 <= Duration::from_micros(256),
+            "{:?}",
+            snap.p50
+        );
+        assert!(snap.p95 <= Duration::from_micros(256));
+        assert!(snap.p99 <= Duration::from_micros(256));
+        assert_eq!(snap.completed, 100);
     }
 
     #[test]
     fn snapshot_aggregates_batches() {
-        let m = ServerMetrics::default();
+        let m = ServerMetrics::new(&Obs::wall());
         m.record_batch(1);
         m.record_batch(7);
         m.record_completed(Duration::from_micros(10));
@@ -258,9 +214,40 @@ mod tests {
     }
 
     #[test]
-    fn empty_histogram_is_zero() {
-        let h = LatencyHistogram::default();
-        assert_eq!(h.percentile(99.0), Duration::ZERO);
-        assert_eq!(h.mean(), Duration::ZERO);
+    fn empty_metrics_snapshot_is_zero() {
+        let m = ServerMetrics::new(&Obs::wall());
+        let snap = m.snapshot(Duration::ZERO);
+        assert_eq!(snap.p99, Duration::ZERO);
+        assert_eq!(snap.mean_latency, Duration::ZERO);
+        assert_eq!(snap.throughput_rps, 0.0);
+    }
+
+    #[test]
+    fn events_land_in_the_shared_registry() {
+        let obs = Obs::sim();
+        let m = ServerMetrics::new(&obs);
+        m.record_local();
+        m.record_shed();
+        m.record_batch(3);
+        m.record_completed(Duration::from_micros(5));
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("serve.local"), Some(1));
+        assert_eq!(snap.counter("serve.shed"), Some(1));
+        assert_eq!(snap.counter("serve.batches"), Some(1));
+        assert_eq!(snap.counter("serve.batched_requests"), Some(3));
+        assert_eq!(snap.counter("serve.completed"), Some(1));
+        let lat = snap.histogram("serve.latency_us").expect("latency histogram exported");
+        assert_eq!(lat.count, 1);
+    }
+
+    #[test]
+    fn sim_clock_reports_zero_latency_deterministically() {
+        let obs = Obs::sim();
+        let m = ServerMetrics::new(&obs);
+        let t0 = m.now_ns();
+        let t1 = m.now_ns();
+        assert_eq!(t0, t1, "sim clock only moves when advanced");
+        obs.clock().advance_ns(1_500);
+        assert_eq!(m.now_ns(), t0 + 1_500);
     }
 }

@@ -17,12 +17,13 @@
 //! architecture at its entry layer falls back to the version the request
 //! was admitted under, so in-flight requests are never dropped.
 
-use crate::metrics::{MetricsSnapshot, ServerMetrics, Stopwatch};
+use crate::metrics::{MetricsSnapshot, ServerMetrics};
 use crate::registry::{ModelRegistry, VersionedModel};
 use crate::router::{ClientProfile, Route, Router};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use mdl_nn::saved::LoadModelError;
 use mdl_nn::{Layer, Sequential};
+use mdl_obs::Obs;
 use mdl_tensor::stats::softmax_rows;
 use mdl_tensor::Matrix;
 use std::collections::HashMap;
@@ -49,6 +50,11 @@ pub struct ServeConfig {
     /// process default). Workers already run in parallel, so this stays
     /// low unless batches are large; results are bit-identical either way.
     pub kernel_threads: Option<usize>,
+    /// Observability session the server records into (`serve.*` counters,
+    /// latency/batch histograms and `serve.batch` spans). `None` starts a
+    /// private wall-clock session; pass a sim-clock [`Obs`] to get
+    /// deterministic latency readouts.
+    pub obs: Option<Obs>,
 }
 
 impl Default for ServeConfig {
@@ -60,6 +66,7 @@ impl Default for ServeConfig {
             queue_capacity: 256,
             shed_queue_depth: 64,
             kernel_threads: None,
+            obs: None,
         }
     }
 }
@@ -92,7 +99,8 @@ struct Job {
     pinned: Arc<VersionedModel>,
     route: Route,
     resp: Sender<InferenceResponse>,
-    submitted: Instant,
+    /// Admission time on the observability clock.
+    submitted_ns: u64,
 }
 
 struct Batch {
@@ -103,6 +111,7 @@ struct Batch {
 struct Shared {
     registry: ModelRegistry,
     router: Router,
+    obs: Obs,
     metrics: ServerMetrics,
     /// Early-exit model (raw input → class scores) used for shedding.
     fallback: Option<Sequential>,
@@ -194,7 +203,7 @@ impl ServeClient {
         input: &[f32],
         profile: ClientProfile,
     ) -> Result<Receiver<InferenceResponse>, SubmitError> {
-        let submitted = Instant::now();
+        let submitted_ns = self.shared.metrics.now_ns();
         let snapshot = self.shared.registry.current();
         let expected = snapshot.model.layers().first().map(|l| l.info().in_dim).unwrap_or(0);
         if input.len() != expected {
@@ -220,7 +229,7 @@ impl ServeClient {
                     snapshot.version,
                     Route::EarlyExit,
                     1,
-                    submitted,
+                    submitted_ns,
                 );
                 return Ok(resp_rx);
             }
@@ -239,7 +248,7 @@ impl ServeClient {
                     snapshot.version,
                     route,
                     1,
-                    submitted,
+                    submitted_ns,
                 );
             }
             Route::Cloud => {
@@ -249,7 +258,7 @@ impl ServeClient {
                     pinned: snapshot,
                     route,
                     resp: resp_tx,
-                    submitted,
+                    submitted_ns,
                 };
                 self.jobs.send(job).map_err(|_| SubmitError::Shutdown)?;
             }
@@ -263,7 +272,7 @@ impl ServeClient {
                     pinned: snapshot,
                     route,
                     resp: resp_tx,
-                    submitted,
+                    submitted_ns,
                 };
                 self.jobs.send(job).map_err(|_| SubmitError::Shutdown)?;
             }
@@ -279,9 +288,9 @@ impl ServeClient {
         model_version: u64,
         route: Route,
         batch_size: usize,
-        submitted: Instant,
+        submitted_ns: u64,
     ) {
-        let latency = submitted.elapsed();
+        let latency = Duration::from_nanos(shared.metrics.now_ns().saturating_sub(submitted_ns));
         shared.metrics.record_completed(latency);
         let response = InferenceResponse {
             argmax: argmax(probs),
@@ -357,6 +366,7 @@ fn dispatch(batches: &Sender<Batch>, entry_layer: usize, jobs: Vec<Job>, shared:
 
 fn worker_loop(batches: Receiver<Batch>, shared: Arc<Shared>) {
     while let Ok(batch) = batches.recv() {
+        let _span = shared.obs.root_span("serve.batch");
         let n = batch.jobs.len();
         let width = batch.jobs[0].input.len();
         let snapshot = shared.registry.current();
@@ -380,7 +390,7 @@ fn worker_loop(batches: Receiver<Batch>, shared: Arc<Shared>) {
                     snapshot.version,
                     job.route,
                     n,
-                    job.submitted,
+                    job.submitted_ns,
                 );
             }
         } else {
@@ -395,7 +405,7 @@ fn worker_loop(batches: Receiver<Batch>, shared: Arc<Shared>) {
                     job.pinned.version,
                     job.route,
                     n,
-                    job.submitted,
+                    job.submitted_ns,
                 );
             }
         }
@@ -411,7 +421,8 @@ pub struct InferenceServer {
     shared: Arc<Shared>,
     jobs_tx: Option<Sender<Job>>,
     threads: Vec<JoinHandle<()>>,
-    started: Stopwatch,
+    /// Start time on the observability clock (throughput window origin).
+    started_ns: u64,
 }
 
 impl InferenceServer {
@@ -422,10 +433,13 @@ impl InferenceServer {
         if let Some(t) = config.kernel_threads {
             mdl_tensor::kernel::set_threads(t);
         }
+        let obs = config.obs.clone().unwrap_or_else(Obs::wall);
+        let metrics = ServerMetrics::new(&obs);
         let shared = Arc::new(Shared {
             registry: ModelRegistry::new(model),
             router: Router::new(),
-            metrics: ServerMetrics::default(),
+            obs,
+            metrics,
             fallback,
             config,
         });
@@ -445,7 +459,8 @@ impl InferenceServer {
             threads.push(std::thread::spawn(move || worker_loop(rx, shared)));
         }
         drop(batch_rx);
-        Self { shared, jobs_tx: Some(jobs_tx), threads, started: Stopwatch::default() }
+        let started_ns = shared.metrics.now_ns();
+        Self { shared, jobs_tx: Some(jobs_tx), threads, started_ns }
     }
 
     /// Starts a server from a saved artifact (see [`mdl_nn::saved`]).
@@ -495,9 +510,18 @@ impl InferenceServer {
         self.shared.registry.swap_count()
     }
 
-    /// Metrics snapshot; throughput is measured since server start.
+    /// Metrics snapshot; throughput is measured since server start on the
+    /// observability clock.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.shared.metrics.snapshot(self.started.elapsed())
+        let elapsed =
+            Duration::from_nanos(self.shared.metrics.now_ns().saturating_sub(self.started_ns));
+        self.shared.metrics.snapshot(elapsed)
+    }
+
+    /// The observability session this server records into (the one passed
+    /// via [`ServeConfig::obs`], or the private session created at start).
+    pub fn obs(&self) -> &Obs {
+        &self.shared.obs
     }
 
     /// Stops accepting work and joins all threads. Every [`ServeClient`]

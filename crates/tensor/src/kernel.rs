@@ -58,6 +58,9 @@
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+#[path = "kernel_profile.rs"]
+pub mod profile;
+
 /// Microkernel row tile: output rows computed together per panel.
 pub const MR: usize = 4;
 /// Microkernel column tile: contiguous output lanes per panel.
@@ -182,12 +185,17 @@ pub fn gemm(
         }
         return;
     }
+    let profiling = profile::is_enabled();
+    let t0 = if profiling { profile::clock_now_ns() } else { 0 };
     let macs = m * n * k;
     if macs <= SMALL_MACS || m < SMALL_M {
         gemm_small(ta, tb, m, n, k, a, b, out, acc);
-        return;
+    } else {
+        gemm_blocked(ta, tb, m, n, k, a, b, out, acc);
     }
-    gemm_blocked(ta, tb, m, n, k, a, b, out, acc);
+    if profiling {
+        profile::tally(ta, tb, m, n, k, profile::clock_now_ns().saturating_sub(t0));
+    }
 }
 
 /// The naive reference kernel: a plain triple loop with a single

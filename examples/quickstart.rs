@@ -48,6 +48,7 @@ fn main() {
         device: DeviceProfile::midrange_phone(),
         network: NetworkProfile::wifi(),
         faults: FaultPlan::none(),
+        obs: Some(Obs::wall()),
     };
 
     let report = run_pipeline(&config, &clients, &test, &mut rng);
@@ -88,4 +89,16 @@ fn main() {
             row.raw_data_leaves_device,
         );
     }
+
+    println!("\n-- observability (mdl-obs) --");
+    let snap = report.obs.expect("pipeline ran instrumented");
+    for (depth, name) in snap.span_outline().iter().filter(|(depth, _)| *depth <= 1) {
+        println!("{}{}", "  ".repeat(*depth), name);
+    }
+    println!(
+        "net.rounds {}  net.delivered_bytes {}  serve.completed {}",
+        snap.counter("net.rounds").unwrap_or(0),
+        snap.counter("net.delivered_bytes").unwrap_or(0),
+        snap.counter("serve.completed").unwrap_or(0),
+    );
 }

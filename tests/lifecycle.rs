@@ -42,6 +42,7 @@ fn pipeline_end_to_end_under_non_iid_data() {
         device: DeviceProfile::flagship_phone(),
         network: NetworkProfile::lte(),
         faults: FaultPlan::lossy_cohort(),
+        obs: None,
     };
     let report = run_pipeline(&config, &clients, &test, &mut rng);
 

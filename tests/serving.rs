@@ -46,6 +46,7 @@ fn concurrent_load_with_hot_swap_drops_nothing() {
             queue_capacity: 256,
             shed_queue_depth: 64,
             kernel_threads: None,
+            obs: None,
         },
     )
     .expect("artifact decodes");
