@@ -21,6 +21,7 @@
 //! | `exp_faults` | FedAvg over the `mdl-net` faulty fabric vs the ideal one |
 //! | `exp_kernels` | blocked GEMM kernel throughput + bit-determinism contract |
 //! | `exp_obs` | observability overhead (<5% per epoch) + snapshot determinism |
+//! | `exp_population` | 1k → 100k-client event-driven FedAvg over `mdl-sim` |
 
 /// Prints a markdown-style table: header row then aligned data rows.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {

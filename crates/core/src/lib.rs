@@ -19,6 +19,7 @@
 //! | §IV-B DEEPSERVICE | [`deepservice`](mdl_deepservice) |
 //! | §III serving tier (batching, hot swap, routing) | [`serve`](mdl_serve) |
 //! | faulty-network transport fabric | [`net`](mdl_net) |
+//! | population-scale event-driven simulation | [`sim`](mdl_sim) |
 //! | substrates | [`tensor`](mdl_tensor), [`nn`](mdl_nn), [`data`](mdl_data), [`baselines`](mdl_baselines) |
 //!
 //! # Examples
@@ -51,17 +52,20 @@ pub use mdl_nn as nn;
 pub use mdl_obs as obs;
 pub use mdl_privacy as privacy;
 pub use mdl_serve as serve;
+pub use mdl_sim as sim;
 pub use mdl_split as split;
 pub use mdl_tensor as tensor;
 
 pub use pipeline::{
-    run_pipeline, PipelineConfig, PipelineReport, ServingSummary, TransportSummary,
+    run_pipeline, PipelineConfig, PipelineReport, PopulationRehearsal, PopulationSummary,
+    ServingSummary, TransportSummary,
 };
 
 /// One-stop imports for examples and experiments.
 pub mod prelude {
     pub use crate::pipeline::{
-        run_pipeline, PipelineConfig, PipelineReport, ServingSummary, TransportSummary,
+        run_pipeline, PipelineConfig, PipelineReport, PopulationRehearsal, PopulationSummary,
+        ServingSummary, TransportSummary,
     };
     pub use mdl_baselines::{
         evaluate, fit_evaluate, Classifier, DecisionTree, Evaluation, GradientBoost, LinearSvm,
@@ -77,8 +81,9 @@ pub mod prelude {
     pub use mdl_deepmood::{DeepMood, DeepMoodConfig, FusionKind};
     pub use mdl_deepservice::{pairwise_identification, table_one, train_deepservice};
     pub use mdl_federated::{
-        run_federated, run_federated_over, run_selective_sgd, run_selective_sgd_over,
-        AvailabilityModel, FedConfig, MlpSpec, SelectiveConfig,
+        run_federated, run_federated_over, run_population_fedavg, run_selective_sgd,
+        run_selective_sgd_over, AvailabilityModel, FedConfig, MlpSpec, PopulationTask,
+        SelectiveConfig,
     };
     pub use mdl_mobile::{Battery, DeviceProfile, NetworkProfile, Placement, Scenario};
     pub use mdl_net::{
@@ -97,6 +102,10 @@ pub mod prelude {
     pub use mdl_serve::{
         run_load, ClientProfile, DeviceClass, InferenceServer, LoadGenConfig, LoadMode,
         NetworkClass, Route, ServeConfig,
+    };
+    pub use mdl_sim::{
+        run_population, sample_cohort, ClientTrainer, CohortSpec, Population, PopulationReport,
+        PopulationSpec, SimConfig, SimError, Topology,
     };
     pub use mdl_split::{compare_deployments, Arden, ArdenConfig};
     pub use mdl_tensor::{Init, Matrix};

@@ -12,6 +12,7 @@
 use mdl_compress::pipeline::{deep_compress, DeepCompressionConfig};
 use mdl_data::Dataset;
 use mdl_federated::MlpSpec;
+use mdl_federated::{run_population_fedavg, PopulationTask};
 use mdl_mobile::{DeviceProfile, NetworkProfile};
 use mdl_net::{Fabric, FabricConfig, FaultPlan, LinkConfig, TransportMetrics};
 use mdl_nn::{save_model, Sequential};
@@ -21,6 +22,7 @@ use mdl_serve::{
     run_load, ClientProfile, DeviceClass, InferenceServer, LoadGenConfig, LoadMode, NetworkClass,
     ServeConfig,
 };
+use mdl_sim::{Population, PopulationSpec, SimConfig};
 use mdl_split::{compare_deployments, Arden, ArdenConfig, DeploymentRow};
 use rand::rngs::StdRng;
 use std::time::Duration;
@@ -49,6 +51,31 @@ pub struct PipelineConfig {
     /// of the transport rehearsal and serving smoke test. `None` disables
     /// tracing entirely (and never changes any result).
     pub obs: Option<Obs>,
+    /// Optional population-scale rehearsal: replay the federated cadence
+    /// over an `mdl-sim` event-driven fleet (availability gating, cohort
+    /// sampling, faulty links) before shipping the rollout schedule.
+    /// `None` skips the stage entirely — all other results are unchanged.
+    pub population: Option<PopulationRehearsal>,
+}
+
+/// Configuration of the optional population rehearsal stage.
+#[derive(Debug, Clone)]
+pub struct PopulationRehearsal {
+    /// Synthetic clients to simulate.
+    pub clients: u64,
+    /// Event-engine settings (rounds, cohort, faults, topology, seed).
+    pub sim: SimConfig,
+    /// Seed behind the synthetic population mix and client datasets.
+    pub seed: u64,
+}
+
+impl PopulationRehearsal {
+    /// A small deterministic rehearsal: `clients` devices from the standard
+    /// mobile mix, three cohort-sampled rounds under the default fault-free
+    /// engine settings.
+    pub fn quick(clients: u64, seed: u64) -> Self {
+        Self { clients, sim: SimConfig { rounds: 3, seed, ..SimConfig::default() }, seed }
+    }
 }
 
 /// Everything a deployment decision needs, produced by one pipeline run.
@@ -72,6 +99,9 @@ pub struct PipelineReport {
     pub transport: TransportSummary,
     /// Smoke-test results of the trained artifact behind the serving tier.
     pub serving: ServingSummary,
+    /// What the population rehearsal observed (`Some` iff
+    /// [`PipelineConfig::population`] was set).
+    pub population: Option<PopulationSummary>,
     /// Frozen observability export (`Some` iff [`PipelineConfig::obs`] was
     /// set): stage spans plus every counter/gauge/histogram the run touched.
     pub obs: Option<ObsSnapshot>,
@@ -93,6 +123,29 @@ pub struct ServingSummary {
     pub mean_batch_size: f64,
     /// Client-observed 99th-percentile latency.
     pub p99: Duration,
+}
+
+/// What the population rehearsal observed: fleet-scale federated rounds
+/// replayed over the `mdl-sim` event engine.
+#[derive(Debug, Clone)]
+pub struct PopulationSummary {
+    /// Simulated clients.
+    pub clients: u64,
+    /// Rounds the engine completed.
+    pub rounds: usize,
+    /// Rounds whose cohort met quorum.
+    pub quorum_rounds: usize,
+    /// Whether the run finished (false: consecutive quorum misses exceeded
+    /// the engine's budget — the configured faults starve the cadence).
+    pub completed: bool,
+    /// Final test accuracy of the rehearsal model (NaN when aborted).
+    pub accuracy: f64,
+    /// Virtual seconds of fleet time the rounds consumed.
+    pub sim_clock_s: f64,
+    /// Upload bytes across the fleet.
+    pub bytes_up: u64,
+    /// Download bytes across the fleet.
+    pub bytes_down: u64,
 }
 
 /// What the transport rehearsal observed when pushing the trained
@@ -152,6 +205,39 @@ fn probe_transport(
         probe_clients: PROBE_CLIENTS,
         probe_rounds: PROBE_ROUNDS,
         delivered_rounds,
+    }
+}
+
+/// Replays the federated cadence at fleet scale: a synthetic mobile-mix
+/// population trains the standard blob task through the `mdl-sim` event
+/// engine, exercising availability gating, cohort sampling and per-client
+/// links under the rehearsal's fault plan. The model is deliberately tiny
+/// — the stage rehearses the *schedule* (quorum health, virtual wall
+/// clock, fleet bytes), not the production architecture.
+fn rehearse_population(r: &PopulationRehearsal, obs: Option<&Obs>) -> PopulationSummary {
+    let task = PopulationTask::blobs(r.seed);
+    let mut pop = Population::new(PopulationSpec::mobile_mix(r.clients, r.seed));
+    match run_population_fedavg(&r.sim, &mut pop, &task, obs) {
+        Ok((report, accuracy)) => PopulationSummary {
+            clients: r.clients,
+            rounds: report.rounds.len(),
+            quorum_rounds: report.rounds.iter().filter(|x| x.quorum_met).count(),
+            completed: true,
+            accuracy,
+            sim_clock_s: report.sim_clock_s,
+            bytes_up: report.transport.bytes_up,
+            bytes_down: report.transport.bytes_down,
+        },
+        Err(_) => PopulationSummary {
+            clients: r.clients,
+            rounds: 0,
+            quorum_rounds: 0,
+            completed: false,
+            accuracy: f64::NAN,
+            sim_clock_s: 0.0,
+            bytes_up: 0,
+            bytes_down: 0,
+        },
     }
 }
 
@@ -271,6 +357,15 @@ pub fn run_pipeline(
     let serving = smoke_serve(&mut model, test, config.obs.as_ref());
     drop(span);
 
+    // 7. (optional) population rehearsal: replay the round cadence over an
+    // event-driven fleet before committing to a rollout schedule
+    let population = config.population.as_ref().map(|r| {
+        let span = stage("pipeline.population");
+        let summary = rehearse_population(r, config.obs.as_ref());
+        drop(span);
+        summary
+    });
+
     let obs = config.obs.as_ref().map(|o| {
         let g = o.registry();
         g.gauge("pipeline.trained_accuracy").set(trained_accuracy);
@@ -292,6 +387,7 @@ pub fn run_pipeline(
         deployments,
         transport,
         serving,
+        population,
         obs,
         model,
     }
@@ -338,6 +434,7 @@ mod tests {
             network: NetworkProfile::wifi(),
             faults: FaultPlan::lossy_cohort(),
             obs: Some(Obs::wall()),
+            population: Some(PopulationRehearsal::quick(300, 11)),
         };
         let report = run_pipeline(&config, &clients, &test, &mut rng);
 
@@ -364,6 +461,12 @@ mod tests {
         assert_eq!(report.serving.model_version, 1);
         assert!(report.serving.p99 > Duration::ZERO);
 
+        let popn = report.population.as_ref().expect("rehearsal was configured");
+        assert!(popn.completed);
+        assert_eq!(popn.rounds, 3);
+        assert!(popn.quorum_rounds > 0, "fault-free rehearsal should meet quorum");
+        assert!(popn.bytes_up > 0 && popn.sim_clock_s > 0.0);
+
         // one bookkeeping path: the obs export carries the same story
         let obs = report.obs.as_ref().expect("obs was configured");
         let outline = obs.span_outline();
@@ -375,6 +478,7 @@ mod tests {
             "pipeline.placement",
             "pipeline.transport",
             "pipeline.serve",
+            "pipeline.population",
         ] {
             assert!(
                 outline.contains(&(1, child.to_string())),

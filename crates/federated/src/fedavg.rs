@@ -17,13 +17,12 @@
 use crate::comm::CommLedger;
 use crate::model::MlpSpec;
 use crate::scheduler::AvailabilityModel;
-use crate::update::{weighted_average, DenseUpdate};
 use mdl_data::Dataset;
 use mdl_net::{Fabric, NetError, TransportMetrics};
 use mdl_nn::{fit_classifier, Layer, Mode, ParamVector, Sgd, TrainConfig};
+use mdl_sim::{run_legacy_loop, LegacyConfig, LocalUpdate};
 use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
 /// Hyper-parameters of a federated run.
 #[derive(Debug, Clone, PartialEq)]
@@ -150,6 +149,13 @@ pub fn run_federated(
 /// per-round deadline. The server aggregates whatever quorum of updates
 /// actually arrived; a round below quorum keeps the previous global model.
 ///
+/// The round loop itself lives in `mdl-sim` ([`run_legacy_loop`]); this
+/// function is a thin adapter that supplies the model-specific pieces —
+/// eligibility sampling, local MLP training and evaluation — as closures.
+/// The engine preserves the original control flow and RNG consumption
+/// exactly, so results are bit-identical with the pre-engine
+/// implementation (pinned by the `population` integration tests).
+///
 /// The fabric owns all fault/jitter randomness, so `rng` is consumed
 /// exactly as in the fault-free [`run_federated`] — an idle fabric
 /// reproduces it bit-for-bit.
@@ -178,174 +184,86 @@ pub fn run_federated_over(
     assert_eq!(fabric.clients(), clients.len(), "fabric must cover every client");
 
     let mut global = spec.build();
-    let mut params = global.param_vector();
+    let params = global.param_vector();
+    let param_bytes = 4 * params.len() as u64 + 8;
     let mut history = Vec::new();
     let mut rounds_to_target = None;
-    let mut consecutive_quorum_misses = 0usize;
-    let param_bytes = 4 * params.len() as u64 + 8;
 
     // observability rides on the fabric (see `Fabric::attach_obs`): its
     // sim clock advances with the rounds and `net.*` counters mirror the
-    // transport; here we add `fed.round` spans and `fed.*` counters
+    // transport; the engine adds `fed.round` spans and `fed.*` counters
     let fed_obs = fabric.obs().cloned();
-    let fed_counters = fed_obs.as_ref().map(|o| {
-        let r = o.registry();
-        (r.counter("fed.selected"), r.counter("fed.updates"), r.counter("fed.quorum_misses"))
-    });
 
-    for round in 1..=config.rounds {
-        // declared before any `continue`, so the span closes after the
-        // round's `end_round` (and clock advance) on every path
-        let round_span = fed_obs.as_ref().map(|o| o.root_span("fed.round"));
-        let _ = &round_span;
-        fabric.begin_round();
-
-        // 1. sample eligible clients, then C-fraction of them
-        let mut eligible = availability.sample_eligible(rng);
-        if eligible.is_empty() {
-            fabric.end_round();
-            continue;
-        }
-        eligible.shuffle(rng);
-        let m = (((eligible.len() as f64) * config.client_fraction).round() as usize)
-            .clamp(1, eligible.len());
-        let selected = &eligible[..m];
-
-        // 2. local training, run in parallel — clients are independent
-        // devices. Seeds and failure fates are drawn *in selection order*
-        // before spawning so the run stays bit-deterministic regardless of
-        // thread scheduling. The parameter broadcast goes over the fabric
-        // first: a client that never received the model cannot train, and
-        // one the fault plan dropped would never report back, so neither
-        // gets a thread.
-        let fates: Vec<(u64, bool)> = selected
-            .iter()
-            .map(|_| {
-                let seed: u64 = rng.gen();
-                let fails = config.failure_prob > 0.0 && rng.gen::<f64>() < config.failure_prob;
-                (seed, fails)
-            })
-            .collect();
-        let reached: Vec<bool> = selected
-            .iter()
-            .map(|&c| fabric.send_down(c, param_bytes).is_ok() && !fabric.client_dropped(c))
-            .collect();
-        let params_ref = &params;
-        let results: Vec<Option<DenseUpdate>> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = selected
-                .iter()
-                .zip(fates.iter().zip(reached.iter()))
-                .map(|(&c, (&(seed, fails), &reached))| {
-                    scope.spawn(move |_| {
-                        if fails || !reached {
-                            return None;
-                        }
-                        let data = &clients[c];
-                        let mut local = spec.build_with(params_ref);
-                        let mut opt = Sgd::new(config.learning_rate);
-                        let mut local_rng = StdRng::seed_from_u64(seed);
-                        let batch = config.batch_size.min(data.len().max(1));
-                        let _ = fit_classifier(
-                            &mut local,
-                            &mut opt,
-                            &data.x,
-                            &data.y,
-                            &TrainConfig {
-                                epochs: config.local_epochs,
-                                batch_size: batch,
-                                shuffle: true,
-                                grad_clip: None,
-                                kernel_threads: config.kernel_threads,
-                                // client-local training stays uninstrumented:
-                                // spans from concurrent client threads would
-                                // interleave nondeterministically
-                                obs: None,
-                            },
-                            &mut local_rng,
-                        );
-                        let raw = local.param_vector();
-                        Some(if config.quantize_uploads {
-                            let q = crate::update::QuantizedUpdate::quantize(&raw, data.len());
-                            DenseUpdate { values: q.dequantize(), num_examples: data.len() }
-                        } else {
-                            DenseUpdate { values: raw, num_examples: data.len() }
-                        })
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
-        })
-        .expect("client scope");
-
-        let mut updates = Vec::with_capacity(selected.len());
-        for (&c, update) in selected.iter().zip(results) {
-            let Some(update) = update else { continue };
-            let bytes = if config.quantize_uploads {
-                16 + update.values.len() as u64
+    let legacy = LegacyConfig {
+        rounds: config.rounds,
+        client_fraction: config.client_fraction,
+        failure_prob: config.failure_prob,
+        param_bytes,
+    };
+    let final_params = run_legacy_loop(
+        &legacy,
+        params,
+        fabric,
+        rng,
+        // 1. per-round eligibility (Bernoulli idle/charging/unmetered)
+        |rng| availability.sample_eligible(rng),
+        // 2. one client's local training, on a scoped engine thread with
+        // a pre-drawn seed; client-local training stays uninstrumented —
+        // spans from concurrent client threads would interleave
+        // nondeterministically
+        |c, seed, params_ref| {
+            let data = &clients[c];
+            let mut local = spec.build_with(params_ref);
+            let mut opt = Sgd::new(config.learning_rate);
+            let mut local_rng = StdRng::seed_from_u64(seed);
+            let batch = config.batch_size.min(data.len().max(1));
+            let _ = fit_classifier(
+                &mut local,
+                &mut opt,
+                &data.x,
+                &data.y,
+                &TrainConfig {
+                    epochs: config.local_epochs,
+                    batch_size: batch,
+                    shuffle: true,
+                    grad_clip: None,
+                    kernel_threads: config.kernel_threads,
+                    obs: None,
+                },
+                &mut local_rng,
+            );
+            let raw = local.param_vector();
+            if config.quantize_uploads {
+                let q = crate::update::QuantizedUpdate::quantize(&raw, data.len());
+                let values = q.dequantize();
+                let wire_bytes = 16 + values.len() as u64;
+                LocalUpdate { values, num_examples: data.len() as u64, wire_bytes }
             } else {
-                update.wire_bytes()
-            };
-            if fabric.send_up(c, bytes).is_ok() {
-                updates.push(update);
+                LocalUpdate::dense(raw, data.len() as u64)
             }
-        }
-        let completed = updates.len();
-        if let Some((selected_c, updates_c, _)) = &fed_counters {
-            selected_c.add(selected.len() as u64);
-            updates_c.add(completed as u64);
-        }
-
-        // 3. weighted aggregation over the quorum that actually arrived;
-        // a round below quorum keeps the previous global model, and too
-        // many consecutive misses is a typed failure, not a hang
-        let needed = fabric.quorum_min(selected.len());
-        if completed < needed {
-            consecutive_quorum_misses += 1;
-            if let Some((_, _, misses)) = &fed_counters {
-                misses.inc();
-            }
-            if consecutive_quorum_misses >= fabric.config().max_failed_rounds {
-                return Err(NetError::QuorumUnreachable { round, needed, got: completed });
-            }
-            fabric.end_round();
-            continue;
-        }
-        consecutive_quorum_misses = 0;
-        if let Some(avg) = weighted_average(&updates) {
-            params = avg;
-        }
-        fabric.end_round();
-
-        // 4. evaluation
-        if round % config.eval_every == 0 || round == config.rounds {
-            global.set_param_vector(&params);
-            let acc = global.accuracy(&test.x, &test.y);
-            if let Some(obs) = &fed_obs {
-                obs.registry().gauge("fed.test_accuracy").set(acc);
-            }
-            history.push(RoundRecord {
-                round,
-                test_accuracy: acc,
-                total_bytes: fabric.metrics().ledger().total_bytes(),
-                participants: completed,
-            });
-            if let Some(target) = config.target_accuracy {
-                if acc >= target {
-                    rounds_to_target = Some(round);
-                    break;
+        },
+        // 3. evaluation after each quorum-successful round
+        |round, round_params, total_bytes, participants| {
+            if round % config.eval_every == 0 || round == config.rounds {
+                global.set_param_vector(round_params);
+                let acc = global.accuracy(&test.x, &test.y);
+                if let Some(obs) = &fed_obs {
+                    obs.registry().gauge("fed.test_accuracy").set(acc);
+                }
+                history.push(RoundRecord { round, test_accuracy: acc, total_bytes, participants });
+                if let Some(target) = config.target_accuracy {
+                    if acc >= target {
+                        rounds_to_target = Some(round);
+                        return true;
+                    }
                 }
             }
-        }
-    }
+            false
+        },
+    )?;
 
     let transport = fabric.metrics();
-    Ok(FedRun {
-        history,
-        final_params: params,
-        ledger: transport.ledger(),
-        transport,
-        rounds_to_target,
-    })
+    Ok(FedRun { history, final_params, ledger: transport.ledger(), transport, rounds_to_target })
 }
 
 /// Trains the same architecture centrally on the union of client data —

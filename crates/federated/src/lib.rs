@@ -39,6 +39,7 @@
 pub mod comm;
 pub mod fedavg;
 pub mod model;
+pub mod population;
 pub mod scheduler;
 pub mod selective;
 pub mod update;
@@ -49,6 +50,7 @@ pub use fedavg::{
     RoundRecord,
 };
 pub use model::MlpSpec;
+pub use population::{run_population_fedavg, PopulationTask};
 pub use scheduler::{AvailabilityModel, DeviceState};
 pub use selective::{run_selective_sgd, run_selective_sgd_over, SelectiveConfig, SelectiveRun};
 pub use update::{weighted_average, DenseUpdate, QuantizedUpdate, SparseUpdate};

@@ -10,7 +10,9 @@
 //! - [`device`]: compute + memory-hierarchy cost of one inference;
 //! - [`radio`]: Wi-Fi / LTE / 3G link profiles with per-byte energy;
 //! - [`battery`]: drain accounting;
-//! - [`offload`]: on-device vs cloud vs split placement comparison.
+//! - [`offload`]: on-device vs cloud vs split placement comparison;
+//! - [`availability`]: §II-B eligibility dwell-time dynamics (idle /
+//!   charging / unmetered renewal processes) per device class.
 //!
 //! # Examples
 //!
@@ -23,11 +25,13 @@
 
 #![warn(missing_docs)]
 
+pub mod availability;
 pub mod battery;
 pub mod device;
 pub mod offload;
 pub mod radio;
 
+pub use availability::AvailabilityProfile;
 pub use battery::Battery;
 pub use device::{CostEstimate, DeviceProfile};
 pub use offload::{placement_cost, rank_placements, Placement, Scenario};

@@ -83,10 +83,42 @@ impl FaultPlan {
             && self.partitions.is_empty()
     }
 
+    /// The fate of one client in one round, keyed by its **stable client
+    /// id** rather than a dense cohort index.
+    ///
+    /// [`FaultPlan::draw_round`] walks one RNG stream across the cohort,
+    /// so which physical client a fault lands on depends on the cohort's
+    /// size and ordering — fine for a fixed client list, broken for
+    /// population-scale simulation where each round samples a different
+    /// cohort from 100k+ clients. Here every draw comes from a stateless
+    /// hash of `(seed, round, client_id)`: the same seed faults the same
+    /// clients no matter how many of their peers were sampled alongside
+    /// them, and fates can be computed lazily for just the sampled cohort.
+    pub fn fate_keyed(&self, seed: u64, round: usize, client_id: u64) -> RoundFate {
+        let mut stream = crate::stream_u64(seed ^ 0xFA17_0000_0000_0000, round as u64, client_id);
+        let mut draw = || {
+            let x = stream();
+            // 53 uniform bits, same convention as rand's f64 sampling
+            (x >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let dropped = self.dropout_prob > 0.0 && draw() < self.dropout_prob;
+        let straggles = self.straggler_prob > 0.0
+            && self.straggler_slowdown > 1.0
+            && draw() < self.straggler_prob;
+        let flaky = self.flaky_prob > 0.0 && self.flaky_loss > 0.0 && draw() < self.flaky_prob;
+        RoundFate {
+            dropped,
+            slowdown: if straggles { self.straggler_slowdown } else { 1.0 },
+            loss_boost: if flaky { self.flaky_loss } else { 0.0 },
+            partitioned: self.partitions.iter().any(|p| p.covers(round, client_id as usize)),
+        }
+    }
+
     /// Draws one round's fate for every client, in client order, from the
     /// fabric RNG. Drawing for the full cohort (not just the selected
     /// subset) keeps the RNG stream aligned no matter how the caller
-    /// samples clients.
+    /// samples clients. Prefer [`FaultPlan::fate_keyed`] when clients have
+    /// stable ids and cohorts are sampled from a larger population.
     pub fn draw_round(&self, round: usize, clients: usize, rng: &mut StdRng) -> Vec<RoundFate> {
         (0..clients)
             .map(|c| {
@@ -170,6 +202,47 @@ mod tests {
         }
         let rate = dropped as f64 / (100.0 * trials as f64);
         assert!((rate - 0.2).abs() < 0.03, "rate={rate}");
+    }
+
+    #[test]
+    fn keyed_fates_are_stable_across_cohort_and_population_size() {
+        let plan = FaultPlan::lossy_cohort();
+        // the fate of client 12345 in round 7 is a pure function of
+        // (seed, round, id) — no cohort, no population, no shared RNG
+        let alone = plan.fate_keyed(99, 7, 12_345);
+        let with_peers: Vec<RoundFate> =
+            (0..10_000).map(|id| plan.fate_keyed(99, 7, id * 3 + 12)).collect();
+        assert_eq!(alone, plan.fate_keyed(99, 7, 12_345));
+        let _ = with_peers;
+        // rates track the configured probabilities over many ids
+        let n = 20_000u64;
+        let dropped = (0..n).filter(|&id| plan.fate_keyed(5, 3, id).dropped).count();
+        let rate = dropped as f64 / n as f64;
+        assert!((rate - plan.dropout_prob).abs() < 0.02, "dropout rate {rate}");
+        // different seeds / rounds / ids decorrelate
+        assert_ne!(
+            (0..64).map(|id| plan.fate_keyed(1, 1, id).dropped).collect::<Vec<_>>(),
+            (0..64).map(|id| plan.fate_keyed(2, 1, id).dropped).collect::<Vec<_>>()
+        );
+        assert_ne!(
+            (0..64).map(|id| plan.fate_keyed(1, 1, id).dropped).collect::<Vec<_>>(),
+            (0..64).map(|id| plan.fate_keyed(1, 2, id).dropped).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn keyed_fates_respect_quiet_plans_and_partitions() {
+        let quiet = FaultPlan::none();
+        for id in [0u64, 7, 1 << 40] {
+            assert_eq!(quiet.fate_keyed(3, 1, id), RoundFate::healthy());
+        }
+        let plan = FaultPlan {
+            partitions: vec![PartitionWindow { from_round: 2, until_round: 4, clients: vec![9] }],
+            ..FaultPlan::none()
+        };
+        assert!(plan.fate_keyed(0, 2, 9).partitioned);
+        assert!(!plan.fate_keyed(0, 4, 9).partitioned);
+        assert!(!plan.fate_keyed(0, 2, 8).partitioned);
     }
 
     #[test]

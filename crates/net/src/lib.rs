@@ -46,6 +46,30 @@ pub mod metrics;
 pub mod retry;
 
 pub use error::NetError;
+
+/// SplitMix64 finalizer: a fast, high-quality 64-bit mix.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic, stateless stream of `u64`s keyed by `(a, b, c)`.
+///
+/// Successive calls walk a SplitMix64 sequence whose starting point is a
+/// mix of the three keys, so draws for different keys never alias and the
+/// stream for a given key is identical on every run and platform. This is
+/// the primitive behind stable-id fault injection
+/// ([`FaultPlan::fate_keyed`]) and population-scale cohort sampling: no
+/// shared RNG to keep aligned, no state to store per client.
+pub fn stream_u64(a: u64, b: u64, c: u64) -> impl FnMut() -> u64 {
+    let mut state = splitmix64(splitmix64(splitmix64(a) ^ b) ^ c);
+    move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        splitmix64(state)
+    }
+}
 pub use fabric::{Fabric, FabricConfig};
 pub use fault::{FaultPlan, PartitionWindow, RoundFate};
 pub use link::{Direction, Link, LinkConfig, LinkState, SendReceipt};

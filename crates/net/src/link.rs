@@ -113,6 +113,20 @@ impl Link {
         self.round_elapsed_s
     }
 
+    /// Charges non-transfer simulated time (local compute between the
+    /// download and the upload) against this round's clock, so a slow
+    /// device eats into the same deadline budget its transfers do.
+    /// Returns `false` — and pins the clock at the deadline — when the
+    /// charge blows the remaining budget.
+    pub fn charge_time(&mut self, secs: f64) -> bool {
+        self.round_elapsed_s += secs.max(0.0);
+        if self.round_elapsed_s >= self.deadline_s {
+            self.round_elapsed_s = self.deadline_s;
+            return false;
+        }
+        true
+    }
+
     /// Whether the link can currently move data.
     pub fn is_usable(&self) -> bool {
         self.cfg.profile.is_connected() && !self.fate.partitioned && !self.fate.dropped
@@ -305,6 +319,22 @@ mod tests {
         let err = link.send(6_000_000, Direction::Up, &RetryPolicy::no_retry()).unwrap_err();
         assert_eq!(err, NetError::DeadlineExceeded);
         assert!((link.round_elapsed_s() - 0.5).abs() < 1e-12, "clock pinned at the deadline");
+    }
+
+    #[test]
+    fn compute_time_charges_against_the_deadline() {
+        let mut link = lossless();
+        link.begin_round(RoundFate::healthy(), 1.0);
+        assert!(link.charge_time(0.4), "within budget");
+        assert!((link.round_elapsed_s() - 0.4).abs() < 1e-12);
+        // the remaining 0.6 s is not enough for a ~1 s transfer
+        let err = link.send(6_000_000, Direction::Up, &RetryPolicy::no_retry()).unwrap_err();
+        assert_eq!(err, NetError::DeadlineExceeded);
+        // blowing the budget pins the clock at the deadline
+        let mut slow = lossless();
+        slow.begin_round(RoundFate::healthy(), 1.0);
+        assert!(!slow.charge_time(5.0));
+        assert!((slow.round_elapsed_s() - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -112,6 +112,13 @@ impl ObsSnapshot {
         self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
     }
 
+    /// All counters under a dotted-name prefix (e.g. `"sim."` or
+    /// `"fed."`), in ascending name order — the slice a golden-trace test
+    /// pins without freezing every other subsystem's counters.
+    pub fn counters_with_prefix(&self, prefix: &str) -> Vec<(String, u64)> {
+        self.counters.iter().filter(|(n, _)| n.starts_with(prefix)).cloned().collect()
+    }
+
     /// Histogram by name, if present.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms.iter().find(|h| h.name == name)
@@ -356,6 +363,15 @@ mod tests {
         assert_eq!(snap.gauge("loss"), Some(0.1));
         assert_eq!(snap.histogram("lat").unwrap().count, 3);
         assert_eq!(snap.span_outline(), vec![(0, "fit".to_string()), (1, "epoch".to_string())]);
+    }
+
+    #[test]
+    fn prefix_filter_selects_one_subsystem() {
+        let snap = sample_snapshot();
+        assert_eq!(snap.counters_with_prefix("a."), vec![("a.count".to_string(), 7)]);
+        assert_eq!(snap.counters_with_prefix("b."), vec![("b.bytes".to_string(), 1 << 40)]);
+        assert!(snap.counters_with_prefix("sim.").is_empty());
+        assert_eq!(snap.counters_with_prefix("").len(), 2, "empty prefix keeps everything");
     }
 
     #[test]

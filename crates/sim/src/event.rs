@@ -1,0 +1,124 @@
+//! A deterministic discrete-event queue over virtual time.
+//!
+//! Events are ordered by `(time_ns, insertion sequence)`: two events at
+//! the same virtual instant pop in the order they were pushed, so the
+//! schedule is a pure function of the pushes — no hash-map iteration
+//! order, no thread timing, no tie-break randomness.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A timestamped event queue with FIFO tie-breaking.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    popped: u64,
+    now_ns: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    key: Reverse<(u64, u64)>,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at virtual time zero.
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), seq: 0, popped: 0, now_ns: 0 }
+    }
+
+    /// Schedules `event` at absolute virtual time `at_ns`. Scheduling in
+    /// the past is clamped to *now*: the event fires at the current
+    /// instant, after everything already queued there.
+    pub fn push(&mut self, at_ns: u64, event: E) {
+        let at = at_ns.max(self.now_ns);
+        self.heap.push(Entry { key: Reverse((at, self.seq)), event });
+        self.seq += 1;
+    }
+
+    /// Pops the earliest event, advancing virtual time to its timestamp.
+    pub fn pop(&mut self) -> Option<(u64, E)> {
+        let entry = self.heap.pop()?;
+        let (at, _) = entry.key.0;
+        self.now_ns = at;
+        self.popped += 1;
+        Some((at, entry.event))
+    }
+
+    /// Current virtual time (the timestamp of the last popped event).
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Total events popped so far.
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+
+    /// Pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is drained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order_with_fifo_ties() {
+        let mut q = EventQueue::new();
+        q.push(30, "c");
+        q.push(10, "a1");
+        q.push(10, "a2");
+        q.push(20, "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec![(10, "a1"), (10, "a2"), (20, "b"), (30, "c")]);
+        assert_eq!(q.now_ns(), 30);
+        assert_eq!(q.events_processed(), 4);
+    }
+
+    #[test]
+    fn time_never_runs_backwards() {
+        let mut q = EventQueue::new();
+        q.push(100, "late");
+        assert_eq!(q.pop(), Some((100, "late")));
+        // scheduling into the past fires "now", after anything queued now
+        q.push(100, "same-instant");
+        q.push(5, "past");
+        assert_eq!(q.pop(), Some((100, "same-instant")));
+        assert_eq!(q.pop(), Some((100, "past")));
+        assert_eq!(q.now_ns(), 100);
+        assert!(q.is_empty());
+    }
+}

@@ -49,6 +49,7 @@ fn main() {
         network: NetworkProfile::wifi(),
         faults: FaultPlan::none(),
         obs: Some(Obs::wall()),
+        population: None,
     };
 
     let report = run_pipeline(&config, &clients, &test, &mut rng);

@@ -43,6 +43,7 @@ fn pipeline_end_to_end_under_non_iid_data() {
         network: NetworkProfile::lte(),
         faults: FaultPlan::lossy_cohort(),
         obs: None,
+        population: None,
     };
     let report = run_pipeline(&config, &clients, &test, &mut rng);
 

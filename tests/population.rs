@@ -1,0 +1,221 @@
+//! Acceptance tests of the population-scale simulation subsystem:
+//!
+//! 1. the legacy federated paths (`run_federated`, `run_federated_over`)
+//!    are **bit-identical** after their round loop moved into the
+//!    `mdl-sim` engine — pinned against parameter hashes captured on the
+//!    pre-refactor tree;
+//! 2. a 100k-client round over a faulty LTE mix completes with quorum;
+//! 3. the engine's `sim.*` / `fed.*` observability counters match a
+//!    checked-in golden.
+//!
+//! To update the golden after an intentional engine change:
+//!
+//! ```text
+//! MDL_UPDATE_GOLDEN=1 cargo test --test population
+//! git diff tests/golden/population.json   # review, then commit
+//! ```
+
+use mdl_core::prelude::*;
+
+const GOLDEN_PATH: &str = "tests/golden/population.json";
+
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+fn hash_params(params: &[f32]) -> u64 {
+    let bytes: Vec<u8> = params.iter().flat_map(|v| v.to_le_bytes()).collect();
+    fnv(&bytes)
+}
+
+fn fed_config() -> FedConfig {
+    FedConfig {
+        rounds: 20,
+        client_fraction: 1.0,
+        learning_rate: 0.2,
+        local_epochs: 3,
+        ..Default::default()
+    }
+}
+
+fn faulty_fabric(clients: usize) -> Fabric {
+    let link = LinkConfig {
+        loss_prob: 0.08,
+        jitter_frac: 0.1,
+        ..LinkConfig::clean(NetworkProfile::lte())
+    };
+    let config = FabricConfig {
+        faults: FaultPlan {
+            dropout_prob: 0.2,
+            straggler_prob: 0.25,
+            straggler_slowdown: 2.0,
+            flaky_prob: 0.1,
+            flaky_loss: 0.25,
+            partitions: Vec::new(),
+        },
+        retry: RetryPolicy {
+            timeout_s: 0.12,
+            max_attempts: 3,
+            base_backoff_s: 0.05,
+            backoff_multiplier: 2.0,
+            max_backoff_s: 0.4,
+        },
+        round_deadline_s: 5.0,
+        quorum_fraction: 0.4,
+        max_failed_rounds: 5,
+        link,
+    };
+    Fabric::new(clients, config, 0xFA17)
+}
+
+/// The three legacy federated paths, hashed bit-for-bit against values
+/// captured immediately before the round loop moved into
+/// `mdl_sim::run_legacy_loop`. Any drift here means the engine extraction
+/// changed observable behaviour — which it must never do.
+#[test]
+fn legacy_paths_are_bit_identical_after_engine_extraction() {
+    const CLIENTS: usize = 10;
+    const SEED: u64 = 42;
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let data = mdl_core::data::synthetic::synthetic_digits(800, 0.08, &mut rng);
+    let (train, test) = data.split(0.8, &mut rng);
+    let clients = partition_dataset(&train, CLIENTS, Partition::Iid, &mut rng);
+    let spec = MlpSpec::new(vec![64, 32, 10], 17);
+    let availability = AvailabilityModel::always_available(CLIENTS);
+
+    // ideal fabric: the in-memory legacy simulation
+    let mut rng1 = StdRng::seed_from_u64(SEED);
+    let ideal = run_federated(&spec, &clients, &test, &fed_config(), &availability, &mut rng1);
+    assert_eq!(hash_params(&ideal.final_params), 0x56746f6644044c8f, "ideal path drifted");
+
+    // faulty LTE cohort through mdl-net, with the obs counters the loop owns
+    let mut rng2 = StdRng::seed_from_u64(SEED);
+    let mut fabric = faulty_fabric(CLIENTS);
+    let obs = Obs::sim();
+    fabric.attach_obs(obs.clone());
+    let faulty = run_federated_over(
+        &spec,
+        &clients,
+        &test,
+        &fed_config(),
+        &availability,
+        &mut fabric,
+        &mut rng2,
+    )
+    .expect("a 40% quorum is reachable under this fault plan");
+    assert_eq!(hash_params(&faulty.final_params), 0x6bd062eb8938992a, "faulty path drifted");
+    assert_eq!(faulty.ledger.total_bytes(), 2_334_816);
+    assert_eq!(faulty.transport.attempts, 404);
+    let snap = obs.snapshot();
+    assert_eq!(snap.counter("fed.selected"), Some(200));
+    assert_eq!(snap.counter("fed.updates"), Some(121));
+
+    // partial availability + client failures: shuffle and fate draws
+    let mut rng3 = StdRng::seed_from_u64(SEED ^ 7);
+    let avail = AvailabilityModel::overnight(CLIENTS);
+    let cfg = FedConfig { client_fraction: 0.5, failure_prob: 0.2, ..fed_config() };
+    let partial = run_federated(&spec, &clients, &test, &cfg, &avail, &mut rng3);
+    assert_eq!(hash_params(&partial.final_params), 0x325b705505b5e442, "partial path drifted");
+}
+
+/// Faulty-LTE engine settings shared by the 100k acceptance run and the
+/// golden counter trace (at different scales).
+fn faulty_sim(rounds: usize, population: u64) -> SimConfig {
+    SimConfig {
+        rounds,
+        cohort: CohortSpec {
+            fraction: 0.01,
+            min_size: 32,
+            max_size: (population as usize / 10).max(32),
+        },
+        faults: FaultPlan {
+            dropout_prob: 0.1,
+            straggler_prob: 0.1,
+            straggler_slowdown: 2.0,
+            flaky_prob: 0.05,
+            flaky_loss: 0.25,
+            partitions: Vec::new(),
+        },
+        loss_prob: 0.02,
+        jitter_frac: 0.1,
+        quorum_fraction: 0.5,
+        seed: 0xF1EE7,
+        ..SimConfig::default()
+    }
+}
+
+/// The headline scale claim: one round over 100 000 clients on a faulty
+/// LTE mix samples a cohort, survives the fault plan, reaches quorum and
+/// still improves the model — with memory bounded by the cohort, never
+/// the population.
+#[test]
+fn faulty_lte_100k_round_reaches_quorum() {
+    const POPULATION: u64 = 100_000;
+    let task = PopulationTask::blobs(0xF1EE7);
+    let mut pop = Population::new(PopulationSpec::mobile_mix(POPULATION, 0xF1EE7));
+    let cfg = faulty_sim(2, POPULATION);
+    let (report, accuracy) =
+        run_population_fedavg(&cfg, &mut pop, &task, None).expect("quorum reachable at 100k");
+
+    assert_eq!(report.rounds.len(), 2);
+    for r in &report.rounds {
+        assert!(r.quorum_met, "round {} missed quorum: {r:?}", r.round);
+        assert!(r.eligible > 1_000, "the mix should keep thousands eligible");
+        assert!(r.cohort >= 32 && r.cohort <= r.eligible);
+        assert!(r.delivered > r.cohort / 2, "most of the cohort should deliver");
+    }
+    assert!(accuracy > 0.5, "two aggregated rounds should already beat chance: {accuracy}");
+    assert!(report.transport.bytes_up > 0 && report.transport.bytes_down > 0);
+}
+
+/// Golden-trace regression of the engine's observability exports: a small
+/// seeded run must produce the same `sim.*` / `fed.*` counters, the same
+/// span shape and the same virtual clock on every run, on every machine.
+#[test]
+fn sim_counters_match_golden() {
+    let task = PopulationTask::blobs(0xF1EE7);
+    let mut pop = Population::new(PopulationSpec::mobile_mix(500, 0xF1EE7));
+    let obs = Obs::sim();
+    let cfg = faulty_sim(3, 500);
+    let (report, _) =
+        run_population_fedavg(&cfg, &mut pop, &task, Some(&obs)).expect("quorum reachable");
+    let snap = obs.snapshot();
+
+    // counters must agree with the report before they are worth pinning
+    assert_eq!(snap.counter("sim.events"), Some(report.events));
+    assert_eq!(snap.counter("sim.bytes_up"), Some(report.transport.bytes_up));
+    assert_eq!(snap.counter("sim.bytes_down"), Some(report.transport.bytes_down));
+    let rounds = snap.span_outline().iter().filter(|(_, n)| n == "fed.round").count();
+    assert_eq!(rounds, report.rounds.len());
+
+    let mut json = String::from("{\n  \"counters\": {\n");
+    let pinned: Vec<(String, u64)> = snap
+        .counters_with_prefix("sim.")
+        .into_iter()
+        .chain(snap.counters_with_prefix("fed."))
+        .collect();
+    for (i, (name, value)) in pinned.iter().enumerate() {
+        let sep = if i + 1 == pinned.len() { "" } else { "," };
+        json.push_str(&format!("    \"{name}\": {value}{sep}\n"));
+    }
+    json.push_str(&format!("  }},\n  \"clock_ns\": {}\n}}\n", snap.now_ns));
+
+    if std::env::var("MDL_UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all("tests/golden").expect("create golden dir");
+        std::fs::write(GOLDEN_PATH, &json).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file missing; regenerate with MDL_UPDATE_GOLDEN=1");
+    assert_eq!(
+        json, golden,
+        "sim.*/fed.* counters drifted from tests/golden/population.json; \
+         if the change is intentional, regenerate with \
+         `MDL_UPDATE_GOLDEN=1 cargo test --test population` and commit the diff"
+    );
+}
