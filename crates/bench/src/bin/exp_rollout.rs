@@ -1,0 +1,224 @@
+//! E14 — staged fleet rollout: a fine-tuned candidate ships to a
+//! 1k-device fleet as a delta checkpoint over faulty LTE (ambient loss,
+//! stragglers, a hard first-round partition), advancing canary → pilot →
+//! fleet behind obs-derived health gates. A second arm injects a broken
+//! candidate and must be caught by the A/B gate at the canary and rolled
+//! back to the pinned base. Asserts the delta ships ≥3× fewer bytes than
+//! a full checkpoint, every stage completes within its retry budget, and
+//! the whole report is bit-reproducible — across two executions and
+//! across kernel thread counts. Writes `BENCH_rollout.json`.
+//!
+//! Pass an explicit fleet size to override (CI runs `-- 200`).
+
+use mdl_bench::{fmt_bytes, print_table};
+use mdl_core::net::PartitionWindow;
+use mdl_core::prelude::*;
+use mdl_core::tensor::kernel::{set_threads, threads};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const SEED: u64 = 0xD0_11;
+const MIN_DELTA_RATIO: f64 = 3.0;
+
+/// Base + candidate sharing one quantization grid: the base is a trained
+/// classifier snapped onto the grid, the candidate a sparse fine-tune of
+/// it (every 11th weight nudged) snapped onto the *same* grid — exactly
+/// the artifact pair a quantized deployment produces, and the shape the
+/// delta encoder compacts hardest.
+fn versions() -> (Sequential, Sequential) {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let data = mdl_core::data::synthetic::synthetic_digits(600, 0.08, &mut rng);
+    let mut base = Sequential::new();
+    base.push(Dense::new(64, 48, Activation::Relu, &mut rng));
+    base.push(Dense::new(48, 10, Activation::Identity, &mut rng));
+    let mut opt = Sgd::new(0.1);
+    fit_classifier(
+        &mut base,
+        &mut opt,
+        &data.x,
+        &data.y,
+        &TrainConfig { epochs: 3, batch_size: 32, ..Default::default() },
+        &mut rng,
+    );
+
+    let params = base.param_vector();
+    let grid = mdl_core::compress::uniform_codebook(&params, 256);
+    base.set_param_vector(&mdl_core::compress::snap_to_codebook(&params, &grid));
+    let nudged: Vec<f32> =
+        params.iter().enumerate().map(|(i, &v)| if i % 11 == 0 { v + 0.02 } else { v }).collect();
+    let mut candidate = Sequential::new();
+    candidate.push(Dense::new(64, 48, Activation::Relu, &mut rng));
+    candidate.push(Dense::new(48, 10, Activation::Identity, &mut rng));
+    candidate.set_param_vector(&mdl_core::compress::snap_to_codebook(&nudged, &grid));
+    (base, candidate)
+}
+
+fn probe() -> (Matrix, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 1);
+    let data = mdl_core::data::synthetic::synthetic_digits(200, 0.08, &mut rng);
+    (data.x, data.y)
+}
+
+/// Faulty LTE: ambient flaky radios plus a hard fleet-wide partition in
+/// the first distribution round, so every device exercises offset resume.
+fn config(fleet: u64) -> RolloutConfig {
+    let mut cfg = RolloutConfig::staged(fleet, SEED);
+    cfg.fabric = FabricConfig {
+        faults: FaultPlan {
+            straggler_prob: 0.15,
+            straggler_slowdown: 3.0,
+            flaky_prob: 0.4,
+            flaky_loss: 0.3,
+            partitions: vec![PartitionWindow { from_round: 1, until_round: 2, clients: vec![] }],
+            ..FaultPlan::none()
+        },
+        ..FabricConfig::faulty(LinkConfig::clean(NetworkProfile::lte()))
+    };
+    cfg.chunk.chunk_bytes = 256; // several chunks per delta → real resume traffic
+    cfg.chunk.retry_budget = 48;
+    cfg
+}
+
+fn healthy(fleet: u64) -> RolloutReport {
+    let (mut base, mut candidate) = versions();
+    let (x, y) = probe();
+    run_rollout(&mut base, &mut candidate, &x, &y, &config(fleet), None)
+}
+
+fn regression(fleet: u64) -> RolloutReport {
+    let (mut base, _) = versions();
+    let mut rng = StdRng::seed_from_u64(SEED ^ 2);
+    let mut broken = Sequential::new();
+    broken.push(Dense::new(64, 48, Activation::Relu, &mut rng));
+    broken.push(Dense::new(48, 10, Activation::Identity, &mut rng));
+    let n = broken.num_params();
+    broken.set_param_vector(&vec![0.0; n]);
+    let (x, y) = probe();
+    run_rollout(&mut base, &mut broken, &x, &y, &config(fleet), None)
+}
+
+fn main() {
+    let fleet: u64 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("fleet size must be an unsigned integer"))
+        .unwrap_or(1_000);
+
+    // --- bit-reproducibility: two executions, then kernel thread counts ---
+    let start = Instant::now();
+    let good = healthy(fleet);
+    let wall_s = start.elapsed().as_secs_f64();
+    assert_eq!(good, healthy(fleet), "same seeds must reproduce the report bit-for-bit");
+    let default_threads = threads();
+    set_threads(1);
+    let single = healthy(fleet);
+    set_threads(4);
+    let multi = healthy(fleet);
+    set_threads(default_threads);
+    assert_eq!(single, multi, "kernel thread count must not change any bit");
+    assert_eq!(good, single);
+
+    // --- the healthy arm: full ladder, within budget, compact delta ---
+    assert!(good.completed && !good.rolled_back, "healthy rollout must finish the ladder");
+    assert_eq!(good.stages.len(), 3);
+    assert_eq!(good.serving_version, good.candidate_version);
+    for s in &good.stages {
+        assert_eq!(
+            s.completed, s.cohort,
+            "stage {}: every device must finish within the retry budget",
+            s.name
+        );
+        assert_eq!(s.exhausted, 0);
+    }
+    assert!(
+        good.bytes_ratio() >= MIN_DELTA_RATIO,
+        "delta {}B vs full {}B: ratio {:.2} under the {MIN_DELTA_RATIO}x floor",
+        good.delta_bytes,
+        good.full_bytes,
+        good.bytes_ratio()
+    );
+
+    // --- the regression arm: the A/B gate stops the canary ---
+    let bad = regression(fleet);
+    assert_eq!(bad, regression(fleet), "the rollback path must replay bit-for-bit too");
+    assert!(bad.rolled_back && !bad.completed);
+    assert!(bad.ab.flagged, "the behavioural diff must flag the regression");
+    assert_eq!(bad.stages.len(), 1, "nothing past the canary");
+    assert_eq!(bad.serving_version, bad.base_version, "serving reverted to the pin");
+    assert_eq!(bad.reverts, 1);
+
+    let rows: Vec<Vec<String>> = good
+        .stages
+        .iter()
+        .map(|s| {
+            vec![
+                s.name.clone(),
+                format!("{}", s.cohort),
+                format!("{}/{}", s.completed, s.cohort),
+                format!("{}", s.rounds),
+                fmt_bytes(s.delivered_bytes),
+                fmt_bytes(s.wasted_bytes),
+                format!("{:.1}%", 100.0 * s.gate.error_rate),
+                format!("{:.2}s", s.gate.transfer_p99_s),
+                if s.gate.passed { "pass".into() } else { "FAIL".into() },
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "staged rollout to {fleet} devices over faulty LTE (delta {} = {:.1}x smaller than full {})",
+            fmt_bytes(good.delta_bytes),
+            good.bytes_ratio(),
+            fmt_bytes(good.full_bytes),
+        ),
+        &["stage", "cohort", "done", "rounds", "delivered", "wasted", "err", "p99", "gate"],
+        &rows,
+    );
+    println!(
+        "\nhealthy candidate: {} mode, A/B mismatch {:.1}%, serving v{}",
+        good.delta_mode,
+        100.0 * good.ab.mismatch_rate,
+        good.serving_version
+    );
+    println!(
+        "injected regression: flagged at the canary (mismatch {:.1}%), {} revert, serving v{}",
+        100.0 * bad.ab.mismatch_rate,
+        bad.reverts,
+        bad.serving_version
+    );
+
+    // --- JSON artifact ---
+    let mut json = String::from("{\n  \"benchmark\": \"rollout\",\n");
+    let _ = writeln!(json, "  \"fleet\": {fleet},");
+    let _ = writeln!(json, "  \"bit_reproducible\": true,");
+    let _ = writeln!(json, "  \"thread_invariant\": true,");
+    let _ = writeln!(json, "  \"delta_bytes\": {},", good.delta_bytes);
+    let _ = writeln!(json, "  \"full_bytes\": {},", good.full_bytes);
+    let _ = writeln!(json, "  \"delta_ratio\": {:.3},", good.bytes_ratio());
+    let _ = writeln!(json, "  \"delta_mode\": \"{}\",", good.delta_mode);
+    let _ = writeln!(json, "  \"ab_mismatch\": {:.4},", good.ab.mismatch_rate);
+    let _ = writeln!(json, "  \"wall_s\": {wall_s:.3},");
+    json.push_str("  \"stages\": [\n");
+    for (i, s) in good.stages.iter().enumerate() {
+        json.push_str("    {\n");
+        let _ = writeln!(json, "      \"name\": \"{}\",", s.name);
+        let _ = writeln!(json, "      \"cohort\": {},", s.cohort);
+        let _ = writeln!(json, "      \"completed\": {},", s.completed);
+        let _ = writeln!(json, "      \"rounds\": {},", s.rounds);
+        let _ = writeln!(json, "      \"delivered_bytes\": {},", s.delivered_bytes);
+        let _ = writeln!(json, "      \"wasted_bytes\": {},", s.wasted_bytes);
+        let _ = writeln!(json, "      \"transfer_p99_s\": {:.4},", s.gate.transfer_p99_s);
+        let _ = writeln!(json, "      \"gate_passed\": {}", s.gate.passed);
+        json.push_str(if i + 1 == good.stages.len() { "    }\n" } else { "    },\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"regression\": {\n");
+    let _ = writeln!(json, "    \"flagged\": {},", bad.ab.flagged);
+    let _ = writeln!(json, "    \"ab_mismatch\": {:.4},", bad.ab.mismatch_rate);
+    let _ = writeln!(json, "    \"rolled_back\": {},", bad.rolled_back);
+    let _ = writeln!(json, "    \"reverts\": {},", bad.reverts);
+    let _ = writeln!(json, "    \"stages_run\": {},", bad.stages.len());
+    let _ = writeln!(json, "    \"serving_version\": {}", bad.serving_version);
+    json.push_str("  }\n}\n");
+    std::fs::write("BENCH_rollout.json", &json).expect("write BENCH_rollout.json");
+    println!("wrote BENCH_rollout.json");
+}

@@ -22,6 +22,8 @@
 //! | `exp_kernels` | blocked GEMM kernel throughput + bit-determinism contract |
 //! | `exp_obs` | observability overhead (<5% per epoch) + snapshot determinism |
 //! | `exp_population` | 1k → 100k-client event-driven FedAvg over `mdl-sim` |
+//! | `exp_rollout` | 1k-device staged delta rollout over faulty LTE via `mdl-fleet` |
+//! | `exp_matrix` | deployment matrix: device × model × weight precision |
 
 /// Prints a markdown-style table: header row then aligned data rows.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {

@@ -148,9 +148,21 @@ impl HuffmanEncoded {
     }
 
     /// Decodes the full symbol stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bitstream is internally inconsistent (possible only
+    /// for frames built by hand or truncated in transit — see
+    /// [`HuffmanEncoded::try_decode`] for the checked variant).
     pub fn decode(&self) -> Vec<u8> {
+        self.try_decode().expect("huffman bitstream consistent with its code table")
+    }
+
+    /// Bounds-checked decode: `None` when the bitstream runs out before
+    /// `len` symbols were produced or a code exceeds the table's depth.
+    pub fn try_decode(&self) -> Option<Vec<u8>> {
         if self.len == 0 {
-            return Vec::new();
+            return Some(Vec::new());
         }
         let codes = canonical_codes(&self.code_lengths);
         // build a simple (code,len) → symbol map
@@ -169,18 +181,54 @@ impl HuffmanEncoded {
         let mut len = 0u8;
         let mut bit_pos = 0usize;
         while out.len() < self.len {
-            let byte = self.bits[bit_pos / 8];
+            let byte = *self.bits.get(bit_pos / 8)?;
             let bit = (byte >> (7 - (bit_pos % 8))) & 1;
             bit_pos += 1;
             code = (code << 1) | bit as u32;
             len += 1;
+            if len > 32 {
+                return None;
+            }
             if let Ok(found) = by_len[len as usize].binary_search_by_key(&code, |e| e.0) {
                 out.push(by_len[len as usize][found].1);
                 code = 0;
                 len = 0;
             }
         }
+        Some(out)
+    }
+
+    /// Serialises the codec to a flat, self-delimiting frame (code-length
+    /// table, symbol count, packed bitstream) so callers can embed a
+    /// Huffman block inside their own wire formats — the delta-checkpoint
+    /// encoding in [`crate::delta`] does exactly this.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(2 + self.code_lengths.len() + 8 + self.bits.len());
+        out.extend_from_slice(&(self.code_lengths.len() as u16).to_le_bytes());
+        out.extend_from_slice(&self.code_lengths);
+        out.extend_from_slice(&(self.len as u32).to_le_bytes());
+        out.extend_from_slice(&(self.bits.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.bits);
         out
+    }
+
+    /// Parses a frame written by [`HuffmanEncoded::to_bytes`], returning
+    /// the codec and the number of bytes consumed. `None` on truncation
+    /// or an inconsistent bitstream.
+    pub fn from_bytes(bytes: &[u8]) -> Option<(Self, usize)> {
+        let table_len = u16::from_le_bytes(bytes.get(0..2)?.try_into().ok()?) as usize;
+        let mut pos = 2;
+        let code_lengths = bytes.get(pos..pos + table_len)?.to_vec();
+        pos += table_len;
+        let len = u32::from_le_bytes(bytes.get(pos..pos + 4)?.try_into().ok()?) as usize;
+        pos += 4;
+        let bits_len = u32::from_le_bytes(bytes.get(pos..pos + 4)?.try_into().ok()?) as usize;
+        pos += 4;
+        let bits = bytes.get(pos..pos + bits_len)?.to_vec();
+        pos += bits_len;
+        let decoded = Self { code_lengths, bits, len };
+        decoded.try_decode()?;
+        Some((decoded, pos))
     }
 
     /// Encoded size in bytes (bitstream + one length byte per symbol slot

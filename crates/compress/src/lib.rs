@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod circulant;
+pub mod delta;
 pub mod distill;
 pub mod huffman;
 pub mod lowrank;
@@ -43,6 +44,7 @@ pub mod quantize;
 pub mod sparse;
 
 pub use circulant::BlockCirculant;
+pub use delta::{param_hash, snap_to_codebook, uniform_codebook, DeltaCheckpoint, DeltaError};
 pub use distill::{distill, DistillConfig, DistillStats};
 pub use huffman::HuffmanEncoded;
 pub use lowrank::{factorize_dense, factorize_network, rank_for_energy, Factorized};

@@ -64,3 +64,116 @@ proptest! {
         );
     }
 }
+
+// -- delta checkpoints (mdl-fleet's wire format) ---------------------------
+
+use mdl_compress::{param_hash, snap_to_codebook, uniform_codebook, DeltaCheckpoint};
+
+/// Element strategy with adversarial bit patterns: mostly ordinary
+/// values, with NaN, ±0.0, infinities and a denormal mixed in — all of
+/// which the delta encoder must carry bit-exactly.
+fn weird_f32() -> impl Strategy<Value = f32> {
+    (-1006i32..1000).prop_map(|v| match v {
+        -1006 => f32::NAN,
+        -1005 => -0.0,
+        -1004 => f32::INFINITY,
+        -1003 => f32::NEG_INFINITY,
+        -1002 => f32::MIN_POSITIVE / 2.0, // denormal
+        -1001 => 0.0,
+        v => v as f32 * 0.013,
+    })
+}
+
+/// Overwrites `base[idx % len]` with each paired value, producing the
+/// "new" version of the tensor; edits collide freely, so deltas range
+/// from empty to fully dense.
+fn perturb(base: &[f32], idxs: &[usize], vals: &[f32]) -> Vec<f32> {
+    let mut new = base.to_vec();
+    if !new.is_empty() {
+        for (&i, &v) in idxs.iter().zip(vals) {
+            let at = i % new.len();
+            new[at] = v;
+        }
+    }
+    new
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    /// apply ∘ encode = identity (bit-for-bit, NaN and -0.0 included)
+    /// over arbitrary tensors and arbitrary sparse edits.
+    #[test]
+    fn delta_apply_encode_is_identity(
+        base in prop::collection::vec(weird_f32(), 0..96),
+        idxs in prop::collection::vec(0usize..1 << 16, 0..32),
+        vals in prop::collection::vec(weird_f32(), 0..32),
+    ) {
+        let new = perturb(&base, &idxs, &vals);
+        let delta = DeltaCheckpoint::encode(&base, &new, 1, 2);
+        let restored = delta.apply(&base).expect("matching base");
+        prop_assert_eq!(bits(&restored), bits(&new));
+        prop_assert_eq!(delta.changed() == 0, param_hash(&base) == param_hash(&new));
+    }
+
+    /// The quantized-diff path: both versions snapped onto a shared
+    /// codebook grid still round-trip exactly, and a snapped payload
+    /// never costs meaningfully more than raw storage.
+    #[test]
+    fn delta_identity_holds_on_the_quantized_path(
+        raw in prop::collection::vec(-500i32..500, 32..128),
+        levels in 2usize..32,
+        step in 1i32..40,
+    ) {
+        let vals: Vec<f32> = raw.iter().map(|&v| v as f32 * 0.01).collect();
+        let grid = uniform_codebook(&vals, levels);
+        let base = snap_to_codebook(&vals, &grid);
+        let nudged: Vec<f32> = vals
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| if i % 3 == 0 { v + step as f32 * 0.01 } else { v })
+            .collect();
+        let new = snap_to_codebook(&nudged, &grid);
+        let delta = DeltaCheckpoint::encode(&base, &new, 7, 8);
+        let restored = delta.apply(&base).expect("matching base");
+        prop_assert_eq!(bits(&restored), bits(&new));
+        prop_assert!(delta.encoded_bytes() <= delta.full_bytes() + 32);
+    }
+
+    /// Wire round-trip: from_bytes ∘ to_bytes reproduces the checkpoint
+    /// exactly, and the restored checkpoint still applies.
+    #[test]
+    fn delta_wire_roundtrip_preserves_the_checkpoint(
+        base in prop::collection::vec(weird_f32(), 1..64),
+        idxs in prop::collection::vec(0usize..1 << 16, 1..16),
+        vals in prop::collection::vec(weird_f32(), 1..16),
+    ) {
+        let new = perturb(&base, &idxs, &vals);
+        let delta = DeltaCheckpoint::encode(&base, &new, 3, 4);
+        let wire = delta.to_bytes();
+        prop_assert_eq!(wire.len() as u64, delta.encoded_bytes());
+        let back = DeltaCheckpoint::from_bytes(&wire).expect("self-produced frame");
+        prop_assert_eq!(&back, &delta);
+        let restored = back.apply(&base).expect("matching base");
+        prop_assert_eq!(bits(&restored), bits(&new));
+    }
+
+    /// A delta refuses to apply to any tensor that is not bit-identical
+    /// to its base.
+    #[test]
+    fn delta_rejects_foreign_bases(
+        raw in prop::collection::vec(-100i32..100, 4..48),
+        corrupt in 0usize..1 << 16,
+    ) {
+        let base: Vec<f32> = raw.iter().map(|&v| v as f32 * 0.11).collect();
+        let mut new = base.clone();
+        new[0] += 1.0;
+        let delta = DeltaCheckpoint::encode(&base, &new, 1, 2);
+        let mut other = base.clone();
+        let at = corrupt % other.len();
+        other[at] += 0.5;
+        prop_assert!(delta.apply(&other).is_err());
+    }
+}

@@ -46,6 +46,7 @@ pub use mdl_data as data;
 pub use mdl_deepmood as deepmood;
 pub use mdl_deepservice as deepservice;
 pub use mdl_federated as federated;
+pub use mdl_fleet as fleet;
 pub use mdl_mobile as mobile;
 pub use mdl_net as net;
 pub use mdl_nn as nn;
@@ -58,14 +59,14 @@ pub use mdl_tensor as tensor;
 
 pub use pipeline::{
     run_pipeline, PipelineConfig, PipelineReport, PopulationRehearsal, PopulationSummary,
-    ServingSummary, TransportSummary,
+    RolloutRehearsal, RolloutSummary, ServingSummary, TransportSummary,
 };
 
 /// One-stop imports for examples and experiments.
 pub mod prelude {
     pub use crate::pipeline::{
         run_pipeline, PipelineConfig, PipelineReport, PopulationRehearsal, PopulationSummary,
-        ServingSummary, TransportSummary,
+        RolloutRehearsal, RolloutSummary, ServingSummary, TransportSummary,
     };
     pub use mdl_baselines::{
         evaluate, fit_evaluate, Classifier, DecisionTree, Evaluation, GradientBoost, LinearSvm,
@@ -84,6 +85,10 @@ pub mod prelude {
         run_federated, run_federated_over, run_population_fedavg, run_selective_sgd,
         run_selective_sgd_over, AvailabilityModel, FedConfig, MlpSpec, PopulationTask,
         SelectiveConfig,
+    };
+    pub use mdl_fleet::{
+        ab_compare, canary_stages, distribute, run_rollout, snapshot_diff, AbReport, ChunkConfig,
+        DistributionReport, GatePolicy, RolloutConfig, RolloutReport,
     };
     pub use mdl_mobile::{Battery, DeviceProfile, NetworkProfile, Placement, Scenario};
     pub use mdl_net::{

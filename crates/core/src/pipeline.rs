@@ -56,6 +56,13 @@ pub struct PipelineConfig {
     /// sampling, faulty links) before shipping the rollout schedule.
     /// `None` skips the stage entirely — all other results are unchanged.
     pub population: Option<PopulationRehearsal>,
+    /// Optional rollout rehearsal: ship the compressed artifact as a
+    /// delta checkpoint through `mdl-fleet`'s staged canary → pilot →
+    /// fleet ladder (keyed-hash cohorts, resumable chunked transfer over
+    /// the configured network/faults, health gates, A/B diff against the
+    /// trained base). `None` skips the stage — all other results are
+    /// unchanged.
+    pub rollout: Option<RolloutRehearsal>,
 }
 
 /// Configuration of the optional population rehearsal stage.
@@ -75,6 +82,22 @@ impl PopulationRehearsal {
     /// engine settings.
     pub fn quick(clients: u64, seed: u64) -> Self {
         Self { clients, sim: SimConfig { rounds: 3, seed, ..SimConfig::default() }, seed }
+    }
+}
+
+/// Configuration of the optional rollout rehearsal stage.
+#[derive(Debug, Clone)]
+pub struct RolloutRehearsal {
+    /// Devices in the rehearsal fleet.
+    pub fleet: u64,
+    /// Seed behind cohort sampling and the per-stage fabrics.
+    pub seed: u64,
+}
+
+impl RolloutRehearsal {
+    /// A small deterministic rehearsal fleet.
+    pub fn quick(fleet: u64, seed: u64) -> Self {
+        Self { fleet, seed }
     }
 }
 
@@ -102,6 +125,9 @@ pub struct PipelineReport {
     /// What the population rehearsal observed (`Some` iff
     /// [`PipelineConfig::population`] was set).
     pub population: Option<PopulationSummary>,
+    /// What the rollout rehearsal observed (`Some` iff
+    /// [`PipelineConfig::rollout`] was set).
+    pub rollout: Option<RolloutSummary>,
     /// Frozen observability export (`Some` iff [`PipelineConfig::obs`] was
     /// set): stage spans plus every counter/gauge/histogram the run touched.
     pub obs: Option<ObsSnapshot>,
@@ -146,6 +172,32 @@ pub struct PopulationSummary {
     pub bytes_up: u64,
     /// Download bytes across the fleet.
     pub bytes_down: u64,
+}
+
+/// What the rollout rehearsal observed: the compressed artifact staged
+/// through the fleet as a delta checkpoint against the trained base.
+#[derive(Debug, Clone)]
+pub struct RolloutSummary {
+    /// Devices in the rehearsal fleet.
+    pub fleet: u64,
+    /// Stages that actually ran (a failed gate stops the ladder).
+    pub stages_run: usize,
+    /// Every stage passed; the candidate kept serving.
+    pub completed: bool,
+    /// A health gate failed and serving reverted to the pinned base.
+    pub rolled_back: bool,
+    /// Registry version serving resolved to afterwards.
+    pub serving_version: u64,
+    /// Rollbacks performed (0 or 1).
+    pub reverts: u64,
+    /// Serialised delta-checkpoint bytes shipped per device.
+    pub delta_bytes: u64,
+    /// Full-checkpoint bytes the delta replaced.
+    pub full_bytes: u64,
+    /// Layout the delta encoder picked.
+    pub delta_mode: String,
+    /// A/B prediction mismatch rate between base and candidate.
+    pub ab_mismatch: f64,
 }
 
 /// What the transport rehearsal observed when pushing the trained
@@ -238,6 +290,49 @@ fn rehearse_population(r: &PopulationRehearsal, obs: Option<&Obs>) -> Population
             bytes_up: 0,
             bytes_down: 0,
         },
+    }
+}
+
+/// Rehearses a staged fleet rollout of the compressed artifact: the
+/// trained model is the pinned base, the compressed restoration is the
+/// candidate, and the delta between them ships canary → pilot → fleet
+/// over the configured network and fault plan. Gates are deliberately
+/// tolerant — compression legitimately shifts some predictions — so the
+/// rehearsal answers "does the machinery hold up", not "is this
+/// candidate good"; a genuinely broken candidate still rolls back.
+fn rehearse_rollout(
+    r: &RolloutRehearsal,
+    base: &mut Sequential,
+    candidate: &mut Sequential,
+    test: &Dataset,
+    network: &NetworkProfile,
+    faults: &FaultPlan,
+    obs: Option<&Obs>,
+) -> RolloutSummary {
+    let mut cfg = mdl_fleet::RolloutConfig::staged(r.fleet, r.seed);
+    cfg.fabric = FabricConfig {
+        faults: faults.clone(),
+        ..FabricConfig::faulty(LinkConfig::clean(network.clone()))
+    };
+    cfg.chunk.retry_budget = 32;
+    cfg.gate = mdl_fleet::GatePolicy {
+        max_error_rate: 0.25,
+        max_accuracy_drop: 0.15,
+        max_ab_mismatch: 0.50,
+        ..Default::default()
+    };
+    let report = mdl_fleet::run_rollout(base, candidate, &test.x, &test.y, &cfg, obs);
+    RolloutSummary {
+        fleet: r.fleet,
+        stages_run: report.stages.len(),
+        completed: report.completed,
+        rolled_back: report.rolled_back,
+        serving_version: report.serving_version,
+        reverts: report.reverts,
+        delta_bytes: report.delta_bytes,
+        full_bytes: report.full_bytes,
+        delta_mode: report.delta_mode,
+        ab_mismatch: report.ab.mismatch_rate,
     }
 }
 
@@ -366,6 +461,25 @@ pub fn run_pipeline(
         summary
     });
 
+    // 8. (optional) rollout rehearsal: stage the compressed artifact
+    // through the fleet as a delta checkpoint with health gates
+    let rollout = config.rollout.as_ref().map(|r| {
+        let span = stage("pipeline.rollout");
+        let mut rollout_base = config.spec.build_with(&fed.final_params);
+        let mut rollout_candidate = compressed.decompress();
+        let summary = rehearse_rollout(
+            r,
+            &mut rollout_base,
+            &mut rollout_candidate,
+            test,
+            &config.network,
+            &config.faults,
+            config.obs.as_ref(),
+        );
+        drop(span);
+        summary
+    });
+
     let obs = config.obs.as_ref().map(|o| {
         let g = o.registry();
         g.gauge("pipeline.trained_accuracy").set(trained_accuracy);
@@ -388,6 +502,7 @@ pub fn run_pipeline(
         transport,
         serving,
         population,
+        rollout,
         obs,
         model,
     }
@@ -435,6 +550,7 @@ mod tests {
             faults: FaultPlan::lossy_cohort(),
             obs: Some(Obs::wall()),
             population: Some(PopulationRehearsal::quick(300, 11)),
+            rollout: Some(RolloutRehearsal::quick(48, 13)),
         };
         let report = run_pipeline(&config, &clients, &test, &mut rng);
 
@@ -467,6 +583,15 @@ mod tests {
         assert!(popn.quorum_rounds > 0, "fault-free rehearsal should meet quorum");
         assert!(popn.bytes_up > 0 && popn.sim_clock_s > 0.0);
 
+        let roll = report.rollout.as_ref().expect("rollout rehearsal was configured");
+        assert_eq!(roll.fleet, 48);
+        assert!(roll.stages_run >= 1);
+        assert!(
+            roll.completed != roll.rolled_back,
+            "the ladder either finishes or rolls back, never both"
+        );
+        assert!(roll.delta_bytes > 0 && roll.full_bytes > 0);
+
         // one bookkeeping path: the obs export carries the same story
         let obs = report.obs.as_ref().expect("obs was configured");
         let outline = obs.span_outline();
@@ -479,6 +604,7 @@ mod tests {
             "pipeline.transport",
             "pipeline.serve",
             "pipeline.population",
+            "pipeline.rollout",
         ] {
             assert!(
                 outline.contains(&(1, child.to_string())),

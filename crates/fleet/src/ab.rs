@@ -1,0 +1,167 @@
+//! A/B hot-swap verification: two registry versions served side by side,
+//! compared through their observability snapshots.
+//!
+//! Each arm runs the same probe batch through the deterministic
+//! [`mdl_nn::Layer::forward_eval`] path while recording per-class
+//! prediction counters (`ab.class_<k>`), probe totals and correctness
+//! into its *own* [`Obs`] session. The two [`ObsSnapshot`]s are then
+//! diffed counter by counter — the golden-snapshot behavioural diff: a
+//! healthy candidate produces a near-empty diff, while an injected
+//! regression shows up as diverging class counters and a mismatch rate
+//! above threshold, which flags the report.
+
+use mdl_nn::Sequential;
+use mdl_obs::{Obs, ObsSnapshot};
+use mdl_tensor::Matrix;
+
+/// Outcome of serving two versions side by side over one probe batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbReport {
+    /// Probe rows evaluated per arm.
+    pub probes: usize,
+    /// Rows where the two arms' argmax predictions diverged.
+    pub mismatches: usize,
+    /// `mismatches / probes` (0 for an empty probe).
+    pub mismatch_rate: f64,
+    /// Probe accuracy of the base arm.
+    pub base_accuracy: f64,
+    /// Probe accuracy of the candidate arm.
+    pub candidate_accuracy: f64,
+    /// Counters whose values diverge between the arms' snapshots:
+    /// `(name, base value, candidate value)`, name-ascending.
+    pub diverging: Vec<(String, u64, u64)>,
+    /// `true` when the mismatch rate breached the threshold — the
+    /// candidate's behaviour drifted from the pinned base.
+    pub flagged: bool,
+}
+
+/// Counters under `prefix` whose values differ between two snapshots,
+/// name-ascending; a counter absent from one side is treated as 0. This
+/// is the generic half of the A/B gate — it also works on full pipeline
+/// snapshots when diffing whole serving sessions.
+pub fn snapshot_diff(a: &ObsSnapshot, b: &ObsSnapshot, prefix: &str) -> Vec<(String, u64, u64)> {
+    let left = a.counters_with_prefix(prefix);
+    let right = b.counters_with_prefix(prefix);
+    let mut names: Vec<&String> = left.iter().chain(&right).map(|(n, _)| n).collect();
+    names.sort();
+    names.dedup();
+    let value = |set: &[(String, u64)], name: &str| {
+        set.iter().find(|(n, _)| n == name).map_or(0, |&(_, v)| v)
+    };
+    names
+        .into_iter()
+        .map(|n| (n.clone(), value(&left, n), value(&right, n)))
+        .filter(|&(_, l, r)| l != r)
+        .collect()
+}
+
+fn serve_arm(model: &Sequential, probe_x: &Matrix, probe_y: &[usize]) -> (Vec<usize>, ObsSnapshot) {
+    let obs = Obs::sim();
+    let r = obs.registry();
+    let predictions = model.predict(probe_x);
+    r.counter("ab.predictions").add(predictions.len() as u64);
+    let correct = predictions.iter().zip(probe_y).filter(|(p, y)| p == y).count();
+    r.counter("ab.correct").add(correct as u64);
+    for &class in &predictions {
+        r.counter(&format!("ab.class_{class}")).inc();
+    }
+    (predictions, obs.snapshot())
+}
+
+/// Serves `base` and `candidate` side by side over the probe batch and
+/// diffs their behaviour. `mismatch_threshold` is the fraction of
+/// diverging predictions above which the report is flagged.
+pub fn ab_compare(
+    base: &Sequential,
+    candidate: &Sequential,
+    probe_x: &Matrix,
+    probe_y: &[usize],
+    mismatch_threshold: f64,
+) -> AbReport {
+    assert_eq!(probe_x.rows(), probe_y.len(), "one label per probe row");
+    let (base_pred, base_snap) = serve_arm(base, probe_x, probe_y);
+    let (cand_pred, cand_snap) = serve_arm(candidate, probe_x, probe_y);
+    let probes = base_pred.len();
+    let mismatches = base_pred.iter().zip(&cand_pred).filter(|(a, b)| a != b).count();
+    let mismatch_rate = if probes == 0 { 0.0 } else { mismatches as f64 / probes as f64 };
+    let accuracy = |snap: &ObsSnapshot| {
+        let correct = snap.counter("ab.correct").unwrap_or(0);
+        if probes == 0 {
+            0.0
+        } else {
+            correct as f64 / probes as f64
+        }
+    };
+    AbReport {
+        probes,
+        mismatches,
+        mismatch_rate,
+        base_accuracy: accuracy(&base_snap),
+        candidate_accuracy: accuracy(&cand_snap),
+        diverging: snapshot_diff(&base_snap, &cand_snap, "ab."),
+        flagged: mismatch_rate > mismatch_threshold,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdl_nn::{Activation, Dense, ParamVector};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut n = Sequential::new();
+        n.push(Dense::new(4, 8, Activation::Relu, &mut rng));
+        n.push(Dense::new(8, 3, Activation::Identity, &mut rng));
+        n
+    }
+
+    fn probe() -> (Matrix, Vec<usize>) {
+        let x = Matrix::from_fn(30, 4, |r, c| ((r * 7 + c * 3) % 11) as f32 / 11.0 - 0.5);
+        let y: Vec<usize> = (0..30).map(|r| r % 3).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn identical_arms_produce_an_empty_diff() {
+        let model = net(1);
+        let (x, y) = probe();
+        let report = ab_compare(&model, &model, &x, &y, 0.02);
+        assert_eq!(report.mismatches, 0);
+        assert!(report.diverging.is_empty(), "{:?}", report.diverging);
+        assert!(!report.flagged);
+        assert_eq!(report.base_accuracy, report.candidate_accuracy);
+    }
+
+    #[test]
+    fn injected_regression_is_flagged_with_a_diverging_diff() {
+        let base = net(1);
+        let mut broken = net(1);
+        // the regression: zero the classifier head — every logit collapses
+        let n = broken.num_params();
+        broken.set_param_vector(&vec![0.0; n]);
+        let (x, y) = probe();
+        let report = ab_compare(&base, &broken, &x, &y, 0.02);
+        assert!(report.flagged, "rate {}", report.mismatch_rate);
+        assert!(!report.diverging.is_empty(), "class counters must diverge");
+        assert!(report.candidate_accuracy <= report.base_accuracy);
+    }
+
+    #[test]
+    fn diff_treats_missing_counters_as_zero() {
+        let a = Obs::sim();
+        a.registry().counter("ab.class_0").add(5);
+        a.registry().counter("ab.same").add(2);
+        let b = Obs::sim();
+        b.registry().counter("ab.class_1").add(3);
+        b.registry().counter("ab.same").add(2);
+        let d = snapshot_diff(&a.snapshot(), &b.snapshot(), "ab.");
+        assert_eq!(
+            d,
+            vec![("ab.class_0".into(), 5, 0), ("ab.class_1".into(), 0, 3)],
+            "equal counters drop out, absences read as zero"
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! # mdl-fleet
+//!
+//! Fleet model lifecycle: the paper's §III deployment story — ship a
+//! better model to every phone without shipping a new app — composed
+//! from the existing subsystems and run deterministically end to end:
+//!
+//! - **delta checkpoints** ([`mdl_compress::delta`]): the new version is
+//!   encoded against the pinned base as a sparse, codebooked diff with a
+//!   byte-exact round-trip;
+//! - **resumable distribution** ([`transfer`]): the delta rides
+//!   [`mdl_net::Fabric`] links in chunks, resuming from per-device
+//!   offsets across partitions and stragglers under a per-device retry
+//!   budget, with fleet-wide progress in `fleet.*` obs counters;
+//! - **staged rollout** ([`rollout`]): keyed-hash cohorts (via
+//!   [`mdl_sim::sample_cohort`]) advance canary → pilot → fleet only
+//!   while obs-derived health gates pass, and any failure rolls serving
+//!   back to the pinned [`mdl_serve::ModelRegistry`] version;
+//! - **A/B verification** ([`ab`]): both registry versions serve the same
+//!   probe side by side and their [`mdl_obs::ObsSnapshot`]s are diffed —
+//!   an injected regression must flag.
+//!
+//! Everything is seeded: two runs (at any kernel thread count) produce
+//! bit-identical reports.
+//!
+//! # Examples
+//!
+//! ```
+//! use mdl_fleet::{run_rollout, RolloutConfig};
+//! use mdl_nn::{Activation, Dense, ParamVector, Sequential};
+//! use mdl_tensor::Matrix;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let mut base = Sequential::new();
+//! base.push(Dense::new(4, 3, Activation::Identity, &mut rng));
+//! let mut candidate = Sequential::new();
+//! candidate.push(Dense::new(4, 3, Activation::Identity, &mut rng));
+//! // nudge the candidate off the base so the delta is non-empty
+//! let mut p = base.param_vector();
+//! p[0] += 0.25;
+//! candidate.set_param_vector(&p);
+//!
+//! let probe_x = Matrix::from_fn(8, 4, |r, c| (r + c) as f32 * 0.1);
+//! let probe_y: Vec<usize> = (0..8).map(|r| r % 3).collect();
+//! let report = run_rollout(
+//!     &mut base, &mut candidate, &probe_x, &probe_y,
+//!     &RolloutConfig::staged(32, 7), None,
+//! );
+//! assert!(report.completed, "a near-identical candidate passes every gate");
+//! assert!(report.delta_bytes < report.full_bytes);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ab;
+pub mod rollout;
+pub mod transfer;
+
+pub use ab::{ab_compare, snapshot_diff, AbReport};
+pub use rollout::{
+    canary_stages, run_rollout, GatePolicy, GateReport, RolloutConfig, RolloutReport, StagePlan,
+    StageReport,
+};
+pub use transfer::{distribute, payload_hash, ChunkConfig, DeviceOutcome, DistributionReport};

@@ -1,0 +1,443 @@
+//! Staged rollout with health gates and deterministic rollback.
+//!
+//! A candidate model version advances through cohort stages — canary →
+//! pilot → full fleet — where each stage's cohort is drawn by
+//! [`mdl_sim::sample_cohort`]'s keyed hash (deterministic, duplicate-free,
+//! independent of fleet ordering), receives the delta checkpoint over the
+//! faulty fabric via [`crate::transfer::distribute`], and must pass an
+//! obs-derived health gate before the next stage opens:
+//!
+//! - **error rate** — fraction of the cohort that exhausted its retry
+//!   budget;
+//! - **transfer p99** — tail of per-device simulated transfer time;
+//! - **accuracy probe** — the candidate's accuracy on a held-out batch,
+//!   absolute and relative to the pinned base;
+//! - **A/B behavioural diff** — [`crate::ab::ab_compare`] between the
+//!   pinned and candidate registry versions.
+//!
+//! Any gate failure triggers [`mdl_serve::ModelRegistry::rollback_to_pin`]:
+//! serving resolves back to the pinned base version, exactly one revert is
+//! recorded, and the remaining stages never run. The whole flow is a pure
+//! function of the seeds — two executions produce bit-identical
+//! [`RolloutReport`]s.
+
+use crate::ab::{ab_compare, AbReport};
+use crate::transfer::{distribute, ChunkConfig};
+use mdl_compress::delta::DeltaCheckpoint;
+use mdl_net::{Fabric, FabricConfig};
+use mdl_nn::saved::{load_model, save_model};
+use mdl_nn::{ParamVector, Sequential};
+use mdl_obs::Obs;
+use mdl_serve::ModelRegistry;
+use mdl_sim::{sample_cohort, CohortSpec};
+use mdl_tensor::Matrix;
+
+/// One rollout stage: a named fraction of the fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StagePlan {
+    /// Stage label (shows up in reports).
+    pub name: String,
+    /// Fraction of the fleet sampled into this stage's cohort.
+    pub fraction: f64,
+}
+
+/// The canonical canary → pilot → fleet ladder (1% → 10% → 100%).
+pub fn canary_stages() -> Vec<StagePlan> {
+    vec![
+        StagePlan { name: "canary".into(), fraction: 0.01 },
+        StagePlan { name: "pilot".into(), fraction: 0.10 },
+        StagePlan { name: "fleet".into(), fraction: 1.00 },
+    ]
+}
+
+/// Health-gate thresholds a stage must satisfy to advance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatePolicy {
+    /// Max fraction of the cohort allowed to exhaust its retry budget.
+    pub max_error_rate: f64,
+    /// Max 99th-percentile per-device transfer time, simulated seconds.
+    pub max_transfer_p99_s: f64,
+    /// Absolute accuracy floor for the candidate on the probe batch.
+    pub min_accuracy: f64,
+    /// Max accuracy the candidate may lose versus the pinned base.
+    pub max_accuracy_drop: f64,
+    /// Max fraction of probe rows whose predictions may diverge between
+    /// the A/B arms.
+    pub max_ab_mismatch: f64,
+}
+
+impl Default for GatePolicy {
+    fn default() -> Self {
+        Self {
+            max_error_rate: 0.05,
+            max_transfer_p99_s: f64::INFINITY,
+            min_accuracy: 0.0,
+            max_accuracy_drop: 0.05,
+            max_ab_mismatch: 0.10,
+        }
+    }
+}
+
+/// Everything that shapes one rollout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RolloutConfig {
+    /// Fleet size (devices are ids `0..fleet`).
+    pub fleet: u64,
+    /// Stage ladder, in order.
+    pub stages: Vec<StagePlan>,
+    /// Gate thresholds applied after every stage.
+    pub gate: GatePolicy,
+    /// Chunked-transfer shape.
+    pub chunk: ChunkConfig,
+    /// Network model each stage's cohort rides.
+    pub fabric: FabricConfig,
+    /// Master seed: cohort sampling and per-stage fabrics derive from it.
+    pub seed: u64,
+}
+
+impl RolloutConfig {
+    /// A staged rollout over an ideal network — override `fabric` to
+    /// rehearse under faults.
+    pub fn staged(fleet: u64, seed: u64) -> Self {
+        Self {
+            fleet,
+            stages: canary_stages(),
+            gate: GatePolicy::default(),
+            chunk: ChunkConfig::default(),
+            fabric: FabricConfig::ideal(),
+            seed,
+        }
+    }
+}
+
+/// The gate verdict for one stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateReport {
+    /// Fraction of the cohort that exhausted its retry budget.
+    pub error_rate: f64,
+    /// 99th-percentile per-device transfer time, simulated seconds.
+    pub transfer_p99_s: f64,
+    /// Candidate accuracy on the probe batch.
+    pub accuracy: f64,
+    /// Pinned-base accuracy on the probe batch.
+    pub base_accuracy: f64,
+    /// A/B prediction mismatch rate.
+    pub ab_mismatch: f64,
+    /// Human-readable reasons the gate failed (empty when it passed).
+    pub failures: Vec<String>,
+    /// All thresholds satisfied.
+    pub passed: bool,
+}
+
+/// What happened in one stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageReport {
+    /// Stage label from the plan.
+    pub name: String,
+    /// Fleet fraction the plan asked for.
+    pub fraction: f64,
+    /// Devices actually sampled.
+    pub cohort: usize,
+    /// Devices that completed the transfer.
+    pub completed: usize,
+    /// Devices that exhausted their retry budget.
+    pub exhausted: usize,
+    /// Distribution rounds the stage ran.
+    pub rounds: usize,
+    /// Distinct payload bytes delivered to this cohort.
+    pub delivered_bytes: u64,
+    /// Bytes burned on lost or timed-out attempts.
+    pub wasted_bytes: u64,
+    /// The gate verdict.
+    pub gate: GateReport,
+}
+
+/// End-to-end rollout outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RolloutReport {
+    /// Registry version of the pinned base.
+    pub base_version: u64,
+    /// Registry version the candidate was swapped in as.
+    pub candidate_version: u64,
+    /// Version serving resolves to after the rollout.
+    pub serving_version: u64,
+    /// Every stage passed; the candidate kept serving.
+    pub completed: bool,
+    /// A gate failed; serving was rolled back to the pin.
+    pub rolled_back: bool,
+    /// Hot swaps performed (always 1: the candidate).
+    pub swaps: u64,
+    /// Rollbacks performed (0 or 1).
+    pub reverts: u64,
+    /// Serialised delta-checkpoint size — shipped per device.
+    pub delta_bytes: u64,
+    /// Full-checkpoint size the delta replaced.
+    pub full_bytes: u64,
+    /// Layout the delta encoder picked (`sparse-coded`, …).
+    pub delta_mode: String,
+    /// A/B comparison between the pinned and candidate versions.
+    pub ab: AbReport,
+    /// Per-stage reports, in execution order (stages after a rollback
+    /// never run and are absent).
+    pub stages: Vec<StageReport>,
+}
+
+impl RolloutReport {
+    /// How many times smaller the delta is than a full checkpoint.
+    pub fn bytes_ratio(&self) -> f64 {
+        self.full_bytes as f64 / self.delta_bytes.max(1) as f64
+    }
+}
+
+fn evaluate_gate(
+    policy: &GatePolicy,
+    error_rate: f64,
+    transfer_p99_s: f64,
+    ab: &AbReport,
+) -> GateReport {
+    let mut failures = Vec::new();
+    if error_rate > policy.max_error_rate {
+        failures.push(format!("error rate {error_rate:.4} exceeds {:.4}", policy.max_error_rate));
+    }
+    if transfer_p99_s > policy.max_transfer_p99_s {
+        failures.push(format!(
+            "transfer p99 {transfer_p99_s:.2}s exceeds {:.2}s",
+            policy.max_transfer_p99_s
+        ));
+    }
+    if ab.candidate_accuracy < policy.min_accuracy {
+        failures.push(format!(
+            "accuracy {:.4} below floor {:.4}",
+            ab.candidate_accuracy, policy.min_accuracy
+        ));
+    }
+    if ab.base_accuracy - ab.candidate_accuracy > policy.max_accuracy_drop {
+        failures.push(format!(
+            "accuracy dropped {:.4} versus base (max {:.4})",
+            ab.base_accuracy - ab.candidate_accuracy,
+            policy.max_accuracy_drop
+        ));
+    }
+    if ab.flagged || ab.mismatch_rate > policy.max_ab_mismatch {
+        failures.push(format!(
+            "A/B mismatch rate {:.4} exceeds {:.4}",
+            ab.mismatch_rate, policy.max_ab_mismatch
+        ));
+    }
+    GateReport {
+        error_rate,
+        transfer_p99_s,
+        accuracy: ab.candidate_accuracy,
+        base_accuracy: ab.base_accuracy,
+        ab_mismatch: ab.mismatch_rate,
+        passed: failures.is_empty(),
+        failures,
+    }
+}
+
+/// Runs a staged rollout of `candidate` against pinned `base`.
+///
+/// Builds the delta checkpoint, pins the base in a fresh
+/// [`ModelRegistry`], hot-swaps the candidate in, then walks the stage
+/// ladder: sample cohort → distribute the delta → evaluate the gate.
+/// The first failing gate rolls serving back to the pinned base and
+/// stops. Needs saveable architectures (see [`mdl_nn::saved`]) since the
+/// registry versions are built from serialised artifacts.
+///
+/// # Panics
+///
+/// Panics when a model contains non-saveable layers, the architectures
+/// disagree, or the encoded delta fails to reproduce the candidate
+/// bit-for-bit (an encoder invariant).
+pub fn run_rollout(
+    base: &mut Sequential,
+    candidate: &mut Sequential,
+    probe_x: &Matrix,
+    probe_y: &[usize],
+    cfg: &RolloutConfig,
+    obs: Option<&Obs>,
+) -> RolloutReport {
+    assert!(cfg.fleet > 0, "rollout needs at least one device");
+    assert!(!cfg.stages.is_empty(), "rollout needs at least one stage");
+    let span = obs.map(|o| o.root_span("fleet.rollout"));
+
+    // --- delta checkpoint: base → candidate ---
+    let base_params = base.param_vector();
+    let cand_params = candidate.param_vector();
+    let base_bytes = save_model(base).expect("rollout base must be a saveable architecture");
+    let cand_bytes =
+        save_model(candidate).expect("rollout candidate must be a saveable architecture");
+    let registry = ModelRegistry::new(load_model(&base_bytes).expect("own artifact decodes"));
+    let base_version = registry.pin_current();
+    let pinned = registry.current();
+    let candidate_version = registry.swap(load_model(&cand_bytes).expect("own artifact decodes"));
+    let serving = registry.current();
+
+    let delta =
+        DeltaCheckpoint::encode(&base_params, &cand_params, base_version, candidate_version);
+    let payload = delta.to_bytes();
+    assert_eq!(
+        delta.apply(&base_params).expect("delta applies to its own base"),
+        cand_params,
+        "delta must reproduce the candidate bit-for-bit"
+    );
+
+    // the A/B verdict is a pure function of the two versions and the
+    // probe, so evaluate once and reuse it in every stage's gate
+    let ab = ab_compare(&pinned.model, &serving.model, probe_x, probe_y, cfg.gate.max_ab_mismatch);
+
+    let device_ids: Vec<u64> = (0..cfg.fleet).collect();
+    let mut stages = Vec::new();
+    let mut rolled_back = false;
+    for (i, plan) in cfg.stages.iter().enumerate() {
+        let stage_span = span.as_ref().map(|s| s.child("fleet.stage"));
+        let cohort = sample_cohort(
+            &device_ids,
+            &CohortSpec { fraction: plan.fraction, min_size: 1, max_size: cfg.fleet as usize },
+            cfg.seed,
+            i + 1,
+        );
+        let mut fabric = Fabric::new(
+            cohort.len(),
+            cfg.fabric.clone(),
+            cfg.seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let report = distribute(&mut fabric, &payload, &cfg.chunk, obs);
+        let gate =
+            evaluate_gate(&cfg.gate, report.error_rate(), report.transfer_percentile_s(0.99), &ab);
+        let passed = gate.passed;
+        stages.push(StageReport {
+            name: plan.name.clone(),
+            fraction: plan.fraction,
+            cohort: cohort.len(),
+            completed: report.completed,
+            exhausted: report.exhausted,
+            rounds: report.rounds,
+            delivered_bytes: report.delivered_distinct_bytes(),
+            wasted_bytes: report.transport.wasted_bytes,
+            gate,
+        });
+        if let Some(s) = stage_span {
+            s.exit();
+        }
+        if passed {
+            if let Some(o) = obs {
+                o.registry().counter("fleet.stages_passed").inc();
+            }
+        } else {
+            registry.rollback_to_pin();
+            rolled_back = true;
+            if let Some(o) = obs {
+                o.registry().counter("fleet.rollbacks").inc();
+            }
+            break;
+        }
+    }
+    if let Some(s) = span {
+        s.exit();
+    }
+
+    RolloutReport {
+        base_version,
+        candidate_version,
+        serving_version: registry.version(),
+        completed: !rolled_back,
+        rolled_back,
+        swaps: registry.swap_count(),
+        reverts: registry.revert_count(),
+        delta_bytes: payload.len() as u64,
+        full_bytes: delta.full_bytes(),
+        delta_mode: delta.mode_name().into(),
+        ab,
+        stages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdl_compress::delta::{snap_to_codebook, uniform_codebook};
+    use mdl_nn::{Activation, Dense};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut n = Sequential::new();
+        n.push(Dense::new(6, 12, Activation::Relu, &mut rng));
+        n.push(Dense::new(12, 3, Activation::Identity, &mut rng));
+        n
+    }
+
+    fn probe() -> (Matrix, Vec<usize>) {
+        let x = Matrix::from_fn(24, 6, |r, c| ((r * 5 + c) % 13) as f32 / 13.0 - 0.5);
+        let y: Vec<usize> = (0..24).map(|r| r % 3).collect();
+        (x, y)
+    }
+
+    /// Base + a snapped fine-tune sharing its quantization grid.
+    fn versions() -> (Sequential, Sequential) {
+        let mut base = net(3);
+        let params = base.param_vector();
+        let grid = uniform_codebook(&params, 64);
+        let v1 = snap_to_codebook(&params, &grid);
+        base.set_param_vector(&v1);
+        let nudged: Vec<f32> =
+            v1.iter().enumerate().map(|(i, &w)| if i % 6 == 0 { w + 0.08 } else { w }).collect();
+        let v2 = snap_to_codebook(&nudged, &grid);
+        let mut cand = net(3);
+        cand.set_param_vector(&v2);
+        (base, cand)
+    }
+
+    #[test]
+    fn healthy_candidate_advances_through_every_stage() {
+        let (mut base, mut cand) = versions();
+        let (x, y) = probe();
+        let cfg = RolloutConfig::staged(64, 77);
+        let report = run_rollout(&mut base, &mut cand, &x, &y, &cfg, None);
+        assert!(report.completed && !report.rolled_back);
+        assert_eq!(report.stages.len(), 3);
+        assert_eq!(report.serving_version, report.candidate_version);
+        assert_eq!((report.swaps, report.reverts), (1, 0));
+        assert!(report.stages.iter().all(|s| s.gate.passed));
+        // canary ≤ pilot ≤ fleet cohort sizes
+        assert!(report.stages[0].cohort <= report.stages[1].cohort);
+        assert!(report.stages[1].cohort <= report.stages[2].cohort);
+        assert!(report.delta_bytes < report.full_bytes);
+    }
+
+    #[test]
+    fn regression_fails_the_canary_gate_and_rolls_back() {
+        let (mut base, _) = versions();
+        let mut broken = net(3);
+        let n = broken.num_params();
+        broken.set_param_vector(&vec![0.0; n]);
+        let (x, y) = probe();
+        let cfg = RolloutConfig::staged(64, 77);
+        let obs = Obs::sim();
+        let report = run_rollout(&mut base, &mut broken, &x, &y, &cfg, Some(&obs));
+        assert!(report.rolled_back && !report.completed);
+        assert_eq!(report.stages.len(), 1, "pilot and fleet stages never ran");
+        assert!(!report.stages[0].gate.passed);
+        assert_eq!(report.serving_version, report.base_version);
+        assert_eq!(report.reverts, 1, "exactly one revert");
+        assert!(report.ab.flagged);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("fleet.rollbacks"), Some(1));
+        assert_eq!(snap.counter("fleet.stages_passed"), None);
+    }
+
+    #[test]
+    fn rollout_is_bit_reproducible() {
+        let run = || {
+            let (mut base, mut cand) = versions();
+            let (x, y) = probe();
+            let mut cfg = RolloutConfig::staged(128, 99);
+            cfg.fabric = FabricConfig::faulty(mdl_net::LinkConfig::ideal());
+            cfg.chunk.retry_budget = 32;
+            run_rollout(&mut base, &mut cand, &x, &y, &cfg, None)
+        };
+        assert_eq!(run(), run());
+    }
+}

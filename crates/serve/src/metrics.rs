@@ -15,6 +15,13 @@
 //! | `serve.batches`          | counter                  | batches dispatched              |
 //! | `serve.batched_requests` | counter                  | requests inside those batches   |
 //! | `serve.queue_depth`      | gauge                    | instantaneous admission depth   |
+//! | `serve.swaps`            | counter (lazy)           | completed hot swaps             |
+//! | `serve.reverts`          | counter (lazy)           | rollbacks to a pinned version   |
+//!
+//! The swap/revert counters are registered on first use rather than at
+//! construction, so a server that never swaps exports exactly the same
+//! instrument set as before rollouts existed (the golden observability
+//! trace depends on this).
 //!
 //! Timestamps come from the observability clock, so a server attached to a
 //! simulated clock ([`mdl_obs::Clock`] in sim mode) reports deterministic
@@ -33,6 +40,7 @@ const BATCH_BUCKETS: usize = 64;
 /// instruments.
 #[derive(Clone)]
 pub struct ServerMetrics {
+    obs: Obs,
     clock: Clock,
     latency_us: Histogram,
     batch_size: Histogram,
@@ -49,6 +57,7 @@ impl ServerMetrics {
     pub fn new(obs: &Obs) -> Self {
         let r = obs.registry();
         Self {
+            obs: obs.clone(),
             clock: obs.clock().clone(),
             latency_us: r.histogram("serve.latency_us", Buckets::Pow2),
             // Width-1 linear buckets make bucket index == batch size, so
@@ -97,6 +106,18 @@ impl ServerMetrics {
     /// Publishes the instantaneous request-queue depth.
     pub fn set_queue_depth(&self, depth: usize) {
         self.queue_depth.set(depth as f64);
+    }
+
+    /// Records one completed hot swap. The `serve.swaps` counter is
+    /// created lazily so swap-free runs export an unchanged instrument
+    /// set.
+    pub fn record_swap(&self) {
+        self.obs.registry().counter("serve.swaps").inc();
+    }
+
+    /// Records one rollback to a pinned version (lazy `serve.reverts`).
+    pub fn record_revert(&self) {
+        self.obs.registry().counter("serve.reverts").inc();
     }
 
     /// Point-in-time summary. `elapsed` is the measurement window used for
@@ -238,6 +259,22 @@ mod tests {
         assert_eq!(snap.counter("serve.completed"), Some(1));
         let lat = snap.histogram("serve.latency_us").expect("latency histogram exported");
         assert_eq!(lat.count, 1);
+    }
+
+    #[test]
+    fn swap_counters_register_lazily() {
+        let obs = Obs::sim();
+        let m = ServerMetrics::new(&obs);
+        m.record_completed(Duration::from_micros(1));
+        let before = obs.snapshot();
+        assert_eq!(before.counter("serve.swaps"), None, "absent until a swap happens");
+        assert_eq!(before.counter("serve.reverts"), None);
+        m.record_swap();
+        m.record_swap();
+        m.record_revert();
+        let after = obs.snapshot();
+        assert_eq!(after.counter("serve.swaps"), Some(2));
+        assert_eq!(after.counter("serve.reverts"), Some(1));
     }
 
     #[test]

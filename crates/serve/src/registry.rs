@@ -21,9 +21,21 @@ pub struct VersionedModel {
 }
 
 /// Holds the current [`VersionedModel`] and swaps it atomically.
+///
+/// For staged rollouts the registry can additionally **pin** a known-good
+/// version: [`ModelRegistry::pin_current`] remembers the current snapshot,
+/// and [`ModelRegistry::rollback_to_pin`] restores it atomically when a
+/// health gate fails. A rollback re-serves the pinned version under its
+/// *original* version number — version numbers are monotone across swaps
+/// but a rollback deliberately resolves back to the pinned one.
 pub struct ModelRegistry {
     current: RwLock<Arc<VersionedModel>>,
+    pinned: RwLock<Option<Arc<VersionedModel>>>,
+    /// Highest version ever issued; swaps allocate from here so a version
+    /// number is never reused even after a rollback.
+    high_water: AtomicU64,
     swaps: AtomicU64,
+    reverts: AtomicU64,
 }
 
 impl std::fmt::Debug for ModelRegistry {
@@ -40,7 +52,10 @@ impl ModelRegistry {
     pub fn new(model: Sequential) -> Self {
         Self {
             current: RwLock::new(Arc::new(VersionedModel { version: 1, model })),
+            pinned: RwLock::new(None),
+            high_water: AtomicU64::new(1),
             swaps: AtomicU64::new(0),
+            reverts: AtomicU64::new(0),
         }
     }
 
@@ -72,7 +87,7 @@ impl ModelRegistry {
     /// Readers holding the previous snapshot are unaffected.
     pub fn swap(&self, model: Sequential) -> u64 {
         let mut slot = self.current.write().expect("registry lock");
-        let version = slot.version + 1;
+        let version = self.high_water.fetch_add(1, Ordering::Relaxed) + 1;
         *slot = Arc::new(VersionedModel { version, model });
         self.swaps.fetch_add(1, Ordering::Relaxed);
         version
@@ -88,6 +103,37 @@ impl ModelRegistry {
     pub fn swap_bytes(&self, bytes: &[u8]) -> Result<u64, LoadModelError> {
         let model = load_model(bytes)?;
         Ok(self.swap(model))
+    }
+
+    /// Pins the current version as the rollback target, returning its
+    /// version number. Replaces any earlier pin.
+    pub fn pin_current(&self) -> u64 {
+        let snapshot = self.current();
+        let version = snapshot.version;
+        *self.pinned.write().expect("registry pin lock") = Some(snapshot);
+        version
+    }
+
+    /// Version number of the pinned rollback target, if any.
+    pub fn pinned_version(&self) -> Option<u64> {
+        self.pinned.read().expect("registry pin lock").as_ref().map(|m| m.version)
+    }
+
+    /// Atomically restores the pinned version, returning its version
+    /// number, or `None` when nothing is pinned. The pin stays in place so
+    /// repeated gate failures keep resolving to the same known-good model.
+    /// Counted under [`ModelRegistry::revert_count`], not as a swap.
+    pub fn rollback_to_pin(&self) -> Option<u64> {
+        let pinned = self.pinned.read().expect("registry pin lock").clone()?;
+        let version = pinned.version;
+        *self.current.write().expect("registry lock") = pinned;
+        self.reverts.fetch_add(1, Ordering::Relaxed);
+        Some(version)
+    }
+
+    /// Number of completed rollbacks to a pinned version.
+    pub fn revert_count(&self) -> u64 {
+        self.reverts.load(Ordering::Relaxed)
     }
 }
 
@@ -124,6 +170,25 @@ mod tests {
         assert!(reg.swap_bytes(b"not a model").is_err());
         assert_eq!(reg.version(), 1);
         assert_eq!(reg.swap_count(), 0);
+    }
+
+    #[test]
+    fn pin_and_rollback_restore_the_exact_snapshot() {
+        let reg = ModelRegistry::new(net(5));
+        assert_eq!(reg.rollback_to_pin(), None, "nothing pinned yet");
+        assert_eq!(reg.pin_current(), 1);
+        assert_eq!(reg.pinned_version(), Some(1));
+        let pinned = reg.current();
+        assert_eq!(reg.swap(net(6)), 2);
+        assert_eq!(reg.rollback_to_pin(), Some(1));
+        assert_eq!(reg.version(), 1);
+        assert_eq!(reg.revert_count(), 1);
+        assert!(Arc::ptr_eq(&pinned, &reg.current()), "same snapshot, not a rebuild");
+        // the pin survives, so a repeat failure resolves identically,
+        // and version numbers are never reused after a rollback
+        assert_eq!(reg.swap(net(7)), 3);
+        assert_eq!(reg.rollback_to_pin(), Some(1));
+        assert_eq!(reg.revert_count(), 2);
     }
 
     #[test]

@@ -492,12 +492,37 @@ impl InferenceServer {
     ///
     /// Returns the decoder's [`LoadModelError`]; the current model stays.
     pub fn swap_artifact(&self, bytes: &[u8]) -> Result<u64, LoadModelError> {
-        self.shared.registry.swap_bytes(bytes)
+        let version = self.shared.registry.swap_bytes(bytes)?;
+        self.shared.metrics.record_swap();
+        Ok(version)
     }
 
     /// Atomically swaps in an already-built model.
     pub fn swap_model(&self, model: Sequential) -> u64 {
-        self.shared.registry.swap(model)
+        let version = self.shared.registry.swap(model);
+        self.shared.metrics.record_swap();
+        version
+    }
+
+    /// Pins the current version as the rollback target for
+    /// [`InferenceServer::rollback`], returning its version number.
+    pub fn pin_current(&self) -> u64 {
+        self.shared.registry.pin_current()
+    }
+
+    /// Version number of the pinned rollback target, if any.
+    pub fn pinned_version(&self) -> Option<u64> {
+        self.shared.registry.pinned_version()
+    }
+
+    /// Atomically restores the pinned version (see
+    /// [`crate::ModelRegistry::rollback_to_pin`]); in-flight requests
+    /// complete on the version they were admitted under. Returns the
+    /// restored version number, or `None` when nothing is pinned.
+    pub fn rollback(&self) -> Option<u64> {
+        let version = self.shared.registry.rollback_to_pin()?;
+        self.shared.metrics.record_revert();
+        Some(version)
     }
 
     /// Current model version.
@@ -508,6 +533,11 @@ impl InferenceServer {
     /// Number of completed hot swaps.
     pub fn swap_count(&self) -> u64 {
         self.shared.registry.swap_count()
+    }
+
+    /// Number of completed rollbacks to a pinned version.
+    pub fn revert_count(&self) -> u64 {
+        self.shared.registry.revert_count()
     }
 
     /// Metrics snapshot; throughput is measured since server start on the

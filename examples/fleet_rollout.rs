@@ -1,0 +1,106 @@
+//! Fleet rollout: ship a fine-tuned model to a device fleet as a delta
+//! checkpoint, staged canary → pilot → fleet behind health gates, with a
+//! broken candidate caught by the A/B diff and rolled back to the pin.
+//!
+//! ```sh
+//! cargo run --release --example fleet_rollout
+//! ```
+
+use mdl_core::compress::{snap_to_codebook, uniform_codebook};
+use mdl_core::prelude::*;
+
+fn fresh_net(rng: &mut StdRng) -> Sequential {
+    let mut net = Sequential::new();
+    net.push(Dense::new(64, 48, Activation::Relu, rng));
+    net.push(Dense::new(48, 10, Activation::Identity, rng));
+    net
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let data = mdl_core::data::synthetic::synthetic_digits(1000, 0.08, &mut rng);
+    let (train, test) = data.split(0.8, &mut rng);
+
+    // v1: the model the fleet currently runs
+    let mut base = fresh_net(&mut rng);
+    let mut opt = Adam::new(0.005);
+    fit_classifier(
+        &mut base,
+        &mut opt,
+        &train.x,
+        &train.y,
+        &TrainConfig { epochs: 4, batch_size: 32, ..Default::default() },
+        &mut rng,
+    );
+    // quantized deployments live on a codebook grid; the candidate is a
+    // sparse fine-tune snapped onto the same grid, so the delta is tiny
+    let params = base.param_vector();
+    let grid = uniform_codebook(&params, 256);
+    base.set_param_vector(&snap_to_codebook(&params, &grid));
+    let nudged: Vec<f32> =
+        params.iter().enumerate().map(|(i, &v)| if i % 13 == 0 { v + 0.02 } else { v }).collect();
+    let mut candidate = fresh_net(&mut rng);
+    candidate.set_param_vector(&snap_to_codebook(&nudged, &grid));
+
+    // the rollout: 500 devices on faulty LTE, canary -> pilot -> fleet
+    let mut cfg = RolloutConfig::staged(500, 7);
+    cfg.fabric = FabricConfig {
+        faults: FaultPlan { flaky_prob: 0.3, flaky_loss: 0.25, ..FaultPlan::none() },
+        ..FabricConfig::faulty(LinkConfig::clean(NetworkProfile::lte()))
+    };
+    cfg.chunk.chunk_bytes = 256;
+    cfg.chunk.retry_budget = 48;
+
+    let obs = Obs::sim();
+    let report = run_rollout(&mut base, &mut candidate, &test.x, &test.y, &cfg, Some(&obs));
+
+    println!("-- healthy candidate --");
+    println!(
+        "delta checkpoint: {} B vs {} B full ({:.1}x smaller, {} layout)",
+        report.delta_bytes,
+        report.full_bytes,
+        report.bytes_ratio(),
+        report.delta_mode
+    );
+    for s in &report.stages {
+        println!(
+            "  {:<7} cohort {:>4}  completed {:>4}  rounds {}  gate {}",
+            s.name,
+            s.cohort,
+            s.completed,
+            s.rounds,
+            if s.gate.passed { "pass" } else { "FAIL" }
+        );
+    }
+    println!(
+        "completed={} serving v{} (A/B mismatch {:.1}%)",
+        report.completed,
+        report.serving_version,
+        100.0 * report.ab.mismatch_rate
+    );
+
+    // now an injected regression: a zeroed classifier must not survive
+    // the canary — the A/B snapshot diff flags it and serving reverts
+    let mut broken = fresh_net(&mut rng);
+    let n = broken.num_params();
+    broken.set_param_vector(&vec![0.0; n]);
+    let bad = run_rollout(&mut base, &mut broken, &test.x, &test.y, &cfg, Some(&obs));
+    println!("\n-- injected regression --");
+    println!(
+        "flagged={} (mismatch {:.1}%), stages run {}, rolled_back={}, serving v{}",
+        bad.ab.flagged,
+        100.0 * bad.ab.mismatch_rate,
+        bad.stages.len(),
+        bad.rolled_back,
+        bad.serving_version
+    );
+    for (name, base_v, cand_v) in bad.ab.diverging.iter().take(5) {
+        println!("  diverging counter {name}: base {base_v} vs candidate {cand_v}");
+    }
+
+    println!("\n-- fleet.* obs counters --");
+    let snap = obs.snapshot();
+    for (name, value) in snap.counters_with_prefix("fleet.") {
+        println!("  {name} = {value}");
+    }
+}

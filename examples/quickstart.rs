@@ -50,6 +50,7 @@ fn main() {
         faults: FaultPlan::none(),
         obs: Some(Obs::wall()),
         population: None,
+        rollout: None,
     };
 
     let report = run_pipeline(&config, &clients, &test, &mut rng);

@@ -1,0 +1,204 @@
+//! Fleet lifecycle integration: resumable delta distribution over faulty
+//! links, staged rollout health gates, and A/B rollback — the `mdl-fleet`
+//! acceptance surface.
+//!
+//! The property tests pin the transfer layer's two core contracts:
+//! every device that completes reassembles the payload byte-for-byte no
+//! matter how many partitions and stragglers interrupted it, and the
+//! fabric's byte ledger never double-counts a resumed chunk.
+
+use mdl_fleet::{distribute, run_rollout, ChunkConfig, RolloutConfig};
+use mdl_net::{Fabric, FabricConfig, FaultPlan, LinkConfig, PartitionWindow};
+use mdl_nn::{Activation, Dense, ParamVector, Sequential};
+use mdl_obs::Obs;
+use mdl_tensor::Matrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A lossy LTE-class fabric with a hard partition window and stragglers —
+/// the adversarial schedule the resumable transfer must survive.
+fn faulty_fabric(clients: usize, loss: f64, partitioned: Vec<usize>, seed: u64) -> Fabric {
+    let cfg = FabricConfig {
+        faults: FaultPlan {
+            straggler_prob: 0.2,
+            straggler_slowdown: 4.0,
+            flaky_prob: 0.5,
+            flaky_loss: loss,
+            partitions: vec![PartitionWindow {
+                from_round: 1,
+                until_round: 3,
+                clients: partitioned,
+            }],
+            ..FaultPlan::none()
+        },
+        ..FabricConfig::faulty(LinkConfig::clean(mdl_mobile::NetworkProfile::lte()))
+    };
+    Fabric::new(clients, cfg, seed)
+}
+
+proptest! {
+    /// Resumable chunked transfer over a faulty link delivers
+    /// byte-identical payloads to every device, across partitions and
+    /// stragglers, and the fabric ledger counts every delivered byte
+    /// exactly once (`net.delivered_bytes` never double-counts a chunk
+    /// that was re-entered after a resume).
+    #[test]
+    fn faulty_transfer_delivers_exact_bytes_and_never_double_counts(
+        payload in prop::collection::vec(any::<u8>(), 1..2048),
+        loss in 0.05f64..0.35,
+        partition_mask in any::<u8>(),
+        seed in 0u64..1 << 16,
+    ) {
+        let clients = 6;
+        let partitioned: Vec<usize> =
+            (0..clients).filter(|c| partition_mask & (1 << c) != 0).collect();
+        let obs = Obs::sim();
+        let mut fabric = faulty_fabric(clients, loss, partitioned, seed);
+        fabric.attach_obs(obs.clone());
+        let cfg = ChunkConfig {
+            chunk_bytes: 128,
+            max_rounds: 256,
+            retry_budget: u32::MAX, // the identity contract, not the budget, is under test
+            collect_payloads: true,
+            ..ChunkConfig::default()
+        };
+        let report = distribute(&mut fabric, &payload, &cfg, Some(&obs));
+
+        // everyone eventually completes, and bit-exactly
+        prop_assert_eq!(report.completed, clients);
+        prop_assert!(report.all_bit_identical());
+        for got in report.payloads.as_ref().expect("collect_payloads was set") {
+            prop_assert_eq!(got, &payload);
+        }
+
+        // no double-counting: the fabric's downstream ledger equals the
+        // distinct payload bytes (failures land in wasted_bytes instead),
+        // and the obs export tells the same story
+        let distinct = report.delivered_distinct_bytes();
+        prop_assert_eq!(distinct, payload.len() as u64 * clients as u64);
+        prop_assert_eq!(report.transport.bytes_down, distinct);
+        let snap = obs.snapshot();
+        prop_assert_eq!(snap.counter("fleet.delivered_bytes"), Some(distinct));
+        prop_assert_eq!(
+            snap.counter("net.delivered_bytes"),
+            Some(report.transport.bytes_up + report.transport.bytes_down)
+        );
+    }
+
+    /// The transfer is a pure function of (payload, fabric seed, config):
+    /// re-running it over an identically seeded fabric reproduces the
+    /// report bit-for-bit, resumes and all.
+    #[test]
+    fn faulty_transfer_is_deterministic(
+        payload in prop::collection::vec(any::<u8>(), 1..1024),
+        seed in 0u64..1 << 16,
+    ) {
+        let run = || {
+            let mut fabric = faulty_fabric(5, 0.3, vec![0, 2], seed);
+            let cfg = ChunkConfig { chunk_bytes: 64, retry_budget: u32::MAX, ..ChunkConfig::default() };
+            distribute(&mut fabric, &payload, &cfg, None)
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
+
+// -- staged rollout acceptance ---------------------------------------------
+
+fn net(seed: u64) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut n = Sequential::new();
+    n.push(Dense::new(8, 16, Activation::Relu, &mut rng));
+    n.push(Dense::new(16, 4, Activation::Identity, &mut rng));
+    n
+}
+
+fn probe() -> (Matrix, Vec<usize>) {
+    let x = Matrix::from_fn(40, 8, |r, c| ((r * 7 + c * 3) % 17) as f32 / 17.0 - 0.5);
+    let y: Vec<usize> = (0..40).map(|r| r % 4).collect();
+    (x, y)
+}
+
+/// Base plus a lightly fine-tuned candidate sharing its quantization
+/// grid, so the delta takes the compact sparse-coded path.
+fn versions() -> (Sequential, Sequential) {
+    let mut base = net(11);
+    let params = base.param_vector();
+    let grid = mdl_compress::uniform_codebook(&params, 64);
+    base.set_param_vector(&mdl_compress::snap_to_codebook(&params, &grid));
+    let mut candidate = net(11);
+    let nudged: Vec<f32> =
+        params.iter().enumerate().map(|(i, &v)| if i % 11 == 0 { v + 0.08 } else { v }).collect();
+    candidate.set_param_vector(&mdl_compress::snap_to_codebook(&nudged, &grid));
+    (base, candidate)
+}
+
+fn faulty_rollout_config(fleet: u64, seed: u64) -> RolloutConfig {
+    let mut cfg = RolloutConfig::staged(fleet, seed);
+    cfg.fabric = FabricConfig {
+        faults: FaultPlan { flaky_prob: 0.4, flaky_loss: 0.25, ..FaultPlan::none() },
+        ..FabricConfig::faulty(LinkConfig::clean(mdl_mobile::NetworkProfile::lte()))
+    };
+    cfg.chunk.retry_budget = 64;
+    cfg
+}
+
+#[test]
+fn healthy_rollout_over_faulty_lte_reaches_the_whole_fleet() {
+    let (mut base, mut candidate) = versions();
+    let (x, y) = probe();
+    let report =
+        run_rollout(&mut base, &mut candidate, &x, &y, &faulty_rollout_config(120, 5), None);
+
+    assert!(report.completed, "gates: {:?}", report.stages.last().map(|s| &s.gate.failures));
+    assert!(!report.rolled_back);
+    assert_eq!(report.stages.len(), 3, "canary, pilot, fleet");
+    assert_eq!(report.serving_version, report.candidate_version);
+    assert_eq!(report.reverts, 0);
+    // the delta ships far fewer bytes than a full checkpoint
+    assert!(
+        report.bytes_ratio() >= 3.0,
+        "delta {}B vs full {}B ({:.2}x, mode {})",
+        report.delta_bytes,
+        report.full_bytes,
+        report.bytes_ratio(),
+        report.delta_mode
+    );
+    // every stage finished within its retry budget
+    for stage in &report.stages {
+        assert_eq!(stage.completed, stage.cohort, "stage {}: {:?}", stage.name, stage.gate);
+        assert_eq!(stage.exhausted, 0);
+    }
+}
+
+#[test]
+fn injected_regression_is_caught_at_the_canary_and_rolled_back() {
+    let (mut base, _) = versions();
+    let mut broken = net(11);
+    let n = broken.num_params();
+    broken.set_param_vector(&vec![0.0; n]);
+    let (x, y) = probe();
+    let obs = Obs::sim();
+    let report =
+        run_rollout(&mut base, &mut broken, &x, &y, &faulty_rollout_config(120, 5), Some(&obs));
+
+    assert!(report.rolled_back && !report.completed);
+    assert!(report.ab.flagged, "the A/B diff must flag the regression");
+    assert_eq!(report.stages.len(), 1, "the canary gate stops the ladder");
+    assert!(!report.stages[0].gate.passed);
+    assert_eq!(report.serving_version, report.base_version, "serving reverted to the pin");
+    assert_eq!(report.reverts, 1, "exactly one revert");
+    let snap = obs.snapshot();
+    assert_eq!(snap.counter("fleet.rollbacks"), Some(1));
+    assert_eq!(snap.counter("fleet.stages_passed"), None, "no stage passed");
+}
+
+#[test]
+fn rollout_reports_are_bit_reproducible() {
+    let run = || {
+        let (mut base, mut candidate) = versions();
+        let (x, y) = probe();
+        run_rollout(&mut base, &mut candidate, &x, &y, &faulty_rollout_config(150, 77), None)
+    };
+    assert_eq!(run(), run());
+}

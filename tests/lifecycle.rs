@@ -44,6 +44,7 @@ fn pipeline_end_to_end_under_non_iid_data() {
         faults: FaultPlan::lossy_cohort(),
         obs: None,
         population: None,
+        rollout: None,
     };
     let report = run_pipeline(&config, &clients, &test, &mut rng);
 
@@ -138,4 +139,62 @@ fn availability_throttles_participation() {
         avg(&run_night),
         avg(&run_always)
     );
+}
+
+#[test]
+fn failed_gate_rolls_serving_back_to_the_pinned_base() {
+    let mut rng = StdRng::seed_from_u64(9004);
+    let mut base = Sequential::new();
+    base.push(Dense::new(8, 16, Activation::Relu, &mut rng));
+    base.push(Dense::new(16, 4, Activation::Identity, &mut rng));
+    let mut broken = Sequential::new();
+    broken.push(Dense::new(8, 16, Activation::Relu, &mut rng));
+    broken.push(Dense::new(16, 4, Activation::Identity, &mut rng));
+    // the injected regression: a zeroed classifier
+    let n = broken.num_params();
+    broken.set_param_vector(&vec![0.0; n]);
+
+    let obs = Obs::sim();
+    let artifact = mdl_core::nn::save_model(&mut base).expect("dense stacks serialize");
+    let server = InferenceServer::from_artifact(
+        &artifact,
+        None,
+        ServeConfig { workers: 1, obs: Some(obs.clone()), ..Default::default() },
+    )
+    .expect("own artifact loads");
+
+    // ship the candidate: pin the known-good version, hot-swap the new one
+    let pinned = server.pin_current();
+    let candidate = server
+        .swap_artifact(&mdl_core::nn::save_model(&mut broken).expect("serializes"))
+        .expect("own artifact loads");
+    assert_eq!(server.version(), candidate);
+
+    // the health gate: A/B the pinned base against the live candidate
+    let probe_x = Matrix::from_fn(32, 8, |r, c| ((r * 5 + c) % 9) as f32 / 9.0 - 0.5);
+    let probe_y: Vec<usize> = (0..32).map(|r| r % 4).collect();
+    let verdict = ab_compare(&base, &broken, &probe_x, &probe_y, 0.05);
+    assert!(verdict.flagged, "the regression must trip the gate");
+
+    // failed gate → deterministic rollback to the pin
+    assert_eq!(server.rollback(), Some(pinned));
+    assert_eq!(server.version(), pinned, "serving resolves to the pinned base");
+    let response = server
+        .client()
+        .submit(
+            &[0.25; 8],
+            ClientProfile { device: DeviceClass::Midrange, network: NetworkClass::Wifi },
+        )
+        .expect("server is live")
+        .recv()
+        .expect("response arrives");
+    assert_eq!(response.model_version, pinned, "requests are answered by the pinned version");
+
+    // the serve.* ledger shows exactly one swap and exactly one revert
+    assert_eq!(server.swap_count(), 1);
+    assert_eq!(server.revert_count(), 1);
+    server.shutdown();
+    let snap = obs.snapshot();
+    assert_eq!(snap.counter("serve.swaps"), Some(1));
+    assert_eq!(snap.counter("serve.reverts"), Some(1), "exactly one revert recorded");
 }
