@@ -11,6 +11,12 @@
 //! 256³) are asserted with wide margin: packing and register tiling alone
 //! clear both even when the machine exposes a single core, so the checks
 //! stay robust on shared CI runners.
+//!
+//! The int8 sweep measures the quantized microkernel (`kernel::int8`) at
+//! the same square shapes: dispatched (best available SIMD tier) and the
+//! pinned scalar path, each asserted bit-identical to the naive i32
+//! reference, with a ≥2× throughput floor over the f32 blocked kernel at
+//! 256³ whenever a SIMD tier is available.
 
 use mdl_bench::print_table;
 use mdl_core::prelude::*;
@@ -74,6 +80,59 @@ fn bench_gemms(rng: &mut StdRng) -> Vec<SizeResult> {
         }
         kernel::set_threads(1);
         results.push(SizeResult { n, naive: gflops(n, t_ref), blocked });
+    }
+    results
+}
+
+struct Int8Result {
+    n: usize,
+    scalar_gops: f64,
+    simd_gops: f64,
+}
+
+/// Deterministic i8 fill (the vendored rand has no `Distribution<i8>`).
+fn fill_i8(buf: &mut [i8], seed: u64) {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    for v in buf {
+        state =
+            state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+        *v = (state >> 56) as i8;
+    }
+}
+
+/// Int8 GEMM sweep: times the dispatched kernel and the pinned scalar
+/// path at each size and hard-asserts both bit-identical to the naive
+/// i32 reference.
+fn bench_int8() -> Vec<Int8Result> {
+    use mdl_core::tensor::kernel::int8;
+    let mut results = Vec::new();
+    for &n in &SIZES {
+        let mut a = vec![0i8; n * n];
+        let mut bt = vec![0i8; n * n];
+        fill_i8(&mut a, n as u64);
+        fill_i8(&mut bt, n as u64 + 1);
+        let mut reference = vec![0i32; n * n];
+        int8::gemm_i8_ref(n, n, n, &a, &bt, &mut reference, false);
+        let reps = if n <= 128 { 7 } else { 5 };
+
+        let mut out = vec![0i32; n * n];
+        let secs_simd = time_best(reps, || {
+            int8::gemm_i8(n, n, n, &a, &bt, &mut out, false);
+            std::hint::black_box(&out);
+        });
+        assert_eq!(out, reference, "dispatched int8 GEMM must match the i32 reference (n={n})");
+
+        let secs_scalar = time_best(reps, || {
+            int8::gemm_i8_scalar(n, n, n, &a, &bt, &mut out, false);
+            std::hint::black_box(&out);
+        });
+        assert_eq!(out, reference, "scalar int8 GEMM must match the i32 reference (n={n})");
+
+        results.push(Int8Result {
+            n,
+            scalar_gops: gflops(n, secs_scalar),
+            simd_gops: gflops(n, secs_simd),
+        });
     }
     results
 }
@@ -150,6 +209,34 @@ fn main() {
         &rows,
     );
 
+    // int8 microkernel sweep vs the f32 blocked kernel
+    let simd_level = mdl_core::tensor::kernel::int8::simd_level();
+    let int8 = bench_int8();
+    let int8_rows: Vec<Vec<String>> = int8
+        .iter()
+        .map(|r| {
+            let f32_t1 = results
+                .iter()
+                .find(|g| g.n == r.n)
+                .and_then(|g| g.blocked.iter().find(|&&(t, _)| t == 1).map(|&(_, g)| g))
+                .unwrap_or(0.0);
+            vec![
+                format!("{0}x{0}x{0}", r.n),
+                format!("{f32_t1:.2}"),
+                format!("{:.2}", r.scalar_gops),
+                format!("{:.2}", r.simd_gops),
+                format!("{:.2}x", r.simd_gops / f32_t1),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "int8 GEMM throughput, GOPS (dispatch: {simd_level}; bit-identical to i32 reference)"
+        ),
+        &["shape", "f32 blocked t=1", "int8 scalar", "int8 dispatch", "int8/f32"],
+        &int8_rows,
+    );
+
     // training determinism across kernel thread counts
     let bytes_1 = train_param_bytes(1);
     let bytes_4 = train_param_bytes(4);
@@ -182,6 +269,22 @@ fn main() {
         "kernel at 4 threads must beat naive by >=3x at 256³ (blocking alone clears this even on one core)"
     );
 
+    let i256 = int8.iter().find(|r| r.n == 256).expect("256 is benchmarked");
+    println!(
+        "int8 256³: {:.2} GOPS dispatched ({simd_level}), {:.2} GOPS scalar, {:.2}x f32 blocked t=1",
+        i256.simd_gops,
+        i256.scalar_gops,
+        i256.simd_gops / single
+    );
+    if simd_level != "scalar" {
+        assert!(
+            i256.simd_gops >= 2.0 * single,
+            "int8 SIMD GEMM must be >=2x the f32 blocked kernel at 256³ \
+             ({:.2} GOPS vs {single:.2} GFLOP/s)",
+            i256.simd_gops
+        );
+    }
+
     // --- JSON artifact ---
     let mut json = String::from("{\n  \"benchmark\": \"kernels\",\n  \"gemm\": [\n");
     for (i, r) in results.iter().enumerate() {
@@ -191,7 +294,21 @@ fn main() {
         }
         let _ = writeln!(json, "}}{}", if i + 1 < results.len() { "," } else { "" });
     }
+    json.push_str("  ],\n  \"int8\": [\n");
+    for (i, r) in int8.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"n\": {}, \"scalar_gops\": {:.3}, \"simd_gops\": {:.3}}}",
+            r.n, r.scalar_gops, r.simd_gops
+        );
+        let _ = writeln!(json, "{}", if i + 1 < int8.len() { "," } else { "" });
+    }
     json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"blocked_256_t1_gflops\": {single:.3},");
+    let _ = writeln!(json, "  \"int8_256_gops\": {:.3},", i256.simd_gops);
+    let _ = writeln!(json, "  \"int8_256_scalar_gops\": {:.3},", i256.scalar_gops);
+    let _ = writeln!(json, "  \"int8_simd_level\": \"{simd_level}\",");
+    let _ = writeln!(json, "  \"int8_bit_identical_simd_vs_scalar\": true,");
     let _ = writeln!(json, "  \"speedup_256_single_thread\": {:.3},", single / r256.naive);
     let _ = writeln!(json, "  \"speedup_256_best\": {:.3},", best / r256.naive);
     let _ = writeln!(json, "  \"deepmood_epoch_s\": {epoch_secs:.4},");

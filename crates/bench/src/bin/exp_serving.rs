@@ -4,6 +4,12 @@
 //! rates. Prints the latency/throughput/shed table and writes the same
 //! numbers to `BENCH_serving.json` so the perf trajectory is tracked
 //! across commits, then demonstrates a hot model swap under load.
+//!
+//! The sweep runs each offered rate twice — once against the f32 model
+//! and once against its int8 quantization served through the same
+//! registry — so the table doubles as an accuracy-vs-latency comparison:
+//! the argmax agreement between the two precisions is asserted up front,
+//! and the final swap demo hot-swaps f32 → int8 under load.
 
 use mdl_bench::print_table;
 use mdl_core::prelude::*;
@@ -36,6 +42,7 @@ fn serve_config() -> ServeConfig {
 
 struct Level {
     offered_rps: f64,
+    precision: &'static str,
     report: mdl_serve::LoadReport,
 }
 
@@ -47,37 +54,63 @@ fn fallback() -> Sequential {
     net
 }
 
+/// The int8 quantization of `model(seed)`, built the way `mdl-serve`
+/// builds it when loading a compression artifact.
+fn quantized(seed: u64) -> QuantizedModel {
+    let mut net = model(seed);
+    QuantizedModel::from_model(&mut net).expect("all-Dense model quantizes")
+}
+
 fn main() {
     let inputs = Matrix::from_fn(128, 32, |r, c| ((r * 32 + c) as f32 * 0.37).sin());
+
+    // precision sanity up front: the two snapshots the sweep serves must
+    // agree on nearly every argmax before latency numbers mean anything
+    let f32_model = model(42);
+    let int8_model = quantized(42);
+    let agree = f32_model
+        .predict(&inputs)
+        .iter()
+        .zip(int8_model.predict(&inputs))
+        .filter(|&(&a, b)| a == b)
+        .count() as f64
+        / inputs.rows() as f64;
+    println!("f32 vs int8 argmax agreement on the load-gen inputs: {:.1}%", agree * 100.0);
+    assert!(agree >= 0.95, "int8 serving must agree with f32 on >=95% of argmaxes, got {agree}");
 
     // --- open-loop sweep: offered load vs latency/throughput/shedding ---
     // All clients are wearables on Wi-Fi, so every request is cloud-bound
     // and the sweep isolates the queue/batch/shed machinery. (Local and
     // split routing are exercised by the pipeline smoke test and the
-    // integration suite.)
+    // integration suite.) Each rate runs at both precisions.
     let offered = [200.0, 800.0, 3200.0];
     let requests = 480;
     let mut levels = Vec::new();
-    for (i, &rps) in offered.iter().enumerate() {
-        // fresh server per level so the histograms don't mix
-        let server = InferenceServer::start(model(42), Some(fallback()), serve_config());
-        let client = server.client();
-        let report = run_load(
-            &client,
-            &inputs,
-            &LoadGenConfig {
-                seed: 500 + i as u64,
-                requests,
-                mode: LoadMode::Open { rps },
-                profiles: vec![ClientProfile {
-                    device: DeviceClass::Wearable,
-                    network: NetworkClass::Wifi,
-                }],
-            },
-        );
-        drop(client);
-        server.shutdown();
-        levels.push(Level { offered_rps: rps, report });
+    for precision in ["f32", "int8"] {
+        for (i, &rps) in offered.iter().enumerate() {
+            // fresh server per level so the histograms don't mix
+            let server = match precision {
+                "int8" => InferenceServer::start(quantized(42), Some(fallback()), serve_config()),
+                _ => InferenceServer::start(model(42), Some(fallback()), serve_config()),
+            };
+            let client = server.client();
+            let report = run_load(
+                &client,
+                &inputs,
+                &LoadGenConfig {
+                    seed: 500 + i as u64,
+                    requests,
+                    mode: LoadMode::Open { rps },
+                    profiles: vec![ClientProfile {
+                        device: DeviceClass::Wearable,
+                        network: NetworkClass::Wifi,
+                    }],
+                },
+            );
+            drop(client);
+            server.shutdown();
+            levels.push(Level { offered_rps: rps, precision, report });
+        }
     }
 
     let rows: Vec<Vec<String>> = levels
@@ -86,6 +119,7 @@ fn main() {
             let r = &l.report;
             vec![
                 format!("{:.0}", l.offered_rps),
+                l.precision.to_string(),
                 format!("{}", r.completed),
                 format!("{:.0}", r.throughput_rps()),
                 format!("{:.2}", r.percentile(50.0).as_secs_f64() * 1e3),
@@ -98,7 +132,17 @@ fn main() {
         .collect();
     print_table(
         "serving under open-loop Poisson load (4 workers, max_batch 8, max_wait 2ms)",
-        &["offered rps", "done", "rps", "p50 ms", "p95 ms", "p99 ms", "mean batch", "shed"],
+        &[
+            "offered rps",
+            "precision",
+            "done",
+            "rps",
+            "p50 ms",
+            "p95 ms",
+            "p99 ms",
+            "mean batch",
+            "shed",
+        ],
         &rows,
     );
     println!(
@@ -113,10 +157,12 @@ fn main() {
         let r = &l.report;
         let _ = writeln!(
             json,
-            "    {{\"offered_rps\": {:.1}, \"requests\": {}, \"completed\": {}, \
+            "    {{\"offered_rps\": {:.1}, \"precision\": \"{}\", \"requests\": {}, \
+             \"completed\": {}, \
              \"throughput_rps\": {:.1}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \
              \"mean_batch_size\": {:.2}, \"shed_rate\": {:.4}}}{}",
             l.offered_rps,
+            l.precision,
             requests,
             r.completed,
             r.throughput_rps(),
@@ -128,7 +174,18 @@ fn main() {
             if i + 1 < levels.len() { "," } else { "" },
         );
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    let p99_at = |rps: f64, precision: &str| {
+        levels
+            .iter()
+            .find(|l| l.offered_rps == rps && l.precision == precision)
+            .map(|l| l.report.percentile(99.0).as_micros())
+            .unwrap_or(0)
+    };
+    let _ = writeln!(json, "  \"p99_us_800rps\": {},", p99_at(800.0, "f32"));
+    let _ = writeln!(json, "  \"p99_us_800rps_int8\": {},", p99_at(800.0, "int8"));
+    let _ = writeln!(json, "  \"int8_argmax_agreement\": {agree:.4}");
+    json.push_str("}\n");
     std::fs::write("BENCH_serving.json", &json).expect("write BENCH_serving.json");
     println!("\nwrote BENCH_serving.json");
 
@@ -154,14 +211,19 @@ fn main() {
     };
     std::thread::sleep(Duration::from_millis(20));
     let v2 = server.swap_model(model(43));
+    std::thread::sleep(Duration::from_millis(20));
+    // precision swap mid-run: same lifecycle, 4x smaller weights
+    let v3 = server.swap_quantized(quantized(43));
     let report = loader.join().expect("load thread");
     println!(
-        "\nhot swap under load: swapped to v{v2} mid-run; {} / 240 requests answered, \
-         {} swaps recorded, final served version {}",
+        "\nhot swap under load: swapped to v{v2} (f32) then v{v3} (int8) mid-run; \
+         {} / 240 requests answered, {} swaps recorded, final served version {} ({})",
         report.completed,
         server.swap_count(),
-        server.version()
+        server.version(),
+        server.precision()
     );
+    assert_eq!(server.precision(), "int8", "final snapshot must be the quantized swap");
     drop(client);
     server.shutdown();
 }

@@ -5,8 +5,9 @@
 use crate::huffman::HuffmanEncoded;
 use crate::prune::{apply_masks, prune_network};
 use crate::quantize::QuantizedMatrix;
-use mdl_nn::{fit_classifier, Activation, Adam, Dense, Sequential, TrainConfig};
-use mdl_tensor::Matrix;
+use mdl_nn::{fit_classifier, Activation, Adam, Dense, QuantizedModel, Sequential, TrainConfig};
+use mdl_tensor::quant::{quantize_value, symmetric_scale};
+use mdl_tensor::{Int8Matrix, Matrix};
 use rand::rngs::StdRng;
 
 /// Configuration of the pipeline.
@@ -173,6 +174,47 @@ impl CompressedModel {
         }
         net
     }
+
+    /// Lowers the compressed artifact onto the int8 execution path
+    /// directly: each layer's codebook levels requantize per output
+    /// channel into an [`Int8Matrix`], so the serving side never
+    /// materializes (or executes) an f32 weight matrix. This is the
+    /// artifact → [`QuantizedModel`] bridge `mdl-serve` hot-swaps in.
+    pub fn to_quantized(&self) -> QuantizedModel {
+        let parts = self
+            .layers
+            .iter()
+            .map(|layer| {
+                debug_assert_eq!(
+                    layer.encoded.decode(),
+                    layer.weights.indices(),
+                    "Huffman stream corrupt"
+                );
+                let (rows, cols) = layer.weights.shape();
+                let codebook = layer.weights.codebook();
+                let idx = layer.weights.indices();
+                let mut scales = vec![1.0f32; cols];
+                for (j, scale) in scales.iter_mut().enumerate() {
+                    let mut max_abs = 0.0f32;
+                    for i in 0..rows {
+                        max_abs = max_abs.max(codebook[idx[i * cols + j] as usize].abs());
+                    }
+                    *scale = symmetric_scale(max_abs);
+                }
+                // channel-major bytes, straight from codebook levels
+                let mut data = vec![0i8; rows * cols];
+                for (j, &scale) in scales.iter().enumerate() {
+                    for i in 0..rows {
+                        data[j * rows + i] =
+                            quantize_value(codebook[idx[i * cols + j] as usize], scale);
+                    }
+                }
+                let w = Int8Matrix::from_channel_rows(cols, rows, data, scales);
+                (w, layer.bias.as_slice().to_vec(), layer.activation)
+            })
+            .collect();
+        QuantizedModel::from_dense_parts(parts)
+    }
 }
 
 #[cfg(test)]
@@ -259,6 +301,30 @@ mod tests {
         let restored = c.decompress();
         let acc = restored.accuracy(&test.x, &test.y);
         assert!(acc > 0.6, "mild one-shot compression keeps accuracy: {acc}");
+    }
+
+    #[test]
+    fn quantized_bridge_tracks_the_decompressed_model() {
+        let mut rng = StdRng::seed_from_u64(304);
+        let (mut net, _, test) = trained_digits_net(&mut rng);
+        let c = deep_compress(
+            &mut net,
+            None,
+            &DeepCompressionConfig { sparsity: 0.5, quant_bits: 6, finetune: None, prune_steps: 1 },
+            &mut rng,
+        );
+        let f32_path = c.decompress();
+        let int8_path = c.to_quantized();
+        let acc_f32 = f32_path.accuracy(&test.x, &test.y);
+        let acc_int8 = int8_path.accuracy(&test.x, &test.y);
+        assert!(
+            (acc_f32 - acc_int8).abs() < 0.05,
+            "int8 artifact path {acc_int8} should track dequantized path {acc_f32}"
+        );
+        assert!(
+            int8_path.storage_bytes() < c.report.original_bytes as usize / 3,
+            "int8 artifact must stay far below the f32 original"
+        );
     }
 
     #[test]

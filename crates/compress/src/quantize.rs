@@ -105,6 +105,11 @@ impl QuantizedMatrix {
         self.bits
     }
 
+    /// `(rows, cols)` of the matrix the codebook quantized.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
     /// The raw index stream (input to the Huffman stage).
     pub fn indices(&self) -> &[u8] {
         &self.indices

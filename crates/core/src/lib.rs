@@ -96,8 +96,8 @@ pub mod prelude {
         TransportMetrics,
     };
     pub use mdl_nn::{
-        fit_classifier, Activation, Adam, Dense, Gru, Layer, Mode, ParamVector, Sequential, Sgd,
-        TrainConfig,
+        fit_classifier, Activation, Adam, Dense, Gru, Layer, Mode, ParamVector, QuantizedModel,
+        Sequential, Sgd, TrainConfig,
     };
     pub use mdl_obs::{Buckets, Clock, ClockKind, MetricsRegistry, Obs, ObsSnapshot};
     pub use mdl_privacy::{
@@ -106,14 +106,14 @@ pub mod prelude {
     };
     pub use mdl_serve::{
         run_load, ClientProfile, DeviceClass, InferenceServer, LoadGenConfig, LoadMode,
-        NetworkClass, Route, ServeConfig,
+        ModelVariant, NetworkClass, Route, ServeConfig,
     };
     pub use mdl_sim::{
         run_population, sample_cohort, ClientTrainer, CohortSpec, Population, PopulationReport,
         PopulationSpec, SimConfig, SimError, Topology,
     };
     pub use mdl_split::{compare_deployments, Arden, ArdenConfig};
-    pub use mdl_tensor::{Init, Matrix};
+    pub use mdl_tensor::{Init, Int8Matrix, Matrix};
     pub use rand::rngs::StdRng;
     pub use rand::SeedableRng;
 }

@@ -284,7 +284,14 @@ pub fn run_rollout(
 
     // the A/B verdict is a pure function of the two versions and the
     // probe, so evaluate once and reuse it in every stage's gate
-    let ab = ab_compare(&pinned.model, &serving.model, probe_x, probe_y, cfg.gate.max_ab_mismatch);
+    // both versions come from load_model artifacts, so they are f32
+    let ab = ab_compare(
+        pinned.model.as_f32().expect("rollout artifacts are f32"),
+        serving.model.as_f32().expect("rollout artifacts are f32"),
+        probe_x,
+        probe_y,
+        cfg.gate.max_ab_mismatch,
+    );
 
     let device_ids: Vec<u64> = (0..cfg.fleet).collect();
     let mut stages = Vec::new();

@@ -138,6 +138,22 @@ impl Gru {
         self.w_r.cols()
     }
 
+    /// Input kernels `[W_r, W_z, W_h]`, each `input_dim × hidden_dim`
+    /// (read-only — used by the quantized-path builder).
+    pub fn input_kernels(&self) -> [&Matrix; 3] {
+        [&self.w_r, &self.w_z, &self.w_h]
+    }
+
+    /// Recurrent kernels `[U_r, U_z, U_h]`, each `hidden_dim × hidden_dim`.
+    pub fn recurrent_kernels(&self) -> [&Matrix; 3] {
+        [&self.u_r, &self.u_z, &self.u_h]
+    }
+
+    /// Gate biases `[b_r, b_z, b_h]`, each `1 × hidden_dim`.
+    pub fn biases(&self) -> [&Matrix; 3] {
+        [&self.b_r, &self.b_z, &self.b_h]
+    }
+
     /// Runs the sequence and returns only the final hidden state (`1 × h`).
     pub fn encode(&mut self, seq: &Matrix) -> Matrix {
         let states = self.forward(seq, Mode::Eval);

@@ -44,6 +44,7 @@ pub mod loss;
 pub mod lstm;
 pub mod optim;
 pub mod profile;
+pub mod quantized;
 pub mod saved;
 pub mod sequential;
 pub mod trainer;
@@ -56,6 +57,7 @@ pub use layer::{Layer, LayerInfo, Mode, ParamVector};
 pub use lstm::Lstm;
 pub use optim::{AdaGrad, Adam, Optimizer, RmsProp, Sgd};
 pub use profile::LayerProfiler;
+pub use quantized::QuantizedModel;
 pub use saved::{load_model, save_model, LoadModelError};
 pub use sequential::Sequential;
 pub use trainer::{clip_gradients, fit_classifier, EpochStats, TrainConfig};

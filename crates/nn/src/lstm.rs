@@ -121,6 +121,24 @@ impl Lstm {
         self.w[0].cols()
     }
 
+    /// Input kernels in gate order `[i, f, o, g]`, each
+    /// `input_dim × hidden_dim` (read-only — used by the quantized-path
+    /// builder).
+    pub fn input_kernels(&self) -> [&Matrix; 4] {
+        [&self.w[0], &self.w[1], &self.w[2], &self.w[3]]
+    }
+
+    /// Recurrent kernels in gate order `[i, f, o, g]`, each
+    /// `hidden_dim × hidden_dim`.
+    pub fn recurrent_kernels(&self) -> [&Matrix; 4] {
+        [&self.u[0], &self.u[1], &self.u[2], &self.u[3]]
+    }
+
+    /// Gate biases in gate order `[i, f, o, g]`, each `1 × hidden_dim`.
+    pub fn biases(&self) -> [&Matrix; 4] {
+        [&self.b[0], &self.b[1], &self.b[2], &self.b[3]]
+    }
+
     /// Runs the sequence and returns only the final hidden state (`1 × h`).
     pub fn encode(&mut self, seq: &Matrix) -> Matrix {
         let states = self.forward(seq, Mode::Eval);

@@ -1,0 +1,591 @@
+//! Quantized inference: int8 Dense/GRU/LSTM forward passes that run the
+//! [`mdl_tensor::kernel::int8`] GEMM end-to-end — integer weights,
+//! integer activations, integer accumulation — with **no f32 round-trip**
+//! of any matrix product.
+//!
+//! # Execution scheme
+//!
+//! Weights carry per-output-channel scales ([`Int8Matrix`]); activations
+//! carry one per-tensor scale, chosen dynamically (calibration-free) from
+//! the tensor that actually flows through. Between layers the activation
+//! tensor stays int8: each layer reads quantized bytes, accumulates in
+//! `i32`, folds the bias into the accumulator domain
+//! (`round(b_j / (s_x · s_w_j))`), applies its nonlinearity in scalar
+//! f32 on the rescaled accumulator values, and saturating-requantizes
+//! the result for the next layer. Only the final layer emits f32 logits.
+//!
+//! Recurrent layers exploit the bounded hidden state: GRU and LSTM
+//! hidden vectors satisfy `|h| ≤ 1` by construction (convex combination
+//! of `tanh` outputs; `o ⊙ tanh(c)`), so `h` quantizes at the fixed
+//! scale `1/127` with no dynamic pass. The whole-sequence input
+//! projections `X·W` run as one int8 GEMM up front; each timestep then
+//! performs only int8 recurrent matvecs plus scalar f32 gate math. The
+//! LSTM cell state `c` is unbounded and stays f32 (it never enters a
+//! matrix product). Gate biases likewise stay f32 for the recurrent
+//! layers: a gate pre-activation mixes two accumulator domains (input
+//! scale × weight scale vs. hidden scale × recurrent scale), so there is
+//! no single integer domain to fold the bias into.
+
+use crate::activation::Activation;
+use crate::dense::Dense;
+use crate::gru::Gru;
+use crate::layer::LayerInfo;
+use crate::lstm::Lstm;
+use crate::sequential::Sequential;
+use mdl_tensor::quant::{quantize_value, symmetric_scale, Int8Matrix};
+use mdl_tensor::stats::softmax_rows;
+use mdl_tensor::Matrix;
+
+/// Fixed quantization scale for recurrent hidden states (`|h| ≤ 1`).
+const H_SCALE: f32 = 1.0 / 127.0;
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// A per-tensor-quantized activation flowing between quantized layers.
+struct QAct {
+    rows: usize,
+    cols: usize,
+    data: Vec<i8>,
+    scale: f32,
+}
+
+impl QAct {
+    fn quantize(x: &Matrix) -> Self {
+        let scale = symmetric_scale(x.max_abs());
+        let data = x.as_slice().iter().map(|&v| quantize_value(v, scale)).collect();
+        Self { rows: x.rows(), cols: x.cols(), data, scale }
+    }
+}
+
+/// Quantized fully-connected layer: int8 weights, accumulator-domain
+/// integer bias, dynamic output requantization.
+struct QDense {
+    w: Int8Matrix,
+    bias: Vec<f32>,
+    activation: Activation,
+}
+
+impl QDense {
+    fn from_dense(d: &Dense) -> Self {
+        Self {
+            w: Int8Matrix::quantize(d.weight()),
+            bias: d.bias().as_slice().to_vec(),
+            activation: d.activation(),
+        }
+    }
+
+    /// Integer accumulators with the bias already folded in:
+    /// `acc[i][j] = Σ_t xq · wq + round(b_j / (s_x · s_w_j))`, so the
+    /// value domain is recovered as `acc · s_x · s_w_j`.
+    fn accumulate(&self, x: &QAct) -> Vec<i32> {
+        assert_eq!(x.cols, self.w.in_dim(), "quantized dense input width mismatch");
+        let out_dim = self.w.out_dim();
+        let mut accs = vec![0i32; x.rows * out_dim];
+        self.w.gemm_into(x.rows, &x.data, &mut accs, false);
+        let bq: Vec<i32> = self
+            .bias
+            .iter()
+            .zip(self.w.scales())
+            .map(|(&b, &sw)| (b / (x.scale * sw)).round() as i32)
+            .collect();
+        for row in accs.chunks_mut(out_dim) {
+            for (slot, &b) in row.iter_mut().zip(&bq) {
+                *slot = slot.saturating_add(b);
+            }
+        }
+        accs
+    }
+
+    #[inline]
+    fn value(&self, acc: i32, j: usize, x_scale: f32) -> f32 {
+        self.activation.apply(acc as f32 * x_scale * self.w.scales()[j])
+    }
+
+    /// Two passes over the accumulators: pass 1 finds the output's
+    /// dynamic scale, pass 2 writes the saturated bytes. No f32 matrix
+    /// is ever materialized.
+    fn forward_q(&self, x: &QAct) -> QAct {
+        let out_dim = self.w.out_dim();
+        let accs = self.accumulate(x);
+        let mut max_abs = 0.0f32;
+        for (idx, &acc) in accs.iter().enumerate() {
+            max_abs = max_abs.max(self.value(acc, idx % out_dim, x.scale).abs());
+        }
+        let scale = symmetric_scale(max_abs);
+        let data = accs
+            .iter()
+            .enumerate()
+            .map(|(idx, &acc)| quantize_value(self.value(acc, idx % out_dim, x.scale), scale))
+            .collect();
+        QAct { rows: x.rows, cols: out_dim, data, scale }
+    }
+
+    /// Final-layer variant: rescales straight to f32 logits.
+    fn forward_f32(&self, x: &QAct) -> Matrix {
+        let out_dim = self.w.out_dim();
+        let accs = self.accumulate(x);
+        let data = accs
+            .iter()
+            .enumerate()
+            .map(|(idx, &acc)| self.value(acc, idx % out_dim, x.scale))
+            .collect();
+        Matrix::from_vec(x.rows, out_dim, data)
+    }
+
+    fn info(&self) -> LayerInfo {
+        let (in_dim, out_dim) = (self.w.in_dim(), self.w.out_dim());
+        LayerInfo {
+            kind: "dense",
+            in_dim,
+            out_dim,
+            params: in_dim * out_dim + out_dim,
+            macs: (in_dim * out_dim) as u64,
+        }
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.w.storage_bytes() + 4 * self.bias.len()
+    }
+}
+
+/// Quantized GRU (paper Eq. 1 conventions: the update gate keeps the
+/// *previous* state).
+struct QGru {
+    /// Input kernels `[W_r, W_z, W_h]`.
+    wx: [Int8Matrix; 3],
+    /// Recurrent kernels `[U_r, U_z, U_h]`.
+    u: [Int8Matrix; 3],
+    /// Gate biases `[b_r, b_z, b_h]` (f32 — see module docs).
+    b: [Vec<f32>; 3],
+}
+
+impl QGru {
+    fn from_gru(g: &Gru) -> Self {
+        let q = |m: &Matrix| Int8Matrix::quantize(m);
+        let [wr, wz, wh] = g.input_kernels();
+        let [ur, uz, uh] = g.recurrent_kernels();
+        let [br, bz, bh] = g.biases();
+        Self {
+            wx: [q(wr), q(wz), q(wh)],
+            u: [q(ur), q(uz), q(uh)],
+            b: [br.as_slice().to_vec(), bz.as_slice().to_vec(), bh.as_slice().to_vec()],
+        }
+    }
+
+    /// Whole-sequence input projections as one int8 GEMM per gate,
+    /// rescaled (+ bias) into f32 pre-activation bases `T × h`.
+    fn input_bases(&self, x: &QAct) -> [Vec<f32>; 3] {
+        let h_dim = self.wx[0].out_dim();
+        std::array::from_fn(|g| {
+            let mut accs = vec![0i32; x.rows * h_dim];
+            self.wx[g].gemm_into(x.rows, &x.data, &mut accs, false);
+            accs.iter()
+                .enumerate()
+                .map(|(idx, &acc)| {
+                    let j = idx % h_dim;
+                    acc as f32 * x.scale * self.wx[g].scales()[j] + self.b[g][j]
+                })
+                .collect()
+        })
+    }
+
+    /// Runs the recurrence; returns the f32 hidden states (`T × h`) and
+    /// the same states as the fixed-scale int8 tensor fed onward.
+    fn scan(&self, x: &QAct) -> (Matrix, QAct) {
+        assert_eq!(x.cols, self.wx[0].in_dim(), "quantized GRU input width mismatch");
+        assert!(x.rows > 0, "quantized GRU requires a non-empty sequence");
+        let (t_len, h_dim) = (x.rows, self.wx[0].out_dim());
+        let a = self.input_bases(x);
+
+        let mut states = Matrix::zeros(t_len, h_dim);
+        let mut states_q = vec![0i8; t_len * h_dim];
+        let mut h = vec![0.0f32; h_dim];
+        let mut h_q = vec![0i8; h_dim];
+        let mut rh_q = vec![0i8; h_dim];
+        let mut rec = vec![0i32; h_dim];
+        let mut r = vec![0.0f32; h_dim];
+        let mut z = vec![0.0f32; h_dim];
+        for t in 0..t_len {
+            let base = |g: usize, j: usize| a[g][t * h_dim + j];
+            self.u[0].gemm_into(1, &h_q, &mut rec, false);
+            for j in 0..h_dim {
+                r[j] = sigmoid(base(0, j) + rec[j] as f32 * H_SCALE * self.u[0].scales()[j]);
+            }
+            self.u[1].gemm_into(1, &h_q, &mut rec, false);
+            for j in 0..h_dim {
+                z[j] = sigmoid(base(1, j) + rec[j] as f32 * H_SCALE * self.u[1].scales()[j]);
+            }
+            // |r ⊙ h| ≤ |h| ≤ 1, so the reset-gated state shares h's scale
+            for j in 0..h_dim {
+                rh_q[j] = quantize_value(r[j] * h[j], H_SCALE);
+            }
+            self.u[2].gemm_into(1, &rh_q, &mut rec, false);
+            for j in 0..h_dim {
+                let hc = (base(2, j) + rec[j] as f32 * H_SCALE * self.u[2].scales()[j]).tanh();
+                h[j] = z[j] * h[j] + (1.0 - z[j]) * hc;
+                h_q[j] = quantize_value(h[j], H_SCALE);
+            }
+            states.row_mut(t).copy_from_slice(&h);
+            states_q[t * h_dim..(t + 1) * h_dim].copy_from_slice(&h_q);
+        }
+        (states, QAct { rows: t_len, cols: h_dim, data: states_q, scale: H_SCALE })
+    }
+
+    fn info(&self) -> LayerInfo {
+        let (d, h) = (self.wx[0].in_dim(), self.wx[0].out_dim());
+        LayerInfo {
+            kind: "gru",
+            in_dim: d,
+            out_dim: h,
+            params: 3 * (d * h + h * h + h),
+            macs: (3 * (d * h + h * h)) as u64,
+        }
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.wx.iter().chain(&self.u).map(Int8Matrix::storage_bytes).sum::<usize>()
+            + self.b.iter().map(|b| 4 * b.len()).sum::<usize>()
+    }
+}
+
+/// Quantized LSTM, gate order `[i, f, o, g]`; the cell state stays f32.
+struct QLstm {
+    wx: [Int8Matrix; 4],
+    u: [Int8Matrix; 4],
+    b: [Vec<f32>; 4],
+}
+
+impl QLstm {
+    fn from_lstm(l: &Lstm) -> Self {
+        let q = |m: &Matrix| Int8Matrix::quantize(m);
+        Self {
+            wx: l.input_kernels().map(q),
+            u: l.recurrent_kernels().map(q),
+            b: l.biases().map(|b| b.as_slice().to_vec()),
+        }
+    }
+
+    fn scan(&self, x: &QAct) -> (Matrix, QAct) {
+        assert_eq!(x.cols, self.wx[0].in_dim(), "quantized LSTM input width mismatch");
+        assert!(x.rows > 0, "quantized LSTM requires a non-empty sequence");
+        let (t_len, h_dim) = (x.rows, self.wx[0].out_dim());
+        // same up-front layout as the GRU: one int8 GEMM per gate
+        let a: [Vec<f32>; 4] = std::array::from_fn(|g| {
+            let mut accs = vec![0i32; t_len * h_dim];
+            self.wx[g].gemm_into(t_len, &x.data, &mut accs, false);
+            accs.iter()
+                .enumerate()
+                .map(|(idx, &acc)| {
+                    let j = idx % h_dim;
+                    acc as f32 * x.scale * self.wx[g].scales()[j] + self.b[g][j]
+                })
+                .collect()
+        });
+
+        let mut states = Matrix::zeros(t_len, h_dim);
+        let mut states_q = vec![0i8; t_len * h_dim];
+        let mut h = vec![0.0f32; h_dim];
+        let mut h_q = vec![0i8; h_dim];
+        let mut c = vec![0.0f32; h_dim];
+        let mut rec = [(); 4].map(|_| vec![0i32; h_dim]);
+        for t in 0..t_len {
+            for (k, rec_k) in rec.iter_mut().enumerate() {
+                self.u[k].gemm_into(1, &h_q, rec_k, false);
+            }
+            for j in 0..h_dim {
+                let pre = |k: usize| {
+                    a[k][t * h_dim + j] + rec[k][j] as f32 * H_SCALE * self.u[k].scales()[j]
+                };
+                let i = sigmoid(pre(0));
+                let f = sigmoid(pre(1));
+                let o = sigmoid(pre(2));
+                let g = pre(3).tanh();
+                c[j] = f * c[j] + i * g;
+                h[j] = o * c[j].tanh();
+                h_q[j] = quantize_value(h[j], H_SCALE);
+            }
+            states.row_mut(t).copy_from_slice(&h);
+            states_q[t * h_dim..(t + 1) * h_dim].copy_from_slice(&h_q);
+        }
+        (states, QAct { rows: t_len, cols: h_dim, data: states_q, scale: H_SCALE })
+    }
+
+    fn info(&self) -> LayerInfo {
+        let (d, h) = (self.wx[0].in_dim(), self.wx[0].out_dim());
+        LayerInfo {
+            kind: "lstm",
+            in_dim: d,
+            out_dim: h,
+            params: 4 * (d * h + h * h + h),
+            macs: (4 * (d * h + h * h)) as u64,
+        }
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.wx.iter().chain(&self.u).map(Int8Matrix::storage_bytes).sum::<usize>()
+            + self.b.iter().map(|b| 4 * b.len()).sum::<usize>()
+    }
+}
+
+enum QLayer {
+    Dense(QDense),
+    Gru(QGru),
+    Lstm(QLstm),
+}
+
+impl QLayer {
+    fn forward_q(&self, x: &QAct) -> QAct {
+        match self {
+            QLayer::Dense(d) => d.forward_q(x),
+            QLayer::Gru(g) => g.scan(x).1,
+            QLayer::Lstm(l) => l.scan(x).1,
+        }
+    }
+
+    fn forward_f32(&self, x: &QAct) -> Matrix {
+        match self {
+            QLayer::Dense(d) => d.forward_f32(x),
+            QLayer::Gru(g) => g.scan(x).0,
+            QLayer::Lstm(l) => l.scan(x).0,
+        }
+    }
+
+    fn info(&self) -> LayerInfo {
+        match self {
+            QLayer::Dense(d) => d.info(),
+            QLayer::Gru(g) => g.info(),
+            QLayer::Lstm(l) => l.info(),
+        }
+    }
+
+    fn storage_bytes(&self) -> usize {
+        match self {
+            QLayer::Dense(d) => d.storage_bytes(),
+            QLayer::Gru(g) => g.storage_bytes(),
+            QLayer::Lstm(l) => l.storage_bytes(),
+        }
+    }
+}
+
+/// An int8 model executing entirely on the quantized path: every matrix
+/// product runs in the [`mdl_tensor::kernel::int8`] kernel, activations
+/// stay int8 between layers, and only the final layer emits f32 logits.
+///
+/// Built from a trained f32 [`Sequential`] ([`QuantizedModel::from_model`])
+/// or assembled directly from quantized parts
+/// ([`QuantizedModel::from_dense_parts`] — the `mdl-compress` artifact
+/// bridge). Inference is read-only (`&self`), so a model can be shared
+/// behind an `Arc` exactly like the f32 eval path.
+pub struct QuantizedModel {
+    layers: Vec<QLayer>,
+}
+
+impl std::fmt::Debug for QuantizedModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QuantizedModel")
+            .field("layers", &self.layers.len())
+            .field("storage_bytes", &self.storage_bytes())
+            .finish()
+    }
+}
+
+impl QuantizedModel {
+    /// Quantizes a trained f32 model. Returns `None` if any layer is not
+    /// Dense/GRU/LSTM (the quantized path covers the paper's model
+    /// family; anything else keeps serving f32).
+    ///
+    /// Takes `&mut` only because layer downcasting goes through the
+    /// `as_any_mut` hook; the model is not modified.
+    pub fn from_model(model: &mut Sequential) -> Option<Self> {
+        let mut layers = Vec::new();
+        for layer in model.layers_mut().iter_mut() {
+            let any = layer.as_any_mut();
+            if let Some(d) = any.downcast_ref::<Dense>() {
+                layers.push(QLayer::Dense(QDense::from_dense(d)));
+            } else if let Some(g) = any.downcast_ref::<Gru>() {
+                layers.push(QLayer::Gru(QGru::from_gru(g)));
+            } else if let Some(l) = any.downcast_ref::<Lstm>() {
+                layers.push(QLayer::Lstm(QLstm::from_lstm(l)));
+            } else {
+                return None;
+            }
+        }
+        if layers.is_empty() {
+            return None;
+        }
+        Some(Self { layers })
+    }
+
+    /// Assembles an all-dense quantized model from already-quantized
+    /// parts: `(weights, bias, activation)` per layer, in order. This is
+    /// how a `mdl_compress::quantize` artifact becomes executable without
+    /// a f32 weight round-trip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or a bias length mismatches its weight
+    /// matrix's output dimension.
+    pub fn from_dense_parts(parts: Vec<(Int8Matrix, Vec<f32>, Activation)>) -> Self {
+        assert!(!parts.is_empty(), "quantized model needs at least one layer");
+        let layers = parts
+            .into_iter()
+            .map(|(w, bias, activation)| {
+                assert_eq!(bias.len(), w.out_dim(), "bias length must match output channels");
+                QLayer::Dense(QDense { w, bias, activation })
+            })
+            .collect();
+        Self { layers }
+    }
+
+    /// Read-only quantized forward pass; returns f32 logits.
+    pub fn forward_eval(&self, x: &Matrix) -> Matrix {
+        let (last, head) = self.layers.split_last().expect("non-empty model");
+        let mut act = QAct::quantize(x);
+        for layer in head {
+            act = layer.forward_q(&act);
+        }
+        last.forward_f32(&act)
+    }
+
+    /// Class probabilities (softmax over the final layer's outputs).
+    pub fn predict_proba(&self, x: &Matrix) -> Matrix {
+        softmax_rows(&self.forward_eval(x))
+    }
+
+    /// Hard class predictions.
+    pub fn predict(&self, x: &Matrix) -> Vec<usize> {
+        self.forward_eval(x).argmax_rows()
+    }
+
+    /// Fraction of rows whose argmax matches the label.
+    pub fn accuracy(&self, x: &Matrix, labels: &[usize]) -> f64 {
+        let pred = self.predict(x);
+        let correct = pred.iter().zip(labels.iter()).filter(|(p, y)| p == y).count();
+        correct as f64 / labels.len().max(1) as f64
+    }
+
+    /// Input width expected by the first layer.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].info().in_dim
+    }
+
+    /// Per-layer structural descriptions (same kinds/dims/macs as the
+    /// f32 model this was quantized from).
+    pub fn layer_infos(&self) -> Vec<LayerInfo> {
+        self.layers.iter().map(QLayer::info).collect()
+    }
+
+    /// Total multiply–accumulate count per example.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.info().macs).sum()
+    }
+
+    /// Bytes held by the quantized representation (int8 weights +
+    /// per-channel scales + f32 biases) — the artifact-size story the
+    /// paper tells (§IV: int8 conv params at 340 KB).
+    pub fn storage_bytes(&self) -> usize {
+        self.layers.iter().map(QLayer::storage_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::Dropout;
+    use crate::layer::{Layer, Mode};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dense_net(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Sequential::new();
+        net.push(Dense::new(12, 32, Activation::Relu, &mut rng));
+        net.push(Dense::new(32, 16, Activation::Tanh, &mut rng));
+        net.push(Dense::new(16, 4, Activation::Identity, &mut rng));
+        net
+    }
+
+    fn probe(rows: usize, cols: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| ((r * cols + c) as f32 * 0.31).sin())
+    }
+
+    #[test]
+    fn quantized_dense_tracks_f32_outputs() {
+        let mut net = dense_net(9);
+        let q = QuantizedModel::from_model(&mut net).expect("all-dense quantizes");
+        let x = probe(6, 12);
+        let f = net.forward_eval(&x);
+        let g = q.forward_eval(&x);
+        assert_eq!(f.shape(), g.shape());
+        let scale = f.max_abs().max(1e-6);
+        for (a, b) in f.as_slice().iter().zip(g.as_slice()) {
+            assert!((a - b).abs() < 0.15 * scale, "f32 {a} vs int8 {b}");
+        }
+        // argmax agreement on well-separated logits
+        assert_eq!(net.predict(&x), q.predict(&x));
+    }
+
+    #[test]
+    fn quantized_recurrent_layers_track_f32() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut net = Sequential::new();
+        net.push(Gru::new(5, 12, &mut rng));
+        net.push(Lstm::new(12, 8, &mut rng));
+        net.push(Dense::new(8, 3, Activation::Identity, &mut rng));
+        let q = QuantizedModel::from_model(&mut net).expect("gru/lstm quantize");
+        let x = probe(20, 5);
+        let f = net.forward_eval(&x);
+        let g = q.forward_eval(&x);
+        assert_eq!(f.shape(), g.shape());
+        for (a, b) in f.as_slice().iter().zip(g.as_slice()) {
+            assert!((a - b).abs() < 0.12, "f32 {a} vs int8 {b}");
+        }
+    }
+
+    #[test]
+    fn unsupported_layer_yields_none() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = Sequential::new();
+        net.push(Dense::new(4, 4, Activation::Relu, &mut rng));
+        net.push(Dropout::new(4, 0.5, 7));
+        assert!(QuantizedModel::from_model(&mut net).is_none());
+        assert!(QuantizedModel::from_model(&mut Sequential::new()).is_none());
+    }
+
+    #[test]
+    fn int8_storage_is_a_quarter_of_f32() {
+        let mut net = dense_net(2);
+        let q = QuantizedModel::from_model(&mut net).expect("quantizes");
+        let f32_bytes: usize = q.layer_infos().iter().map(|i| 4 * i.params).sum();
+        // ~4x on the weights; per-channel scales and f32 biases eat a bit
+        // of the ratio on these small layers
+        assert!(
+            (q.storage_bytes() as f64) < 0.4 * f32_bytes as f64,
+            "int8 ({}) must be well under half of f32 ({f32_bytes})",
+            q.storage_bytes()
+        );
+    }
+
+    #[test]
+    fn quantized_model_is_deterministic() {
+        let mut net = dense_net(5);
+        let q = QuantizedModel::from_model(&mut net).expect("quantizes");
+        let x = probe(3, 12);
+        let a = q.forward_eval(&x);
+        let b = q.forward_eval(&x);
+        assert!(a.as_slice().iter().zip(b.as_slice()).all(|(p, q)| p.to_bits() == q.to_bits()));
+    }
+
+    #[test]
+    fn forward_after_training_mode_forward() {
+        // from_model must not disturb the f32 model it reads
+        let mut net = dense_net(11);
+        let x = probe(2, 12);
+        let before = net.forward(&x, Mode::Eval);
+        let _q = QuantizedModel::from_model(&mut net).expect("quantizes");
+        let after = net.forward(&x, Mode::Eval);
+        assert!(before.approx_eq(&after, 0.0));
+    }
+}

@@ -53,6 +53,6 @@ pub mod server;
 pub use loadgen::{run_load, LoadGenConfig, LoadMode, LoadReport};
 pub use mdl_net::LinkState;
 pub use metrics::{MetricsSnapshot, ServerMetrics};
-pub use registry::{ModelRegistry, VersionedModel};
+pub use registry::{ModelRegistry, ModelVariant, VersionedModel};
 pub use router::{ClientProfile, DeviceClass, NetworkClass, Route, Router};
 pub use server::{InferenceResponse, InferenceServer, ServeClient, ServeConfig, SubmitError};

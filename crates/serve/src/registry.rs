@@ -6,18 +6,103 @@
 //! the replacement. This is the paper's §III "update the model without
 //! shipping a new app" concern, applied to the serving tier.
 
+use mdl_compress::CompressedModel;
 use mdl_nn::saved::{load_model, LoadModelError};
-use mdl_nn::Sequential;
+use mdl_nn::{Layer, LayerInfo, QuantizedModel, Sequential};
+use mdl_tensor::Matrix;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+
+/// The executable form a registry version holds: the f32 eval path or
+/// the int8 quantized path. Both are read-only at inference time, so a
+/// registry can hot-swap freely between precisions of the same model.
+pub enum ModelVariant {
+    /// Full-precision network on the [`mdl_nn::Layer::forward_eval`] path.
+    F32(Sequential),
+    /// Int8 network on the [`mdl_nn::QuantizedModel`] path: every matrix
+    /// product runs in the int8 SIMD kernel, no f32 weight round-trip.
+    Int8(QuantizedModel),
+}
+
+impl From<Sequential> for ModelVariant {
+    fn from(model: Sequential) -> Self {
+        Self::F32(model)
+    }
+}
+
+impl From<QuantizedModel> for ModelVariant {
+    fn from(model: QuantizedModel) -> Self {
+        Self::Int8(model)
+    }
+}
+
+impl std::fmt::Debug for ModelVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelVariant")
+            .field("precision", &self.precision())
+            .field("layers", &self.layer_infos().len())
+            .finish()
+    }
+}
+
+impl ModelVariant {
+    /// Read-only forward pass; softmax-ready scores for either precision.
+    pub fn forward_eval(&self, x: &Matrix) -> Matrix {
+        match self {
+            Self::F32(m) => m.forward_eval(x),
+            Self::Int8(m) => m.forward_eval(x),
+        }
+    }
+
+    /// Per-layer structural descriptions (identical kinds/dims/macs for
+    /// both precisions of the same architecture).
+    pub fn layer_infos(&self) -> Vec<LayerInfo> {
+        match self {
+            Self::F32(m) => m.layer_infos(),
+            Self::Int8(m) => m.layer_infos(),
+        }
+    }
+
+    /// Input width expected by the first layer (0 for an empty model).
+    pub fn input_dim(&self) -> usize {
+        self.layer_infos().first().map(|l| l.in_dim).unwrap_or(0)
+    }
+
+    /// The f32 network, when this is the f32 variant. Split placement and
+    /// mid-network batch resume are f32-only — the quantized path has no
+    /// layer-boundary f32 representation to ship.
+    pub fn as_f32(&self) -> Option<&Sequential> {
+        match self {
+            Self::F32(m) => Some(m),
+            Self::Int8(_) => None,
+        }
+    }
+
+    /// `"f32"` or `"int8"` — the label experiments report.
+    pub fn precision(&self) -> &'static str {
+        match self {
+            Self::F32(_) => "f32",
+            Self::Int8(_) => "int8",
+        }
+    }
+
+    /// Bytes per weight as the placement cost model prices transfers:
+    /// 4.0 for f32, 1.0 for int8.
+    pub fn bytes_per_weight(&self) -> f64 {
+        match self {
+            Self::F32(_) => 4.0,
+            Self::Int8(_) => 1.0,
+        }
+    }
+}
 
 /// One immutable, shareable model version.
 pub struct VersionedModel {
     /// Monotonically increasing version, starting at 1.
     pub version: u64,
-    /// The frozen network; inference goes through the read-only
-    /// [`mdl_nn::Layer::forward_eval`] path.
-    pub model: Sequential,
+    /// The frozen network, in either precision; inference goes through
+    /// the read-only eval path of the [`ModelVariant`].
+    pub model: ModelVariant,
 }
 
 /// Holds the current [`VersionedModel`] and swaps it atomically.
@@ -48,10 +133,10 @@ impl std::fmt::Debug for ModelRegistry {
 }
 
 impl ModelRegistry {
-    /// Registers an initial model as version 1.
-    pub fn new(model: Sequential) -> Self {
+    /// Registers an initial model (either precision) as version 1.
+    pub fn new(model: impl Into<ModelVariant>) -> Self {
         Self {
-            current: RwLock::new(Arc::new(VersionedModel { version: 1, model })),
+            current: RwLock::new(Arc::new(VersionedModel { version: 1, model: model.into() })),
             pinned: RwLock::new(None),
             high_water: AtomicU64::new(1),
             swaps: AtomicU64::new(0),
@@ -83,12 +168,14 @@ impl ModelRegistry {
         self.swaps.load(Ordering::Relaxed)
     }
 
-    /// Atomically replaces the model, returning the new version number.
-    /// Readers holding the previous snapshot are unaffected.
-    pub fn swap(&self, model: Sequential) -> u64 {
+    /// Atomically replaces the model (either precision), returning the
+    /// new version number. Readers holding the previous snapshot are
+    /// unaffected — hot-swapping f32 ↔ int8 versions of the same model
+    /// is an ordinary swap.
+    pub fn swap(&self, model: impl Into<ModelVariant>) -> u64 {
         let mut slot = self.current.write().expect("registry lock");
         let version = self.high_water.fetch_add(1, Ordering::Relaxed) + 1;
-        *slot = Arc::new(VersionedModel { version, model });
+        *slot = Arc::new(VersionedModel { version, model: model.into() });
         self.swaps.fetch_add(1, Ordering::Relaxed);
         version
     }
@@ -103,6 +190,13 @@ impl ModelRegistry {
     pub fn swap_bytes(&self, bytes: &[u8]) -> Result<u64, LoadModelError> {
         let model = load_model(bytes)?;
         Ok(self.swap(model))
+    }
+
+    /// Lowers a `mdl_compress::quantize` artifact straight onto the int8
+    /// execution path ([`CompressedModel::to_quantized`] — no f32 weight
+    /// round-trip) and swaps it in, returning the new version number.
+    pub fn swap_compressed(&self, artifact: &CompressedModel) -> u64 {
+        self.swap(artifact.to_quantized())
     }
 
     /// Pins the current version as the rollback target, returning its
@@ -189,6 +283,30 @@ mod tests {
         assert_eq!(reg.swap(net(7)), 3);
         assert_eq!(reg.rollback_to_pin(), Some(1));
         assert_eq!(reg.revert_count(), 2);
+    }
+
+    #[test]
+    fn hot_swaps_between_f32_and_int8_of_the_same_model() {
+        let mut f32_model = net(8);
+        let quantized = QuantizedModel::from_model(&mut f32_model).expect("dense quantizes");
+        let reg = ModelRegistry::new(f32_model);
+        assert_eq!(reg.current().model.precision(), "f32");
+        let x = mdl_tensor::Matrix::ones(1, 4);
+        let f32_out = reg.current().model.forward_eval(&x);
+
+        assert_eq!(reg.swap(quantized), 2);
+        let snap = reg.current();
+        assert_eq!(snap.model.precision(), "int8");
+        assert_eq!(snap.model.bytes_per_weight(), 1.0);
+        assert_eq!(snap.model.input_dim(), 4);
+        let int8_out = snap.model.forward_eval(&x);
+        assert_eq!(int8_out.shape(), f32_out.shape());
+        for (a, b) in f32_out.as_slice().iter().zip(int8_out.as_slice()) {
+            assert!((a - b).abs() < 0.1, "precisions diverged: {a} vs {b}");
+        }
+        // and back: the variant swap is an ordinary registry swap
+        assert_eq!(reg.swap(net(8)), 3);
+        assert_eq!(reg.current().model.precision(), "f32");
     }
 
     #[test]

@@ -155,7 +155,7 @@ impl Router {
             layers,
             input_bytes: 4 * in_dim as u64,
             result_bytes: 4 * out_dim as u64,
-            bytes_per_weight: 4.0,
+            bytes_per_weight: snapshot.model.bytes_per_weight(),
         };
         let (device, network) = profile.profiles();
         let network = Self::derate(network, link);
@@ -163,6 +163,9 @@ impl Router {
         let ranked = rank_placements(&scenario, &device, &cloud, &network, false);
         match ranked.first().map(|(p, _)| *p) {
             Some(Placement::Cloud) => Route::Cloud,
+            // An int8 snapshot cannot split — there is no f32 layer
+            // boundary to ship — so the next-best offload is the cloud.
+            Some(Placement::Split { .. }) if snapshot.model.as_f32().is_none() => Route::Cloud,
             Some(Placement::Split { local_layers }) => Route::Split { local_layers },
             // OnDevice, or an empty model: nothing for the server to do.
             _ => Route::Local,
@@ -183,7 +186,7 @@ mod tests {
         for w in widths.windows(2) {
             net.push(Dense::new(w[0], w[1], Activation::Relu, &mut rng));
         }
-        VersionedModel { version, model: net }
+        VersionedModel { version, model: net.into() }
     }
 
     #[test]

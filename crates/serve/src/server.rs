@@ -18,11 +18,12 @@
 //! was admitted under, so in-flight requests are never dropped.
 
 use crate::metrics::{MetricsSnapshot, ServerMetrics};
-use crate::registry::{ModelRegistry, VersionedModel};
+use crate::registry::{ModelRegistry, ModelVariant, VersionedModel};
 use crate::router::{ClientProfile, Route, Router};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use mdl_compress::CompressedModel;
 use mdl_nn::saved::LoadModelError;
-use mdl_nn::{Layer, Sequential};
+use mdl_nn::{Layer, QuantizedModel, Sequential};
 use mdl_obs::Obs;
 use mdl_tensor::stats::softmax_rows;
 use mdl_tensor::Matrix;
@@ -136,6 +137,17 @@ fn eval_prefix(model: &Sequential, x: &Matrix, to: usize) -> Matrix {
     cur
 }
 
+/// Runs either precision from layer `from`. A non-zero entry layer only
+/// ever reaches an f32 snapshot: split placement is f32-only (the router
+/// guarantees it) and the worker compat check re-verifies before resume.
+fn variant_eval_from(model: &ModelVariant, x: &Matrix, from: usize) -> Matrix {
+    if from == 0 {
+        model.forward_eval(x)
+    } else {
+        eval_from(model.as_f32().expect("mid-network resume is f32-only"), x, from)
+    }
+}
+
 fn argmax(row: &[f32]) -> usize {
     row.iter()
         .enumerate()
@@ -205,7 +217,7 @@ impl ServeClient {
     ) -> Result<Receiver<InferenceResponse>, SubmitError> {
         let submitted_ns = self.shared.metrics.now_ns();
         let snapshot = self.shared.registry.current();
-        let expected = snapshot.model.layers().first().map(|l| l.info().in_dim).unwrap_or(0);
+        let expected = snapshot.model.input_dim();
         if input.len() != expected {
             return Err(SubmitError::WidthMismatch { expected, found: input.len() });
         }
@@ -262,20 +274,39 @@ impl ServeClient {
                 };
                 self.jobs.send(job).map_err(|_| SubmitError::Shutdown)?;
             }
-            Route::Split { local_layers } => {
-                // Device-side trunk runs inline; the representation ships.
-                let x = Matrix::row_vector(input);
-                let rep = eval_prefix(&snapshot.model, &x, local_layers);
-                let job = Job {
-                    input: rep.row(0).to_vec(),
-                    entry_layer: local_layers,
-                    pinned: snapshot,
-                    route,
-                    resp: resp_tx,
-                    submitted_ns,
-                };
-                self.jobs.send(job).map_err(|_| SubmitError::Shutdown)?;
-            }
+            Route::Split { local_layers } => match snapshot.model.as_f32() {
+                Some(seq) => {
+                    // Device-side trunk runs inline; the representation ships.
+                    let x = Matrix::row_vector(input);
+                    let rep = eval_prefix(seq, &x, local_layers);
+                    let job = Job {
+                        input: rep.row(0).to_vec(),
+                        entry_layer: local_layers,
+                        pinned: snapshot,
+                        route,
+                        resp: resp_tx,
+                        submitted_ns,
+                    };
+                    self.jobs.send(job).map_err(|_| SubmitError::Shutdown)?;
+                }
+                None => {
+                    // The router never splits an int8 snapshot; if one
+                    // appears here anyway, serve the whole model inline
+                    // rather than failing the request.
+                    let x = Matrix::row_vector(input);
+                    let probs = softmax_rows(&snapshot.model.forward_eval(&x));
+                    self.shared.metrics.record_local();
+                    Self::deliver(
+                        &self.shared,
+                        resp_tx,
+                        probs.row(0),
+                        snapshot.version,
+                        Route::Local,
+                        1,
+                        submitted_ns,
+                    );
+                }
+            },
             Route::EarlyExit => unreachable!("router never emits EarlyExit"),
         }
         Ok(resp_rx)
@@ -370,18 +401,24 @@ fn worker_loop(batches: Receiver<Batch>, shared: Arc<Shared>) {
         let n = batch.jobs.len();
         let width = batch.jobs[0].input.len();
         let snapshot = shared.registry.current();
-        // A swap may have changed the architecture after the client ran
-        // its trunk; serve on the current model only when the entry layer
-        // still accepts this width.
-        let compatible = snapshot
-            .model
-            .layers()
-            .get(batch.entry_layer)
-            .map(|l| l.info().in_dim == width)
-            .unwrap_or(false);
+        // A swap may have changed the architecture (or precision) after
+        // the client ran its trunk; serve on the current model only when
+        // the entry layer still accepts this width. Mid-network resume
+        // additionally requires the current snapshot to be f32 — an int8
+        // model has no layer-boundary f32 representation to resume from.
+        let compatible = if batch.entry_layer == 0 {
+            snapshot.model.input_dim() == width
+        } else {
+            snapshot
+                .model
+                .as_f32()
+                .and_then(|m| m.layers().get(batch.entry_layer))
+                .map(|l| l.info().in_dim == width)
+                .unwrap_or(false)
+        };
         if compatible {
             let x = Matrix::from_fn(n, width, |r, c| batch.jobs[r].input[c]);
-            let probs = softmax_rows(&eval_from(&snapshot.model, &x, batch.entry_layer));
+            let probs = softmax_rows(&variant_eval_from(&snapshot.model, &x, batch.entry_layer));
             for (r, job) in batch.jobs.into_iter().enumerate() {
                 ServeClient::deliver(
                     &shared,
@@ -397,7 +434,8 @@ fn worker_loop(batches: Receiver<Batch>, shared: Arc<Shared>) {
             // finish each request on the version it was admitted under
             for job in batch.jobs {
                 let x = Matrix::row_vector(&job.input);
-                let probs = softmax_rows(&eval_from(&job.pinned.model, &x, job.entry_layer));
+                let probs =
+                    softmax_rows(&variant_eval_from(&job.pinned.model, &x, job.entry_layer));
                 ServeClient::deliver(
                     &shared,
                     job.resp,
@@ -426,10 +464,15 @@ pub struct InferenceServer {
 }
 
 impl InferenceServer {
-    /// Starts scheduler and workers around an initial model. `fallback`
-    /// is the optional early-exit network used for load shedding; without
-    /// one, overload falls back to queue backpressure only.
-    pub fn start(model: Sequential, fallback: Option<Sequential>, config: ServeConfig) -> Self {
+    /// Starts scheduler and workers around an initial model (f32
+    /// [`Sequential`] or int8 [`QuantizedModel`]). `fallback` is the
+    /// optional early-exit network used for load shedding; without one,
+    /// overload falls back to queue backpressure only.
+    pub fn start(
+        model: impl Into<ModelVariant>,
+        fallback: Option<Sequential>,
+        config: ServeConfig,
+    ) -> Self {
         if let Some(t) = config.kernel_threads {
             mdl_tensor::kernel::set_threads(t);
         }
@@ -497,11 +540,33 @@ impl InferenceServer {
         Ok(version)
     }
 
-    /// Atomically swaps in an already-built model.
-    pub fn swap_model(&self, model: Sequential) -> u64 {
+    /// Atomically swaps in an already-built model of either precision —
+    /// hot-swapping between the f32 and int8 variants of the same model
+    /// is an ordinary swap.
+    pub fn swap_model(&self, model: impl Into<ModelVariant>) -> u64 {
         let version = self.shared.registry.swap(model);
         self.shared.metrics.record_swap();
         version
+    }
+
+    /// Atomically swaps in an int8 model (alias of
+    /// [`InferenceServer::swap_model`], kept for call-site clarity).
+    pub fn swap_quantized(&self, model: QuantizedModel) -> u64 {
+        self.swap_model(model)
+    }
+
+    /// Lowers a `mdl_compress::quantize` artifact straight onto the int8
+    /// execution path and swaps it in — the artifact's codebook levels
+    /// requantize per channel without ever materializing f32 weights.
+    pub fn swap_compressed(&self, artifact: &CompressedModel) -> u64 {
+        let version = self.shared.registry.swap_compressed(artifact);
+        self.shared.metrics.record_swap();
+        version
+    }
+
+    /// Precision of the currently served model (`"f32"` or `"int8"`).
+    pub fn precision(&self) -> &'static str {
+        self.shared.registry.current().model.precision()
     }
 
     /// Pins the current version as the rollback target for

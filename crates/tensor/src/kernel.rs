@@ -58,6 +58,8 @@
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+#[path = "kernel_i8.rs"]
+pub mod int8;
 #[path = "kernel_profile.rs"]
 pub mod profile;
 

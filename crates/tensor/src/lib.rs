@@ -10,7 +10,10 @@
 //!   operations the neural-network layers need;
 //! - [`kernel`]: the cache-blocked, panel-packed GEMM every matrix product
 //!   dispatches to, parallelized over row panels with bit-identical results
-//!   for any thread count;
+//!   for any thread count, plus [`kernel::int8`] — the explicit-SIMD int8
+//!   GEMM microkernel behind the quantized inference path;
+//! - [`quant`]: per-output-channel symmetric int8 weights ([`Int8Matrix`])
+//!   and the saturating activation-requantize helpers;
 //! - [`Init`]: seeded weight-initialisation schemes (uniform, Gaussian,
 //!   Xavier, He);
 //! - [`linalg`]: one-sided Jacobi SVD (for low-rank layer compression),
@@ -39,10 +42,12 @@ pub mod init;
 pub mod kernel;
 pub mod linalg;
 pub mod matrix;
+pub mod quant;
 pub mod stats;
 
 pub use init::Init;
 pub use matrix::Matrix;
+pub use quant::Int8Matrix;
 
 #[cfg(test)]
 mod proptests {
@@ -180,6 +185,41 @@ mod proptests {
                 );
             }
             set_threads(before);
+        }
+
+        #[test]
+        fn int8_kernel_bitwise_matches_reference_on_arbitrary_shapes(
+            m in 1usize..16,
+            n in 1usize..40,
+            k in 0usize..80,
+            a_pool in prop::collection::vec((-128i32..=127).prop_map(|v| v as i8), 16 * 80),
+            b_pool in prop::collection::vec((-128i32..=127).prop_map(|v| v as i8), 40 * 80),
+            acc in any::<bool>(),
+        ) {
+            use crate::kernel::int8::{gemm_i8, gemm_i8_ref, gemm_i8_scalar};
+            let a = &a_pool[..m * k];
+            let bt = &b_pool[..n * k];
+            let mut reference = vec![7i32; m * n];
+            let mut dispatched = vec![7i32; m * n];
+            let mut scalar = vec![7i32; m * n];
+            gemm_i8_ref(m, n, k, a, bt, &mut reference, acc);
+            gemm_i8(m, n, k, a, bt, &mut dispatched, acc);
+            gemm_i8_scalar(m, n, k, a, bt, &mut scalar, acc);
+            prop_assert_eq!(&dispatched, &reference, "dispatched != ref at {}x{}x{}", m, n, k);
+            prop_assert_eq!(&scalar, &reference, "scalar != ref at {}x{}x{}", m, n, k);
+        }
+
+        #[test]
+        fn int8_requantize_round_trips_within_half_step(
+            xs in prop::collection::vec(-50f32..50.0, 1..64),
+        ) {
+            use crate::quant::quantize_slice;
+            let mut q = vec![0i8; xs.len()];
+            let scale = quantize_slice(&xs, &mut q);
+            for (&x, &b) in xs.iter().zip(&q) {
+                prop_assert!((x - b as f32 * scale).abs() <= 0.5 * scale + 1e-6);
+                prop_assert!((-127..=127).contains(&(b as i32)));
+            }
         }
 
         #[test]
