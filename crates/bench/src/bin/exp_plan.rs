@@ -1,0 +1,255 @@
+//! E-plan — planned graph executor: dynamic vs planned vs planned+fused
+//! steady-state inference throughput, f32 and int8, batch 1/8/32.
+//!
+//! The dynamic eval path allocates per call (layer outputs, dropout
+//! identity clones, quantized workspaces) and runs the historical
+//! two-pass int8 drain; a compiled [`Plan`] lays every intermediate into
+//! one shared arena, elides eval-mode dropout at compile time, and fuses
+//! bias+activation (f32) / bias-fold+dequant+activation (int8) into the
+//! kernels' accumulator drains, so steady-state runs are allocation-free
+//! and single-pass. The model is a DeepMood-style dense classifier (the
+//! paper's mobile-tier shape): a stack of narrow hidden layers with
+//! dropout regularization between them; the int8 variant quantizes the
+//! dropout-stripped stack, exactly what a mobile export pipeline ships.
+//!
+//! Dynamic and planned paths are timed interleaved (alternating
+//! measurement slices, best-of each) so clock drift on shared hardware
+//! cancels out of the ratio. The bench asserts the planned path is
+//! bit-identical to dynamic, asserts **zero heap allocations** in steady
+//! state via a counting global allocator, and hard-asserts the ≥1.3×
+//! fused int8 throughput floor at batch 8 (plus a no-regression floor
+//! for f32) that `tests/bench_floors.json` gates
+//! (`plan_speedup_int8_b8`, `plan_speedup_f32_b8`).
+
+use mdl_bench::print_table;
+use mdl_core::nn::Dropout;
+use mdl_core::prelude::*;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
+
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+const SEED: u64 = 0x91a2;
+const IN_DIM: usize = 16;
+const HIDDEN: usize = 12;
+const DEPTH: usize = 8;
+const BATCHES: [usize; 3] = [1, 8, 32];
+/// Gated floor: fused int8 plan vs dynamic int8 eval at batch 8.
+const INT8_SPEEDUP_FLOOR_B8: f64 = 1.3;
+/// Regression guard: the fused f32 plan must never lose to dynamic
+/// (the f32 path is kernel-bound at mobile widths, so its win is
+/// smaller — the headline fusion win is the int8 drain).
+const F32_SPEEDUP_FLOOR_B8: f64 = 0.95;
+
+/// DeepMood-style dense classifier; `dropout` controls whether the
+/// regularization layers are still in the stack (the shipped f32 model)
+/// or stripped (what the int8 export quantizes).
+fn model(dropout: bool) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut net = Sequential::new();
+    net.push(Dense::new(IN_DIM, HIDDEN, Activation::Relu, &mut rng));
+    for i in 0..DEPTH {
+        if dropout {
+            net.push(Dropout::new(HIDDEN, 0.25, i as u64));
+        }
+        net.push(Dense::new(HIDDEN, HIDDEN, Activation::Relu, &mut rng));
+    }
+    if dropout {
+        net.push(Dropout::new(HIDDEN, 0.25, 0xD0));
+    }
+    net.push(Dense::new(HIDDEN, 4, Activation::Identity, &mut rng));
+    net
+}
+
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// One timing slice: seconds/call over `iters` calls.
+fn slice_secs(iters: usize, mut f: impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_secs_f64() / iters as f64
+}
+
+struct Row {
+    precision: &'static str,
+    rows: usize,
+    dynamic_us: f64,
+    planned_us: f64,
+    fused_us: f64,
+    steady_allocs: usize,
+}
+
+fn bench_variant(model: PlanModel<'_>, rows: usize, precision: &'static str) -> Row {
+    let x = Matrix::from_fn(rows, IN_DIM, |r, c| ((r * IN_DIM + c) as f32 * 0.29).sin());
+    let iters = 2048 / rows.max(1);
+    let reps = 9;
+
+    let dynamic_eval = |x: &Matrix| match model {
+        PlanModel::F32(net) => net.forward_eval(x),
+        PlanModel::Int8(qm) => qm.forward_eval(x),
+    };
+    let reference = dynamic_eval(&x);
+
+    let compiled = |fuse: bool| {
+        let mut plan =
+            Plan::compile(model, rows, IN_DIM, PlanOptions { fuse }).expect("bench model plans");
+        let mut out = Matrix::default();
+        plan.run(model, &x, &mut out); // warm-up
+        assert_eq!(bits(&out), bits(&reference), "planned (fuse={fuse}) must match dynamic");
+        (plan, out)
+    };
+    let (mut plan_unfused, mut out_unfused) = compiled(false);
+    let (mut plan_fused, mut out_fused) = compiled(true);
+
+    // Interleaved best-of: one dynamic, one planned, one fused slice per
+    // rep, so slow drift hits all three paths alike and divides out.
+    let (mut dynamic_us, mut planned_us, mut fused_us) =
+        (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        dynamic_us = dynamic_us.min(slice_secs(iters, || {
+            std::hint::black_box(dynamic_eval(&x));
+        }));
+        planned_us = planned_us.min(slice_secs(iters, || {
+            plan_unfused.run(model, &x, &mut out_unfused);
+            std::hint::black_box(&out_unfused);
+        }));
+        fused_us = fused_us.min(slice_secs(iters, || {
+            plan_fused.run(model, &x, &mut out_fused);
+            std::hint::black_box(&out_fused);
+        }));
+    }
+
+    // count allocations across a steady-state burst of both plan modes
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    for _ in 0..8 {
+        plan_unfused.run(model, &x, &mut out_unfused);
+        plan_fused.run(model, &x, &mut out_fused);
+    }
+    ARMED.store(false, Ordering::SeqCst);
+    let steady_allocs = ALLOCS.load(Ordering::SeqCst);
+
+    Row {
+        precision,
+        rows,
+        dynamic_us: dynamic_us * 1e6,
+        planned_us: planned_us * 1e6,
+        fused_us: fused_us * 1e6,
+        steady_allocs,
+    }
+}
+
+fn main() {
+    // Single kernel thread: the zero-alloc contract covers the
+    // single-threaded path, and mobile-tier batches never cross the
+    // parallel GEMM threshold anyway.
+    mdl_core::tensor::kernel::set_threads(1);
+
+    let net = model(true);
+    let mut stripped = model(false);
+    let qm = QuantizedModel::from_model(&mut stripped).expect("stripped bench model quantizes");
+
+    let mut rows = Vec::new();
+    for &b in &BATCHES {
+        rows.push(bench_variant(PlanModel::F32(&net), b, "f32"));
+    }
+    for &b in &BATCHES {
+        rows.push(bench_variant(PlanModel::Int8(&qm), b, "int8"));
+    }
+
+    print_table(
+        "planned executor: steady-state µs/batch (interleaved best of 9)",
+        &["precision", "batch", "dynamic", "planned", "planned+fused", "speedup", "allocs"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.precision.to_string(),
+                    r.rows.to_string(),
+                    format!("{:.1}", r.dynamic_us),
+                    format!("{:.1}", r.planned_us),
+                    format!("{:.1}", r.fused_us),
+                    format!("{:.2}x", r.dynamic_us / r.fused_us),
+                    r.steady_allocs.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    for r in &rows {
+        assert_eq!(
+            r.steady_allocs, 0,
+            "{} batch {} plan allocated in steady state",
+            r.precision, r.rows
+        );
+    }
+    let speedup = |precision: &str, b: usize| {
+        let r = rows
+            .iter()
+            .find(|r| r.precision == precision && r.rows == b)
+            .expect("benched combination");
+        r.dynamic_us / r.fused_us
+    };
+    let f32_b8 = speedup("f32", 8);
+    let int8_b8 = speedup("int8", 8);
+    assert!(
+        int8_b8 >= INT8_SPEEDUP_FLOOR_B8,
+        "fused int8 plan speedup at batch 8 is {int8_b8:.2}x, below the {INT8_SPEEDUP_FLOOR_B8}x floor"
+    );
+    assert!(
+        f32_b8 >= F32_SPEEDUP_FLOOR_B8,
+        "fused f32 plan at batch 8 is {f32_b8:.2}x dynamic — the plan must never lose to dynamic eval"
+    );
+
+    // --- JSON artifact ---
+    let mut json = String::from("{\n  \"benchmark\": \"plan\",\n  \"batches\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"precision\": \"{}\", \"batch\": {}, \"dynamic_us\": {:.2}, \
+             \"planned_us\": {:.2}, \"fused_us\": {:.2}, \"steady_allocs\": {}}}",
+            r.precision, r.rows, r.dynamic_us, r.planned_us, r.fused_us, r.steady_allocs
+        );
+        let _ = writeln!(json, "{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"plan_speedup_f32_b8\": {f32_b8:.3},");
+    let _ = writeln!(json, "  \"plan_speedup_int8_b8\": {int8_b8:.3},");
+    let _ = writeln!(json, "  \"plan_bit_identical_to_dynamic\": true,");
+    let _ = writeln!(json, "  \"plan_zero_alloc_steady_state\": true");
+    json.push_str("}\n");
+    std::fs::write("BENCH_plan.json", &json).expect("write BENCH_plan.json");
+    println!("\nwrote BENCH_plan.json");
+}

@@ -96,8 +96,8 @@ pub mod prelude {
         TransportMetrics,
     };
     pub use mdl_nn::{
-        fit_classifier, Activation, Adam, Dense, Gru, Layer, Mode, ParamVector, QuantizedModel,
-        Sequential, Sgd, TrainConfig,
+        fit_classifier, Activation, Adam, Dense, Gru, Layer, Mode, ParamVector, Plan, PlanModel,
+        PlanOptions, QuantizedModel, Sequential, Sgd, TrainConfig,
     };
     pub use mdl_obs::{Buckets, Clock, ClockKind, MetricsRegistry, Obs, ObsSnapshot};
     pub use mdl_privacy::{

@@ -117,11 +117,67 @@ impl Dense {
     pub fn activation(&self) -> Activation {
         self.activation
     }
+
+    /// Slice-level eval shared by [`Layer::forward_eval`] and the plan
+    /// executor: `out = act(x · W + b)` with `x: rows × in`, `out: rows ×
+    /// out`, no allocation. `fuse` selects the fused GEMM epilogue
+    /// (activation applied inside the kernel drain) over the classic
+    /// two-pass form; both produce bit-identical results.
+    pub(crate) fn eval_slice_into(&self, rows: usize, x: &[f32], out: &mut [f32], fuse: bool) {
+        let (in_dim, out_dim) = self.weight.shape();
+        assert_eq!(x.len(), rows * in_dim, "dense eval input length mismatch");
+        assert_eq!(out.len(), rows * out_dim, "dense eval output length mismatch");
+        let (w, b) = (self.weight.as_slice(), self.bias.as_slice());
+        let act = self.activation;
+        if fuse {
+            // One arm per activation so each epilogue monomorphizes with
+            // the variant constant-folded: the kernel's per-element call
+            // inlines to the bare max/exp, not a match.
+            use mdl_tensor::kernel::{gemm_bias_act, NO_EPI};
+            match act {
+                Activation::Identity => gemm_bias_act(rows, out_dim, in_dim, x, w, b, NO_EPI, out),
+                Activation::Relu => {
+                    let epi = |v: f32| Activation::Relu.apply(v);
+                    gemm_bias_act(rows, out_dim, in_dim, x, w, b, Some(&epi), out);
+                }
+                Activation::LeakyRelu(alpha) => {
+                    let epi = move |v: f32| Activation::LeakyRelu(alpha).apply(v);
+                    gemm_bias_act(rows, out_dim, in_dim, x, w, b, Some(&epi), out);
+                }
+                Activation::Sigmoid => {
+                    let epi = |v: f32| Activation::Sigmoid.apply(v);
+                    gemm_bias_act(rows, out_dim, in_dim, x, w, b, Some(&epi), out);
+                }
+                Activation::Tanh => {
+                    let epi = |v: f32| Activation::Tanh.apply(v);
+                    gemm_bias_act(rows, out_dim, in_dim, x, w, b, Some(&epi), out);
+                }
+            }
+        } else {
+            mdl_tensor::kernel::gemm_bias_act(
+                rows,
+                out_dim,
+                in_dim,
+                x,
+                w,
+                b,
+                mdl_tensor::kernel::NO_EPI,
+                out,
+            );
+            for v in out.iter_mut() {
+                *v = act.apply(*v);
+            }
+        }
+    }
 }
 
 impl Layer for Dense {
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 
     fn forward(&mut self, x: &Matrix, _mode: Mode) -> Matrix {
@@ -136,10 +192,10 @@ impl Layer for Dense {
     }
 
     fn forward_eval(&self, x: &Matrix) -> Matrix {
-        let mut pre = Matrix::default();
-        x.matmul_bias_into(&self.weight, &self.bias, &mut pre);
-        pre.map_mut(|v| self.activation.apply(v));
-        pre
+        let mut out = Matrix::default();
+        out.resize_to(x.rows(), self.weight.cols());
+        self.eval_slice_into(x.rows(), x.as_slice(), out.as_mut_slice(), false);
+        out
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
@@ -208,6 +264,10 @@ impl Dropout {
 impl Layer for Dropout {
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 
     fn forward(&mut self, x: &Matrix, mode: Mode) -> Matrix {

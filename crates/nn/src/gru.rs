@@ -64,7 +64,11 @@ pub struct Gru {
 }
 
 #[derive(Clone, Default)]
-struct GruCache {
+pub(crate) struct GruCache {
+    /// Sequence length of the last scan. The plan path scans straight from
+    /// a borrowed slice without copying into `input`, so the length is
+    /// recorded here rather than read off `input.rows()`.
+    t_len: usize,
     input: Matrix,
     /// Hidden states including the initial zero state: `(T+1) × h`.
     hidden: Matrix,
@@ -168,20 +172,61 @@ impl Gru {
     /// then three `1 × h` recurrent accumulations per step, activated in
     /// place, with no per-step allocation.
     fn scan_into(&self, x: &Matrix, cache: &mut GruCache) {
-        let t_len = x.rows();
-        let h = self.hidden_dim();
         assert_eq!(x.cols(), self.input_dim(), "GRU input width mismatch");
+        cache.input.copy_from(x);
+        self.scan_slice_into(x.rows(), x.as_slice(), cache);
+    }
+
+    /// [`Gru::scan_into`] without the input copy: runs the recurrence over a
+    /// borrowed `t_len × input_dim` slice, reusing the cache buffers. This is
+    /// the path the plan executor calls — `cache.input` is left untouched, so
+    /// only [`Gru::backward`] (which goes through `scan_into`) may rely on it.
+    pub(crate) fn scan_slice_into(&self, t_len: usize, x: &[f32], cache: &mut GruCache) {
+        let d = self.input_dim();
+        let h = self.hidden_dim();
+        assert_eq!(x.len(), t_len * d, "GRU input length mismatch");
         assert!(t_len > 0, "GRU requires a non-empty sequence");
 
-        cache.input.copy_from(x);
+        cache.t_len = t_len;
         cache.hidden.resize_to(t_len + 1, h);
         cache.hidden.fill(0.0);
         cache.rh.resize_to(t_len, h);
+        cache.r.resize_to(t_len, h);
+        cache.z.resize_to(t_len, h);
+        cache.hc.resize_to(t_len, h);
 
-        // fused x·W + b for every timestep at once
-        x.matmul_bias_into(&self.w_r, &self.b_r, &mut cache.r);
-        x.matmul_bias_into(&self.w_z, &self.b_z, &mut cache.z);
-        x.matmul_bias_into(&self.w_h, &self.b_h, &mut cache.hc);
+        // fused x·W + b for every timestep at once (bit-identical to
+        // `matmul_bias_into`: bias-seeded accumulate, same dispatch)
+        kernel::gemm_bias_act(
+            t_len,
+            h,
+            d,
+            x,
+            self.w_r.as_slice(),
+            self.b_r.as_slice(),
+            kernel::NO_EPI,
+            cache.r.as_mut_slice(),
+        );
+        kernel::gemm_bias_act(
+            t_len,
+            h,
+            d,
+            x,
+            self.w_z.as_slice(),
+            self.b_z.as_slice(),
+            kernel::NO_EPI,
+            cache.z.as_mut_slice(),
+        );
+        kernel::gemm_bias_act(
+            t_len,
+            h,
+            d,
+            x,
+            self.w_h.as_slice(),
+            self.b_h.as_slice(),
+            kernel::NO_EPI,
+            cache.hc.as_mut_slice(),
+        );
 
         for k in 0..t_len {
             let (head, tail) = cache.hidden.as_mut_slice().split_at_mut((k + 1) * h);
@@ -230,15 +275,40 @@ impl Gru {
     /// Copies hidden states `1..=T` (contiguous in the `(T+1) × h` buffer)
     /// into the `T × h` output layout.
     fn states_output(cache: &GruCache) -> Matrix {
-        let t_len = cache.input.rows();
+        let t_len = cache.t_len;
         let h = cache.hidden.cols();
-        Matrix::from_vec(t_len, h, cache.hidden.as_slice()[h..].to_vec())
+        Matrix::from_vec(t_len, h, cache.hidden.as_slice()[h..(t_len + 1) * h].to_vec())
+    }
+
+    /// Copies hidden states `1..=T` into a caller-provided `T × h` slice —
+    /// the allocation-free sibling of [`Gru::states_output`].
+    pub(crate) fn states_into(cache: &GruCache, out: &mut [f32]) {
+        let t_len = cache.t_len;
+        let h = cache.hidden.cols();
+        out.copy_from_slice(&cache.hidden.as_slice()[h..(t_len + 1) * h]);
+    }
+
+    /// A cache with every buffer pre-sized for `t_len`-step scans, so the
+    /// first [`Gru::scan_slice_into`] already runs allocation-free.
+    pub(crate) fn plan_cache(&self, t_len: usize) -> GruCache {
+        let h = self.hidden_dim();
+        let mut cache = GruCache { t_len, ..GruCache::default() };
+        cache.hidden.resize_to(t_len + 1, h);
+        cache.rh.resize_to(t_len, h);
+        cache.r.resize_to(t_len, h);
+        cache.z.resize_to(t_len, h);
+        cache.hc.resize_to(t_len, h);
+        cache
     }
 }
 
 impl Layer for Gru {
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 
     fn forward(&mut self, x: &Matrix, _mode: Mode) -> Matrix {

@@ -71,6 +71,16 @@ pub trait Layer: Send + Sync {
     /// Runtime downcasting hook, used by the compression passes to reach
     /// concrete layer types inside a [`crate::Sequential`].
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+
+    /// Shared-reference downcasting hook, used by the plan compiler
+    /// ([`crate::plan`]) to specialize ops for concrete layer types
+    /// behind an `Arc` (where `as_any_mut` is unreachable). Layers the
+    /// planner supports override this to return `Some(self)`; the
+    /// default `None` makes the planner report the layer as unsupported,
+    /// so callers fall back to the dynamic eval path.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }
 
 /// Extension helpers shared by everything that owns parameters.

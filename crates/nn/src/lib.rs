@@ -43,6 +43,7 @@ pub mod layer;
 pub mod loss;
 pub mod lstm;
 pub mod optim;
+pub mod plan;
 pub mod profile;
 pub mod quantized;
 pub mod saved;
@@ -56,6 +57,7 @@ pub use gru::{BiGru, Gru};
 pub use layer::{Layer, LayerInfo, Mode, ParamVector};
 pub use lstm::Lstm;
 pub use optim::{AdaGrad, Adam, Optimizer, RmsProp, Sgd};
+pub use plan::{Plan, PlanError, PlanModel, PlanOptions, PlanStats};
 pub use profile::LayerProfiler;
 pub use quantized::QuantizedModel;
 pub use saved::{load_model, save_model, LoadModelError};

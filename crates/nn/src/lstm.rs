@@ -45,7 +45,10 @@ pub struct Lstm {
 }
 
 #[derive(Default)]
-struct LstmCache {
+pub(crate) struct LstmCache {
+    /// Sequence length of the last scan (the plan path scans from a
+    /// borrowed slice without filling `input`, so the length lives here).
+    t_len: usize,
     input: Matrix,
     /// hidden states incl. initial zeros, `(T+1) × h`
     h: Matrix,
@@ -152,18 +155,40 @@ impl Lstm {
     /// `1 × h` recurrent accumulations per step, activated in place, with
     /// no per-step allocation.
     fn scan_into(&self, x: &Matrix, cache: &mut LstmCache) {
-        let t_len = x.rows();
-        let h_dim = self.hidden_dim();
         assert_eq!(x.cols(), self.input_dim(), "LSTM input width mismatch");
+        cache.input.copy_from(x);
+        self.scan_slice_into(x.rows(), x.as_slice(), cache);
+    }
+
+    /// [`Lstm::scan_into`] without the input copy: runs the recurrence over
+    /// a borrowed `t_len × input_dim` slice, reusing the cache buffers.
+    /// This is the path the plan executor calls — `cache.input` is left
+    /// untouched, so only [`Layer::backward`] (reached via `scan_into`) may
+    /// rely on it.
+    pub(crate) fn scan_slice_into(&self, t_len: usize, x: &[f32], cache: &mut LstmCache) {
+        let d = self.input_dim();
+        let h_dim = self.hidden_dim();
+        assert_eq!(x.len(), t_len * d, "LSTM input length mismatch");
         assert!(t_len > 0, "LSTM requires a non-empty sequence");
 
-        cache.input.copy_from(x);
+        cache.t_len = t_len;
         cache.h.resize_to(t_len + 1, h_dim);
         cache.h.fill(0.0);
         cache.c.resize_to(t_len + 1, h_dim);
         cache.c.fill(0.0);
         for k in 0..4 {
-            x.matmul_bias_into(&self.w[k], &self.b[k], &mut cache.gates[k]);
+            cache.gates[k].resize_to(t_len, h_dim);
+            // bit-identical to `matmul_bias_into`: bias-seeded accumulate
+            kernel::gemm_bias_act(
+                t_len,
+                h_dim,
+                d,
+                x,
+                self.w[k].as_slice(),
+                self.b[k].as_slice(),
+                kernel::NO_EPI,
+                cache.gates[k].as_mut_slice(),
+            );
         }
 
         for t in 0..t_len {
@@ -208,9 +233,30 @@ impl Lstm {
     /// Copies hidden states `1..=T` (contiguous in the `(T+1) × h` buffer)
     /// into the `T × h` output layout.
     fn states_output(cache: &LstmCache) -> Matrix {
-        let t_len = cache.input.rows();
+        let t_len = cache.t_len;
         let h_dim = cache.h.cols();
-        Matrix::from_vec(t_len, h_dim, cache.h.as_slice()[h_dim..].to_vec())
+        Matrix::from_vec(t_len, h_dim, cache.h.as_slice()[h_dim..(t_len + 1) * h_dim].to_vec())
+    }
+
+    /// Copies hidden states `1..=T` into a caller-provided `T × h` slice —
+    /// the allocation-free sibling of [`Lstm::states_output`].
+    pub(crate) fn states_into(cache: &LstmCache, out: &mut [f32]) {
+        let t_len = cache.t_len;
+        let h_dim = cache.h.cols();
+        out.copy_from_slice(&cache.h.as_slice()[h_dim..(t_len + 1) * h_dim]);
+    }
+
+    /// A cache with every buffer pre-sized for `t_len`-step scans, so the
+    /// first [`Lstm::scan_slice_into`] already runs allocation-free.
+    pub(crate) fn plan_cache(&self, t_len: usize) -> LstmCache {
+        let h_dim = self.hidden_dim();
+        let mut cache = LstmCache { t_len, ..LstmCache::default() };
+        cache.h.resize_to(t_len + 1, h_dim);
+        cache.c.resize_to(t_len + 1, h_dim);
+        for g in &mut cache.gates {
+            g.resize_to(t_len, h_dim);
+        }
+        cache
     }
 }
 
@@ -352,6 +398,10 @@ impl Layer for Lstm {
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

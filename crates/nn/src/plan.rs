@@ -1,0 +1,610 @@
+//! Shape-specialized execution plans: compile once, run many.
+//!
+//! The dynamic eval paths ([`Sequential::forward_eval`],
+//! [`QuantizedModel::forward_eval`]) re-derive every shape and allocate
+//! every temporary on each call. On a serving hot path the same model
+//! runs the same batch shape thousands of times, so all of that work is
+//! invariant. A [`Plan`] hoists it to *compile* time, once per
+//! `(model, rows, width, precision)`:
+//!
+//! - the layer walk is specialized into a flat op list (one downcast per
+//!   op per run, no virtual dispatch through `Box<dyn Layer>`);
+//! - every inter-layer activation is laid into a shared
+//!   [`mdl_tensor::Arena`] by buffer liveness (first-fit with reuse), so
+//!   steady-state runs perform **zero heap allocation**;
+//! - GEMM + bias + activation collapse into fused kernels: the f32 path
+//!   uses [`mdl_tensor::kernel::gemm_bias_act`]'s epilogue hook, the
+//!   int8 path folds bias, dequantize and activation into the
+//!   accumulator drain ([`mdl_tensor::quant::Int8Matrix::gemm_row_drain`])
+//!   so no full-size `i32` accumulator exists;
+//! - recurrent layers scan through plan-owned pre-sliced workspaces
+//!   (the same code the dynamic path runs, minus the per-call
+//!   allocation and input copy).
+//!
+//! Planned results are bit-identical to the dynamic path for both
+//! precisions, any layer stack and any thread count — the fused epilogue
+//! applies the same activation to the same accumulated values in the
+//! same order, and the int8 drain replays the exact integer
+//! accumulation. Fusion can be disabled via [`PlanOptions`] to measure
+//! its contribution in isolation.
+//!
+//! # Examples
+//!
+//! ```
+//! use mdl_nn::{Activation, Dense, Layer, Sequential};
+//! use mdl_nn::plan::{Plan, PlanModel, PlanOptions};
+//! use mdl_tensor::Matrix;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut net = Sequential::new();
+//! net.push(Dense::new(6, 16, Activation::Relu, &mut rng));
+//! net.push(Dense::new(16, 3, Activation::Identity, &mut rng));
+//!
+//! let x = Matrix::ones(4, 6);
+//! let mut plan = Plan::compile(PlanModel::F32(&net), 4, 6, PlanOptions::default()).unwrap();
+//! let mut out = Matrix::default();
+//! plan.run(PlanModel::F32(&net), &x, &mut out);
+//! assert_eq!(out, net.forward_eval(&x));
+//! ```
+
+use crate::dense::{Dense, Dropout};
+use crate::gru::{Gru, GruCache};
+use crate::lstm::{Lstm, LstmCache};
+use crate::quantized::{QGruWs, QLayer, QLstmWs, QuantizedModel, H_SCALE};
+use crate::sequential::Sequential;
+use mdl_tensor::quant::{quantize_value, symmetric_scale};
+use mdl_tensor::{Arena, ArenaBuilder, BufferId, Matrix};
+
+/// A borrowed model to compile against or execute with. The plan never
+/// owns the weights: the same plan serves every clone of a model version
+/// as long as the architecture matches what it was compiled from.
+#[derive(Clone, Copy)]
+pub enum PlanModel<'a> {
+    /// The f32 eval path over a [`Sequential`].
+    F32(&'a Sequential),
+    /// The int8 quantized path over a [`QuantizedModel`].
+    Int8(&'a QuantizedModel),
+}
+
+/// Compile-time knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanOptions {
+    /// Fuse bias + activation into the GEMM kernels (f32 epilogue hook /
+    /// int8 accumulator drain). On by default; turn off to measure the
+    /// fusion win — results are bit-identical either way.
+    pub fuse: bool,
+}
+
+impl Default for PlanOptions {
+    fn default() -> Self {
+        Self { fuse: true }
+    }
+}
+
+/// Why a model can't be planned. All cases leave the dynamic path as the
+/// correct fallback.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The model has no layers.
+    Empty,
+    /// A layer kind the planner doesn't specialize (e.g. `bigru`, or a
+    /// custom layer without an `as_any` override).
+    Unsupported(&'static str),
+    /// A layer's expected input width doesn't match what the previous
+    /// layer produces (or the requested input width).
+    Shape {
+        /// Index of the offending layer.
+        layer: usize,
+        /// Width the layer expects.
+        expected: usize,
+        /// Width the plan would feed it.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::Empty => write!(f, "cannot plan an empty model"),
+            PlanError::Unsupported(kind) => write!(f, "unsupported layer kind: {kind}"),
+            PlanError::Shape { layer, expected, got } => {
+                write!(f, "layer {layer} expects width {expected}, plan feeds {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Compile-time facts about a plan, surfaced to observability.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlanStats {
+    /// Executable ops in the plan (including the int8 input quantize).
+    pub ops: usize,
+    /// Ops running a fused kernel (0 when compiled with `fuse: false`).
+    pub fused_ops: usize,
+    /// Bytes of shared arena backing all inter-layer activations.
+    pub arena_bytes: usize,
+}
+
+/// Where an op reads from / writes to.
+#[derive(Debug, Clone, Copy)]
+enum Loc {
+    /// The caller's input matrix (first op only — never copied).
+    Input,
+    /// A span in the shared arena.
+    Buf(BufferId),
+    /// The caller's output matrix (last op only).
+    Output,
+}
+
+enum OpF32 {
+    /// `dst = act(src · W + b)` for the `Dense` at `layer`.
+    Dense { layer: usize, src: Loc, dst: Loc },
+    /// Whole-sequence GRU scan through a plan-owned cache.
+    Gru { layer: usize, src: Loc, dst: Loc, cache: GruCache },
+    /// Whole-sequence LSTM scan through a plan-owned cache.
+    Lstm { layer: usize, src: Loc, dst: Loc, cache: LstmCache },
+    /// Plain copy (a trailing eval-mode dropout is the identity).
+    Copy { src: Loc, dst: Loc },
+}
+
+enum OpI8 {
+    /// Dynamic-scale input quantization into the arena; writes `slot`.
+    Quantize { dst: BufferId, slot: usize },
+    /// Mid-stack quantized dense: int8 in, int8 out (+ fresh scale).
+    Dense {
+        layer: usize,
+        src: BufferId,
+        dst: BufferId,
+        sin: usize,
+        sout: usize,
+        /// Accumulator-domain bias, refilled each run from the input scale.
+        bq: Vec<i32>,
+        /// Full `rows × out` integer accumulator.
+        acc: Vec<i32>,
+        /// Fused mode's single-pass value buffer (`rows × out`).
+        values: Vec<f32>,
+    },
+    /// Final quantized dense: int8 in, f32 logits out.
+    DenseLast { layer: usize, src: BufferId, sin: usize, bq: Vec<i32>, acc: Vec<i32> },
+    /// Quantized GRU scan; `dst: None` means the f32 states are the
+    /// model output (last layer), otherwise the int8 states feed onward
+    /// through `(buffer, scale slot)`.
+    Gru { layer: usize, src: BufferId, sin: usize, dst: Option<(BufferId, usize)>, ws: QGruWs },
+    /// Quantized LSTM scan (same output convention as `Gru`).
+    Lstm { layer: usize, src: BufferId, sin: usize, dst: Option<(BufferId, usize)>, ws: QLstmWs },
+}
+
+enum Body {
+    F32 { ops: Vec<OpF32>, arena: Arena<f32> },
+    Int8 { ops: Vec<OpI8>, arena: Arena<i8>, scales: Vec<f32> },
+}
+
+/// A compiled, shape-specialized execution plan. See the module docs.
+///
+/// A plan is tied to the architecture and shape it was compiled from:
+/// [`Plan::run`] panics if handed a model of a different structure or an
+/// input of a different shape (callers key plan caches by model version
+/// and batch shape, so a mismatch is a caller bug, not a data error).
+pub struct Plan {
+    rows: usize,
+    in_cols: usize,
+    out_cols: usize,
+    fuse: bool,
+    body: Body,
+    stats: PlanStats,
+}
+
+impl std::fmt::Debug for Plan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Plan")
+            .field("rows", &self.rows)
+            .field("in_cols", &self.in_cols)
+            .field("out_cols", &self.out_cols)
+            .field("fuse", &self.fuse)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Plan {
+    /// Compiles a plan for `rows × cols` inputs against `model`.
+    ///
+    /// Walks the layer stack once, checks shapes, sizes every recurrent
+    /// workspace, and lays all inter-layer activations into one shared
+    /// arena by liveness. The f32 path supports Dense, Dropout
+    /// (eval-mode identity), GRU and LSTM; anything else (e.g. `BiGru`,
+    /// nested containers) returns [`PlanError::Unsupported`] and the
+    /// caller keeps the dynamic path.
+    pub fn compile(
+        model: PlanModel<'_>,
+        rows: usize,
+        cols: usize,
+        opts: PlanOptions,
+    ) -> Result<Plan, PlanError> {
+        assert!(rows > 0 && cols > 0, "plan shape must be non-empty");
+        match model {
+            PlanModel::F32(seq) => Self::compile_f32(seq, rows, cols, opts),
+            PlanModel::Int8(q) => Self::compile_i8(q, rows, cols, opts),
+        }
+    }
+
+    fn compile_f32(
+        seq: &Sequential,
+        rows: usize,
+        cols: usize,
+        opts: PlanOptions,
+    ) -> Result<Plan, PlanError> {
+        let layers = seq.layers();
+        if layers.is_empty() {
+            return Err(PlanError::Empty);
+        }
+        let mut b = ArenaBuilder::new();
+        let mut ops = Vec::new();
+        let mut fused_ops = 0usize;
+        let mut cur = Loc::Input;
+        let mut cur_cols = cols;
+        for (i, layer) in layers.iter().enumerate() {
+            let last = i + 1 == layers.len();
+            let info = layer.info();
+            let any = layer.as_any().ok_or(PlanError::Unsupported(info.kind))?;
+            if any.downcast_ref::<Dropout>().is_some() {
+                // eval-mode identity: alias the location, no op recorded
+                continue;
+            }
+            if info.in_dim != cur_cols {
+                return Err(PlanError::Shape { layer: i, expected: info.in_dim, got: cur_cols });
+            }
+            let dst = if last { Loc::Output } else { Loc::Buf(b.alloc(rows * info.out_dim)) };
+            if any.downcast_ref::<Dense>().is_some() {
+                if opts.fuse {
+                    fused_ops += 1;
+                }
+                ops.push(OpF32::Dense { layer: i, src: cur, dst });
+            } else if let Some(g) = any.downcast_ref::<Gru>() {
+                ops.push(OpF32::Gru { layer: i, src: cur, dst, cache: g.plan_cache(rows) });
+            } else if let Some(l) = any.downcast_ref::<Lstm>() {
+                ops.push(OpF32::Lstm { layer: i, src: cur, dst, cache: l.plan_cache(rows) });
+            } else {
+                return Err(PlanError::Unsupported(info.kind));
+            }
+            if let Loc::Buf(id) = cur {
+                b.release(id);
+            }
+            cur = dst;
+            cur_cols = info.out_dim;
+        }
+        // a trailing (or sole) dropout leaves the chain short of Output
+        if !matches!(cur, Loc::Output) {
+            ops.push(OpF32::Copy { src: cur, dst: Loc::Output });
+        }
+        let arena = b.build::<f32>();
+        let stats = PlanStats { ops: ops.len(), fused_ops, arena_bytes: arena.size_bytes() };
+        Ok(Plan {
+            rows,
+            in_cols: cols,
+            out_cols: cur_cols,
+            fuse: opts.fuse,
+            body: Body::F32 { ops, arena },
+            stats,
+        })
+    }
+
+    fn compile_i8(
+        q: &QuantizedModel,
+        rows: usize,
+        cols: usize,
+        opts: PlanOptions,
+    ) -> Result<Plan, PlanError> {
+        let layers = q.layers();
+        if layers.is_empty() {
+            return Err(PlanError::Empty);
+        }
+        let first = layers[0].info();
+        if first.in_dim != cols {
+            return Err(PlanError::Shape { layer: 0, expected: first.in_dim, got: cols });
+        }
+        let mut b = ArenaBuilder::new();
+        let mut ops = Vec::new();
+        let mut fused_ops = 0usize;
+        let mut slots = 0usize;
+        let mut next_slot = || {
+            slots += 1;
+            slots - 1
+        };
+
+        let input = b.alloc(rows * cols);
+        ops.push(OpI8::Quantize { dst: input, slot: next_slot() });
+        let mut cur = input;
+        let mut cur_slot = 0usize;
+        let mut cur_cols = cols;
+        for (i, layer) in layers.iter().enumerate() {
+            let last = i + 1 == layers.len();
+            let info = layer.info();
+            if info.in_dim != cur_cols {
+                return Err(PlanError::Shape { layer: i, expected: info.in_dim, got: cur_cols });
+            }
+            let out_dim = info.out_dim;
+            match layer {
+                QLayer::Dense(_) => {
+                    let bq = vec![0i32; out_dim];
+                    let acc = vec![0i32; rows * out_dim];
+                    if opts.fuse {
+                        fused_ops += 1;
+                    }
+                    if last {
+                        ops.push(OpI8::DenseLast { layer: i, src: cur, sin: cur_slot, bq, acc });
+                    } else {
+                        // size only the buffers the compiled mode touches
+                        let values =
+                            if opts.fuse { vec![0.0f32; rows * out_dim] } else { Vec::new() };
+                        let dst = b.alloc(rows * out_dim);
+                        let sout = next_slot();
+                        ops.push(OpI8::Dense {
+                            layer: i,
+                            src: cur,
+                            dst,
+                            sin: cur_slot,
+                            sout,
+                            bq,
+                            acc,
+                            values,
+                        });
+                        b.release(cur);
+                        cur = dst;
+                        cur_slot = sout;
+                    }
+                }
+                QLayer::Gru(g) => {
+                    let ws = g.make_ws(rows);
+                    if last {
+                        ops.push(OpI8::Gru { layer: i, src: cur, sin: cur_slot, dst: None, ws });
+                    } else {
+                        let dst = b.alloc(rows * out_dim);
+                        let sout = next_slot();
+                        ops.push(OpI8::Gru {
+                            layer: i,
+                            src: cur,
+                            sin: cur_slot,
+                            dst: Some((dst, sout)),
+                            ws,
+                        });
+                        b.release(cur);
+                        cur = dst;
+                        cur_slot = sout;
+                    }
+                }
+                QLayer::Lstm(l) => {
+                    let ws = l.make_ws(rows);
+                    if last {
+                        ops.push(OpI8::Lstm { layer: i, src: cur, sin: cur_slot, dst: None, ws });
+                    } else {
+                        let dst = b.alloc(rows * out_dim);
+                        let sout = next_slot();
+                        ops.push(OpI8::Lstm {
+                            layer: i,
+                            src: cur,
+                            sin: cur_slot,
+                            dst: Some((dst, sout)),
+                            ws,
+                        });
+                        b.release(cur);
+                        cur = dst;
+                        cur_slot = sout;
+                    }
+                }
+            }
+            cur_cols = out_dim;
+        }
+        let arena = b.build::<i8>();
+        let stats = PlanStats { ops: ops.len(), fused_ops, arena_bytes: arena.size_bytes() };
+        Ok(Plan {
+            rows,
+            in_cols: cols,
+            out_cols: cur_cols,
+            fuse: opts.fuse,
+            body: Body::Int8 { ops, arena, scales: vec![0.0; slots] },
+            stats,
+        })
+    }
+
+    /// Rows (batch size / sequence length) the plan was compiled for.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Input width the plan was compiled for.
+    pub fn in_cols(&self) -> usize {
+        self.in_cols
+    }
+
+    /// Output width the plan produces.
+    pub fn out_cols(&self) -> usize {
+        self.out_cols
+    }
+
+    /// Compile-time stats (op counts, fused-op count, arena footprint).
+    pub fn stats(&self) -> PlanStats {
+        self.stats
+    }
+
+    /// Executes the plan: `out` becomes exactly what the dynamic path
+    /// (`forward_eval`) would return for `x`, bit for bit. Steady-state
+    /// calls perform no heap allocation (`out` is resized on first use
+    /// and reused after).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not the compiled `rows × in_cols` shape, if the
+    /// model's precision doesn't match the compiled body, or if the
+    /// layer stack differs structurally from compile time.
+    pub fn run(&mut self, model: PlanModel<'_>, x: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            x.shape(),
+            (self.rows, self.in_cols),
+            "plan compiled for a different input shape"
+        );
+        out.resize_to(self.rows, self.out_cols);
+        match (&mut self.body, model) {
+            (Body::F32 { ops, arena }, PlanModel::F32(seq)) => {
+                run_f32(ops, arena, seq, self.rows, self.fuse, x, out);
+            }
+            (Body::Int8 { ops, arena, scales }, PlanModel::Int8(q)) => {
+                run_i8(ops, arena, scales, q, self.rows, self.fuse, x, out);
+            }
+            _ => panic!("plan precision does not match the model"),
+        }
+    }
+}
+
+/// Resolves an op's read/write pair against the arena and the caller's
+/// input/output buffers.
+fn rw<'a>(
+    arena: &'a mut Arena<f32>,
+    x: &'a [f32],
+    out: &'a mut [f32],
+    src: Loc,
+    dst: Loc,
+) -> (&'a [f32], &'a mut [f32]) {
+    match (src, dst) {
+        (Loc::Input, Loc::Buf(d)) => (x, arena.slice_mut(d)),
+        (Loc::Input, Loc::Output) => (x, out),
+        (Loc::Buf(s), Loc::Buf(d)) => arena.read_write(s, d),
+        (Loc::Buf(s), Loc::Output) => (arena.slice(s), out),
+        _ => unreachable!("plan op reads Output or writes Input"),
+    }
+}
+
+fn expect_layer<'a, T: 'static>(seq: &'a Sequential, idx: usize, kind: &str) -> &'a T {
+    seq.layers()[idx]
+        .as_any()
+        .and_then(|any| any.downcast_ref::<T>())
+        .unwrap_or_else(|| panic!("plan expects layer {idx} to be {kind}"))
+}
+
+fn run_f32(
+    ops: &mut [OpF32],
+    arena: &mut Arena<f32>,
+    seq: &Sequential,
+    rows: usize,
+    fuse: bool,
+    x: &Matrix,
+    out: &mut Matrix,
+) {
+    for op in ops.iter_mut() {
+        match op {
+            OpF32::Dense { layer, src, dst } => {
+                let d: &Dense = expect_layer(seq, *layer, "dense");
+                let (xs, os) = rw(arena, x.as_slice(), out.as_mut_slice(), *src, *dst);
+                d.eval_slice_into(rows, xs, os, fuse);
+            }
+            OpF32::Gru { layer, src, dst, cache } => {
+                let g: &Gru = expect_layer(seq, *layer, "gru");
+                let (xs, os) = rw(arena, x.as_slice(), out.as_mut_slice(), *src, *dst);
+                g.scan_slice_into(rows, xs, cache);
+                Gru::states_into(cache, os);
+            }
+            OpF32::Lstm { layer, src, dst, cache } => {
+                let l: &Lstm = expect_layer(seq, *layer, "lstm");
+                let (xs, os) = rw(arena, x.as_slice(), out.as_mut_slice(), *src, *dst);
+                l.scan_slice_into(rows, xs, cache);
+                Lstm::states_into(cache, os);
+            }
+            OpF32::Copy { src, dst } => {
+                let (xs, os) = rw(arena, x.as_slice(), out.as_mut_slice(), *src, *dst);
+                os.copy_from_slice(xs);
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_i8(
+    ops: &mut [OpI8],
+    arena: &mut Arena<i8>,
+    scales: &mut [f32],
+    q: &QuantizedModel,
+    rows: usize,
+    fuse: bool,
+    x: &Matrix,
+    out: &mut Matrix,
+) {
+    let layers = q.layers();
+    let dense_at = |idx: usize| match &layers[idx] {
+        QLayer::Dense(d) => d,
+        _ => panic!("plan expects layer {idx} to be dense"),
+    };
+    for op in ops.iter_mut() {
+        match op {
+            OpI8::Quantize { dst, slot } => {
+                // same arithmetic as the dynamic path's QAct::quantize
+                let scale = symmetric_scale(x.max_abs());
+                scales[*slot] = scale;
+                for (b, &v) in arena.slice_mut(*dst).iter_mut().zip(x.as_slice()) {
+                    *b = quantize_value(v, scale);
+                }
+            }
+            OpI8::Dense { layer, src, dst, sin, sout, bq, acc, values } => {
+                let d = dense_at(*layer);
+                let x_scale = scales[*sin];
+                d.fill_bias_acc(x_scale, bq);
+                let (xs, os) = arena.read_write(*src, *dst);
+                scales[*sout] = if fuse {
+                    d.forward_q_fused(rows, xs, x_scale, bq, acc, values, os)
+                } else {
+                    d.forward_q_into(rows, xs, x_scale, bq, acc, os)
+                };
+            }
+            OpI8::DenseLast { layer, src, sin, bq, acc } => {
+                let d = dense_at(*layer);
+                let x_scale = scales[*sin];
+                d.fill_bias_acc(x_scale, bq);
+                let xs = arena.slice(*src);
+                if fuse {
+                    d.forward_f32_fused(rows, xs, x_scale, bq, acc, out.as_mut_slice());
+                } else {
+                    d.forward_f32_into(rows, xs, x_scale, bq, acc, out.as_mut_slice());
+                }
+            }
+            OpI8::Gru { layer, src, sin, dst, ws } => {
+                let g = match &layers[*layer] {
+                    QLayer::Gru(g) => g,
+                    _ => panic!("plan expects layer {layer} to be gru"),
+                };
+                let x_scale = scales[*sin];
+                match dst {
+                    Some((d, sout)) => {
+                        let (xs, os) = arena.read_write(*src, *d);
+                        g.scan_ws(rows, xs, x_scale, ws, None, Some(os));
+                        // hidden states always carry the fixed scale
+                        scales[*sout] = H_SCALE;
+                    }
+                    None => {
+                        let xs = arena.slice(*src);
+                        g.scan_ws(rows, xs, x_scale, ws, Some(out.as_mut_slice()), None);
+                    }
+                }
+            }
+            OpI8::Lstm { layer, src, sin, dst, ws } => {
+                let l = match &layers[*layer] {
+                    QLayer::Lstm(l) => l,
+                    _ => panic!("plan expects layer {layer} to be lstm"),
+                };
+                let x_scale = scales[*sin];
+                match dst {
+                    Some((d, sout)) => {
+                        let (xs, os) = arena.read_write(*src, *d);
+                        l.scan_ws(rows, xs, x_scale, ws, None, Some(os));
+                        scales[*sout] = H_SCALE;
+                    }
+                    None => {
+                        let xs = arena.slice(*src);
+                        l.scan_ws(rows, xs, x_scale, ws, Some(out.as_mut_slice()), None);
+                    }
+                }
+            }
+        }
+    }
+}

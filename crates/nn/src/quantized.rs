@@ -37,14 +37,14 @@ use mdl_tensor::stats::softmax_rows;
 use mdl_tensor::Matrix;
 
 /// Fixed quantization scale for recurrent hidden states (`|h| ≤ 1`).
-const H_SCALE: f32 = 1.0 / 127.0;
+pub(crate) const H_SCALE: f32 = 1.0 / 127.0;
 
 fn sigmoid(x: f32) -> f32 {
     1.0 / (1.0 + (-x).exp())
 }
 
 /// A per-tensor-quantized activation flowing between quantized layers.
-struct QAct {
+pub(crate) struct QAct {
     rows: usize,
     cols: usize,
     data: Vec<i8>,
@@ -59,9 +59,35 @@ impl QAct {
     }
 }
 
+/// One pass over freshly-drained integer accumulators: folds the
+/// accumulator-domain bias, dequantizes through `x_scale` and the
+/// per-channel weight scales, applies the (monomorphized) activation
+/// into `values`, and returns the running max-abs — exactly the
+/// per-element chain of [`QDense::forward_q_into`]'s two passes, done
+/// once, in the same row-major order.
+fn drain_values<F: Fn(f32) -> f32>(
+    acc: &[i32],
+    bq: &[i32],
+    scales: &[f32],
+    x_scale: f32,
+    out_dim: usize,
+    values: &mut [f32],
+    act: F,
+) -> f32 {
+    let mut max_abs = 0.0f32;
+    for (row, vrow) in acc.chunks_exact(out_dim).zip(values.chunks_exact_mut(out_dim)) {
+        for (((&a, v), &bqj), &sj) in row.iter().zip(vrow).zip(bq).zip(scales) {
+            let val = act(a.saturating_add(bqj) as f32 * x_scale * sj);
+            *v = val;
+            max_abs = max_abs.max(val.abs());
+        }
+    }
+    max_abs
+}
+
 /// Quantized fully-connected layer: int8 weights, accumulator-domain
 /// integer bias, dynamic output requantization.
-struct QDense {
+pub(crate) struct QDense {
     w: Int8Matrix,
     bias: Vec<f32>,
     activation: Activation,
@@ -76,26 +102,25 @@ impl QDense {
         }
     }
 
+    /// Folds the f32 bias into the accumulator domain for an input scale:
+    /// `bq_j = round(b_j / (s_x · s_w_j))`. `bq` must be `out_dim` long.
+    pub(crate) fn fill_bias_acc(&self, x_scale: f32, bq: &mut [i32]) {
+        for ((slot, &b), &sw) in bq.iter_mut().zip(&self.bias).zip(self.w.scales()) {
+            *slot = (b / (x_scale * sw)).round() as i32;
+        }
+    }
+
     /// Integer accumulators with the bias already folded in:
-    /// `acc[i][j] = Σ_t xq · wq + round(b_j / (s_x · s_w_j))`, so the
-    /// value domain is recovered as `acc · s_x · s_w_j`.
-    fn accumulate(&self, x: &QAct) -> Vec<i32> {
-        assert_eq!(x.cols, self.w.in_dim(), "quantized dense input width mismatch");
+    /// `acc[i][j] = Σ_t xq · wq + bq_j`, so the value domain is recovered
+    /// as `acc · s_x · s_w_j`.
+    fn accumulate_into(&self, rows: usize, x: &[i8], bq: &[i32], acc: &mut [i32]) {
         let out_dim = self.w.out_dim();
-        let mut accs = vec![0i32; x.rows * out_dim];
-        self.w.gemm_into(x.rows, &x.data, &mut accs, false);
-        let bq: Vec<i32> = self
-            .bias
-            .iter()
-            .zip(self.w.scales())
-            .map(|(&b, &sw)| (b / (x.scale * sw)).round() as i32)
-            .collect();
-        for row in accs.chunks_mut(out_dim) {
-            for (slot, &b) in row.iter_mut().zip(&bq) {
+        self.w.gemm_into(rows, x, acc, false);
+        for row in acc.chunks_mut(out_dim) {
+            for (slot, &b) in row.iter_mut().zip(bq) {
                 *slot = slot.saturating_add(b);
             }
         }
-        accs
     }
 
     #[inline]
@@ -103,35 +128,148 @@ impl QDense {
         self.activation.apply(acc as f32 * x_scale * self.w.scales()[j])
     }
 
+    /// Unfused quantized forward over raw slices: full GEMM into `acc`,
+    /// then two value passes (scale search, then saturated bytes into
+    /// `out`). Returns the output's dynamic scale. Bit-identical to the
+    /// historical two-pass path; the plan's unfused mode and
+    /// [`QDense::forward_q`] both route here.
+    pub(crate) fn forward_q_into(
+        &self,
+        rows: usize,
+        x: &[i8],
+        x_scale: f32,
+        bq: &[i32],
+        acc: &mut [i32],
+        out: &mut [i8],
+    ) -> f32 {
+        let out_dim = self.w.out_dim();
+        self.accumulate_into(rows, x, bq, acc);
+        let mut max_abs = 0.0f32;
+        for (idx, &a) in acc.iter().enumerate() {
+            max_abs = max_abs.max(self.value(a, idx % out_dim, x_scale).abs());
+        }
+        let scale = symmetric_scale(max_abs);
+        for ((slot, &a), idx) in out.iter_mut().zip(acc.iter()).zip(0..) {
+            *slot = quantize_value(self.value(a, idx % out_dim, x_scale), scale);
+        }
+        scale
+    }
+
+    /// Fused quantized forward: one dispatched GEMM fills the integer
+    /// accumulators, then a single monomorphized drain pass folds the
+    /// bias, dequantizes, applies the activation and tracks the running
+    /// max — the dequant+activation happen in the accumulator drain, with
+    /// no separate bias pass and no value recompute. Bit-identical to
+    /// [`QDense::forward_q_into`]: identical integer accumulation,
+    /// identical f32 value chain, identical row-major max fold.
+    #[allow(clippy::too_many_arguments)] // mirrors `forward_q_into` plus the drain buffer
+    pub(crate) fn forward_q_fused(
+        &self,
+        rows: usize,
+        x: &[i8],
+        x_scale: f32,
+        bq: &[i32],
+        acc: &mut [i32],
+        values: &mut [f32],
+        out: &mut [i8],
+    ) -> f32 {
+        let out_dim = self.w.out_dim();
+        self.w.gemm_into(rows, x, acc, false);
+        // one arm per activation so the per-element apply constant-folds
+        let max_abs = match self.activation {
+            Activation::Identity => {
+                drain_values(acc, bq, self.w.scales(), x_scale, out_dim, values, |v| v)
+            }
+            Activation::Relu => {
+                drain_values(acc, bq, self.w.scales(), x_scale, out_dim, values, |v| {
+                    Activation::Relu.apply(v)
+                })
+            }
+            Activation::LeakyRelu(alpha) => {
+                drain_values(acc, bq, self.w.scales(), x_scale, out_dim, values, move |v| {
+                    Activation::LeakyRelu(alpha).apply(v)
+                })
+            }
+            Activation::Sigmoid => {
+                drain_values(acc, bq, self.w.scales(), x_scale, out_dim, values, |v| {
+                    Activation::Sigmoid.apply(v)
+                })
+            }
+            Activation::Tanh => {
+                drain_values(acc, bq, self.w.scales(), x_scale, out_dim, values, |v| {
+                    Activation::Tanh.apply(v)
+                })
+            }
+        };
+        let scale = symmetric_scale(max_abs);
+        for (slot, &v) in out.iter_mut().zip(values.iter()) {
+            *slot = quantize_value(v, scale);
+        }
+        scale
+    }
+
+    /// Unfused final-layer forward: rescales straight to f32 logits.
+    pub(crate) fn forward_f32_into(
+        &self,
+        rows: usize,
+        x: &[i8],
+        x_scale: f32,
+        bq: &[i32],
+        acc: &mut [i32],
+        out: &mut [f32],
+    ) {
+        let out_dim = self.w.out_dim();
+        self.accumulate_into(rows, x, bq, acc);
+        for ((slot, &a), idx) in out.iter_mut().zip(acc.iter()).zip(0..) {
+            *slot = self.value(a, idx % out_dim, x_scale);
+        }
+    }
+
+    /// Fused final-layer forward: one dispatched GEMM, then a single
+    /// drain pass writes dequantized, activated logits straight into
+    /// `out` — no separate bias pass, no second value pass.
+    pub(crate) fn forward_f32_fused(
+        &self,
+        rows: usize,
+        x: &[i8],
+        x_scale: f32,
+        bq: &[i32],
+        acc: &mut [i32],
+        out: &mut [f32],
+    ) {
+        let out_dim = self.w.out_dim();
+        self.w.gemm_into(rows, x, acc, false);
+        for (row, orow) in acc.chunks_exact(out_dim).zip(out.chunks_exact_mut(out_dim)) {
+            for ((&a, o), (&bqj, j)) in row.iter().zip(orow).zip(bq.iter().zip(0..)) {
+                *o = self.value(a.saturating_add(bqj), j, x_scale);
+            }
+        }
+    }
+
     /// Two passes over the accumulators: pass 1 finds the output's
     /// dynamic scale, pass 2 writes the saturated bytes. No f32 matrix
     /// is ever materialized.
     fn forward_q(&self, x: &QAct) -> QAct {
+        assert_eq!(x.cols, self.w.in_dim(), "quantized dense input width mismatch");
         let out_dim = self.w.out_dim();
-        let accs = self.accumulate(x);
-        let mut max_abs = 0.0f32;
-        for (idx, &acc) in accs.iter().enumerate() {
-            max_abs = max_abs.max(self.value(acc, idx % out_dim, x.scale).abs());
-        }
-        let scale = symmetric_scale(max_abs);
-        let data = accs
-            .iter()
-            .enumerate()
-            .map(|(idx, &acc)| quantize_value(self.value(acc, idx % out_dim, x.scale), scale))
-            .collect();
+        let mut bq = vec![0i32; out_dim];
+        self.fill_bias_acc(x.scale, &mut bq);
+        let mut acc = vec![0i32; x.rows * out_dim];
+        let mut data = vec![0i8; x.rows * out_dim];
+        let scale = self.forward_q_into(x.rows, &x.data, x.scale, &bq, &mut acc, &mut data);
         QAct { rows: x.rows, cols: out_dim, data, scale }
     }
 
     /// Final-layer variant: rescales straight to f32 logits.
     fn forward_f32(&self, x: &QAct) -> Matrix {
+        assert_eq!(x.cols, self.w.in_dim(), "quantized dense input width mismatch");
         let out_dim = self.w.out_dim();
-        let accs = self.accumulate(x);
-        let data = accs
-            .iter()
-            .enumerate()
-            .map(|(idx, &acc)| self.value(acc, idx % out_dim, x.scale))
-            .collect();
-        Matrix::from_vec(x.rows, out_dim, data)
+        let mut bq = vec![0i32; out_dim];
+        self.fill_bias_acc(x.scale, &mut bq);
+        let mut acc = vec![0i32; x.rows * out_dim];
+        let mut out = Matrix::zeros(x.rows, out_dim);
+        self.forward_f32_into(x.rows, &x.data, x.scale, &bq, &mut acc, out.as_mut_slice());
+        out
     }
 
     fn info(&self) -> LayerInfo {
@@ -150,9 +288,45 @@ impl QDense {
     }
 }
 
+/// Reusable workspace for [`QGru::scan_ws`]: the pre-sliced per-sequence
+/// buffers the recurrence runs in, owned by the caller (the dynamic path
+/// allocates one per call, the plan executor keeps one per op).
+#[derive(Default)]
+pub(crate) struct QGruWs {
+    /// Whole-sequence gate bases `[r, z, h̃]`, each `T × h`.
+    a: [Vec<f32>; 3],
+    /// Integer scratch for the whole-sequence input GEMMs (`T × h`).
+    acc: Vec<i32>,
+    h: Vec<f32>,
+    h_q: Vec<i8>,
+    rh_q: Vec<i8>,
+    rec: Vec<i32>,
+    r: Vec<f32>,
+    z: Vec<f32>,
+}
+
+impl QGruWs {
+    /// Sizes every buffer for a `t_len × h_dim` scan and resets the
+    /// hidden state to zero. No-op on the heap once capacities fit.
+    fn prepare(&mut self, t_len: usize, h_dim: usize) {
+        for a in &mut self.a {
+            a.resize(t_len * h_dim, 0.0);
+        }
+        self.acc.resize(t_len * h_dim, 0);
+        self.h.clear();
+        self.h.resize(h_dim, 0.0);
+        self.h_q.clear();
+        self.h_q.resize(h_dim, 0);
+        self.rh_q.resize(h_dim, 0);
+        self.rec.resize(h_dim, 0);
+        self.r.resize(h_dim, 0.0);
+        self.z.resize(h_dim, 0.0);
+    }
+}
+
 /// Quantized GRU (paper Eq. 1 conventions: the update gate keeps the
 /// *previous* state).
-struct QGru {
+pub(crate) struct QGru {
     /// Input kernels `[W_r, W_z, W_h]`.
     wx: [Int8Matrix; 3],
     /// Recurrent kernels `[U_r, U_z, U_h]`.
@@ -174,46 +348,61 @@ impl QGru {
         }
     }
 
-    /// Whole-sequence input projections as one int8 GEMM per gate,
-    /// rescaled (+ bias) into f32 pre-activation bases `T × h`.
-    fn input_bases(&self, x: &QAct) -> [Vec<f32>; 3] {
-        let h_dim = self.wx[0].out_dim();
-        std::array::from_fn(|g| {
-            let mut accs = vec![0i32; x.rows * h_dim];
-            self.wx[g].gemm_into(x.rows, &x.data, &mut accs, false);
-            accs.iter()
-                .enumerate()
-                .map(|(idx, &acc)| {
-                    let j = idx % h_dim;
-                    acc as f32 * x.scale * self.wx[g].scales()[j] + self.b[g][j]
-                })
-                .collect()
-        })
+    /// Input width.
+    pub(crate) fn in_dim(&self) -> usize {
+        self.wx[0].in_dim()
     }
 
-    /// Runs the recurrence; returns the f32 hidden states (`T × h`) and
-    /// the same states as the fixed-scale int8 tensor fed onward.
-    fn scan(&self, x: &QAct) -> (Matrix, QAct) {
-        assert_eq!(x.cols, self.wx[0].in_dim(), "quantized GRU input width mismatch");
-        assert!(x.rows > 0, "quantized GRU requires a non-empty sequence");
-        let (t_len, h_dim) = (x.rows, self.wx[0].out_dim());
-        let a = self.input_bases(x);
+    /// Hidden width.
+    pub(crate) fn hidden_dim(&self) -> usize {
+        self.wx[0].out_dim()
+    }
 
-        let mut states = Matrix::zeros(t_len, h_dim);
-        let mut states_q = vec![0i8; t_len * h_dim];
-        let mut h = vec![0.0f32; h_dim];
-        let mut h_q = vec![0i8; h_dim];
-        let mut rh_q = vec![0i8; h_dim];
-        let mut rec = vec![0i32; h_dim];
-        let mut r = vec![0.0f32; h_dim];
-        let mut z = vec![0.0f32; h_dim];
+    /// A workspace pre-sized for `t_len`-step scans, so the first
+    /// [`QGru::scan_ws`] already runs allocation-free.
+    pub(crate) fn make_ws(&self, t_len: usize) -> QGruWs {
+        let mut ws = QGruWs::default();
+        ws.prepare(t_len, self.hidden_dim());
+        ws
+    }
+
+    /// Runs the recurrence in a caller-owned workspace, writing the f32
+    /// hidden states (`T × h`) into `states` and/or the fixed-scale int8
+    /// states into `states_q` when provided. Both the dynamic
+    /// [`QGru::scan`] and the plan executor route here, so the two paths
+    /// are one implementation (and bit-identical by construction).
+    pub(crate) fn scan_ws(
+        &self,
+        t_len: usize,
+        x: &[i8],
+        x_scale: f32,
+        ws: &mut QGruWs,
+        mut states: Option<&mut [f32]>,
+        mut states_q: Option<&mut [i8]>,
+    ) {
+        let (d, h_dim) = (self.in_dim(), self.hidden_dim());
+        assert_eq!(x.len(), t_len * d, "quantized GRU input length mismatch");
+        assert!(t_len > 0, "quantized GRU requires a non-empty sequence");
+        ws.prepare(t_len, h_dim);
+
+        // whole-sequence input projections: one int8 GEMM per gate,
+        // rescaled (+ bias) into f32 pre-activation bases `T × h`
+        for g in 0..3 {
+            self.wx[g].gemm_into(t_len, x, &mut ws.acc, false);
+            for (idx, (slot, &acc)) in ws.a[g].iter_mut().zip(ws.acc.iter()).enumerate() {
+                let j = idx % h_dim;
+                *slot = acc as f32 * x_scale * self.wx[g].scales()[j] + self.b[g][j];
+            }
+        }
+
+        let QGruWs { a, acc: _, h, h_q, rh_q, rec, r, z } = ws;
         for t in 0..t_len {
             let base = |g: usize, j: usize| a[g][t * h_dim + j];
-            self.u[0].gemm_into(1, &h_q, &mut rec, false);
+            self.u[0].gemm_into(1, h_q, rec, false);
             for j in 0..h_dim {
                 r[j] = sigmoid(base(0, j) + rec[j] as f32 * H_SCALE * self.u[0].scales()[j]);
             }
-            self.u[1].gemm_into(1, &h_q, &mut rec, false);
+            self.u[1].gemm_into(1, h_q, rec, false);
             for j in 0..h_dim {
                 z[j] = sigmoid(base(1, j) + rec[j] as f32 * H_SCALE * self.u[1].scales()[j]);
             }
@@ -221,15 +410,37 @@ impl QGru {
             for j in 0..h_dim {
                 rh_q[j] = quantize_value(r[j] * h[j], H_SCALE);
             }
-            self.u[2].gemm_into(1, &rh_q, &mut rec, false);
+            self.u[2].gemm_into(1, rh_q, rec, false);
             for j in 0..h_dim {
                 let hc = (base(2, j) + rec[j] as f32 * H_SCALE * self.u[2].scales()[j]).tanh();
                 h[j] = z[j] * h[j] + (1.0 - z[j]) * hc;
                 h_q[j] = quantize_value(h[j], H_SCALE);
             }
-            states.row_mut(t).copy_from_slice(&h);
-            states_q[t * h_dim..(t + 1) * h_dim].copy_from_slice(&h_q);
+            if let Some(s) = states.as_deref_mut() {
+                s[t * h_dim..(t + 1) * h_dim].copy_from_slice(h);
+            }
+            if let Some(sq) = states_q.as_deref_mut() {
+                sq[t * h_dim..(t + 1) * h_dim].copy_from_slice(h_q);
+            }
         }
+    }
+
+    /// Runs the recurrence; returns the f32 hidden states (`T × h`) and
+    /// the same states as the fixed-scale int8 tensor fed onward.
+    fn scan(&self, x: &QAct) -> (Matrix, QAct) {
+        assert_eq!(x.cols, self.wx[0].in_dim(), "quantized GRU input width mismatch");
+        let (t_len, h_dim) = (x.rows, self.wx[0].out_dim());
+        let mut ws = QGruWs::default();
+        let mut states = Matrix::zeros(t_len, h_dim);
+        let mut states_q = vec![0i8; t_len * h_dim];
+        self.scan_ws(
+            t_len,
+            &x.data,
+            x.scale,
+            &mut ws,
+            Some(states.as_mut_slice()),
+            Some(&mut states_q),
+        );
         (states, QAct { rows: t_len, cols: h_dim, data: states_q, scale: H_SCALE })
     }
 
@@ -250,8 +461,42 @@ impl QGru {
     }
 }
 
+/// Reusable workspace for [`QLstm::scan_ws`] — see [`QGruWs`].
+#[derive(Default)]
+pub(crate) struct QLstmWs {
+    /// Whole-sequence gate bases `[i, f, o, g]`, each `T × h`.
+    a: [Vec<f32>; 4],
+    /// Integer scratch for the whole-sequence input GEMMs (`T × h`).
+    acc: Vec<i32>,
+    h: Vec<f32>,
+    h_q: Vec<i8>,
+    /// Cell state (stays f32 — unbounded, never enters a matrix product).
+    c: Vec<f32>,
+    rec: [Vec<i32>; 4],
+}
+
+impl QLstmWs {
+    /// Sizes every buffer for a `t_len × h_dim` scan and resets the
+    /// hidden and cell state to zero.
+    fn prepare(&mut self, t_len: usize, h_dim: usize) {
+        for a in &mut self.a {
+            a.resize(t_len * h_dim, 0.0);
+        }
+        self.acc.resize(t_len * h_dim, 0);
+        self.h.clear();
+        self.h.resize(h_dim, 0.0);
+        self.h_q.clear();
+        self.h_q.resize(h_dim, 0);
+        self.c.clear();
+        self.c.resize(h_dim, 0.0);
+        for r in &mut self.rec {
+            r.resize(h_dim, 0);
+        }
+    }
+}
+
 /// Quantized LSTM, gate order `[i, f, o, g]`; the cell state stays f32.
-struct QLstm {
+pub(crate) struct QLstm {
     wx: [Int8Matrix; 4],
     u: [Int8Matrix; 4],
     b: [Vec<f32>; 4],
@@ -267,32 +512,54 @@ impl QLstm {
         }
     }
 
-    fn scan(&self, x: &QAct) -> (Matrix, QAct) {
-        assert_eq!(x.cols, self.wx[0].in_dim(), "quantized LSTM input width mismatch");
-        assert!(x.rows > 0, "quantized LSTM requires a non-empty sequence");
-        let (t_len, h_dim) = (x.rows, self.wx[0].out_dim());
-        // same up-front layout as the GRU: one int8 GEMM per gate
-        let a: [Vec<f32>; 4] = std::array::from_fn(|g| {
-            let mut accs = vec![0i32; t_len * h_dim];
-            self.wx[g].gemm_into(t_len, &x.data, &mut accs, false);
-            accs.iter()
-                .enumerate()
-                .map(|(idx, &acc)| {
-                    let j = idx % h_dim;
-                    acc as f32 * x.scale * self.wx[g].scales()[j] + self.b[g][j]
-                })
-                .collect()
-        });
+    /// Input width.
+    pub(crate) fn in_dim(&self) -> usize {
+        self.wx[0].in_dim()
+    }
 
-        let mut states = Matrix::zeros(t_len, h_dim);
-        let mut states_q = vec![0i8; t_len * h_dim];
-        let mut h = vec![0.0f32; h_dim];
-        let mut h_q = vec![0i8; h_dim];
-        let mut c = vec![0.0f32; h_dim];
-        let mut rec = [(); 4].map(|_| vec![0i32; h_dim]);
+    /// Hidden width.
+    pub(crate) fn hidden_dim(&self) -> usize {
+        self.wx[0].out_dim()
+    }
+
+    /// A workspace pre-sized for `t_len`-step scans, so the first
+    /// [`QLstm::scan_ws`] already runs allocation-free.
+    pub(crate) fn make_ws(&self, t_len: usize) -> QLstmWs {
+        let mut ws = QLstmWs::default();
+        ws.prepare(t_len, self.hidden_dim());
+        ws
+    }
+
+    /// Runs the recurrence in a caller-owned workspace — the LSTM
+    /// counterpart of [`QGru::scan_ws`], shared by the dynamic and plan
+    /// paths.
+    pub(crate) fn scan_ws(
+        &self,
+        t_len: usize,
+        x: &[i8],
+        x_scale: f32,
+        ws: &mut QLstmWs,
+        mut states: Option<&mut [f32]>,
+        mut states_q: Option<&mut [i8]>,
+    ) {
+        let (d, h_dim) = (self.in_dim(), self.hidden_dim());
+        assert_eq!(x.len(), t_len * d, "quantized LSTM input length mismatch");
+        assert!(t_len > 0, "quantized LSTM requires a non-empty sequence");
+        ws.prepare(t_len, h_dim);
+
+        // same up-front layout as the GRU: one int8 GEMM per gate
+        for g in 0..4 {
+            self.wx[g].gemm_into(t_len, x, &mut ws.acc, false);
+            for (idx, (slot, &acc)) in ws.a[g].iter_mut().zip(ws.acc.iter()).enumerate() {
+                let j = idx % h_dim;
+                *slot = acc as f32 * x_scale * self.wx[g].scales()[j] + self.b[g][j];
+            }
+        }
+
+        let QLstmWs { a, acc: _, h, h_q, c, rec } = ws;
         for t in 0..t_len {
             for (k, rec_k) in rec.iter_mut().enumerate() {
-                self.u[k].gemm_into(1, &h_q, rec_k, false);
+                self.u[k].gemm_into(1, h_q, rec_k, false);
             }
             for j in 0..h_dim {
                 let pre = |k: usize| {
@@ -306,9 +573,29 @@ impl QLstm {
                 h[j] = o * c[j].tanh();
                 h_q[j] = quantize_value(h[j], H_SCALE);
             }
-            states.row_mut(t).copy_from_slice(&h);
-            states_q[t * h_dim..(t + 1) * h_dim].copy_from_slice(&h_q);
+            if let Some(s) = states.as_deref_mut() {
+                s[t * h_dim..(t + 1) * h_dim].copy_from_slice(h);
+            }
+            if let Some(sq) = states_q.as_deref_mut() {
+                sq[t * h_dim..(t + 1) * h_dim].copy_from_slice(h_q);
+            }
         }
+    }
+
+    fn scan(&self, x: &QAct) -> (Matrix, QAct) {
+        assert_eq!(x.cols, self.wx[0].in_dim(), "quantized LSTM input width mismatch");
+        let (t_len, h_dim) = (x.rows, self.wx[0].out_dim());
+        let mut ws = QLstmWs::default();
+        let mut states = Matrix::zeros(t_len, h_dim);
+        let mut states_q = vec![0i8; t_len * h_dim];
+        self.scan_ws(
+            t_len,
+            &x.data,
+            x.scale,
+            &mut ws,
+            Some(states.as_mut_slice()),
+            Some(&mut states_q),
+        );
         (states, QAct { rows: t_len, cols: h_dim, data: states_q, scale: H_SCALE })
     }
 
@@ -329,7 +616,9 @@ impl QLstm {
     }
 }
 
-enum QLayer {
+/// One layer of a [`QuantizedModel`] — crate-visible so the plan
+/// compiler ([`crate::plan`]) can specialize ops per variant.
+pub(crate) enum QLayer {
     Dense(QDense),
     Gru(QGru),
     Lstm(QLstm),
@@ -352,7 +641,7 @@ impl QLayer {
         }
     }
 
-    fn info(&self) -> LayerInfo {
+    pub(crate) fn info(&self) -> LayerInfo {
         match self {
             QLayer::Dense(d) => d.info(),
             QLayer::Gru(g) => g.info(),
@@ -469,6 +758,11 @@ impl QuantizedModel {
     /// Input width expected by the first layer.
     pub fn input_dim(&self) -> usize {
         self.layers[0].info().in_dim
+    }
+
+    /// The quantized layer stack (crate-visible for the plan compiler).
+    pub(crate) fn layers(&self) -> &[QLayer] {
+        &self.layers
     }
 
     /// Per-layer structural descriptions (same kinds/dims/macs as the

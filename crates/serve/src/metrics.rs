@@ -17,11 +17,16 @@
 //! | `serve.queue_depth`      | gauge                    | instantaneous admission depth   |
 //! | `serve.swaps`            | counter (lazy)           | completed hot swaps             |
 //! | `serve.reverts`          | counter (lazy)           | rollbacks to a pinned version   |
+//! | `plan.cache_hits`        | counter (lazy)           | batches served on a cached plan |
+//! | `plan.cache_misses`      | counter (lazy)           | plan compilations (incl. rejects)|
+//! | `plan.fused_ops`         | counter (lazy)           | fused kernels across compiles   |
+//! | `plan.arena_bytes`       | gauge (lazy)             | last compiled plan's arena size |
 //!
-//! The swap/revert counters are registered on first use rather than at
-//! construction, so a server that never swaps exports exactly the same
-//! instrument set as before rollouts existed (the golden observability
-//! trace depends on this).
+//! The swap/revert and `plan.*` instruments are registered on first use
+//! rather than at construction, so a server that never swaps (or never
+//! runs the planned executor) exports exactly the same instrument set as
+//! before those features existed (the golden observability trace depends
+//! on this).
 //!
 //! Timestamps come from the observability clock, so a server attached to a
 //! simulated clock ([`mdl_obs::Clock`] in sim mode) reports deterministic
@@ -118,6 +123,27 @@ impl ServerMetrics {
     /// Records one rollback to a pinned version (lazy `serve.reverts`).
     pub fn record_revert(&self) {
         self.obs.registry().counter("serve.reverts").inc();
+    }
+
+    /// Records a batch served on a cached execution plan (lazy
+    /// `plan.cache_hits` — like the swap counters, absent until the
+    /// planned path first fires).
+    pub fn record_plan_hit(&self) {
+        self.obs.registry().counter("plan.cache_hits").inc();
+    }
+
+    /// Records a plan-cache miss. `stats` carries the freshly compiled
+    /// plan's facts (`None` when the model can't be planned and the worker
+    /// cached the rejection): fused-op counts accumulate into
+    /// `plan.fused_ops` and the `plan.arena_bytes` gauge tracks the most
+    /// recently compiled plan's arena footprint.
+    pub fn record_plan_miss(&self, stats: Option<mdl_nn::PlanStats>) {
+        let r = self.obs.registry();
+        r.counter("plan.cache_misses").inc();
+        if let Some(s) = stats {
+            r.counter("plan.fused_ops").add(s.fused_ops as u64);
+            r.gauge("plan.arena_bytes").set(s.arena_bytes as f64);
+        }
     }
 
     /// Point-in-time summary. `elapsed` is the measurement window used for

@@ -23,7 +23,7 @@ use crate::router::{ClientProfile, Route, Router};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use mdl_compress::CompressedModel;
 use mdl_nn::saved::LoadModelError;
-use mdl_nn::{Layer, QuantizedModel, Sequential};
+use mdl_nn::{Layer, Plan, PlanModel, PlanOptions, QuantizedModel, Sequential};
 use mdl_obs::Obs;
 use mdl_tensor::stats::softmax_rows;
 use mdl_tensor::Matrix;
@@ -395,7 +395,66 @@ fn dispatch(batches: &Sender<Batch>, entry_layer: usize, jobs: Vec<Job>, shared:
     let _ = batches.send(Batch { entry_layer, jobs });
 }
 
+/// Worker-local plan-cache capacity. When exceeded, entries for versions
+/// other than the current (and pinned rollback) version are evicted —
+/// per-version keying means a hot swap invalidates exactly the swapped
+/// version's plans and nothing else.
+const PLAN_CACHE_CAP: usize = 32;
+
+fn plan_model(model: &ModelVariant) -> PlanModel<'_> {
+    match model {
+        ModelVariant::F32(m) => PlanModel::F32(m),
+        ModelVariant::Int8(m) => PlanModel::Int8(m),
+    }
+}
+
+/// Runs the batch through the worker's cached execution plan for
+/// `(version, shape)`, compiling one on first sight. Returns `false`
+/// when the model can't be planned (the rejection is cached too, so the
+/// planner runs once per key, not once per batch) and the caller falls
+/// back to the dynamic path.
+fn run_planned(
+    plans: &mut HashMap<(u64, usize, usize), Option<Plan>>,
+    out: &mut Matrix,
+    snapshot: &VersionedModel,
+    x: &Matrix,
+    shared: &Shared,
+) -> bool {
+    let key = (snapshot.version, x.rows(), x.cols());
+    if let Some(cached) = plans.get_mut(&key) {
+        match cached {
+            Some(plan) => {
+                shared.metrics.record_plan_hit();
+                plan.run(plan_model(&snapshot.model), x, out);
+                true
+            }
+            None => false,
+        }
+    } else {
+        if plans.len() >= PLAN_CACHE_CAP {
+            let pinned = shared.registry.pinned_version();
+            plans.retain(|&(v, _, _), _| v == snapshot.version || Some(v) == pinned);
+        }
+        let compiled =
+            Plan::compile(plan_model(&snapshot.model), x.rows(), x.cols(), PlanOptions::default())
+                .ok();
+        shared.metrics.record_plan_miss(compiled.as_ref().map(|p| p.stats()));
+        let ran = match plans.entry(key).or_insert(compiled) {
+            Some(plan) => {
+                plan.run(plan_model(&snapshot.model), x, out);
+                true
+            }
+            None => false,
+        };
+        ran
+    }
+}
+
 fn worker_loop(batches: Receiver<Batch>, shared: Arc<Shared>) {
+    // Plans are worker-local: no locking, and each worker converges on
+    // the few (version, batch shape) keys its batches actually repeat.
+    let mut plans: HashMap<(u64, usize, usize), Option<Plan>> = HashMap::new();
+    let mut planned_out = Matrix::default();
     while let Ok(batch) = batches.recv() {
         let _span = shared.obs.root_span("serve.batch");
         let n = batch.jobs.len();
@@ -418,7 +477,21 @@ fn worker_loop(batches: Receiver<Batch>, shared: Arc<Shared>) {
         };
         if compatible {
             let x = Matrix::from_fn(n, width, |r, c| batch.jobs[r].input[c]);
-            let probs = softmax_rows(&variant_eval_from(&snapshot.model, &x, batch.entry_layer));
+            // Whole-model batches run on a shape-specialized plan
+            // (compiled once per version × batch shape, zero-alloc and
+            // kernel-fused thereafter); mid-network resume and unplannable
+            // models keep the dynamic path. Results are bit-identical.
+            let planned = batch.entry_layer == 0
+                && width > 0
+                && run_planned(&mut plans, &mut planned_out, &snapshot, &x, &shared);
+            let dynamic;
+            let scores = if planned {
+                &planned_out
+            } else {
+                dynamic = variant_eval_from(&snapshot.model, &x, batch.entry_layer);
+                &dynamic
+            };
+            let probs = softmax_rows(scores);
             for (r, job) in batch.jobs.into_iter().enumerate() {
                 ServeClient::deliver(
                     &shared,

@@ -1,0 +1,256 @@
+//! Shared scratch arenas for planned execution.
+//!
+//! An execution plan records every temporary a model run needs at
+//! *compile* time, lays them into one flat allocation, and then reuses
+//! that allocation for every run — steady-state inference touches the
+//! heap zero times. Layout is a two-phase protocol:
+//!
+//! 1. **Plan**: an [`ArenaBuilder`] hands out [`BufferId`]s via
+//!    [`ArenaBuilder::alloc`]; when the planner knows a buffer is dead
+//!    (its last reader has been recorded) it calls
+//!    [`ArenaBuilder::release`], returning the bytes to a free list so a
+//!    later buffer can reuse them. Placement is first-fit over the free
+//!    list with coalescing of adjacent blocks; only when nothing fits is
+//!    the arena's high-water mark extended.
+//! 2. **Run**: [`ArenaBuilder::build`] freezes the layout into an
+//!    [`Arena`] — one `Vec` plus the `(offset, len)` span table — and
+//!    executors view buffers through [`Arena::slice`] /
+//!    [`Arena::slice_mut`] / [`Arena::read_write`].
+//!
+//! The liveness rule that makes first-fit sound: a [`BufferId`] may only
+//! be released once no later-recorded op reads or writes it, so two ids
+//! whose lifetimes overlap are never placed on overlapping spans.
+//! [`Arena::read_write`] re-checks disjointness at runtime and panics on
+//! overlap, so a planner bug surfaces as a loud failure rather than
+//! silent corruption.
+
+/// Handle to one buffer laid out in an [`Arena`].
+///
+/// Ids are plain indices into the span table of the builder that issued
+/// them; using an id against an arena built by a *different* builder is
+/// a logic error (caught by the span-table bounds check at best).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufferId(usize);
+
+/// Compile-time layout planner: allocates and releases logical buffers,
+/// packing them into a single flat span with first-fit reuse.
+#[derive(Debug, Default)]
+pub struct ArenaBuilder {
+    /// `(offset, len)` per issued [`BufferId`], in issue order.
+    spans: Vec<(usize, usize)>,
+    /// Free blocks `(offset, len)`, kept sorted by offset and coalesced.
+    free: Vec<(usize, usize)>,
+    /// High-water mark: total elements the built arena will hold.
+    len: usize,
+}
+
+impl ArenaBuilder {
+    /// Creates an empty layout.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reserves `len` elements, reusing released space when a free block
+    /// fits (first-fit by offset) and extending the arena otherwise.
+    /// Zero-length buffers are legal and occupy no space.
+    pub fn alloc(&mut self, len: usize) -> BufferId {
+        let id = BufferId(self.spans.len());
+        if len == 0 {
+            self.spans.push((0, 0));
+            return id;
+        }
+        if let Some(pos) = self.free.iter().position(|&(_, flen)| flen >= len) {
+            let (off, flen) = self.free[pos];
+            if flen == len {
+                self.free.remove(pos);
+            } else {
+                self.free[pos] = (off + len, flen - len);
+            }
+            self.spans.push((off, len));
+            return id;
+        }
+        let off = self.len;
+        self.len += len;
+        self.spans.push((off, len));
+        id
+    }
+
+    /// Returns `id`'s span to the free list (coalescing with adjacent
+    /// free blocks). Call only once the planner has recorded the last op
+    /// that touches the buffer — the span may be handed to the very next
+    /// [`ArenaBuilder::alloc`].
+    pub fn release(&mut self, id: BufferId) {
+        let (off, len) = self.spans[id.0];
+        if len == 0 {
+            return;
+        }
+        let pos = self.free.partition_point(|&(foff, _)| foff < off);
+        self.free.insert(pos, (off, len));
+        // Coalesce with the successor first, then the predecessor.
+        if pos + 1 < self.free.len() && self.free[pos].0 + self.free[pos].1 == self.free[pos + 1].0
+        {
+            self.free[pos].1 += self.free[pos + 1].1;
+            self.free.remove(pos + 1);
+        }
+        if pos > 0 && self.free[pos - 1].0 + self.free[pos - 1].1 == self.free[pos].0 {
+            self.free[pos - 1].1 += self.free[pos].1;
+            self.free.remove(pos);
+        }
+    }
+
+    /// Total elements the built arena will hold (the high-water mark).
+    pub fn total(&self) -> usize {
+        self.len
+    }
+
+    /// Freezes the layout: one zero-initialised flat buffer plus the
+    /// span table. The builder can keep allocating afterwards, but spans
+    /// issued later are unknown to this arena.
+    pub fn build<T: Copy + Default>(&self) -> Arena<T> {
+        Arena { data: vec![T::default(); self.len], spans: self.spans.clone() }
+    }
+}
+
+/// A frozen arena: one flat allocation viewed through [`BufferId`]s.
+#[derive(Debug)]
+pub struct Arena<T> {
+    data: Vec<T>,
+    spans: Vec<(usize, usize)>,
+}
+
+impl<T: Copy + Default> Arena<T> {
+    /// An arena with no buffers (placeholder for unused precisions).
+    pub fn empty() -> Self {
+        Arena { data: Vec::new(), spans: Vec::new() }
+    }
+
+    /// Total elements across all live spans' backing storage.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the arena holds no storage at all.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Backing-store size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<T>()
+    }
+
+    /// Read-only view of `id`'s span.
+    pub fn slice(&self, id: BufferId) -> &[T] {
+        let (off, len) = self.spans[id.0];
+        &self.data[off..off + len]
+    }
+
+    /// Mutable view of `id`'s span.
+    pub fn slice_mut(&mut self, id: BufferId) -> &mut [T] {
+        let (off, len) = self.spans[id.0];
+        &mut self.data[off..off + len]
+    }
+
+    /// Simultaneous read view of `read` and write view of `write`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two spans overlap — live buffers never should; an
+    /// overlap means the planner released a buffer that was still live.
+    pub fn read_write(&mut self, read: BufferId, write: BufferId) -> (&[T], &mut [T]) {
+        let (roff, rlen) = self.spans[read.0];
+        let (woff, wlen) = self.spans[write.0];
+        assert!(
+            roff + rlen <= woff || woff + wlen <= roff,
+            "arena buffers overlap: read {roff}+{rlen} vs write {woff}+{wlen}"
+        );
+        if roff <= woff {
+            let (lo, hi) = self.data.split_at_mut(woff);
+            (&lo[roff..roff + rlen], &mut hi[..wlen])
+        } else {
+            let (lo, hi) = self.data.split_at_mut(roff);
+            (&hi[..rlen], &mut lo[woff..woff + wlen])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extends_when_nothing_is_free() {
+        let mut b = ArenaBuilder::new();
+        let x = b.alloc(4);
+        let y = b.alloc(6);
+        assert_eq!(b.total(), 10);
+        let a: Arena<f32> = b.build();
+        assert_eq!(a.slice(x).len(), 4);
+        assert_eq!(a.slice(y).len(), 6);
+        assert_eq!(a.size_bytes(), 40);
+    }
+
+    #[test]
+    fn first_fit_reuses_released_spans() {
+        let mut b = ArenaBuilder::new();
+        let x = b.alloc(8);
+        let _y = b.alloc(4);
+        b.release(x);
+        let z = b.alloc(6); // fits inside x's released 8
+        assert_eq!(b.total(), 12, "no growth: z reused x's span");
+        let a: Arena<i32> = b.build();
+        assert_eq!(a.slice(z).len(), 6);
+    }
+
+    #[test]
+    fn coalesces_adjacent_free_blocks() {
+        let mut b = ArenaBuilder::new();
+        let x = b.alloc(4);
+        let y = b.alloc(4);
+        let _z = b.alloc(2);
+        b.release(x);
+        b.release(y); // coalesces with x -> one 8-wide block at 0
+        let w = b.alloc(8);
+        assert_eq!(b.total(), 10, "w fit the coalesced block");
+        let a: Arena<i8> = b.build();
+        assert_eq!(a.slice(w).len(), 8);
+    }
+
+    #[test]
+    fn read_write_views_are_disjoint() {
+        let mut b = ArenaBuilder::new();
+        let x = b.alloc(3);
+        let y = b.alloc(2);
+        let mut a: Arena<f32> = b.build();
+        a.slice_mut(x).copy_from_slice(&[1.0, 2.0, 3.0]);
+        let (r, w) = a.read_write(x, y);
+        assert_eq!(r, &[1.0, 2.0, 3.0]);
+        w.copy_from_slice(&[9.0, 8.0]);
+        assert_eq!(a.slice(y), &[9.0, 8.0]);
+        // and the reversed order works too
+        let (r2, _w2) = a.read_write(y, x);
+        assert_eq!(r2, &[9.0, 8.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn read_write_panics_on_overlap() {
+        let mut b = ArenaBuilder::new();
+        let x = b.alloc(4);
+        b.release(x);
+        let y = b.alloc(4); // same span as x — overlapping on purpose
+        let mut a: Arena<f32> = b.build();
+        let _ = a.read_write(x, y);
+    }
+
+    #[test]
+    fn zero_length_buffers_take_no_space() {
+        let mut b = ArenaBuilder::new();
+        let z = b.alloc(0);
+        assert_eq!(b.total(), 0);
+        b.release(z);
+        let a: Arena<f32> = b.build();
+        assert!(a.is_empty());
+        assert_eq!(a.slice(z).len(), 0);
+    }
+}

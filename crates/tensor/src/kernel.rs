@@ -83,6 +83,11 @@ const SMALL_M: usize = 32;
 /// below it, spawn overhead dominates any speedup.
 const PAR_MIN_MACS: usize = 1 << 20;
 
+/// A concretely-typed `None` for the generic `epi` parameter of
+/// [`gemm_bias_act`]: unfused call sites pass this so type inference has
+/// an epilogue type to name (the function pointer is never called).
+pub const NO_EPI: Option<&fn(f32) -> f32> = None;
+
 /// Whether an operand participates as itself or transposed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Trans {
@@ -191,12 +196,76 @@ pub fn gemm(
     let t0 = if profiling { profile::clock_now_ns() } else { 0 };
     let macs = m * n * k;
     if macs <= SMALL_MACS || m < SMALL_M {
-        gemm_small(ta, tb, m, n, k, a, b, out, acc);
+        gemm_small(ta, tb, m, n, k, a, b, out, acc, NO_EPI);
     } else {
-        gemm_blocked(ta, tb, m, n, k, a, b, out, acc);
+        gemm_blocked(ta, tb, m, n, k, a, b, out, acc, NO_EPI);
     }
     if profiling {
         profile::tally(ta, tb, m, n, k, profile::clock_now_ns().saturating_sub(t0));
+    }
+}
+
+/// Fused `out = epi(A·B + bias)` for row-major `A (m × k)`, `B (k × n)`
+/// and a per-column `bias` broadcast over rows.
+///
+/// The bias *seeds* each output row before accumulation — the exact
+/// protocol of `Matrix::matmul_bias_into` — and the optional epilogue
+/// (the activation) is applied to each row right after its accumulation
+/// completes, replacing the separate `map_mut` sweep of the dynamic
+/// path. Both choices keep the result **bit-identical** to the unfused
+/// `matmul_bias_into` + elementwise-activation sequence: the dispatch
+/// between the small and blocked paths depends only on the shapes (the
+/// same rule as [`gemm`]), the accumulation order per element is
+/// unchanged, and the epilogue touches each element exactly once after
+/// its final partial product.
+///
+/// The epilogue is a generic bound, not a trait object, so each call
+/// site monomorphizes to a direct (inlinable, vectorizable) call — an
+/// indirect call per output element would cost more than the saved
+/// memory pass. Unfused callers pass [`NO_EPI`].
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the given dimensions.
+#[allow(clippy::too_many_arguments)] // BLAS-style signature, mirrors `gemm`
+pub fn gemm_bias_act<E: Fn(f32) -> f32 + Sync>(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    epi: Option<&E>,
+    out: &mut [f32],
+) {
+    assert_eq!(a.len(), m * k, "A buffer length mismatch");
+    assert_eq!(b.len(), k * n, "B buffer length mismatch");
+    assert_eq!(bias.len(), n, "bias length mismatch");
+    assert_eq!(out.len(), m * n, "output buffer length mismatch");
+    for row in out.chunks_exact_mut(n.max(1)) {
+        row.copy_from_slice(bias);
+    }
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        if let Some(f) = epi {
+            for v in out.iter_mut() {
+                *v = f(*v);
+            }
+        }
+        return;
+    }
+    let profiling = profile::is_enabled();
+    let t0 = if profiling { profile::clock_now_ns() } else { 0 };
+    let macs = m * n * k;
+    if macs <= SMALL_MACS || m < SMALL_M {
+        gemm_small(Trans::N, Trans::N, m, n, k, a, b, out, true, epi);
+    } else {
+        gemm_blocked(Trans::N, Trans::N, m, n, k, a, b, out, true, epi);
+    }
+    if profiling {
+        profile::tally(Trans::N, Trans::N, m, n, k, profile::clock_now_ns().saturating_sub(t0));
     }
 }
 
@@ -234,9 +303,10 @@ pub fn gemm_naive(
 
 /// Allocation-free path for single rows and tiny products: row-major
 /// traversal with the same ascending-k accumulation order as the blocked
-/// kernel, so the dispatch choice never changes results.
+/// kernel, so the dispatch choice never changes results. A fused
+/// epilogue, when given, runs on each row as soon as it completes.
 #[allow(clippy::too_many_arguments)]
-fn gemm_small(
+fn gemm_small<E: Fn(f32) -> f32 + Sync>(
     ta: Trans,
     tb: Trans,
     m: usize,
@@ -246,6 +316,7 @@ fn gemm_small(
     b: &[f32],
     out: &mut [f32],
     acc: bool,
+    epi: Option<&E>,
 ) {
     if !acc {
         out.fill(0.0);
@@ -270,6 +341,11 @@ fn gemm_small(
                 }
             }
         }
+        if let Some(f) = epi {
+            for v in out[..m * n].iter_mut() {
+                *v = f(*v);
+            }
+        }
     } else {
         // B transposed: dot products over contiguous B rows.
         for i in 0..m {
@@ -290,6 +366,11 @@ fn gemm_small(
                     }
                 }
                 out[i * n + j] = s;
+            }
+        }
+        if let Some(f) = epi {
+            for v in out[..m * n].iter_mut() {
+                *v = f(*v);
             }
         }
     }
@@ -371,9 +452,11 @@ fn microkernel(
 }
 
 /// Runs the blocked loop nest for row panels `[p_lo, p_hi)` of the output,
-/// where `c` starts at row `p_lo * MR` of the full output matrix.
+/// where `c` starts at row `p_lo * MR` of the full output matrix. A fused
+/// epilogue, when given, runs on each row panel right after its last
+/// k-block spills — while the panel is still cache-hot.
 #[allow(clippy::too_many_arguments)]
-fn run_row_panels(
+fn run_row_panels<E: Fn(f32) -> f32 + Sync>(
     ta: Trans,
     m: usize,
     n: usize,
@@ -385,6 +468,7 @@ fn run_row_panels(
     p_hi: usize,
     acc: bool,
     ap: &mut Vec<f32>,
+    epi: Option<&E>,
 ) {
     let npan = n.div_ceil(NR);
     ap.clear();
@@ -415,11 +499,16 @@ fn run_row_panels(
             }
             pc += kc;
         }
+        if let Some(f) = epi {
+            for v in c_panel[..rows * n].iter_mut() {
+                *v = f(*v);
+            }
+        }
     }
 }
 
 #[allow(clippy::too_many_arguments)]
-fn gemm_blocked(
+fn gemm_blocked<E: Fn(f32) -> f32 + Sync>(
     ta: Trans,
     tb: Trans,
     m: usize,
@@ -429,6 +518,7 @@ fn gemm_blocked(
     b: &[f32],
     out: &mut [f32],
     acc: bool,
+    epi: Option<&E>,
 ) {
     let panels = m.div_ceil(MR);
     let nt = if m * n * k < PAR_MIN_MACS { 1 } else { threads().min(panels) };
@@ -436,7 +526,7 @@ fn gemm_blocked(
         let (pb, ap) = &mut *bufs.borrow_mut();
         pack_b(tb, k, n, b, pb);
         if nt <= 1 {
-            run_row_panels(ta, m, n, k, a, pb, out, 0, panels, acc, ap);
+            run_row_panels(ta, m, n, k, a, pb, out, 0, panels, acc, ap, epi);
             return;
         }
         // Contiguous panel chunks -> contiguous, disjoint row ranges of
@@ -459,7 +549,7 @@ fn gemm_blocked(
                 row0 = rows_end;
                 scope.spawn(move |_| {
                     let mut ap = Vec::new();
-                    run_row_panels(ta, m, n, k, a, pb_ref, mine, p_lo, p_hi, acc, &mut ap);
+                    run_row_panels(ta, m, n, k, a, pb_ref, mine, p_lo, p_hi, acc, &mut ap, epi);
                 });
             }
         })
@@ -554,6 +644,54 @@ mod tests {
             fast.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
             slow.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
         );
+    }
+
+    /// The fused bias-seed + epilogue entry must be bit-identical to the
+    /// dynamic three-step sequence (seed bias rows, accumulate, map) on
+    /// both the small and the blocked/threaded dispatch paths.
+    #[test]
+    fn fused_bias_act_matches_unfused_bitwise() {
+        let relu = |v: f32| v.max(0.0);
+        for (m, n, k) in [(1, 5, 3), (8, 96, 96), (31, 48, 64), (130, 70, 130)] {
+            let a = fill(m, k, 31);
+            let b = fill(k, n, 32);
+            let bias = fill(1, n, 33);
+            let mut unfused = vec![0.0f32; m * n];
+            for row in unfused.chunks_exact_mut(n) {
+                row.copy_from_slice(&bias);
+            }
+            gemm(Trans::N, Trans::N, m, n, k, &a, &b, &mut unfused, true);
+            for v in unfused.iter_mut() {
+                *v = relu(*v);
+            }
+            let mut fused = vec![f32::NAN; m * n];
+            gemm_bias_act(m, n, k, &a, &b, &bias, Some(&relu), &mut fused);
+            assert_eq!(
+                fused.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                unfused.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "fused != unfused at {m}x{n}x{k}"
+            );
+            // without an epilogue it is exactly matmul_bias_into
+            let mut plain = vec![0.0f32; m * n];
+            for row in plain.chunks_exact_mut(n) {
+                row.copy_from_slice(&bias);
+            }
+            gemm(Trans::N, Trans::N, m, n, k, &a, &b, &mut plain, true);
+            let mut fused_plain = vec![f32::NAN; m * n];
+            gemm_bias_act(m, n, k, &a, &b, &bias, NO_EPI, &mut fused_plain);
+            assert_eq!(
+                fused_plain.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                plain.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            );
+        }
+    }
+
+    #[test]
+    fn fused_bias_act_handles_degenerate_k() {
+        let bias = [1.0f32, -2.0];
+        let mut out = [f32::NAN; 4];
+        gemm_bias_act(2, 2, 0, &[], &[], &bias, Some(&|v: f32| v.max(0.0)), &mut out);
+        assert_eq!(out, [1.0, 0.0, 1.0, 0.0]);
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!   GEMM microkernel behind the quantized inference path;
 //! - [`quant`]: per-output-channel symmetric int8 weights ([`Int8Matrix`])
 //!   and the saturating activation-requantize helpers;
+//! - [`arena`]: compile-once shared scratch arenas ([`Arena`]/[`BufferId`])
+//!   that let `mdl_nn`'s execution plans run with zero steady-state heap
+//!   allocation;
 //! - [`Init`]: seeded weight-initialisation schemes (uniform, Gaussian,
 //!   Xavier, He);
 //! - [`linalg`]: one-sided Jacobi SVD (for low-rank layer compression),
@@ -37,6 +40,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod fft;
 pub mod init;
 pub mod kernel;
@@ -45,6 +49,7 @@ pub mod matrix;
 pub mod quant;
 pub mod stats;
 
+pub use arena::{Arena, ArenaBuilder, BufferId};
 pub use init::Init;
 pub use matrix::Matrix;
 pub use quant::Int8Matrix;

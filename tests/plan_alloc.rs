@@ -1,0 +1,105 @@
+//! Steady-state planned execution performs **zero heap allocation**.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; after a
+//! warm-up run (which may grow thread-local kernel pack buffers and the
+//! caller's output matrix to capacity), repeated `Plan::run` calls on
+//! both precisions must allocate nothing. This file is its own test
+//! binary because a global allocator is process-wide, and it holds a
+//! single `#[test]` so no unrelated test-harness allocation races the
+//! counting window.
+
+use mdl_core::nn::Lstm;
+use mdl_core::prelude::*;
+use mdl_core::tensor::kernel;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Counts allocations (and reallocations) while armed.
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Runs `plan` once armed and returns how many allocations it made.
+fn count_allocs(mut run: impl FnMut()) -> usize {
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    run();
+    ARMED.store(false, Ordering::SeqCst);
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn planned_execution_is_zero_alloc_in_steady_state() {
+    // Threaded GEMM workers allocate their own pack buffers per call;
+    // the zero-alloc guarantee is for the single-threaded kernel path
+    // (thread-local packs are grown once during warm-up and reused).
+    kernel::set_threads(1);
+
+    let mut rng = StdRng::seed_from_u64(0xA110C);
+    let mut net = Sequential::new();
+    net.push(Gru::new(12, 16, &mut rng));
+    net.push(Lstm::new(16, 14, &mut rng));
+    net.push(Dense::new(14, 24, Activation::Relu, &mut rng));
+    net.push(Dense::new(24, 5, Activation::Identity, &mut rng));
+    let rows = 6;
+    let x = Matrix::from_fn(rows, 12, |r, c| ((r * 12 + c) as f32 * 0.23).sin());
+
+    // f32, fused and unfused
+    for fuse in [true, false] {
+        let mut plan =
+            Plan::compile(PlanModel::F32(&net), rows, 12, PlanOptions { fuse }).expect("plans");
+        let mut out = Matrix::default();
+        plan.run(PlanModel::F32(&net), &x, &mut out); // warm-up
+        let n = count_allocs(|| {
+            for _ in 0..4 {
+                plan.run(PlanModel::F32(&net), &x, &mut out);
+            }
+        });
+        assert_eq!(n, 0, "f32 plan (fuse={fuse}) allocated {n} times in steady state");
+    }
+
+    // int8, fused and unfused
+    let qm = QuantizedModel::from_model(&mut net).expect("stack quantizes");
+    for fuse in [true, false] {
+        let mut plan =
+            Plan::compile(PlanModel::Int8(&qm), rows, 12, PlanOptions { fuse }).expect("plans");
+        let mut out = Matrix::default();
+        plan.run(PlanModel::Int8(&qm), &x, &mut out); // warm-up
+        let n = count_allocs(|| {
+            for _ in 0..4 {
+                plan.run(PlanModel::Int8(&qm), &x, &mut out);
+            }
+        });
+        assert_eq!(n, 0, "int8 plan (fuse={fuse}) allocated {n} times in steady state");
+    }
+
+    // sanity: the counter itself works — the dynamic path does allocate
+    let n = count_allocs(|| {
+        let _ = qm.forward_eval(&x);
+    });
+    assert!(n > 0, "dynamic path should allocate; counting allocator may be broken");
+}
