@@ -51,6 +51,7 @@ fn bench_round_trip(c: &mut Criterion) {
                     requests: 64,
                     mode: LoadMode::Closed { concurrency: 8 },
                     profiles: vec![wearable_wifi()],
+                    classes: vec![],
                 },
             );
             assert_eq!(report.completed, 64);

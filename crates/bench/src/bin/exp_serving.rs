@@ -10,10 +10,21 @@
 //! registry — so the table doubles as an accuracy-vs-latency comparison:
 //! the argmax agreement between the two precisions is asserted up front,
 //! and the final swap demo hot-swaps f32 → int8 under load.
+//!
+//! A second, virtual-time sweep drives the sharded SLO-classed fleet
+//! engine at 800 and 10,000 offered rps with a 20/30/50
+//! interactive/standard/best-effort mix. Those numbers are deterministic
+//! (virtual clock, seeded arrivals), so `serving_p99_interactive_10k` is
+//! floor-gated in `tests/bench_floors.json`, and the run asserts the SLO
+//! contract outright: at 10k rps every shed lands on best-effort and
+//! interactive p99 stays within 1.5× its 800 rps value.
 
 use mdl_bench::print_table;
 use mdl_core::prelude::*;
-use mdl_serve::{run_load, InferenceServer, LoadGenConfig, LoadMode, ServeConfig};
+use mdl_serve::{
+    request_stream, run_load, BatchPolicy, FleetConfig, FleetEngine, InferenceServer,
+    LoadGenConfig, LoadMode, ServeConfig, SloClass,
+};
 use std::fmt::Write as _;
 use std::time::Duration;
 
@@ -105,6 +116,7 @@ fn main() {
                         device: DeviceClass::Wearable,
                         network: NetworkClass::Wifi,
                     }],
+                    classes: vec![],
                 },
             );
             drop(client);
@@ -151,6 +163,107 @@ fn main() {
          and excess cloud-bound requests shed to the on-device early exit."
     );
 
+    // --- virtual-time fleet sweep: SLO classes at 800 and 10,000 rps ---
+    // 4 replicas × 2 workers, 10 ms admission windows, budget 80/window
+    // (≈ 8k rps admitted): at 800 rps everything fits; at 10k rps the
+    // best-effort half of the mix absorbs every shed while interactive
+    // and standard ride through untouched.
+    let fleet_model = model(42);
+    let mix = [
+        SloClass::Interactive,
+        SloClass::Interactive,
+        SloClass::Standard,
+        SloClass::Standard,
+        SloClass::Standard,
+        SloClass::BestEffort,
+        SloClass::BestEffort,
+        SloClass::BestEffort,
+        SloClass::BestEffort,
+        SloClass::BestEffort,
+    ];
+    let fleet_config = FleetConfig {
+        replicas: 4,
+        workers_per_replica: 2,
+        max_batch: 8,
+        admit_window_ns: 10_000_000,
+        admit_budget: 80,
+        policy: BatchPolicy::Continuous,
+        ..FleetConfig::default()
+    };
+    let engine = FleetEngine::new(&fleet_model, &inputs, fleet_config.clone());
+    let fleet_levels: Vec<(f64, mdl_serve::FleetReport)> = [(800.0, 800usize), (10_000.0, 3000)]
+        .iter()
+        .map(|&(rps, n)| {
+            let stream = request_stream(0xf1ee7, rps, n, &mix, inputs.rows());
+            let report = engine.run(&stream);
+            // the whole point of the virtual clock: a repeat run is
+            // bit-identical, so these numbers are floor-gateable
+            assert_eq!(
+                report.result_digest(),
+                engine.run(&stream).result_digest(),
+                "fleet run must be bit-reproducible at {rps} rps"
+            );
+            (rps, report)
+        })
+        .collect();
+
+    let fleet_rows: Vec<Vec<String>> = fleet_levels
+        .iter()
+        .flat_map(|(rps, report)| {
+            SloClass::ALL.into_iter().map(move |class| {
+                let s = report.class(class);
+                vec![
+                    format!("{rps:.0}"),
+                    class.label().to_string(),
+                    format!("{}", s.offered),
+                    format!("{}", s.served),
+                    format!("{}", s.shed),
+                    format!("{:.2}", s.percentile_ns(50.0) as f64 / 1e6),
+                    format!("{:.2}", s.percentile_ns(99.0) as f64 / 1e6),
+                ]
+            })
+        })
+        .collect();
+    print_table(
+        "SLO-classed fleet, virtual time (4 replicas x 2 workers, 10ms windows, budget 80)",
+        &["offered rps", "class", "offered", "served", "shed", "p50 ms", "p99 ms"],
+        &fleet_rows,
+    );
+    for (rps, report) in &fleet_levels {
+        println!(
+            "  {rps:.0} rps: {} batches (mean {:.1} rows), {} steals, plan {}h/{}m",
+            report.batches,
+            report.mean_batch_rows,
+            report.steals,
+            report.plan_hits,
+            report.plan_misses
+        );
+    }
+
+    // the SLO contract, asserted on the deterministic numbers
+    let at = |rps: f64| &fleet_levels.iter().find(|(r, _)| *r == rps).expect("level ran").1;
+    let (low, high) = (at(800.0), at(10_000.0));
+    for report in [low, high] {
+        assert_eq!(report.class(SloClass::Interactive).shed, 0, "interactive never sheds");
+        assert_eq!(report.class(SloClass::Standard).shed, 0, "standard never sheds");
+    }
+    assert!(high.class(SloClass::BestEffort).shed > 0, "10k rps must overload the budget");
+    let p99_int_800 = low.class(SloClass::Interactive).percentile_ns(99.0);
+    let p99_int_10k = high.class(SloClass::Interactive).percentile_ns(99.0);
+    assert!(
+        p99_int_10k as f64 <= 1.5 * p99_int_800 as f64,
+        "interactive p99 at 10k rps ({p99_int_10k} ns) must stay within 1.5x \
+         its 800 rps value ({p99_int_800} ns)"
+    );
+    println!(
+        "\nSLO contract holds: sheds confined to best-effort \
+         ({} of {} at 10k rps), interactive p99 {:.2} ms -> {:.2} ms (<= 1.5x)",
+        high.class(SloClass::BestEffort).shed,
+        high.class(SloClass::BestEffort).offered,
+        p99_int_800 as f64 / 1e6,
+        p99_int_10k as f64 / 1e6,
+    );
+
     // --- JSON artifact ---
     let mut json = String::from("{\n  \"benchmark\": \"serving\",\n  \"levels\": [\n");
     for (i, l) in levels.iter().enumerate() {
@@ -174,7 +287,33 @@ fn main() {
             if i + 1 < levels.len() { "," } else { "" },
         );
     }
+    json.push_str("  ],\n  \"fleet\": [\n");
+    for (i, (rps, report)) in fleet_levels.iter().enumerate() {
+        for (j, class) in SloClass::ALL.into_iter().enumerate() {
+            let s = report.class(class);
+            let _ = writeln!(
+                json,
+                "    {{\"offered_rps\": {:.1}, \"class\": \"{}\", \"offered\": {}, \
+                 \"served\": {}, \"shed\": {}, \"p50_us\": {}, \"p99_us\": {}}}{}",
+                rps,
+                class.label(),
+                s.offered,
+                s.served,
+                s.shed,
+                s.percentile_ns(50.0) / 1_000,
+                s.percentile_ns(99.0) / 1_000,
+                if i + 1 < fleet_levels.len() || j + 1 < SloClass::COUNT { "," } else { "" },
+            );
+        }
+    }
     json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"serving_p99_interactive_10k\": {},", p99_int_10k / 1_000);
+    let _ = writeln!(
+        json,
+        "  \"fleet_shed_best_effort_10k\": {},",
+        high.class(SloClass::BestEffort).shed
+    );
+    let _ = writeln!(json, "  \"fleet_digest_10k\": {},", high.result_digest());
     let p99_at = |rps: f64, precision: &str| {
         levels
             .iter()
@@ -205,6 +344,7 @@ fn main() {
                     requests: 240,
                     mode: LoadMode::Closed { concurrency: 6 },
                     profiles: vec![profile],
+                    classes: vec![],
                 },
             )
         })

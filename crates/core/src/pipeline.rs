@@ -20,7 +20,7 @@ use mdl_obs::{Obs, ObsSnapshot};
 use mdl_privacy::{run_dp_fedavg, DpFedConfig};
 use mdl_serve::{
     run_load, ClientProfile, DeviceClass, InferenceServer, LoadGenConfig, LoadMode, NetworkClass,
-    ServeConfig,
+    ServeConfig, SloClass,
 };
 use mdl_sim::{Population, PopulationSpec, SimConfig};
 use mdl_split::{compare_deployments, Arden, ArdenConfig, DeploymentRow};
@@ -359,6 +359,7 @@ fn smoke_serve(model: &mut Sequential, test: &Dataset, obs: Option<&Obs>) -> Ser
                 ClientProfile { device: DeviceClass::Wearable, network: NetworkClass::Wifi },
                 ClientProfile { device: DeviceClass::Midrange, network: NetworkClass::Lte },
             ],
+            classes: vec![SloClass::Interactive, SloClass::Standard, SloClass::BestEffort],
         },
     );
     let summary = ServingSummary {

@@ -608,3 +608,148 @@ fn run_i8(
         }
     }
 }
+
+/// Picks the batch shape a continuous batcher should dispatch for a
+/// backlog of `backlog` waiting requests under a `max_batch` cap.
+///
+/// The negotiated shape is the largest power of two that fits both the
+/// backlog and the cap (a full `max_batch` is used as-is even when it is
+/// not a power of two). Restricting dispatch to this ladder keeps the
+/// number of distinct `(version, shape)` plan-cache keys logarithmic in
+/// `max_batch`, so after warm-up every refill lands on an already
+/// compiled, zero-allocation plan instead of forcing a fresh compile for
+/// each odd batch size the queue happens to produce.
+///
+/// Returns 0 when the backlog is empty.
+///
+/// # Examples
+///
+/// ```
+/// use mdl_nn::plan::negotiated_rows;
+/// assert_eq!(negotiated_rows(13, 8), 8);  // cap wins
+/// assert_eq!(negotiated_rows(5, 8), 4);   // rounds down to the ladder
+/// assert_eq!(negotiated_rows(3, 8), 2);
+/// assert_eq!(negotiated_rows(1, 8), 1);
+/// assert_eq!(negotiated_rows(0, 8), 0);   // nothing waiting
+/// assert_eq!(negotiated_rows(7, 6), 6);   // full batches keep the cap
+/// ```
+pub fn negotiated_rows(backlog: usize, max_batch: usize) -> usize {
+    let cap = max_batch.max(1);
+    if backlog == 0 {
+        return 0;
+    }
+    if backlog >= cap {
+        return cap;
+    }
+    // largest power of two <= backlog (backlog >= 1 here)
+    1 << (usize::BITS - 1 - backlog.leading_zeros())
+}
+
+/// What a [`PlanCache`] lookup did, so callers can account cache
+/// hits/misses without re-deriving them.
+#[derive(Debug, Clone, Copy)]
+pub enum PlanLookup {
+    /// Ran on an already-cached plan.
+    Hit,
+    /// Compiled, cached and ran a fresh plan for this key.
+    Compiled(PlanStats),
+    /// The model can't be planned for this shape. `fresh` is true the
+    /// first time the rejection is seen (and cached); later lookups of
+    /// the same key report `fresh: false` and cost one hash probe.
+    Rejected {
+        /// Whether this rejection was just discovered (vs replayed).
+        fresh: bool,
+    },
+}
+
+impl PlanLookup {
+    /// Whether the lookup executed the plan (hit or fresh compile).
+    pub fn ran(&self) -> bool {
+        matches!(self, PlanLookup::Hit | PlanLookup::Compiled(_))
+    }
+}
+
+/// A capped cache of compiled [`Plan`]s keyed by
+/// `(model version, rows, cols)`.
+///
+/// Rejections are cached too, so an unplannable model costs one compile
+/// attempt per key — not one per batch. When the cache is full, the
+/// caller-supplied retain predicate decides which versions survive
+/// (serving keeps the current and pinned-rollback versions); per-version
+/// keying means a hot swap invalidates exactly the swapped version's
+/// plans and nothing else.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    cap: usize,
+    plans: std::collections::HashMap<(u64, usize, usize), Option<Plan>>,
+}
+
+impl PlanCache {
+    /// An empty cache holding at most `cap` entries.
+    pub fn new(cap: usize) -> Self {
+        Self { cap: cap.max(1), plans: std::collections::HashMap::new() }
+    }
+
+    /// Number of cached entries (including cached rejections).
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// Whether a plan (or rejection) is cached for this key.
+    pub fn contains(&self, version: u64, rows: usize, cols: usize) -> bool {
+        self.plans.contains_key(&(version, rows, cols))
+    }
+
+    /// The cached batch shapes (rows) compiled for `version` at input
+    /// width `cols`, unordered. Continuous batchers consult this to stay
+    /// on already-compiled shapes (see [`negotiated_rows`]).
+    pub fn shapes_for(&self, version: u64, cols: usize) -> Vec<usize> {
+        self.plans
+            .iter()
+            .filter(|(&(v, _, c), plan)| v == version && c == cols && plan.is_some())
+            .map(|(&(_, rows, _), _)| rows)
+            .collect()
+    }
+
+    /// Runs `x` through the cached plan for `(version, x.shape())`,
+    /// compiling one on first sight. Returns what happened; on
+    /// [`PlanLookup::Rejected`] nothing ran and the caller falls back to
+    /// the dynamic path. `retain` is consulted only on eviction: entries
+    /// whose version it rejects are dropped to make room.
+    pub fn run(
+        &mut self,
+        version: u64,
+        model: PlanModel<'_>,
+        x: &Matrix,
+        out: &mut Matrix,
+        opts: PlanOptions,
+        retain: impl Fn(u64) -> bool,
+    ) -> PlanLookup {
+        let key = (version, x.rows(), x.cols());
+        if let Some(cached) = self.plans.get_mut(&key) {
+            return match cached {
+                Some(plan) => {
+                    plan.run(model, x, out);
+                    PlanLookup::Hit
+                }
+                None => PlanLookup::Rejected { fresh: false },
+            };
+        }
+        if self.plans.len() >= self.cap {
+            self.plans.retain(|&(v, _, _), _| v == version || retain(v));
+        }
+        let compiled = Plan::compile(model, x.rows(), x.cols(), opts).ok();
+        match self.plans.entry(key).or_insert(compiled) {
+            Some(plan) => {
+                plan.run(model, x, out);
+                PlanLookup::Compiled(plan.stats())
+            }
+            None => PlanLookup::Rejected { fresh: true },
+        }
+    }
+}

@@ -22,6 +22,11 @@
 //!   — percentile latency histograms, batch-size distribution and
 //!   shed/swap counters, plus deterministic open/closed-loop load for
 //!   experiments and regression tests.
+//! * **SLO-classed sharded fleet** ([`slo`], [`fleet`]) — every request
+//!   carries an [`SloClass`]; a deterministic virtual-time fleet engine
+//!   runs per-model replica pools with work stealing, class-ordered
+//!   windowed admission and continuous plan-cached batching, so 10k+ rps
+//!   scheduling behaviour can be proven bit-reproducible in tests.
 //!
 //! ```
 //! use mdl_serve::{ClientProfile, DeviceClass, InferenceServer, NetworkClass, ServeConfig};
@@ -44,15 +49,21 @@
 
 #![warn(missing_docs)]
 
+pub mod fleet;
 pub mod loadgen;
 pub mod metrics;
 pub mod registry;
 pub mod router;
 pub mod server;
+pub mod slo;
 
-pub use loadgen::{run_load, LoadGenConfig, LoadMode, LoadReport};
+pub use fleet::{BatchPolicy, ClassStats, FleetConfig, FleetEngine, FleetReport, RequestOutcome};
+pub use loadgen::{
+    arrival_schedule, request_stream, run_load, LoadGenConfig, LoadMode, LoadReport, RequestRecord,
+};
 pub use mdl_net::LinkState;
 pub use metrics::{MetricsSnapshot, ServerMetrics};
 pub use registry::{ModelRegistry, ModelVariant, VersionedModel};
 pub use router::{ClientProfile, DeviceClass, NetworkClass, Route, Router};
 pub use server::{InferenceResponse, InferenceServer, ServeClient, ServeConfig, SubmitError};
+pub use slo::SloClass;

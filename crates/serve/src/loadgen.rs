@@ -10,12 +10,17 @@
 //!   request outstanding, which measures best-case per-request latency
 //!   and natural throughput.
 //!
-//! Request *content* is fully deterministic (inputs and profiles are
-//! drawn by request index from caller-supplied pools); only wall-clock
+//! Request *content* is fully deterministic (inputs, profiles and SLO
+//! classes are drawn by request index from caller-supplied pools), and
+//! the open-loop **arrival schedule** is a pure function of
+//! `(seed, rps, request count)` — see [`arrival_schedule`] — so the same
+//! offered workload can be replayed against the wall-clock server or fed
+//! verbatim to the virtual-time [`crate::fleet`] engine. Only wall-clock
 //! timing varies between runs.
 
 use crate::router::{ClientProfile, Route};
 use crate::server::{InferenceResponse, ServeClient};
+use crate::slo::SloClass;
 use mdl_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -48,16 +53,116 @@ pub struct LoadGenConfig {
     pub mode: LoadMode,
     /// Client profiles, cycled by request index. Must be non-empty.
     pub profiles: Vec<ClientProfile>,
+    /// SLO classes, cycled by request index. Empty means every request
+    /// goes through the unclassed [`ServeClient::submit`] path and is
+    /// treated as [`SloClass::Standard`] by the server.
+    pub classes: Vec<SloClass>,
+}
+
+/// The open-loop Poisson arrival schedule as virtual-nanosecond offsets
+/// from the start of the run, one entry per request, non-decreasing.
+///
+/// This is a **pure function** of `(seed, rps, requests)` — it never
+/// observes the consumer, the wall clock, or thread timing — so the same
+/// offered workload can be replayed against the wall-clock server (which
+/// sleeps until each offset) or handed to the virtual-time fleet engine
+/// (which treats offsets as simulated arrival times) and both see
+/// identical arrivals.
+pub fn arrival_schedule(seed: u64, rps: f64, requests: usize) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mean_gap = 1.0 / rps.max(1e-9);
+    let mut due = 0.0f64;
+    let mut offsets = Vec::with_capacity(requests);
+    for _ in 0..requests {
+        // exponential interarrival: -mean * ln(1 - U)
+        let u: f64 = rng.gen();
+        due += -mean_gap * (1.0 - u).ln().min(0.0);
+        offsets.push((due.min(3600.0) * 1e9) as u64);
+    }
+    offsets
+}
+
+/// One offered request in replayable form: everything the serving tier
+/// needs to reproduce the arrival, independent of who consumes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestRecord {
+    /// Request index in the offered stream (also the FIFO tie-breaker).
+    pub index: u32,
+    /// Arrival offset in virtual nanoseconds from the start of the run.
+    pub arrival_ns: u64,
+    /// SLO class the request was tagged with.
+    pub class: SloClass,
+    /// Input row index into the caller's input matrix.
+    pub row: u32,
+}
+
+impl RequestRecord {
+    /// Wire size of one encoded record.
+    pub const WIRE_BYTES: usize = 17;
+
+    /// Fixed-width little-endian encoding:
+    /// `index u32 | arrival_ns u64 | class rank u8 | row u32`.
+    pub fn to_bytes(&self) -> [u8; Self::WIRE_BYTES] {
+        let mut out = [0u8; Self::WIRE_BYTES];
+        out[0..4].copy_from_slice(&self.index.to_le_bytes());
+        out[4..12].copy_from_slice(&self.arrival_ns.to_le_bytes());
+        out[12] = self.class.rank() as u8;
+        out[13..17].copy_from_slice(&self.row.to_le_bytes());
+        out
+    }
+
+    /// Inverse of [`RequestRecord::to_bytes`]; `None` on short input or
+    /// an out-of-range class rank.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < Self::WIRE_BYTES {
+            return None;
+        }
+        Some(Self {
+            index: u32::from_le_bytes(bytes[0..4].try_into().ok()?),
+            arrival_ns: u64::from_le_bytes(bytes[4..12].try_into().ok()?),
+            class: SloClass::from_rank(bytes[12] as usize)?,
+            row: u32::from_le_bytes(bytes[13..17].try_into().ok()?),
+        })
+    }
+}
+
+/// The full offered request stream for an open-loop run: the
+/// [`arrival_schedule`] zipped with cycled classes and input rows.
+/// Empty `classes` tags everything [`SloClass::Standard`]. Pure in the
+/// same sense as [`arrival_schedule`].
+pub fn request_stream(
+    seed: u64,
+    rps: f64,
+    requests: usize,
+    classes: &[SloClass],
+    input_rows: usize,
+) -> Vec<RequestRecord> {
+    let input_rows = input_rows.max(1);
+    arrival_schedule(seed, rps, requests)
+        .into_iter()
+        .enumerate()
+        .map(|(i, arrival_ns)| RequestRecord {
+            index: i as u32,
+            arrival_ns,
+            class: if classes.is_empty() { SloClass::Standard } else { classes[i % classes.len()] },
+            row: (i % input_rows) as u32,
+        })
+        .collect()
 }
 
 /// Client-side measurements from one load run.
 #[derive(Debug, Clone)]
 pub struct LoadReport {
-    /// Exact client-observed latencies, sorted ascending.
+    /// Exact client-observed latencies of **served** responses (every
+    /// route except the shed fallback), sorted ascending. Shed responses
+    /// return in microseconds and would drag every percentile toward
+    /// zero if mixed in, so they live in `shed_latencies`.
     pub latencies: Vec<Duration>,
+    /// Client-observed latencies of shed responses, sorted ascending.
+    pub shed_latencies: Vec<Duration>,
     /// Wall-clock duration of the whole run.
     pub elapsed: Duration,
-    /// Requests that received a response.
+    /// Requests that received a response (served or shed).
     pub completed: usize,
     /// Responses per route.
     pub local: usize,
@@ -67,19 +172,33 @@ pub struct LoadReport {
     pub split: usize,
     /// Responses answered by the shed fallback.
     pub shed: usize,
+    /// Served responses per SLO class, indexed by [`SloClass::rank`].
+    /// Unclassed responses count toward [`SloClass::Standard`].
+    pub class_served: [usize; SloClass::COUNT],
+    /// Shed responses per SLO class, indexed by [`SloClass::rank`].
+    pub class_shed: [usize; SloClass::COUNT],
     /// Mean worker-pool batch size observed across batched responses.
     pub mean_batch_size: f64,
 }
 
 impl LoadReport {
     /// Exact `p`-th percentile latency (`0 < p <= 100`) from the sorted
-    /// client-side samples.
+    /// **served** samples; shed responses never contribute.
     pub fn percentile(&self, p: f64) -> Duration {
-        if self.latencies.is_empty() {
+        Self::exact_percentile(&self.latencies, p)
+    }
+
+    /// Exact `p`-th percentile latency of the shed fallback path.
+    pub fn shed_percentile(&self, p: f64) -> Duration {
+        Self::exact_percentile(&self.shed_latencies, p)
+    }
+
+    fn exact_percentile(sorted: &[Duration], p: f64) -> Duration {
+        if sorted.is_empty() {
             return Duration::ZERO;
         }
-        let rank = ((p / 100.0) * self.latencies.len() as f64).ceil().max(1.0) as usize;
-        self.latencies[rank.min(self.latencies.len()) - 1]
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+        sorted[rank.min(sorted.len()) - 1]
     }
 
     /// Completed requests per second.
@@ -101,31 +220,46 @@ impl LoadReport {
     }
 
     fn from_responses(responses: Vec<InferenceResponse>, elapsed: Duration) -> Self {
-        let mut latencies: Vec<Duration> = responses.iter().map(|r| r.latency).collect();
-        latencies.sort();
+        let mut latencies = Vec::with_capacity(responses.len());
+        let mut shed_latencies = Vec::new();
         let (mut local, mut cloud, mut split, mut shed) = (0usize, 0, 0, 0);
+        let mut class_served = [0usize; SloClass::COUNT];
+        let mut class_shed = [0usize; SloClass::COUNT];
         let mut batched = 0usize;
         let mut batch_sum = 0usize;
         for r in &responses {
+            let rank = r.class.unwrap_or(SloClass::Standard).rank();
             match r.route {
                 Route::Local => local += 1,
                 Route::Cloud => cloud += 1,
                 Route::Split { .. } => split += 1,
                 Route::EarlyExit => shed += 1,
             }
+            if matches!(r.route, Route::EarlyExit) {
+                shed_latencies.push(r.latency);
+                class_shed[rank] += 1;
+            } else {
+                latencies.push(r.latency);
+                class_served[rank] += 1;
+            }
             if matches!(r.route, Route::Cloud | Route::Split { .. }) {
                 batched += 1;
                 batch_sum += r.batch_size;
             }
         }
+        latencies.sort();
+        shed_latencies.sort();
         Self {
             completed: responses.len(),
             latencies,
+            shed_latencies,
             elapsed,
             local,
             cloud,
             split,
             shed,
+            class_served,
+            class_shed,
             mean_batch_size: if batched == 0 { 0.0 } else { batch_sum as f64 / batched as f64 },
         }
     }
@@ -157,32 +291,40 @@ fn pick<'a>(
     (inputs.row(index % inputs.rows()), config.profiles[index % config.profiles.len()])
 }
 
+fn submit_indexed(
+    client: &ServeClient,
+    inputs: &Matrix,
+    config: &LoadGenConfig,
+    index: usize,
+) -> Result<crossbeam::channel::Receiver<InferenceResponse>, crate::server::SubmitError> {
+    let (input, profile) = pick(inputs, config, index);
+    if config.classes.is_empty() {
+        client.submit(input, profile)
+    } else {
+        client.submit_classed(input, profile, config.classes[index % config.classes.len()])
+    }
+}
+
 fn run_open(
     client: &ServeClient,
     inputs: &Matrix,
     config: &LoadGenConfig,
     rps: f64,
 ) -> Vec<InferenceResponse> {
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mean_gap = 1.0 / rps.max(1e-9);
     let mut receivers = Vec::with_capacity(config.requests);
     // Absolute-deadline pacing: each arrival is scheduled on the Poisson
     // timeline computed up front, so oversleeping one gap (timer
     // granularity) is recovered on the next instead of compounding into
     // a lower offered rate.
+    let schedule = arrival_schedule(config.seed, rps, config.requests);
     let started = Instant::now();
-    let mut due = 0.0f64;
-    for i in 0..config.requests {
-        // exponential interarrival: -mean * ln(1 - U)
-        let u: f64 = rng.gen();
-        due += -mean_gap * (1.0 - u).ln().min(0.0);
-        let target = started + Duration::from_secs_f64(due.min(3600.0));
+    for (i, &offset_ns) in schedule.iter().enumerate() {
+        let target = started + Duration::from_nanos(offset_ns);
         let now = Instant::now();
         if target > now {
             std::thread::sleep(target - now);
         }
-        let (input, profile) = pick(inputs, config, i);
-        match client.submit(input, profile) {
+        match submit_indexed(client, inputs, config, i) {
             Ok(rx) => receivers.push(rx),
             Err(_) => break,
         }
@@ -208,8 +350,7 @@ fn run_closed(
                     // worker w owns request indices w, w+C, w+2C, ...
                     let mut i = w;
                     while i < total {
-                        let (input, profile) = pick(inputs, config, i);
-                        let Ok(rx) = client.submit(input, profile) else { break };
+                        let Ok(rx) = submit_indexed(&client, inputs, config, i) else { break };
                         if let Ok(resp) = rx.recv() {
                             mine.push(resp);
                         }
@@ -264,10 +405,16 @@ mod tests {
                     device: DeviceClass::Wearable,
                     network: NetworkClass::Wifi,
                 }],
+                classes: vec![SloClass::Interactive, SloClass::BestEffort],
             },
         );
         assert_eq!(report.completed, 64);
         assert_eq!(report.latencies.len(), 64);
+        assert!(report.shed_latencies.is_empty());
+        // classes cycle by index: half interactive, half best-effort
+        assert_eq!(report.class_served[SloClass::Interactive.rank()], 32);
+        assert_eq!(report.class_served[SloClass::BestEffort.rank()], 32);
+        assert_eq!(report.class_shed, [0; SloClass::COUNT]);
         assert!(report.percentile(50.0) <= report.percentile(99.0));
         drop(client);
         server.shutdown();
@@ -288,6 +435,7 @@ mod tests {
                     ClientProfile { device: DeviceClass::Wearable, network: NetworkClass::Wifi },
                     ClientProfile { device: DeviceClass::Flagship, network: NetworkClass::Offline },
                 ],
+                classes: vec![],
             },
         );
         assert_eq!(report.completed, 40);
@@ -302,17 +450,51 @@ mod tests {
     fn percentile_is_exact_on_known_samples() {
         let report = LoadReport {
             latencies: (1..=100).map(Duration::from_micros).collect(),
+            shed_latencies: (1..=10).map(Duration::from_micros).collect(),
             elapsed: Duration::from_secs(1),
-            completed: 100,
+            completed: 110,
             local: 0,
             cloud: 100,
             split: 0,
-            shed: 0,
+            shed: 10,
+            class_served: [0, 100, 0],
+            class_shed: [0, 0, 10],
             mean_batch_size: 1.0,
         };
         assert_eq!(report.percentile(50.0), Duration::from_micros(50));
         assert_eq!(report.percentile(99.0), Duration::from_micros(99));
         assert_eq!(report.percentile(100.0), Duration::from_micros(100));
-        assert!((report.throughput_rps() - 100.0).abs() < 1e-9);
+        assert_eq!(report.shed_percentile(100.0), Duration::from_micros(10));
+        assert!((report.throughput_rps() - 110.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arrival_schedule_is_pure_and_monotonic() {
+        let a = arrival_schedule(42, 1000.0, 256);
+        let b = arrival_schedule(42, 1000.0, 256);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        // a different seed moves the arrivals
+        assert_ne!(a, arrival_schedule(43, 1000.0, 256));
+        // a longer run extends the same prefix — consuming more of the
+        // stream never rewrites what already arrived
+        let longer = arrival_schedule(42, 1000.0, 512);
+        assert_eq!(&longer[..256], &a[..]);
+    }
+
+    #[test]
+    fn request_record_round_trips_on_the_wire() {
+        let rec = RequestRecord {
+            index: 7,
+            arrival_ns: 123_456_789,
+            class: SloClass::BestEffort,
+            row: 31,
+        };
+        assert_eq!(RequestRecord::from_bytes(&rec.to_bytes()), Some(rec));
+        // short buffers and junk class ranks are rejected, not misparsed
+        assert_eq!(RequestRecord::from_bytes(&rec.to_bytes()[..16]), None);
+        let mut bad = rec.to_bytes();
+        bad[12] = 9;
+        assert_eq!(RequestRecord::from_bytes(&bad), None);
     }
 }

@@ -7,9 +7,10 @@
 //!
 //! | name                     | kind                     | meaning                         |
 //! |--------------------------|--------------------------|---------------------------------|
-//! | `serve.latency_us`       | histogram (pow2)         | submit→response latency, µs     |
+//! | `serve.latency_us`       | histogram (pow2)         | *served-only* submit→response µs|
+//! | `serve.shed_latency_us`  | histogram (pow2, lazy)   | latency of shed answers, µs     |
 //! | `serve.batch_size`       | histogram (linear, w=1)  | dispatched batch sizes          |
-//! | `serve.completed`        | counter                  | responses delivered             |
+//! | `serve.completed`        | counter                  | responses served                |
 //! | `serve.shed`             | counter                  | answered by the early-exit path |
 //! | `serve.local`            | counter                  | answered on-device              |
 //! | `serve.batches`          | counter                  | batches dispatched              |
@@ -17,22 +18,34 @@
 //! | `serve.queue_depth`      | gauge                    | instantaneous admission depth   |
 //! | `serve.swaps`            | counter (lazy)           | completed hot swaps             |
 //! | `serve.reverts`          | counter (lazy)           | rollbacks to a pinned version   |
+//! | `serve.class.<c>.completed`  | counter (lazy)       | served responses in class `<c>` |
+//! | `serve.class.<c>.shed`       | counter (lazy)       | shed requests in class `<c>`    |
+//! | `serve.class.<c>.latency_us` | histogram (pow2, lazy)| served-only latency per class  |
 //! | `plan.cache_hits`        | counter (lazy)           | batches served on a cached plan |
 //! | `plan.cache_misses`      | counter (lazy)           | plan compilations (incl. rejects)|
 //! | `plan.fused_ops`         | counter (lazy)           | fused kernels across compiles   |
 //! | `plan.arena_bytes`       | gauge (lazy)             | last compiled plan's arena size |
 //!
-//! The swap/revert and `plan.*` instruments are registered on first use
-//! rather than at construction, so a server that never swaps (or never
-//! runs the planned executor) exports exactly the same instrument set as
-//! before those features existed (the golden observability trace depends
-//! on this).
+//! Shed answers and served responses land in **separate** histograms:
+//! an early-exit answer returns in microseconds, so mixing the two made
+//! a shed-heavy run report a nonsense sub-inference p50 (the old
+//! `p50_us: 5` at 3200 offered rps). `serve.latency_us` now carries only
+//! responses the model actually served; shed latency is tracked, but
+//! apart, under `serve.shed_latency_us`.
+//!
+//! The swap/revert, shed-latency, per-class (`serve.class.<c>.*`, where
+//! `<c>` is an [`SloClass::label`]) and `plan.*` instruments are
+//! registered on first use rather than at construction, so a server that
+//! never swaps, never sheds, and serves only unclassed traffic exports
+//! exactly the same instrument set as before those features existed (the
+//! golden observability trace depends on this).
 //!
 //! Timestamps come from the observability clock, so a server attached to a
 //! simulated clock ([`mdl_obs::Clock`] in sim mode) reports deterministic
 //! latencies (zero unless the simulation advances time), while the default
 //! wall clock measures real elapsed time.
 
+use crate::slo::SloClass;
 use mdl_obs::{Buckets, Clock, Counter, Gauge, Histogram, Obs};
 use std::time::Duration;
 
@@ -92,15 +105,42 @@ impl ServerMetrics {
         self.batched_requests.add(size as u64);
     }
 
-    /// Records one delivered response.
+    /// Records one *served* response (cloud, split or local — anything
+    /// the model itself answered). Shed answers go through
+    /// [`ServerMetrics::record_shed`] instead, so `serve.latency_us`
+    /// never mixes microsecond early-exit replies into the served
+    /// latency distribution.
     pub fn record_completed(&self, latency: Duration) {
         self.completed.inc();
         self.latency_us.record(latency.as_micros() as u64);
     }
 
-    /// Records a request answered by the shed path.
-    pub fn record_shed(&self) {
+    /// Records a request answered by the shed path. Its latency lands in
+    /// the lazy `serve.shed_latency_us` histogram — never in
+    /// `serve.latency_us` — so shed-free runs export an unchanged
+    /// instrument set and shed-heavy runs keep an honest served p50.
+    pub fn record_shed(&self, latency: Duration) {
         self.shed.inc();
+        self.obs
+            .registry()
+            .histogram("serve.shed_latency_us", Buckets::Pow2)
+            .record(latency.as_micros() as u64);
+    }
+
+    /// Records one served response under its SLO class (lazy
+    /// `serve.class.<c>.completed` counter + `serve.class.<c>.latency_us`
+    /// histogram). Call alongside [`ServerMetrics::record_completed`].
+    pub fn record_class_completed(&self, class: SloClass, latency: Duration) {
+        let r = self.obs.registry();
+        r.counter(class.completed_metric()).inc();
+        r.histogram(class.latency_metric(), Buckets::Pow2).record(latency.as_micros() as u64);
+    }
+
+    /// Records one shed request under its SLO class (lazy
+    /// `serve.class.<c>.shed` counter). Call alongside
+    /// [`ServerMetrics::record_shed`].
+    pub fn record_class_shed(&self, class: SloClass) {
+        self.obs.registry().counter(class.shed_metric()).inc();
     }
 
     /// Records a request answered on-device (routed local, never queued).
@@ -188,7 +228,8 @@ impl ServerMetrics {
 /// A frozen view of [`ServerMetrics`].
 #[derive(Debug, Clone)]
 pub struct MetricsSnapshot {
-    /// Responses delivered (all routes, including shed answers).
+    /// Responses the model served (local + batched). Shed answers are
+    /// counted under [`MetricsSnapshot::shed`], not here.
     pub completed: u64,
     /// Requests answered by the shed (early-exit) path.
     pub shed: u64,
@@ -202,25 +243,27 @@ pub struct MetricsSnapshot {
     pub batch_histogram: Vec<(usize, u64)>,
     /// Request-queue depth at snapshot time.
     pub queue_depth: usize,
-    /// Completed responses per second over the window.
+    /// Served responses per second over the window.
     pub throughput_rps: f64,
-    /// Mean submit→response latency.
+    /// Mean served submit→response latency (shed answers excluded).
     pub mean_latency: Duration,
-    /// Median latency (histogram bucket upper bound).
+    /// Median served latency (histogram bucket upper bound).
     pub p50: Duration,
-    /// 95th percentile latency (histogram bucket upper bound).
+    /// 95th percentile served latency (histogram bucket upper bound).
     pub p95: Duration,
-    /// 99th percentile latency (histogram bucket upper bound).
+    /// 99th percentile served latency (histogram bucket upper bound).
     pub p99: Duration,
 }
 
 impl MetricsSnapshot {
-    /// Fraction of completed responses answered by the shed path.
+    /// Fraction of all answered requests (served + shed) that took the
+    /// shed path.
     pub fn shed_rate(&self) -> f64 {
-        if self.completed == 0 {
+        let answered = self.completed + self.shed;
+        if answered == 0 {
             0.0
         } else {
-            self.shed as f64 / self.completed as f64
+            self.shed as f64 / answered as f64
         }
     }
 }
@@ -274,7 +317,7 @@ mod tests {
         let obs = Obs::sim();
         let m = ServerMetrics::new(&obs);
         m.record_local();
-        m.record_shed();
+        m.record_shed(Duration::from_micros(5));
         m.record_batch(3);
         m.record_completed(Duration::from_micros(5));
         let snap = obs.snapshot();
@@ -285,6 +328,49 @@ mod tests {
         assert_eq!(snap.counter("serve.completed"), Some(1));
         let lat = snap.histogram("serve.latency_us").expect("latency histogram exported");
         assert_eq!(lat.count, 1);
+        let shed = snap.histogram("serve.shed_latency_us").expect("shed latency exported");
+        assert_eq!(shed.count, 1);
+    }
+
+    #[test]
+    fn shed_latency_never_lands_in_the_served_histogram() {
+        let obs = Obs::sim();
+        let m = ServerMetrics::new(&obs);
+        m.record_completed(Duration::from_millis(8));
+        for _ in 0..50 {
+            m.record_shed(Duration::from_micros(5));
+        }
+        let snap = obs.snapshot();
+        let lat = snap.histogram("serve.latency_us").expect("served histogram");
+        assert_eq!(lat.count, 1, "50 sheds must not pollute the served histogram");
+        assert!(lat.min >= 8_000, "served min stays at the real forward, got {}", lat.min);
+        let shed = snap.histogram("serve.shed_latency_us").expect("shed histogram");
+        assert_eq!(shed.count, 50);
+        let metrics = m.snapshot(Duration::from_secs(1));
+        assert_eq!(metrics.completed, 1);
+        assert_eq!(metrics.shed, 50);
+        assert!((metrics.shed_rate() - 50.0 / 51.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shed_and_class_instruments_register_lazily() {
+        let obs = Obs::sim();
+        let m = ServerMetrics::new(&obs);
+        m.record_completed(Duration::from_micros(10));
+        let before = obs.snapshot();
+        assert!(before.histogram("serve.shed_latency_us").is_none(), "absent until a shed");
+        for class in SloClass::ALL {
+            assert_eq!(before.counter(class.completed_metric()), None);
+            assert_eq!(before.counter(class.shed_metric()), None);
+            assert!(before.histogram(class.latency_metric()).is_none());
+        }
+        m.record_class_completed(SloClass::Interactive, Duration::from_micros(100));
+        m.record_class_shed(SloClass::BestEffort);
+        let after = obs.snapshot();
+        assert_eq!(after.counter("serve.class.interactive.completed"), Some(1));
+        assert_eq!(after.counter("serve.class.best_effort.shed"), Some(1));
+        assert_eq!(after.histogram("serve.class.interactive.latency_us").unwrap().count, 1);
+        assert_eq!(after.counter("serve.class.standard.completed"), None, "still lazy");
     }
 
     #[test]

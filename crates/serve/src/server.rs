@@ -20,10 +20,11 @@
 use crate::metrics::{MetricsSnapshot, ServerMetrics};
 use crate::registry::{ModelRegistry, ModelVariant, VersionedModel};
 use crate::router::{ClientProfile, Route, Router};
+use crate::slo::SloClass;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use mdl_compress::CompressedModel;
 use mdl_nn::saved::LoadModelError;
-use mdl_nn::{Layer, Plan, PlanModel, PlanOptions, QuantizedModel, Sequential};
+use mdl_nn::{Layer, PlanCache, PlanLookup, PlanModel, PlanOptions, QuantizedModel, Sequential};
 use mdl_obs::Obs;
 use mdl_tensor::stats::softmax_rows;
 use mdl_tensor::Matrix;
@@ -45,7 +46,10 @@ pub struct ServeConfig {
     /// (backpressure).
     pub queue_capacity: usize,
     /// Queue depth above which cloud-bound requests are shed to the
-    /// early-exit fallback (when one is installed).
+    /// early-exit fallback (when one is installed). This is the
+    /// [`SloClass::Standard`] threshold; classed submissions scale it by
+    /// class ([`SloClass::shed_depth`]): `BestEffort` sheds at a quarter
+    /// of this depth, `Interactive` at four times it.
     pub shed_queue_depth: usize,
     /// GEMM kernel threads for the batch forward pass (`None` keeps the
     /// process default). Workers already run in parallel, so this stays
@@ -83,6 +87,9 @@ pub struct InferenceResponse {
     pub model_version: u64,
     /// The execution path the request took.
     pub route: Route,
+    /// SLO class the request was submitted under (`None` for the
+    /// unclassed [`ServeClient::submit`] path).
+    pub class: Option<SloClass>,
     /// Size of the batch this request was served in (1 for inline paths).
     pub batch_size: usize,
     /// Submit→response latency.
@@ -99,6 +106,9 @@ struct Job {
     /// Model version the request was admitted under.
     pinned: Arc<VersionedModel>,
     route: Route,
+    /// SLO class (`None` for the legacy unclassed submit path, which
+    /// queues and sheds like [`SloClass::Standard`]).
+    class: Option<SloClass>,
     resp: Sender<InferenceResponse>,
     /// Admission time on the observability clock.
     submitted_ns: u64,
@@ -215,6 +225,37 @@ impl ServeClient {
         input: &[f32],
         profile: ClientProfile,
     ) -> Result<Receiver<InferenceResponse>, SubmitError> {
+        self.submit_inner(input, profile, None)
+    }
+
+    /// Submits one example under an explicit [`SloClass`].
+    ///
+    /// Classed admission replaces the blanket shed threshold with a
+    /// strictly class-ordered one (see [`SloClass::shed_depth`]): as the
+    /// queue deepens, `BestEffort` requests shed first, `Standard` at the
+    /// configured depth, and `Interactive` holds out four times longer.
+    /// The scheduler also dispatches coalesced batches in class-priority
+    /// order, so interactive work overtakes best-effort work that is
+    /// still waiting for a batch.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ServeClient::submit`].
+    pub fn submit_classed(
+        &self,
+        input: &[f32],
+        profile: ClientProfile,
+        class: SloClass,
+    ) -> Result<Receiver<InferenceResponse>, SubmitError> {
+        self.submit_inner(input, profile, Some(class))
+    }
+
+    fn submit_inner(
+        &self,
+        input: &[f32],
+        profile: ClientProfile,
+        class: Option<SloClass>,
+    ) -> Result<Receiver<InferenceResponse>, SubmitError> {
         let submitted_ns = self.shared.metrics.now_ns();
         let snapshot = self.shared.registry.current();
         let expected = snapshot.model.input_dim();
@@ -229,17 +270,22 @@ impl ServeClient {
         let cloud_bound = matches!(route, Route::Cloud | Route::Split { .. });
 
         // Overload: answer immediately from the local early-exit head.
-        if cloud_bound && depth >= self.shared.config.shed_queue_depth {
+        // The threshold is class-ordered — best-effort traffic sheds at a
+        // quarter of the configured depth, interactive at four times it —
+        // so pressure always evicts the lowest class first.
+        let shed_depth =
+            class.unwrap_or(SloClass::Standard).shed_depth(self.shared.config.shed_queue_depth);
+        if cloud_bound && depth >= shed_depth {
             if let Some(fallback) = &self.shared.fallback {
                 let x = Matrix::row_vector(input);
                 let probs = softmax_rows(&fallback.forward_eval(&x));
-                self.shared.metrics.record_shed();
                 Self::deliver(
                     &self.shared,
                     resp_tx,
                     probs.row(0),
                     snapshot.version,
                     Route::EarlyExit,
+                    class,
                     1,
                     submitted_ns,
                 );
@@ -259,6 +305,7 @@ impl ServeClient {
                     probs.row(0),
                     snapshot.version,
                     route,
+                    class,
                     1,
                     submitted_ns,
                 );
@@ -269,6 +316,7 @@ impl ServeClient {
                     entry_layer: 0,
                     pinned: snapshot,
                     route,
+                    class,
                     resp: resp_tx,
                     submitted_ns,
                 };
@@ -284,6 +332,7 @@ impl ServeClient {
                         entry_layer: local_layers,
                         pinned: snapshot,
                         route,
+                        class,
                         resp: resp_tx,
                         submitted_ns,
                     };
@@ -302,6 +351,7 @@ impl ServeClient {
                         probs.row(0),
                         snapshot.version,
                         Route::Local,
+                        class,
                         1,
                         submitted_ns,
                     );
@@ -312,22 +362,37 @@ impl ServeClient {
         Ok(resp_rx)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn deliver(
         shared: &Shared,
         resp: Sender<InferenceResponse>,
         probs: &[f32],
         model_version: u64,
         route: Route,
+        class: Option<SloClass>,
         batch_size: usize,
         submitted_ns: u64,
     ) {
         let latency = Duration::from_nanos(shared.metrics.now_ns().saturating_sub(submitted_ns));
-        shared.metrics.record_completed(latency);
+        if route == Route::EarlyExit {
+            // Shed answers are bookkept apart: their microsecond inline
+            // latency must never pollute the served histogram.
+            shared.metrics.record_shed(latency);
+            if let Some(class) = class {
+                shared.metrics.record_class_shed(class);
+            }
+        } else {
+            shared.metrics.record_completed(latency);
+            if let Some(class) = class {
+                shared.metrics.record_class_completed(class, latency);
+            }
+        }
         let response = InferenceResponse {
             argmax: argmax(probs),
             probs: probs.to_vec(),
             model_version,
             route,
+            class,
             batch_size,
             latency,
         };
@@ -340,9 +405,12 @@ impl ServeClient {
 const IDLE_WAIT: Duration = Duration::from_millis(20);
 
 fn scheduler_loop(jobs: Receiver<Job>, batches: Sender<Batch>, shared: Arc<Shared>) {
-    // Groups keyed by (entry layer, input width): only identical shapes
-    // can share a matrix. The Instant is the oldest member's arrival.
-    let mut pending: HashMap<(usize, usize), (Instant, Vec<Job>)> = HashMap::new();
+    // Groups keyed by (class rank, entry layer, input width): only
+    // identical shapes can share a matrix, and a class never co-batches
+    // with another — otherwise a best-effort arrival could ride an
+    // interactive batch past its own shed threshold. Unclassed jobs
+    // group at Standard rank. The Instant is the oldest member's arrival.
+    let mut pending: HashMap<(usize, usize, usize), (Instant, Vec<Job>)> = HashMap::new();
     let max_wait = shared.config.max_wait;
     let max_batch = shared.config.max_batch.max(1);
 
@@ -356,30 +424,39 @@ fn scheduler_loop(jobs: Receiver<Job>, batches: Sender<Batch>, shared: Arc<Share
             .unwrap_or(IDLE_WAIT);
         match jobs.recv_timeout(timeout) {
             Ok(job) => {
-                let key = (job.entry_layer, job.input.len());
+                let rank = job.class.unwrap_or(SloClass::Standard).rank();
+                let key = (rank, job.entry_layer, job.input.len());
                 let group = pending.entry(key).or_insert_with(|| (Instant::now(), Vec::new()));
                 group.1.push(job);
                 if group.1.len() >= max_batch {
                     let (_, ready) = pending.remove(&key).expect("group exists");
-                    dispatch(&batches, key.0, ready, &shared);
+                    dispatch(&batches, key.1, ready, &shared);
                 }
             }
             Err(RecvTimeoutError::Timeout) => {
                 let now = Instant::now();
-                let expired: Vec<_> = pending
+                let mut expired: Vec<_> = pending
                     .iter()
                     .filter(|(_, (first, _))| now.duration_since(*first) >= max_wait)
                     .map(|(k, _)| *k)
                     .collect();
+                // Strict class order: interactive batches enter the
+                // worker channel before standard, standard before
+                // best-effort — the key sorts by class rank first.
+                expired.sort_unstable();
                 for key in expired {
                     let (_, ready) = pending.remove(&key).expect("group exists");
-                    dispatch(&batches, key.0, ready, &shared);
+                    dispatch(&batches, key.1, ready, &shared);
                 }
             }
             Err(RecvTimeoutError::Disconnected) => {
-                // all clients and the server handle are gone: drain & stop
-                for ((entry, _), (_, ready)) in pending.drain() {
-                    dispatch(&batches, entry, ready, &shared);
+                // all clients and the server handle are gone: drain &
+                // stop, still in class order
+                let mut keys: Vec<_> = pending.keys().copied().collect();
+                keys.sort_unstable();
+                for key in keys {
+                    let (_, ready) = pending.remove(&key).expect("group exists");
+                    dispatch(&batches, key.1, ready, &shared);
                 }
                 break;
             }
@@ -409,51 +486,39 @@ fn plan_model(model: &ModelVariant) -> PlanModel<'_> {
 }
 
 /// Runs the batch through the worker's cached execution plan for
-/// `(version, shape)`, compiling one on first sight. Returns `false`
-/// when the model can't be planned (the rejection is cached too, so the
-/// planner runs once per key, not once per batch) and the caller falls
-/// back to the dynamic path.
+/// `(version, shape)`, compiling one on first sight (see
+/// [`mdl_nn::PlanCache`] — rejections are cached too, so the planner
+/// runs once per key, not once per batch). Returns `false` when the
+/// model can't be planned and the caller falls back to the dynamic path.
 fn run_planned(
-    plans: &mut HashMap<(u64, usize, usize), Option<Plan>>,
+    plans: &mut PlanCache,
     out: &mut Matrix,
     snapshot: &VersionedModel,
     x: &Matrix,
     shared: &Shared,
 ) -> bool {
-    let key = (snapshot.version, x.rows(), x.cols());
-    if let Some(cached) = plans.get_mut(&key) {
-        match cached {
-            Some(plan) => {
-                shared.metrics.record_plan_hit();
-                plan.run(plan_model(&snapshot.model), x, out);
-                true
-            }
-            None => false,
-        }
-    } else {
-        if plans.len() >= PLAN_CACHE_CAP {
-            let pinned = shared.registry.pinned_version();
-            plans.retain(|&(v, _, _), _| v == snapshot.version || Some(v) == pinned);
-        }
-        let compiled =
-            Plan::compile(plan_model(&snapshot.model), x.rows(), x.cols(), PlanOptions::default())
-                .ok();
-        shared.metrics.record_plan_miss(compiled.as_ref().map(|p| p.stats()));
-        let ran = match plans.entry(key).or_insert(compiled) {
-            Some(plan) => {
-                plan.run(plan_model(&snapshot.model), x, out);
-                true
-            }
-            None => false,
-        };
-        ran
+    let pinned = shared.registry.pinned_version();
+    let lookup = plans.run(
+        snapshot.version,
+        plan_model(&snapshot.model),
+        x,
+        out,
+        PlanOptions::default(),
+        |v| Some(v) == pinned,
+    );
+    match lookup {
+        PlanLookup::Hit => shared.metrics.record_plan_hit(),
+        PlanLookup::Compiled(stats) => shared.metrics.record_plan_miss(Some(stats)),
+        PlanLookup::Rejected { fresh: true } => shared.metrics.record_plan_miss(None),
+        PlanLookup::Rejected { fresh: false } => {}
     }
+    lookup.ran()
 }
 
 fn worker_loop(batches: Receiver<Batch>, shared: Arc<Shared>) {
     // Plans are worker-local: no locking, and each worker converges on
     // the few (version, batch shape) keys its batches actually repeat.
-    let mut plans: HashMap<(u64, usize, usize), Option<Plan>> = HashMap::new();
+    let mut plans = PlanCache::new(PLAN_CACHE_CAP);
     let mut planned_out = Matrix::default();
     while let Ok(batch) = batches.recv() {
         let _span = shared.obs.root_span("serve.batch");
@@ -499,6 +564,7 @@ fn worker_loop(batches: Receiver<Batch>, shared: Arc<Shared>) {
                     probs.row(r),
                     snapshot.version,
                     job.route,
+                    job.class,
                     n,
                     job.submitted_ns,
                 );
@@ -515,6 +581,7 @@ fn worker_loop(batches: Receiver<Batch>, shared: Arc<Shared>) {
                     probs.row(0),
                     job.pinned.version,
                     job.route,
+                    job.class,
                     n,
                     job.submitted_ns,
                 );
@@ -790,6 +857,42 @@ mod tests {
         let v2 = client.submit(&[0.2; 32], cloud_profile()).unwrap().recv().unwrap();
         assert_eq!(v2.model_version, 2);
         assert_eq!(server.swap_count(), 1);
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shedding_is_class_ordered() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut fallback = Sequential::new();
+        fallback.push(Dense::new(32, 4, Activation::Identity, &mut rng));
+        // Standard depth 1 ⇒ BestEffort threshold 0 (sheds immediately)
+        // while Interactive holds to depth 4: the same queue state sheds
+        // one class and serves the other.
+        let config = ServeConfig { shed_queue_depth: 1, ..Default::default() };
+        let server = InferenceServer::start(cloud_model(7), Some(fallback), config);
+        let client = server.client();
+
+        let be = client
+            .submit_classed(&[0.4; 32], cloud_profile(), SloClass::BestEffort)
+            .unwrap()
+            .recv()
+            .unwrap();
+        assert_eq!(be.route, Route::EarlyExit, "best-effort sheds at depth 0");
+        assert_eq!(be.class, Some(SloClass::BestEffort));
+
+        let it = client
+            .submit_classed(&[0.4; 32], cloud_profile(), SloClass::Interactive)
+            .unwrap()
+            .recv()
+            .unwrap();
+        assert_eq!(it.route, Route::Cloud, "interactive rides out the same depth");
+        assert_eq!(it.class, Some(SloClass::Interactive));
+
+        let snap = server.obs().snapshot();
+        assert_eq!(snap.counter("serve.class.best_effort.shed"), Some(1));
+        assert_eq!(snap.counter("serve.class.interactive.completed"), Some(1));
+        assert_eq!(snap.counter("serve.class.interactive.shed"), None, "lazy + never shed");
         drop(client);
         server.shutdown();
     }

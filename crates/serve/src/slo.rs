@@ -1,0 +1,135 @@
+//! SLO service classes for admission control.
+//!
+//! Every request carries a [`SloClass`]; the serving tier orders both
+//! queueing and shedding strictly by class. `Interactive` traffic is the
+//! last to shed and the first to dispatch, `BestEffort` the reverse —
+//! replacing the blanket queue-depth threshold that shed whichever
+//! request happened to arrive when the queue was deep, regardless of how
+//! much the caller cared about the answer.
+
+/// Service class of one request, in strict priority order.
+///
+/// The derived [`Ord`] is the priority order: `Interactive` sorts first.
+/// Within a class, requests keep FIFO order — class never reorders the
+/// work of equals, it only decides who waits (and who sheds) first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SloClass {
+    /// User-facing, latency-sensitive: served first, shed last.
+    Interactive,
+    /// Default traffic with ordinary latency expectations.
+    Standard,
+    /// Background/batch work: the first to shed under pressure.
+    BestEffort,
+}
+
+impl SloClass {
+    /// Every class, in priority order (highest first).
+    pub const ALL: [SloClass; 3] =
+        [SloClass::Interactive, SloClass::Standard, SloClass::BestEffort];
+
+    /// Number of classes.
+    pub const COUNT: usize = 3;
+
+    /// Priority rank: 0 for `Interactive` through 2 for `BestEffort`.
+    pub fn rank(self) -> usize {
+        match self {
+            SloClass::Interactive => 0,
+            SloClass::Standard => 1,
+            SloClass::BestEffort => 2,
+        }
+    }
+
+    /// Inverse of [`SloClass::rank`]; `None` for out-of-range values.
+    pub fn from_rank(rank: usize) -> Option<Self> {
+        Self::ALL.get(rank).copied()
+    }
+
+    /// Snake-case label used in metric names and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SloClass::Interactive => "interactive",
+            SloClass::Standard => "standard",
+            SloClass::BestEffort => "best_effort",
+        }
+    }
+
+    /// `serve.class.<label>.completed` — responses served for this class.
+    pub fn completed_metric(self) -> &'static str {
+        match self {
+            SloClass::Interactive => "serve.class.interactive.completed",
+            SloClass::Standard => "serve.class.standard.completed",
+            SloClass::BestEffort => "serve.class.best_effort.completed",
+        }
+    }
+
+    /// `serve.class.<label>.shed` — requests shed for this class.
+    pub fn shed_metric(self) -> &'static str {
+        match self {
+            SloClass::Interactive => "serve.class.interactive.shed",
+            SloClass::Standard => "serve.class.standard.shed",
+            SloClass::BestEffort => "serve.class.best_effort.shed",
+        }
+    }
+
+    /// `serve.class.<label>.latency_us` — served-only latency histogram.
+    pub fn latency_metric(self) -> &'static str {
+        match self {
+            SloClass::Interactive => "serve.class.interactive.latency_us",
+            SloClass::Standard => "serve.class.standard.latency_us",
+            SloClass::BestEffort => "serve.class.best_effort.latency_us",
+        }
+    }
+
+    /// Multiplier applied to `ServeConfig::shed_queue_depth` to get this
+    /// class's shed threshold in the threaded server: `BestEffort` sheds
+    /// at a quarter of the configured depth, `Standard` at the depth
+    /// itself, and `Interactive` holds on to four times that — so under
+    /// rising load the classes shed strictly in reverse priority order.
+    pub fn shed_depth(self, shed_queue_depth: usize) -> usize {
+        match self {
+            SloClass::Interactive => shed_queue_depth.saturating_mul(4),
+            SloClass::Standard => shed_queue_depth,
+            SloClass::BestEffort => shed_queue_depth / 4,
+        }
+    }
+}
+
+impl std::fmt::Display for SloClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_order_is_the_derived_ord() {
+        assert!(SloClass::Interactive < SloClass::Standard);
+        assert!(SloClass::Standard < SloClass::BestEffort);
+        let mut shuffled = [SloClass::BestEffort, SloClass::Interactive, SloClass::Standard];
+        shuffled.sort();
+        assert_eq!(shuffled, SloClass::ALL);
+    }
+
+    #[test]
+    fn rank_round_trips() {
+        for class in SloClass::ALL {
+            assert_eq!(SloClass::from_rank(class.rank()), Some(class));
+        }
+        assert_eq!(SloClass::from_rank(3), None);
+    }
+
+    #[test]
+    fn shed_depths_are_strictly_class_ordered() {
+        let depth = 64;
+        assert!(
+            SloClass::BestEffort.shed_depth(depth) < SloClass::Standard.shed_depth(depth)
+                && SloClass::Standard.shed_depth(depth) < SloClass::Interactive.shed_depth(depth)
+        );
+        assert_eq!(SloClass::BestEffort.shed_depth(depth), 16);
+        assert_eq!(SloClass::Standard.shed_depth(depth), 64);
+        assert_eq!(SloClass::Interactive.shed_depth(depth), 256);
+    }
+}

@@ -99,6 +99,7 @@ fn main() {
             requests: 256,
             mode: LoadMode::Closed { concurrency: 8 },
             profiles,
+            classes: vec![],
         },
     );
     report_line("steady", &steady);
@@ -128,6 +129,7 @@ fn main() {
                 device: DeviceClass::Wearable,
                 network: NetworkClass::Wifi,
             }],
+            classes: vec![],
         },
     );
     report_line("burst", &burst);

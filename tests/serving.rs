@@ -67,6 +67,7 @@ fn concurrent_load_with_hot_swap_drops_nothing() {
                 requests: 1024,
                 mode: LoadMode::Closed { concurrency: 16 },
                 profiles: vec![wearable_wifi()],
+                classes: vec![],
             },
         );
         assert_eq!(swapper.join().expect("swap thread"), 2, "swap fired mid-load");
@@ -114,6 +115,7 @@ fn hot_swap_mid_load_serves_both_versions() {
                     requests: 512,
                     mode: LoadMode::Closed { concurrency: 8 },
                     profiles: vec![wearable_wifi()],
+                    classes: vec![],
                 },
             )
         })
@@ -149,12 +151,68 @@ fn overload_sheds_to_early_exit_within_bounds() {
             requests: 600,
             mode: LoadMode::Open { rps: 20_000.0 },
             profiles: vec![wearable_wifi()],
+            classes: vec![],
         },
     );
     assert_eq!(report.completed, 600, "shed answers are still answers");
     assert!(report.shed_rate() > 0.1, "overload must shed: rate {}", report.shed_rate());
     assert!(report.shed_rate() < 1.0, "some requests must reach the workers");
     assert_eq!(server.metrics().shed as usize, report.shed);
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn shed_latencies_stay_out_of_the_served_histogram() {
+    // Regression: shed responses return in microseconds, and mixing them
+    // into `serve.latency_us` dragged the reported p50 at 3200 rps down
+    // to ~5 µs — a nonsense "latency improvement" from dropping work.
+    // Served and shed latencies now live in separate histograms.
+    let obs = Obs::wall();
+    let server = InferenceServer::from_artifact(
+        &artifact(8),
+        Some(exit_head(11)),
+        ServeConfig {
+            workers: 2,
+            shed_queue_depth: 4,
+            obs: Some(obs.clone()),
+            ..Default::default()
+        },
+    )
+    .expect("artifact decodes");
+    let client = server.client();
+
+    let report = run_load(
+        &client,
+        &inputs(),
+        &LoadGenConfig {
+            seed: 8,
+            requests: 400,
+            mode: LoadMode::Open { rps: 30_000.0 },
+            profiles: vec![wearable_wifi()],
+            classes: vec![],
+        },
+    );
+    assert!(report.shed > 50, "this run must be shed-heavy, shed {}", report.shed);
+    assert!(report.shed < report.completed, "some requests must be served");
+
+    // served-only p50 clears the inline-forward floor: one pass through
+    // the 9.6M-MAC model cannot finish in shed-fallback time
+    let floor = Duration::from_micros(500);
+    assert!(
+        report.percentile(50.0) >= floor,
+        "served p50 {:?} fell below one inline forward — shed latencies leaked in",
+        report.percentile(50.0)
+    );
+    assert!(report.shed_percentile(50.0) < floor, "shed answers come from the tiny exit head");
+
+    let snap = obs.snapshot();
+    let served = snap.histogram("serve.latency_us").expect("served histogram");
+    assert_eq!(served.count, (report.completed - report.shed) as u64);
+    assert!(served.min >= 500, "served histogram floor breached: min {} us", served.min);
+    let shed = snap.histogram("serve.shed_latency_us").expect("shed histogram");
+    assert_eq!(shed.count, report.shed as u64);
+
     drop(client);
     server.shutdown();
 }
